@@ -1,0 +1,62 @@
+"""Bench ablations: colours, initial-state scheme, random-walk baseline.
+
+Design choices the paper asserts but does not tabulate:
+
+* colours speed the task up (prior work claims ~2x);
+* the ``ID mod 2`` initial-state scheme is what makes agents reliable;
+* evolved behaviour beats blind random walking by a wide margin.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_color_ablation,
+    run_initial_state_ablation,
+    run_random_walk_comparison,
+)
+
+
+@pytest.mark.parametrize("kind", ["S", "T"])
+def test_color_ablation(benchmark, kind):
+    rows = run_once(
+        benchmark, run_color_ablation, kind,
+        n_agents=16, n_random=150, t_max=2000,
+    )
+    print()
+    print(format_ablation(f"Colour ablation ({kind}-grid)", rows))
+    intact, stripped = rows
+    assert intact.reliable
+    slowdown_or_failure = (
+        not stripped.reliable or stripped.versus_baseline > 1.2
+    )
+    assert slowdown_or_failure
+
+
+@pytest.mark.parametrize("kind", ["S", "T"])
+def test_initial_state_ablation(benchmark, kind):
+    # density 2: with only two agents no conflicts break the symmetry,
+    # so uniform initial states exhibit the paper's unreliability
+    rows = run_once(
+        benchmark, run_initial_state_ablation, kind,
+        n_agents=2, n_random=300, t_max=1500,
+    )
+    print()
+    print(format_ablation(f"Initial-state ablation ({kind}-grid)", rows))
+    by_label = {row.label.split("=")[-1]: row for row in rows}
+    # Sect. 4: no reliable uniform agents when all start in state 0
+    assert by_label["id_mod_2"].reliable
+    assert not by_label["all_zero"].reliable
+
+
+def test_random_walk_baseline(benchmark):
+    rows = run_once(
+        benchmark, run_random_walk_comparison, "T",
+        n_agents=16, n_random=30, t_max=6000,
+    )
+    print()
+    print(format_ablation("Random-walk baseline (T-grid)", rows))
+    evolved, walkers = rows
+    assert evolved.reliable
+    assert walkers.versus_baseline > 1.3  # evolution clearly wins

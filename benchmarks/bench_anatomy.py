@@ -1,0 +1,27 @@
+"""Bench the anatomy of the k = 4 maximum (Fig. 5's curiosity dissected).
+
+The mean communication time peaks at k = 4 because the k = 2 tail and
+the k = 4 body trade places: two agents have the fastest median but the
+heaviest tail; four agents shift the whole distribution right.
+"""
+
+from conftest import run_once
+
+from repro.experiments.anatomy import format_anatomy, run_anatomy
+
+
+def test_k4_maximum_anatomy(benchmark):
+    rows = run_once(benchmark, run_anatomy, agent_counts=(2, 4, 8, 16),
+                    n_random=300)
+    print()
+    print(format_anatomy(rows))
+
+    # the mean peaks at k = 4 (Table 1 / Fig. 5)
+    assert rows[4].mean > rows[2].mean
+    assert rows[4].mean > rows[8].mean
+    # ... but the *median* is the highest at k = 4 while k = 2 has the
+    # fastest median and the heaviest tail
+    assert rows[2].median < rows[4].median
+    assert rows[2].tail_ratio > rows[4].tail_ratio
+    # density kills both body and tail from k = 8 on
+    assert rows[16].p90 < rows[8].p90 < rows[4].p90

@@ -1,0 +1,47 @@
+"""Bench environment variants: borders, obstacles, colour carpets.
+
+The paper deliberately ran the *cyclic* (borderless) case as the harder
+one (Sect. 3); prior work found bordered worlds easier for agents
+evolved for them.  This bench drops the published cyclic-evolved agents
+into the other worlds and reports the cost: walls slow a cyclic-evolved
+agent down (it lost its wrap-around shortcuts), a few obstacles cost
+less, a random colour carpet costs almost nothing (the agents overwrite
+it with their own markings).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.environments import (
+    format_environment_rows,
+    run_environment_comparison,
+)
+
+
+@pytest.mark.parametrize("kind", ["S", "T"])
+def test_environment_comparison(benchmark, kind):
+    rows = run_once(
+        benchmark, run_environment_comparison, kind,
+        n_random=150, t_max=3000,
+    )
+    print()
+    print(
+        format_environment_rows(
+            f"{kind}-agent (cyclic-evolved) across environments", rows
+        )
+    )
+    by_key = {
+        "cyclic": next(v for k, v in rows.items() if "cyclic" in k),
+        "bordered": next(v for k, v in rows.items() if "bordered" in k),
+        "obstacles": next(v for k, v in rows.items() if "obstacles" in k),
+        "carpet": next(v for k, v in rows.items() if "carpet" in k),
+    }
+    # the evolved-for-cyclic agent is at home in the cyclic world
+    assert by_key["cyclic"].reliable
+    # every world stays overwhelmingly solvable
+    for label, row in by_key.items():
+        assert row.success_rate > 0.95, label
+    # walls cost a cyclic-evolved agent real time
+    assert by_key["bordered"].mean_time > by_key["cyclic"].mean_time
+    # a colour carpet is only a mild perturbation
+    assert by_key["carpet"].mean_time < 1.35 * by_key["cyclic"].mean_time

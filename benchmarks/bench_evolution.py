@@ -1,0 +1,64 @@
+"""Bench Sect. 4: the genetic procedure's convergence behaviour.
+
+The paper reports the qualitative trajectory: a random pool contains no
+successful FSM; after some generations successful FSMs appear; later,
+completely successful ones.  This bench runs a reduced instance (the
+paper's pool size and mutation rates, fewer fields and generations) and
+prints the per-generation fitness history.
+"""
+
+from conftest import run_once
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.evolution.genome import mutate
+from repro.evolution.runner import EvolutionSettings, evolve
+from repro.grids import make_grid
+
+import numpy as np
+
+
+def test_evolution_run(benchmark):
+    grid = make_grid("T", 16)
+    suite = paper_suite(grid, 8, n_random=40, seed=7)
+    settings = EvolutionSettings(n_generations=12, t_max=200, seed=1)
+
+    result = run_once(benchmark, evolve, grid, suite, settings)
+
+    print()
+    print("gen   best_F      mean_F   successful_in_pool")
+    for record in result.history:
+        print(
+            f"{record.generation:3d}  {record.best_fitness:9.2f}  "
+            f"{record.mean_fitness:10.2f}  {record.n_successful:2d}/20"
+        )
+    first = result.history[0]
+    last = result.history[-1]
+    # selection pressure works: the pool improves
+    assert last.best_fitness < first.best_fitness
+    # the pool mean starts dominated by unsuccessful machines
+    assert first.mean_fitness > 10_000
+
+
+def test_mutation_kernel(benchmark):
+    """Micro-kernel: one offspring production (the GA's inner operator)."""
+    rng = np.random.default_rng(0)
+    fsm = FSM.random(rng)
+    child = benchmark(mutate, fsm, rng)
+    assert child.n_states == fsm.n_states
+
+
+def test_population_evaluation_kernel(benchmark):
+    """Micro-kernel: evaluating 20 FSMs on 40 fields in one batch."""
+    from repro.evolution.fitness import evaluate_population
+
+    grid = make_grid("T", 16)
+    suite = paper_suite(grid, 8, n_random=37, seed=3)
+    rng = np.random.default_rng(5)
+    fsms = [FSM.random(rng) for _ in range(20)]
+
+    outcomes = benchmark.pedantic(
+        evaluate_population, args=(grid, fsms, suite),
+        kwargs={"t_max": 200}, rounds=1, iterations=1,
+    )
+    assert len(outcomes) == 20

@@ -1,0 +1,38 @@
+"""Bench Eq. 1-3 / Fig. 2: topology metrics and distance maps.
+
+Regenerates the diameter / mean-distance comparison for n = 1..6 and the
+two Fig. 2 distance maps, and times the exhaustive BFS measurement.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import (
+    fig2_distance_maps,
+    format_topology_table,
+    topology_table,
+)
+from repro.grids import TriangulateGrid
+from repro.grids.analysis import distance_field
+
+
+def test_fig2_topology_table(benchmark):
+    rows = run_once(benchmark, topology_table, (1, 2, 3, 4, 5, 6))
+    print()
+    print(format_topology_table(rows))
+    # the paper's asymptotic ratios
+    assert rows[-1]["diameter_ratio"] < 0.67
+    assert 0.77 < rows[-1]["mean_ratio"] < 0.78
+
+
+def test_fig2_distance_maps(benchmark):
+    maps = run_once(benchmark, fig2_distance_maps, 3)
+    print()
+    print(maps)
+    assert "D=8" in maps and "D=5" in maps
+
+
+def test_distance_field_kernel(benchmark):
+    """Micro-kernel: one BFS over the 64 x 64 T-torus."""
+    grid = TriangulateGrid(64)
+    field = benchmark(distance_field, grid)
+    assert field.max() == 42  # D_6^T = (2 * 63 + 0) / 3

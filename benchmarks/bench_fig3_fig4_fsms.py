@@ -1,0 +1,49 @@
+"""Bench Figs. 3-4: the published best FSMs, printed and evaluated.
+
+Prints both state tables in the paper's layout and times the evaluation
+of each machine on a 1003-field suite at the paper's evolution density
+(k = 8) -- the workload one fitness evaluation of the genetic procedure
+costs.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.configs.suite import paper_suite
+from repro.core.published import published_fsm
+from repro.evolution.fitness import evaluate_fsm
+from repro.grids import make_grid
+
+
+@pytest.mark.parametrize("kind,figure", [("S", "Fig. 3"), ("T", "Fig. 4")])
+def test_published_fsm_evaluation(benchmark, kind, figure):
+    grid = make_grid(kind, 16)
+    fsm = published_fsm(kind)
+    suite = paper_suite(grid, 8)
+    outcome = run_once(benchmark, evaluate_fsm, grid, fsm, suite, t_max=1000)
+    print()
+    print(fsm.format_table(title=f"{figure} (best {kind}-agent):"))
+    print(
+        f"evaluation over {outcome.n_fields} fields: "
+        f"mean t_comm = {outcome.mean_time:.2f}, "
+        f"reliable = {outcome.completely_successful}"
+    )
+    assert outcome.completely_successful
+    # paper Table 1, k = 8: T 58.68, S 90.93
+    expected = {"S": 90.93, "T": 58.68}[kind]
+    assert outcome.mean_time == pytest.approx(expected, rel=0.10)
+
+
+def test_single_fsm_table_lookup_kernel(benchmark):
+    """Micro-kernel: 32k scalar FSM transitions (the reference-path cost)."""
+    fsm = published_fsm("T")
+
+    def lookup_sweep():
+        total = 0
+        for _ in range(1000):
+            for x in range(8):
+                for state in range(4):
+                    total += fsm.transition(x, state)[0]
+        return total
+
+    assert benchmark(lookup_sweep) >= 0

@@ -1,0 +1,37 @@
+"""Bench Figs. 6-7: the two-agent trace runs with street/honeycomb panels.
+
+Prints the agents / colors / visited panels at the figure's snapshot
+times.  The fixed placement is documented in
+``repro.experiments.traces.two_agent_configuration``; it lands at 106 (S)
+and 41 (T) steps against the paper's pictured 114 and 44.
+"""
+
+from conftest import run_once
+
+from repro.experiments.traces import format_trace, run_fig6, run_fig7
+
+
+def test_fig6_s_grid_streets(benchmark):
+    experiment = run_once(benchmark, run_fig6)
+    print()
+    print(format_trace(experiment, paper_t_comm=114))
+    assert experiment.t_comm == 106
+    # the colour streets exist: a meaningful fraction of cells is flagged
+    assert experiment.colored_cells > 20
+
+
+def test_fig7_t_grid_honeycombs(benchmark):
+    experiment = run_once(benchmark, run_fig7)
+    print()
+    print(format_trace(experiment, paper_t_comm=44))
+    assert experiment.t_comm == 41
+    assert experiment.colored_cells > 10
+
+
+def test_t_agents_find_each_other_faster(benchmark):
+    def both():
+        return run_fig6().t_comm, run_fig7().t_comm
+
+    s_time, t_time = run_once(benchmark, both)
+    print(f"\ntrace times: S = {s_time}, T = {t_time} (paper: 114 vs 44)")
+    assert t_time < s_time

@@ -1,0 +1,38 @@
+"""Bench the search-heuristic comparison (Sect. 4's open question).
+
+The paper: "mutation only gave us similar good results" to
+crossover/mutation.  Under equal evaluation budgets we find exactly
+that -- the two evolutionary strategies land within a few fitness points
+of each other, and both beat budget-matched random search decisively.
+"""
+
+from conftest import run_once
+
+from repro.experiments.heuristics import (
+    format_heuristics,
+    run_heuristic_comparison,
+)
+
+
+def test_heuristic_comparison(benchmark):
+    results = run_once(
+        benchmark, run_heuristic_comparison,
+        n_generations=20, n_random=40,
+    )
+    print()
+    print(format_heuristics(results))
+
+    mutation = results["mutation-only (paper)"]
+    classical = results["crossover+mutation"]
+    random_search = results["random search"]
+
+    # equal budgets, by construction
+    assert mutation.evaluations == classical.evaluations == random_search.evaluations
+
+    # the paper's observation: mutation-only ~ crossover+mutation
+    ratio = mutation.best_fitness / classical.best_fitness
+    assert 0.75 <= ratio <= 1.35
+
+    # and both beat random search clearly
+    assert mutation.best_fitness < random_search.best_fitness
+    assert classical.best_fitness < random_search.best_fitness

@@ -1,0 +1,32 @@
+"""Bench the mutation-rate sweep (Sect. 4 settled on 18%).
+
+Equal-budget GAs across per-gene mutation probabilities, averaged over
+GA seeds.  The observed landscape at laptop budgets is a broad plateau:
+every rate from 2% to 60% finds reliable machines and the mean best
+fitness varies by well under 2x -- consistent with the paper finding a
+wide "good region" rather than a sharp optimum, and with 18% being a
+safe middle-of-plateau pick.
+"""
+
+from conftest import run_once
+
+from repro.experiments.mutation_rates import (
+    format_rate_sweep,
+    run_mutation_rate_sweep,
+)
+
+
+def test_mutation_rate_sweep(benchmark):
+    points = run_once(
+        benchmark, run_mutation_rate_sweep,
+        rates=(0.02, 0.18, 0.60), n_generations=15, n_random=30,
+        seeds=(29, 30),
+    )
+    print()
+    print(format_rate_sweep(points))
+
+    fitnesses = [point.mean_best_fitness for point in points.values()]
+    # a plateau, not a cliff: no rate is catastrophically worse
+    assert max(fitnesses) < 2.0 * min(fitnesses)
+    # the paper's rate finds reliable machines
+    assert points[0.18].reliable_runs >= 1

@@ -1,0 +1,34 @@
+"""Bench the knowledge-growth curves: the T speed-up is uniform in time.
+
+Extension of Table 1: not only the end time but every spread milestone
+(t at 25/50/75/90/100% of knowledge bits) obeys the ~0.65 T/S ratio, and
+the curves collapse onto each other under time normalization -- the
+geometry compresses the whole process, not just the tail.
+"""
+
+from conftest import run_once
+
+from repro.experiments.progress_curves import (
+    format_progress_curves,
+    run_progress_curves,
+)
+
+
+def test_progress_curves(benchmark):
+    curves = run_once(
+        benchmark, run_progress_curves, n_agents=16, n_random=150,
+    )
+    print()
+    print(format_progress_curves(curves))
+
+    t_curve, s_curve = curves
+    for milestone in (0.25, 0.5, 0.75, 0.9):
+        ratio = t_curve.time_to(milestone) / s_curve.time_to(milestone)
+        assert 0.5 <= ratio <= 0.8, (milestone, ratio)
+
+    # normalized curves nearly coincide: compare at relative times
+    for point in (0.3, 0.5, 0.7):
+        t_len, s_len = len(t_curve.fractions) - 1, len(s_curve.fractions) - 1
+        t_value = t_curve.fractions[int(point * t_len)]
+        s_value = s_curve.fractions[int(point * s_len)]
+        assert abs(t_value - s_value) < 0.12, (point, t_value, s_value)

@@ -1,0 +1,28 @@
+"""Bench seed robustness of the Table 1 measurement.
+
+The paper's means are over one unpublished random-field ensemble; this
+bench redraws the ensemble several times and checks that the means move
+by ~1%, which is the error bar under which our Table 1 agreement
+(within ~3% of the paper) should be read.
+"""
+
+from conftest import run_once
+
+from repro.experiments.robustness import format_robustness, run_seed_robustness
+
+
+def test_seed_robustness(benchmark):
+    rows = run_once(
+        benchmark, run_seed_robustness,
+        seeds=(1, 2, 3, 4, 5), n_random=300,
+    )
+    print()
+    print(format_robustness(rows))
+
+    for row in rows.values():
+        assert row.all_reliable
+        # the ensemble choice moves the headline numbers by very little
+        assert row.relative_spread < 0.03
+
+    ratio = rows["T"].grand_mean / rows["S"].grand_mean
+    assert 0.60 <= ratio <= 0.70  # the diameter-ratio band, robustly

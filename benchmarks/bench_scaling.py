@@ -1,0 +1,27 @@
+"""Bench the scaling sweep: t_comm vs torus size at the paper's density.
+
+An extension of the paper's evaluation: if the T-advantage is the
+diameter ratio (Eq. 3), the T/S time ratio must stay near 2/3 across
+sizes and times must grow ~linearly in M.  Both hold.
+"""
+
+from conftest import run_once
+
+from repro.experiments.scaling import format_scaling, growth_exponent, run_scaling
+
+
+def test_scaling_sweep(benchmark):
+    rows = run_once(
+        benchmark, run_scaling, sizes=(8, 12, 16, 24, 32), n_random=100,
+    )
+    print()
+    print(format_scaling(rows))
+
+    for size, row in rows.items():
+        assert row.t_reliable and row.s_reliable, size
+        assert 0.55 <= row.ratio <= 0.75, (size, row.ratio)
+
+    # times grow like the diameters: log-log slope near 1
+    for kind in ("T", "S"):
+        slope = growth_exponent(rows, kind)
+        assert 0.75 <= slope <= 1.35, (kind, slope)

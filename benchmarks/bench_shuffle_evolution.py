@@ -1,0 +1,34 @@
+"""Bench time-shuffled pair evolution vs single-FSM evolution.
+
+Prior work [8] found time-shuffled behaviours faster; this paper dropped
+them for one 4-state FSM with colours.  Under equal (small) evaluation
+budgets we see why: the pair's doubled genome slows the search more than
+the temporal expressiveness helps -- single machines reach reliability
+sooner and end better.  (With 6-state colour-less machines and bigger
+budgets, [8]'s result may well flip back; the harness makes that an
+afternoon's experiment.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.shuffle_evolution import (
+    format_shuffle_evolution,
+    run_shuffle_evolution,
+)
+
+
+def test_shuffle_evolution(benchmark):
+    results = run_once(
+        benchmark, run_shuffle_evolution,
+        n_generations=25, n_random=40,
+    )
+    print()
+    print(format_shuffle_evolution(results))
+
+    single = results["single FSM (paper)"]
+    pair = results["time-shuffled pair [8]"]
+
+    assert single.evaluations == pair.evaluations
+    # this paper's design choice is justified at this budget: the single
+    # machine matches or beats the pair
+    assert single.best_fitness <= pair.best_fitness * 1.05

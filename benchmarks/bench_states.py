@@ -1,0 +1,36 @@
+"""Bench the "more states" further-work experiment.
+
+Equal-budget GAs with 2/4/6/8-state genomes.  At laptop budgets the
+smaller tables evolve *faster* (a 2-state machine already solves the
+training suite reliably) -- the paper's 4 states buy head-room for
+cross-density reliability, not raw training fitness, which is consistent
+with its choice to keep the automaton deliberately small.
+"""
+
+from conftest import run_once
+
+from repro.experiments.states_exp import (
+    format_state_budgets,
+    run_state_budget_comparison,
+)
+
+
+def test_state_budget_comparison(benchmark):
+    results = run_once(
+        benchmark, run_state_budget_comparison,
+        state_counts=(2, 4, 8), n_generations=15, n_random=40,
+    )
+    print()
+    print(format_state_budgets(results))
+
+    # table sizes follow 8 * n_states
+    assert results[2].table_size == 16
+    assert results[4].table_size == 32
+    assert results[8].table_size == 64
+    # every budget's pool improves and reaches training reliability
+    for result in results.values():
+        assert result.history[-1] <= result.history[0]
+        assert result.best_reliable
+    # no state budget is catastrophically worse: a broad plateau
+    fitnesses = [result.best_fitness for result in results.values()]
+    assert max(fitnesses) < 2.0 * min(fitnesses)

@@ -1,0 +1,28 @@
+"""Bench the statistical version of Figs. 6-7: streets vs honeycombs.
+
+One picture per grid in the paper; here the structure metrics over 30
+two-agent runs.  The honeycomb signature is dramatic: the T colour field
+averages ~15 independent loops per run against ~0.2 in S, while S
+concentrates its colour mass on axis-aligned streets.
+"""
+
+from conftest import run_once
+
+from repro.experiments.structures_exp import (
+    format_structure_statistics,
+    run_structure_statistics,
+)
+
+
+def test_structure_statistics(benchmark):
+    results = run_once(benchmark, run_structure_statistics, n_runs=30)
+    print()
+    print(format_structure_statistics(results))
+
+    s_stats, t_stats = results["S"], results["T"]
+    # honeycombs: T weaves an order of magnitude more colour loops
+    assert t_stats.mean_loop_count > 5 * max(s_stats.mean_loop_count, 0.5)
+    # streets: S concentrates colour mass on lines more than T
+    assert s_stats.mean_street_concentration > t_stats.mean_street_concentration
+    # and the figure's headline: T solves the two-agent task faster
+    assert t_stats.mean_t_comm < s_stats.mean_t_comm

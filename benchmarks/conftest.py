@@ -1,0 +1,14 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one table or figure of the paper and prints the
+same rows/series the paper reports (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them).  Expensive end-to-end experiments are
+measured with a single pedantic round; micro-kernels use normal
+calibration.
+"""
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark one full experiment execution (no warmup repetitions)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Tour of the analysis toolkit on one recorded run.
+
+Records a full T-grid trace and walks through everything
+`repro.analysis` can say about it: how knowledge spread, what structures
+the colours formed, how the agents moved, and what the controlling Mealy
+machine looks like under automata theory.
+
+Run:  python examples/analyze_a_run.py [S|T]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.analysis import (
+    color_loop_count,
+    colored_fraction,
+    count_meetings,
+    is_minimal,
+    motility,
+    progress_timeline,
+    reachable_states,
+    street_concentration,
+    table_usage,
+    time_to_fraction,
+    visited_gini,
+)
+from repro.experiments.traces import two_agent_configuration
+
+
+def main():
+    kind = (sys.argv[1] if len(sys.argv) > 1 else "T").upper()
+    grid = repro.make_grid(kind, 16)
+    fsm = repro.published_fsm(kind)
+    config = two_agent_configuration(grid)
+
+    recorder = repro.TraceRecorder()
+    simulation = repro.Simulation(grid, fsm, config, recorder=recorder)
+    result = simulation.run(t_max=1000)
+    print(f"=== One {kind}-grid run: solved in {result.t_comm} steps ===\n")
+
+    print("-- knowledge spread --")
+    timeline = progress_timeline(recorder)
+    for fraction in (0.5, 0.75, 1.0):
+        print(f"  {int(100 * fraction):3d}% of bits present at t = "
+              f"{time_to_fraction(timeline, fraction)}")
+    print(f"  meetings along the way: {count_meetings(recorder, grid)}")
+
+    final = recorder.final
+    print("\n-- colour/visited structures --")
+    print(f"  colour flags set: {colored_fraction(final.colors):.1%} of cells")
+    print(f"  street concentration: {street_concentration(final.colors):.3f}")
+    print(f"  colour loops (honeycombs): {color_loop_count(final.colors, grid)}")
+    print(f"  travel inequality (Gini): {visited_gini(final.visited):.3f}")
+
+    print("\n-- motility --")
+    stats = motility(grid, recorder)
+    print(f"  moved on {stats.move_fraction:.1%} of steps, "
+          f"turned on {stats.turn_rate:.1%}")
+    print(f"  diffusion exponent: {stats.diffusion_exponent:.2f} "
+          "(1 = random walk, 2 = straight line)")
+
+    print("\n-- the controlling machine --")
+    print(f"  reachable control states: {sorted(reachable_states(fsm))}")
+    print(f"  minimal (no bisimilar states): {is_minimal(fsm)}")
+    configs = [
+        repro.random_configuration(grid, 4, np.random.default_rng(seed))
+        for seed in range(10)
+    ]
+    _, live = table_usage(grid, fsm, configs)
+    print(f"  live genome on 10 random fields: {live:.1%} of table rows")
+
+
+if __name__ == "__main__":
+    main()

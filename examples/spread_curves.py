@@ -1,0 +1,35 @@
+"""How knowledge spreads over time: the aggregate S-curve (extension).
+
+The paper reports only the end time t_comm. This example plots (in
+ASCII) the mean fraction of knowledge bits present at each step over a
+suite of runs, for both grids: a slow hunting phase, a fast exchange
+phase once streets exist, and a long tail for the last pair -- with the
+T-grid curve a uniformly compressed copy of the S-grid one.
+
+Run:  python examples/spread_curves.py [n_fields]
+"""
+
+import sys
+
+from repro.experiments.progress_curves import (
+    format_progress_curves,
+    run_progress_curves,
+)
+
+
+def main():
+    n_fields = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    curves = run_progress_curves(n_agents=16, n_random=n_fields)
+    print(format_progress_curves(curves))
+    t_curve, s_curve = curves
+    print("milestone ratios (T/S):")
+    for milestone in (0.25, 0.5, 0.75, 0.9, 1.0):
+        t_time, s_time = t_curve.time_to(milestone), s_curve.time_to(milestone)
+        print(f"  {int(100 * milestone):3d}%: {t_time}/{s_time} = "
+              f"{t_time / s_time:.3f}")
+    print("\nEvery milestone obeys the ~2/3 diameter ratio -- the T-grid")
+    print("compresses the whole process, not just the finish line.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Beyond the paper: environments, heterogeneous swarms, time-shuffling.
+
+The paper's conclusion lists obstacles, borders and more colours as
+further work, and Sect. 4 lists symmetry-breaking alternatives to the
+``ID mod 2`` scheme.  This example exercises all of them:
+
+1. the published agents across cyclic / bordered / obstacle / carpeted
+   worlds;
+2. a heterogeneous swarm (two species) vs the uniform one;
+3. time-shuffled behaviours;
+4. a 4-colour agent taking its first random steps.
+
+Run:  python examples/worlds_and_swarms.py
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments.environments import (
+    format_environment_rows,
+    run_environment_comparison,
+)
+from repro.extensions import (
+    HeterogeneousSimulation,
+    MulticolorFSM,
+    MulticolorSimulation,
+    TimeShuffledSimulation,
+)
+
+
+def environments_demo():
+    print("=== 1. One agent, four worlds " + "=" * 30)
+    rows = run_environment_comparison("T", n_random=100, t_max=3000)
+    print(format_environment_rows(
+        "Published T-agent (evolved for the cyclic world):", rows
+    ))
+    print()
+
+
+def species_demo():
+    print("=== 2. Heterogeneous swarm " + "=" * 33)
+    grid = repro.make_grid("T", 16)
+    rng = np.random.default_rng(3)
+    species = [
+        repro.published_fsm("T") if ident % 2 == 0 else repro.published_fsm("S")
+        for ident in range(8)
+    ]
+    times = {"uniform": [], "mixed": []}
+    for seed in range(25):
+        config = repro.random_configuration(grid, 8, np.random.default_rng(seed))
+        uniform = repro.Simulation(
+            grid, repro.published_fsm("T"), config
+        ).run(t_max=2000)
+        mixed = HeterogeneousSimulation(grid, species, config).run(t_max=2000)
+        if uniform.success:
+            times["uniform"].append(uniform.t_comm)
+        if mixed.success:
+            times["mixed"].append(mixed.t_comm)
+    print(f"uniform T-swarm : mean {np.mean(times['uniform']):6.1f} steps "
+          f"({len(times['uniform'])}/25 solved)")
+    print(f"T/S mixed swarm : mean {np.mean(times['mixed']):6.1f} steps "
+          f"({len(times['mixed'])}/25 solved)")
+    print("(the S-species was evolved for the other grid; mixing is a\n"
+          " symmetry breaker, not a speed-up -- exactly Sect. 4's point)\n")
+
+
+def timeshuffle_demo():
+    print("=== 3. Time-shuffling " + "=" * 38)
+    grid = repro.make_grid("S", 16)
+    from repro.baselines.trivial import always_straight_fsm
+
+    solved, times = 0, []
+    for seed in range(25):
+        config = repro.random_configuration(grid, 8, np.random.default_rng(seed))
+        result = TimeShuffledSimulation(
+            grid, repro.published_fsm("S"), always_straight_fsm(), config
+        ).run(t_max=3000)
+        solved += result.success
+        if result.success:
+            times.append(result.t_comm)
+    print(f"paper-S shuffled with straight walking: {solved}/25 solved, "
+          f"mean {np.mean(times):.1f} steps")
+    print("(prior work [8] evolved *pairs*; shuffling arbitrary machines\n"
+          " in keeps the swarm functional but is no free speed-up)\n")
+
+
+def multicolor_demo():
+    print("=== 4. Four colours " + "=" * 40)
+    grid = repro.make_grid("T", 16)
+    rng = np.random.default_rng(0)
+    fsm = MulticolorFSM.random(rng, n_states=4, n_colors=4)
+    config = repro.random_configuration(grid, 8, rng)
+    simulation = MulticolorSimulation(grid, fsm, config)
+    result = simulation.run(t_max=400)
+    palette = sorted(set(int(c) for c in simulation.colors.ravel()))
+    print(f"random 4-colour agents: {'solved in %d steps' % result.t_comm if result.success else 'timed out'};"
+          f" colours on the grid at the end: {palette}")
+    print(f"(search space per Sect. 4's formula explodes: a 4-colour table "
+          f"has {fsm.table_size} entries vs 32)")
+
+
+if __name__ == "__main__":
+    environments_demo()
+    species_demo()
+    timeshuffle_demo()
+    multicolor_demo()

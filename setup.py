@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project is fully described by pyproject.toml; this file only exists
+so that editable installs keep working on environments whose pip cannot
+create isolated PEP 517 build environments (e.g. fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

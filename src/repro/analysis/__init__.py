@@ -1,0 +1,86 @@
+"""Quantitative analysis of simulation runs.
+
+The paper argues its Figs. 6-7 qualitatively: S-agents build
+*communication streets*, T-agents *honeycomb-like networks*, and colours
+help agents find each other.  This package turns those observations into
+numbers:
+
+* :mod:`repro.analysis.structures` -- geometry of the colour and visited
+  fields (street concentration, travel inequality, loop counts);
+* :mod:`repro.analysis.progress` -- how knowledge spreads over time
+  (informed counts, knowledge fraction, meeting events);
+* :mod:`repro.analysis.stats` -- statistical comparison of communication
+  times (bootstrap confidence intervals, rank tests for the T-vs-S gap);
+* :mod:`repro.analysis.machines` -- automata theory on the agents' Mealy
+  machines: reachability, bisimulation equivalence, minimization, and
+  live-genome usage profiling;
+* :mod:`repro.analysis.trajectories` -- unwrapped trajectories, mean
+  squared displacement and diffusion exponents (the evolved agents are
+  super-diffusive; random walkers are not).
+"""
+
+from repro.analysis.structures import (
+    colored_fraction,
+    street_concentration,
+    visited_gini,
+    color_loop_count,
+)
+from repro.analysis.progress import (
+    ProgressPoint,
+    progress_timeline,
+    knowledge_fraction,
+    time_to_fraction,
+    count_meetings,
+)
+from repro.analysis.trajectories import (
+    unwrap_trajectory,
+    agent_trajectories,
+    mean_squared_displacement,
+    diffusion_exponent,
+    motility,
+    MotilityStats,
+)
+from repro.analysis.machines import (
+    reachable_states,
+    equivalent_state_classes,
+    is_minimal,
+    minimize,
+    machines_equivalent,
+    InstrumentedSimulation,
+    table_usage,
+)
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    rank_test_less,
+    GridComparison,
+    compare_grids,
+)
+
+__all__ = [
+    "colored_fraction",
+    "street_concentration",
+    "visited_gini",
+    "color_loop_count",
+    "ProgressPoint",
+    "progress_timeline",
+    "knowledge_fraction",
+    "time_to_fraction",
+    "count_meetings",
+    "unwrap_trajectory",
+    "agent_trajectories",
+    "mean_squared_displacement",
+    "diffusion_exponent",
+    "motility",
+    "MotilityStats",
+    "reachable_states",
+    "equivalent_state_classes",
+    "is_minimal",
+    "minimize",
+    "machines_equivalent",
+    "InstrumentedSimulation",
+    "table_usage",
+    "bootstrap_mean_ci",
+    "rank_test_less",
+    "GridComparison",
+    "compare_grids",
+]

@@ -1,0 +1,184 @@
+"""Automata-theoretic analysis of the agents' Mealy machines.
+
+The behaviours are plain Mealy machines over the 8-letter input alphabet
+(blocked, colour, front colour), so the classic machinery applies:
+
+* **reachability** -- which control states can occur at all, given the
+  paper's initial states 0/1;
+* **equivalence** -- partition refinement into bisimilar state classes;
+* **minimization** -- the quotient machine, behaviourally identical per
+  agent (two bisimilar states produce identical output streams for every
+  input stream, so even swarm-level dynamics are preserved exactly);
+* **usage profiling** -- which table entries a machine actually exercises
+  on a workload, i.e. the live part of the genome.
+
+These answer questions the paper raises implicitly: is the 4-state
+budget fully used by the evolved machines (yes -- both published FSMs
+are reachable-complete and already minimal), and how much of the 32-row
+genome is ever executed.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.fsm import FSM
+from repro.core.inputs import N_INPUT_COMBOS
+from repro.core.simulation import Simulation
+
+
+def output_signature(fsm, state):
+    """The state's complete output row: one action triple per input."""
+    return tuple(
+        fsm.transition(x, state)[1] for x in range(N_INPUT_COMBOS)
+    )
+
+
+def reachable_states(fsm, initial_states=(0, 1)):
+    """Control states reachable from the given initial states.
+
+    The default initial set is the paper's ``ID mod 2`` scheme.  Any
+    input sequence is allowed (the environment can, in principle, present
+    any observation stream).
+    """
+    frontier = list(dict.fromkeys(initial_states))
+    seen = set(frontier)
+    while frontier:
+        state = frontier.pop()
+        for x in range(N_INPUT_COMBOS):
+            successor = fsm.transition(x, state)[0]
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
+def equivalent_state_classes(fsm):
+    """Partition of states into bisimilarity classes (Mealy refinement).
+
+    Two states are equivalent iff they emit identical outputs for every
+    input and their successors are equivalent for every input.  Computed
+    by the standard fixed-point refinement.
+    """
+    # initial partition: by the full output row
+    block_of = {}
+    signatures = {}
+    for state in range(fsm.n_states):
+        signature = output_signature(fsm, state)
+        block_of[state] = signatures.setdefault(signature, len(signatures))
+    while True:
+        refined = {}
+        new_block_of = {}
+        for state in range(fsm.n_states):
+            key = (
+                block_of[state],
+                tuple(
+                    block_of[fsm.transition(x, state)[0]]
+                    for x in range(N_INPUT_COMBOS)
+                ),
+            )
+            new_block_of[state] = refined.setdefault(key, len(refined))
+        if len(refined) == len(set(block_of.values())):
+            return _blocks_from_map(new_block_of, fsm.n_states)
+        block_of = new_block_of
+
+
+def _blocks_from_map(block_of, n_states):
+    blocks = {}
+    for state in range(n_states):
+        blocks.setdefault(block_of[state], []).append(state)
+    return [tuple(sorted(states)) for _, states in sorted(blocks.items())]
+
+
+def is_minimal(fsm):
+    """Whether no two states of the machine are bisimilar."""
+    return len(equivalent_state_classes(fsm)) == fsm.n_states
+
+
+def minimize(fsm):
+    """The quotient machine and the state mapping.
+
+    Returns ``(minimized_fsm, state_map)`` where ``state_map[s]`` is the
+    new index of old state ``s``.  The minimized machine is behaviourally
+    identical: for any input stream, any old state and its image emit the
+    same output stream.
+    """
+    classes = equivalent_state_classes(fsm)
+    state_map = {}
+    for new_index, members in enumerate(classes):
+        for state in members:
+            state_map[state] = new_index
+    n_new = len(classes)
+    size = n_new * N_INPUT_COMBOS
+    next_state = np.zeros(size, dtype=np.int8)
+    set_color = np.zeros(size, dtype=np.int8)
+    move = np.zeros(size, dtype=np.int8)
+    turn = np.zeros(size, dtype=np.int8)
+    for new_index, members in enumerate(classes):
+        representative = members[0]
+        for x in range(N_INPUT_COMBOS):
+            old_i = fsm.index(x, representative)
+            new_i = x * n_new + new_index
+            next_state[new_i] = state_map[int(fsm.next_state[old_i])]
+            set_color[new_i] = fsm.set_color[old_i]
+            move[new_i] = fsm.move[old_i]
+            turn[new_i] = fsm.turn[old_i]
+    minimized = FSM(
+        next_state=next_state, set_color=set_color, move=move, turn=turn,
+        name=f"{fsm.name or 'fsm'}-min",
+    )
+    return minimized, state_map
+
+
+def machines_equivalent(first, second, first_state=0, second_state=0):
+    """Bisimulation check: do two (machine, state) pairs behave alike?
+
+    Explores the reachable product of the two machines; any output
+    mismatch disproves equivalence.
+    """
+    frontier = [(first_state, second_state)]
+    seen = {(first_state, second_state)}
+    while frontier:
+        state_a, state_b = frontier.pop()
+        for x in range(N_INPUT_COMBOS):
+            next_a, action_a = first.transition(x, state_a)
+            next_b, action_b = second.transition(x, state_b)
+            if action_a != action_b:
+                return False
+            if (next_a, next_b) not in seen:
+                seen.add((next_a, next_b))
+                frontier.append((next_a, next_b))
+    return True
+
+
+class InstrumentedSimulation(Simulation):
+    """Reference simulator that counts executed table entries.
+
+    ``usage[i]`` is how often table row ``i = x * n_states + s`` fired;
+    the live genome is the support of this counter.
+    """
+
+    def __init__(self, grid, fsm, config, recorder=None, environment=None):
+        self.usage = Counter()
+        super().__init__(grid, fsm, config, recorder=recorder,
+                         environment=environment)
+
+    def _decide(self, agent, blocked, color, frontcolor):
+        x = (blocked & 1) | ((color & 1) << 1) | ((frontcolor & 1) << 2)
+        self.usage[self.fsm.index(x, agent.state)] += 1
+        return self.fsm.transition(x, agent.state)
+
+
+def table_usage(grid, fsm, configs, t_max=400):
+    """Aggregate entry-usage profile of a machine over a workload.
+
+    Returns ``(usage_counter, live_fraction)`` where ``live_fraction`` is
+    the share of the table ever executed.
+    """
+    usage = Counter()
+    for config in configs:
+        simulation = InstrumentedSimulation(grid, fsm, config)
+        simulation.run(t_max=t_max)
+        usage.update(simulation.usage)
+    live_fraction = len(usage) / fsm.table_size
+    return usage, live_fraction

@@ -1,0 +1,72 @@
+"""How knowledge spreads through the swarm over time.
+
+Works on recorded traces (:class:`repro.core.trace.TraceRecorder`): per
+step, how many agents are fully informed, what fraction of all ``k * k``
+knowledge bits exists, and how often agents actually met.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+
+def knowledge_fraction(snapshot):
+    """Fraction of the ``k * k`` knowledge bits present in a snapshot.
+
+    Starts at ``1 / k`` (everyone knows only itself) and reaches 1 when
+    the task is solved.
+    """
+    k = snapshot.n_agents
+    mask = (1 << k) - 1
+    total = sum(bin(bits & mask).count("1") for bits in snapshot.knowledge)
+    return total / (k * k)
+
+
+@dataclass(frozen=True)
+class ProgressPoint:
+    """One step of the progress timeline."""
+
+    t: int
+    informed_agents: int
+    knowledge_fraction: float
+
+
+def progress_timeline(recorder) -> List[ProgressPoint]:
+    """The per-step progress curve of a recorded run."""
+    return [
+        ProgressPoint(
+            t=snapshot.t,
+            informed_agents=snapshot.informed_count(),
+            knowledge_fraction=knowledge_fraction(snapshot),
+        )
+        for snapshot in recorder
+    ]
+
+
+def time_to_fraction(timeline, fraction):
+    """First step at which the knowledge fraction reaches ``fraction``.
+
+    Returns ``None`` if the run never got there.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    for point in timeline:
+        if point.knowledge_fraction >= fraction:
+            return point.t
+    return None
+
+
+def count_meetings(recorder, grid):
+    """Number of (ordered pair, step) adjacency events in a recorded run.
+
+    Two agents *meet* at step t when they are von-Neumann neighbours in
+    the step-t snapshot; each unordered pair counts once per step.
+    """
+    meetings = 0
+    for snapshot in recorder:
+        positions = snapshot.positions
+        occupied = set(positions)
+        for index, cell in enumerate(positions):
+            for neighbor in grid.neighbors(*cell):
+                if neighbor in occupied and positions.index(neighbor) > index:
+                    meetings += 1
+    return meetings

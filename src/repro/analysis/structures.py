@@ -1,0 +1,107 @@
+"""Geometry of the colour and visited fields (Figs. 6-7, quantified).
+
+Three observable signatures of the evolved behaviours:
+
+* **street concentration** -- S-agents concentrate their colour flags in
+  a few rows/columns ("streets").  Measured as 1 minus the normalized
+  entropy of the row/column marginals of the colour field: 0 for a
+  uniform spray, approaching 1 when everything sits in one line.
+* **travel inequality** -- agents re-travel their streets, so the visit
+  counts are unequal.  Measured as the Gini coefficient of per-cell
+  visit counts over visited cells.
+* **loop count** -- T-agents weave honeycomb-like *closed* structures;
+  the cyclomatic number (independent cycles) of the coloured subgraph
+  counts them.
+"""
+
+import math
+
+import numpy as np
+
+
+def colored_fraction(colors):
+    """Fraction of cells whose colour flag is set."""
+    colors = np.asarray(colors)
+    return float((colors != 0).mean())
+
+
+def _normalized_entropy(weights):
+    """Shannon entropy of a nonnegative weight vector, normalized to [0, 1]."""
+    total = float(weights.sum())
+    if total == 0:
+        return 1.0  # no mass: treat as maximally spread (no structure)
+    probabilities = weights / total
+    entropy = -sum(
+        p * math.log(p) for p in probabilities if p > 0
+    )
+    maximum = math.log(len(weights))
+    return entropy / maximum if maximum > 0 else 1.0
+
+
+def street_concentration(colors):
+    """1 - mean normalized entropy of the colour field's axis marginals.
+
+    0 means colour mass spread evenly over all rows and columns; values
+    toward 1 mean the mass concentrates on few lines -- streets.
+    """
+    colors = np.asarray(colors, dtype=float)
+    row_entropy = _normalized_entropy(colors.sum(axis=1))
+    column_entropy = _normalized_entropy(colors.sum(axis=0))
+    return 1.0 - (row_entropy + column_entropy) / 2.0
+
+
+def visited_gini(visited):
+    """Gini coefficient of visit counts over the cells visited at least once.
+
+    0: every visited cell was entered equally often; toward 1: a few
+    street cells absorb most of the travel.
+    """
+    counts = np.asarray(visited).ravel()
+    counts = np.sort(counts[counts > 0]).astype(float)
+    if counts.size == 0:
+        return 0.0
+    n = counts.size
+    ranks = np.arange(1, n + 1)
+    return float(
+        (2.0 * (ranks * counts).sum() / (n * counts.sum())) - (n + 1.0) / n
+    )
+
+
+def color_loop_count(colors, grid):
+    """Independent cycles in the coloured subgraph (honeycomb counter).
+
+    Builds the subgraph induced by coloured cells on the grid's link
+    structure and returns its cyclomatic number ``E - V + C`` -- the
+    number of independent closed loops.  The T-agents' honeycombs show up
+    as a strictly positive count.
+    """
+    colors = np.asarray(colors)
+    cells = {
+        (x, y)
+        for x in range(grid.size)
+        for y in range(grid.size)
+        if colors[x, y]
+    }
+    if not cells:
+        return 0
+    edges = set()
+    for cell in cells:
+        for neighbor in grid.neighbors(*cell):
+            if neighbor in cells:
+                edges.add(frozenset((cell, neighbor)))
+    # count connected components by union-find
+    parent = {cell: cell for cell in cells}
+
+    def find(cell):
+        while parent[cell] != cell:
+            parent[cell] = parent[parent[cell]]
+            cell = parent[cell]
+        return cell
+
+    for edge in edges:
+        first, second = tuple(edge)
+        root_first, root_second = find(first), find(second)
+        if root_first != root_second:
+            parent[root_first] = root_second
+    components = len({find(cell) for cell in cells})
+    return len(edges) - len(cells) + components

@@ -1,0 +1,32 @@
+"""Baselines the evolved agents are compared against.
+
+The paper's implicit baselines:
+
+* **random walkers** -- agents that turn uniformly at random and always
+  try to move; symmetric, reliable in expectation, but slow
+  (:mod:`repro.baselines.random_walk`);
+* **blind straight walkers** -- the degenerate FSM that never turns: the
+  canonical *unreliable* agent, whose parallel routes may never meet
+  (:func:`repro.baselines.trivial.always_straight_fsm`);
+* **communication lower bounds** -- what no behaviour can beat: the
+  packed-grid gossip time ``diameter - 1`` and per-configuration closing
+  bounds (:mod:`repro.baselines.gossip`).
+"""
+
+from repro.baselines.random_walk import RandomWalkSimulation, run_random_walk_suite
+from repro.baselines.trivial import always_straight_fsm, circler_fsm
+from repro.baselines.gossip import (
+    pairwise_lower_bound,
+    static_gossip_time,
+    packed_gossip_time,
+)
+
+__all__ = [
+    "RandomWalkSimulation",
+    "run_random_walk_suite",
+    "always_straight_fsm",
+    "circler_fsm",
+    "pairwise_lower_bound",
+    "static_gossip_time",
+    "packed_gossip_time",
+]

@@ -1,0 +1,66 @@
+"""Communication-time bounds no behaviour can beat.
+
+Information travels through two mechanisms, one hop of each per step: a
+carrier agent moves at most one cell, and an exchange covers at most one
+more cell of distance.  The receiving agent can also close at most one
+cell per step.  Hence for a pair of agents initially ``d`` apart the
+counted communication time is at least ``ceil((d - 1) / 3)`` (the initial
+uncounted exchange covers one hop).
+
+For *static* agents (in particular the fully packed grid) movement drops
+out: information flows only along chains of adjacent agents, one hop per
+exchange round, so the time is the eccentricity of the agent-adjacency
+graph minus the uncounted initial round.
+"""
+
+import math
+from collections import deque
+
+
+def pairwise_lower_bound(grid, config):
+    """``ceil((max pairwise distance - 1) / 3)``: a hard floor on t_comm."""
+    positions = list(config.positions)
+    worst = 0
+    for i, a in enumerate(positions):
+        for b in positions[i + 1:]:
+            worst = max(worst, grid.distance(a, b))
+    return max(0, math.ceil((worst - 1) / 3))
+
+
+def static_gossip_time(grid, positions):
+    """Counted gossip time if no agent ever moved, or ``None`` if impossible.
+
+    BFS on the agent-adjacency graph (agents are nodes; an edge joins
+    von-Neumann-neighbouring agents).  The answer is the graph's
+    eccentricity in rounds minus the one uncounted initial round;
+    disconnected placements can never finish statically.
+    """
+    positions = [grid.wrap(x, y) for x, y in positions]
+    index_by_cell = {cell: index for index, cell in enumerate(positions)}
+    n_agents = len(positions)
+    worst = 0
+    for source in range(n_agents):
+        hops = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            agent = frontier.popleft()
+            for cell in grid.neighbors(*positions[agent]):
+                neighbor = index_by_cell.get(cell)
+                if neighbor is not None and neighbor not in hops:
+                    hops[neighbor] = hops[agent] + 1
+                    frontier.append(neighbor)
+        if len(hops) < n_agents:
+            return None
+        worst = max(worst, max(hops.values()))
+    return max(0, worst - 1)
+
+
+def packed_gossip_time(grid):
+    """Counted communication time of the fully packed grid: ``diameter - 1``.
+
+    Nobody can move, every cell is an agent, so the adjacency graph *is*
+    the torus and the eccentricity is the diameter (Table 1, column 256).
+    """
+    from repro.grids.analysis import empirical_diameter
+
+    return empirical_diameter(grid) - 1

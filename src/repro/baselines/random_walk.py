@@ -1,0 +1,65 @@
+"""Random-walk agents: the stochastic baseline.
+
+A random walker always wants to move and picks a uniformly random turn
+code every step; it never touches the colour flags.  Randomness breaks
+every symmetry, so random walkers are reliable on any configuration --
+the interesting question is how much slower they are than the evolved
+deterministic FSMs (see ``benchmarks/bench_ablations.py``).
+"""
+
+import numpy as np
+
+from repro.core.actions import Action, N_TURN_CODES
+from repro.core.fsm import FSM
+from repro.core.metrics import summarize_times
+from repro.core.simulation import Simulation
+
+
+def _single_state_placeholder():
+    """A 1-state do-nothing FSM: the base class needs one for bookkeeping."""
+    size = 8  # N_INPUT_COMBOS * 1 state
+    return FSM(
+        next_state=[0] * size,
+        set_color=[0] * size,
+        move=[0] * size,
+        turn=[0] * size,
+        name="random-walk-placeholder",
+    )
+
+
+class RandomWalkSimulation(Simulation):
+    """The reference simulator with the FSM replaced by coin flips.
+
+    Conflict arbitration, colour semantics (never written), movement and
+    knowledge exchange are identical to the evolved-agent model, so
+    timing comparisons are apples-to-apples.
+    """
+
+    def __init__(self, grid, config, rng):
+        self.rng = rng
+        super().__init__(grid, _single_state_placeholder(), config)
+
+    def _desires_move(self, agent, color, frontcolor):
+        return True
+
+    def _decide(self, agent, blocked, color, frontcolor):
+        action = Action(
+            move=1,
+            turn=int(self.rng.integers(0, N_TURN_CODES)),
+            setcolor=color,  # leave the flag as it is
+        )
+        return agent.state, action
+
+
+def run_random_walk_suite(grid, suite, seed=0, t_max=1000):
+    """Evaluate the random-walk baseline over a configuration suite.
+
+    Returns ``(stats, results)`` where ``stats`` is a
+    :class:`repro.core.metrics.CommunicationStats`.
+    """
+    results = []
+    for index, config in enumerate(suite):
+        rng = np.random.default_rng([seed, index])
+        simulation = RandomWalkSimulation(grid, config, rng)
+        results.append(simulation.run(t_max=t_max))
+    return summarize_times(results), results

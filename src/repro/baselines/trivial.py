@@ -1,0 +1,50 @@
+"""Degenerate hand-written behaviours used as unreliability witnesses.
+
+The paper motivates its reliability machinery (Sect. 4) with the
+observation that agents following synchronously the same strategy may
+move on parallel routes and never meet.  These constructions make that
+failure reproducible: the straight walker fails on the paper's manual
+queue/diagonal configurations, which is exactly why those fields are in
+every suite.
+"""
+
+import numpy as np
+
+from repro.core.fsm import FSM
+from repro.core.inputs import N_INPUT_COMBOS
+
+
+def always_straight_fsm(n_states=4):
+    """The blind walker: always move, never turn, never colour.
+
+    Identical agents started on parallel west-east lanes keep their
+    pairwise offsets forever, so configurations like the paper's
+    ``spread-diagonal`` are unsolvable for it.
+    """
+    size = n_states * N_INPUT_COMBOS
+    states = np.tile(np.arange(n_states), N_INPUT_COMBOS)
+    return FSM(
+        next_state=states,  # keep the control state
+        set_color=np.zeros(size, dtype=np.int8),
+        move=np.ones(size, dtype=np.int8),
+        turn=np.zeros(size, dtype=np.int8),
+        name="always-straight",
+    )
+
+
+def circler_fsm(n_states=4):
+    """A walker that turns one notch every step: orbits a small loop.
+
+    Moves one cell, turns by one turn-code-1 rotation (90 degrees in S,
+    60 in T), so it traces a 4-cycle in S and a 6-cycle in T -- another
+    reliably *unreliable* behaviour for negative tests.
+    """
+    size = n_states * N_INPUT_COMBOS
+    states = np.tile(np.arange(n_states), N_INPUT_COMBOS)
+    return FSM(
+        next_state=states,
+        set_color=np.zeros(size, dtype=np.int8),
+        move=np.ones(size, dtype=np.int8),
+        turn=np.ones(size, dtype=np.int8),
+        name="circler",
+    )

@@ -1,0 +1,399 @@
+"""Command-line interface: ``repro-a2a`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the experiment harness, so every table
+and figure of the paper can be regenerated from the shell::
+
+    repro-a2a topology            # Eq. 1-3 / Fig. 2
+    repro-a2a fsm --grid T        # Fig. 3 / Fig. 4 state tables
+    repro-a2a table1              # Table 1 / Fig. 5
+    repro-a2a trace --grid T      # Fig. 6 / Fig. 7
+    repro-a2a grid33              # Sect. 5 cross-size test
+    repro-a2a simulate --grid T --agents 8 --render
+    repro-a2a evolve --grid T --agents 8 --generations 30
+    repro-a2a ablation --which colors
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_grid_argument(parser, default="T"):
+    parser.add_argument(
+        "--grid", choices=("S", "T"), default=default,
+        help="grid kind: S (square) or T (triangulate)",
+    )
+
+
+def _cmd_topology(args):
+    from repro.experiments.fig2 import fig2_distance_maps, format_topology_table
+
+    print(format_topology_table())
+    print()
+    print(fig2_distance_maps(n=3))
+    return 0
+
+
+def _cmd_fsm(args):
+    from repro.core.published import published_fsm
+
+    fsm = published_fsm(args.grid)
+    figure = "Fig. 3 (best S-agent)" if args.grid == "S" else "Fig. 4 (best T-agent)"
+    print(fsm.format_table(title=f"{figure}:"))
+    return 0
+
+
+def _cmd_table1(args):
+    from repro.experiments.table1 import format_table1, run_table1
+
+    agent_counts = tuple(args.agents) if args.agents else (2, 4, 8, 16, 32, 256)
+    rows = run_table1(
+        n_random=args.fields, seed=args.seed, t_max=args.t_max,
+        agent_counts=agent_counts,
+    )
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.experiments.traces import format_trace, run_fig6, run_fig7
+
+    if args.grid == "S":
+        print(format_trace(run_fig6(), paper_t_comm=114))
+    else:
+        print(format_trace(run_fig7(), paper_t_comm=44))
+    return 0
+
+
+def _cmd_grid33(args):
+    from repro.experiments.grid33 import format_grid33, run_grid33
+
+    result = run_grid33(n_random=args.fields, seed=args.seed, t_max=args.t_max)
+    print(format_grid33(result))
+    return 0
+
+
+def _cmd_simulate(args):
+    from repro.configs.random_configs import random_configuration
+    from repro.core.published import published_fsm
+    from repro.core.render import render_panels
+    from repro.core.simulation import Simulation
+    from repro.core.trace import TraceRecorder
+    from repro.grids import make_grid
+
+    grid = make_grid(args.grid, args.size)
+    fsm = published_fsm(args.grid)
+    rng = np.random.default_rng(args.seed)
+    config = random_configuration(grid, args.agents, rng)
+    recorder = TraceRecorder() if args.render else None
+    simulation = Simulation(grid, fsm, config, recorder=recorder)
+    result = simulation.run(t_max=args.t_max)
+    status = "solved" if result.success else "TIMED OUT"
+    print(
+        f"{args.grid}-grid {args.size}x{args.size}, {args.agents} agents, "
+        f"seed {args.seed}: {status} after {result.steps_executed} steps "
+        f"({result.informed_agents}/{result.n_agents} informed)"
+    )
+    if args.render:
+        print(render_panels(grid, recorder.final))
+    return 0 if result.success else 1
+
+
+def _cmd_evolve(args):
+    from repro.configs.suite import paper_suite
+    from repro.evolution.runner import EvolutionSettings, evolve
+    from repro.grids import make_grid
+
+    grid = make_grid(args.grid, args.size)
+    suite = paper_suite(grid, args.agents, n_random=args.fields, seed=args.seed)
+    settings = EvolutionSettings(
+        n_generations=args.generations, t_max=args.t_max, seed=args.seed
+    )
+
+    def progress(record):
+        best = f"{record.best_fitness:.2f}"
+        print(
+            f"gen {record.generation:4d}  best {best:>10}  "
+            f"mean {record.mean_fitness:12.2f}  "
+            f"successful {record.n_successful}/{args.pool_size}"
+        )
+
+    result = evolve(grid, suite, settings, progress=progress)
+    best = result.best
+    print(
+        f"\nbest fitness {best.fitness:.2f} "
+        f"({'completely successful' if best.completely_successful else 'not reliable'}), "
+        f"{result.wall_seconds:.1f}s"
+    )
+    print(best.fsm.format_table(title="best evolved FSM:"))
+    return 0
+
+
+def _cmd_ablation(args):
+    from repro.experiments.ablations import (
+        format_ablation,
+        run_color_ablation,
+        run_initial_state_ablation,
+        run_random_walk_comparison,
+    )
+
+    if args.which == "colors":
+        rows = run_color_ablation(args.grid)
+        print(format_ablation("Colour-channel ablation", rows))
+    elif args.which == "states":
+        rows = run_initial_state_ablation(args.grid)
+        print(format_ablation("Initial-control-state ablation", rows))
+    else:
+        rows = run_random_walk_comparison(args.grid)
+        print(format_ablation("Random-walk baseline", rows))
+    return 0
+
+
+def _cmd_heuristics(args):
+    from repro.experiments.heuristics import (
+        format_heuristics,
+        run_heuristic_comparison,
+    )
+
+    results = run_heuristic_comparison(
+        kind=args.grid, n_random=args.fields, n_generations=args.generations
+    )
+    print(format_heuristics(results))
+    return 0
+
+
+def _cmd_structures(args):
+    from repro.experiments.structures_exp import (
+        format_structure_statistics,
+        run_structure_statistics,
+    )
+
+    results = run_structure_statistics(n_runs=args.runs)
+    print(format_structure_statistics(results))
+    return 0
+
+
+def _cmd_robustness(args):
+    from repro.experiments.robustness import (
+        format_robustness,
+        run_seed_robustness,
+    )
+
+    rows = run_seed_robustness(
+        n_agents=args.agents, seeds=tuple(range(1, args.seeds + 1)),
+        n_random=args.fields,
+    )
+    print(format_robustness(rows))
+    return 0
+
+
+def _cmd_scaling(args):
+    from repro.experiments.scaling import format_scaling, run_scaling
+
+    rows = run_scaling(
+        sizes=tuple(args.sizes), n_random=args.fields, t_max=args.t_max
+    )
+    print(format_scaling(rows))
+    return 0
+
+
+def _cmd_multicolor(args):
+    from repro.experiments.multicolor_exp import (
+        format_multicolor,
+        run_multicolor_comparison,
+    )
+
+    results = run_multicolor_comparison(
+        kind=args.grid,
+        color_counts=tuple(args.colors),
+        n_random=args.fields,
+        n_generations=args.generations,
+    )
+    print(format_multicolor(results))
+    return 0
+
+
+def _cmd_environments(args):
+    from repro.experiments.environments import (
+        format_environment_rows,
+        run_environment_comparison,
+    )
+
+    rows = run_environment_comparison(
+        args.grid, n_random=args.fields, t_max=args.t_max
+    )
+    print(
+        format_environment_rows(
+            f"The published {args.grid}-agent across environment variants "
+            "(evolved for the cyclic world)",
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_reproduce_all(args):
+    import json
+
+    from repro.experiments.campaign import (
+        CampaignSettings,
+        format_campaign,
+        run_campaign,
+    )
+    from repro.io import save_results
+
+    settings = CampaignSettings(
+        n_random=args.fields,
+        grid33_fields=args.grid33_fields,
+        ablation_fields=args.ablation_fields,
+        seed=args.seed,
+        include_grid33=not args.skip_grid33,
+        include_ablations=not args.skip_ablations,
+    )
+    report = run_campaign(settings)
+    print()
+    print(format_campaign(report))
+    if args.out:
+        save_results(report.to_dict(), args.out)
+        print(f"\nresults written to {args.out}")
+    else:
+        print()
+        print(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.headline_ok else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-a2a",
+        description=(
+            "CA agents for all-to-all communication in square and "
+            "triangulate grids (Hoffmann & Deserable, PaCT 2013)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("topology", help="Eq. 1-3 / Fig. 2: grid metrics")
+    sub.set_defaults(handler=_cmd_topology)
+
+    sub = subparsers.add_parser("fsm", help="Fig. 3 / Fig. 4: published state tables")
+    _add_grid_argument(sub)
+    sub.set_defaults(handler=_cmd_fsm)
+
+    sub = subparsers.add_parser("table1", help="Table 1 / Fig. 5: t_comm vs k")
+    sub.add_argument("--fields", type=int, default=1000, help="random fields per suite")
+    sub.add_argument("--seed", type=int, default=2013)
+    sub.add_argument("--t-max", type=int, default=1000)
+    sub.add_argument(
+        "--agents", type=int, nargs="*", default=None,
+        help="agent counts (default: the paper's 2 4 8 16 32 256)",
+    )
+    sub.set_defaults(handler=_cmd_table1)
+
+    sub = subparsers.add_parser("trace", help="Fig. 6 / Fig. 7: two-agent traces")
+    _add_grid_argument(sub)
+    sub.set_defaults(handler=_cmd_trace)
+
+    sub = subparsers.add_parser("grid33", help="Sect. 5: 33 x 33 generalisation")
+    sub.add_argument("--fields", type=int, default=1000)
+    sub.add_argument("--seed", type=int, default=2013)
+    sub.add_argument("--t-max", type=int, default=2000)
+    sub.set_defaults(handler=_cmd_grid33)
+
+    sub = subparsers.add_parser("simulate", help="run one configuration")
+    _add_grid_argument(sub)
+    sub.add_argument("--size", type=int, default=16)
+    sub.add_argument("--agents", type=int, default=8)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--t-max", type=int, default=1000)
+    sub.add_argument("--render", action="store_true", help="print the final panels")
+    sub.set_defaults(handler=_cmd_simulate)
+
+    sub = subparsers.add_parser("evolve", help="run the genetic procedure")
+    _add_grid_argument(sub)
+    sub.add_argument("--size", type=int, default=16)
+    sub.add_argument("--agents", type=int, default=8)
+    sub.add_argument("--fields", type=int, default=100)
+    sub.add_argument("--generations", type=int, default=50)
+    sub.add_argument("--pool-size", type=int, default=20)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--t-max", type=int, default=200)
+    sub.set_defaults(handler=_cmd_evolve)
+
+    sub = subparsers.add_parser(
+        "heuristics", help="mutation-only vs crossover vs random search"
+    )
+    _add_grid_argument(sub)
+    sub.add_argument("--fields", type=int, default=40)
+    sub.add_argument("--generations", type=int, default=20)
+    sub.set_defaults(handler=_cmd_heuristics)
+
+    sub = subparsers.add_parser(
+        "structures", help="street/honeycomb statistics over ensembles"
+    )
+    sub.add_argument("--runs", type=int, default=30)
+    sub.set_defaults(handler=_cmd_structures)
+
+    sub = subparsers.add_parser(
+        "robustness", help="Table 1 spread across random-field ensembles"
+    )
+    sub.add_argument("--agents", type=int, default=16)
+    sub.add_argument("--seeds", type=int, default=5)
+    sub.add_argument("--fields", type=int, default=300)
+    sub.set_defaults(handler=_cmd_robustness)
+
+    sub = subparsers.add_parser(
+        "scaling", help="t_comm vs torus size at fixed density"
+    )
+    sub.add_argument("--sizes", type=int, nargs="*", default=[8, 12, 16, 24, 32])
+    sub.add_argument("--fields", type=int, default=150)
+    sub.add_argument("--t-max", type=int, default=4000)
+    sub.set_defaults(handler=_cmd_scaling)
+
+    sub = subparsers.add_parser(
+        "multicolor", help="evolve richer colour alphabets (further work)"
+    )
+    _add_grid_argument(sub)
+    sub.add_argument("--colors", type=int, nargs="*", default=[2, 3, 4])
+    sub.add_argument("--fields", type=int, default=40)
+    sub.add_argument("--generations", type=int, default=15)
+    sub.set_defaults(handler=_cmd_multicolor)
+
+    sub = subparsers.add_parser(
+        "environments", help="borders/obstacles/colour-carpet comparison"
+    )
+    _add_grid_argument(sub, default="S")
+    sub.add_argument("--fields", type=int, default=200)
+    sub.add_argument("--t-max", type=int, default=2000)
+    sub.set_defaults(handler=_cmd_environments)
+
+    sub = subparsers.add_parser(
+        "reproduce-all", help="run every experiment; optionally write JSON"
+    )
+    sub.add_argument("--out", default=None, help="write results JSON here")
+    sub.add_argument("--fields", type=int, default=1000)
+    sub.add_argument("--grid33-fields", type=int, default=300)
+    sub.add_argument("--ablation-fields", type=int, default=300)
+    sub.add_argument("--seed", type=int, default=2013)
+    sub.add_argument("--skip-grid33", action="store_true")
+    sub.add_argument("--skip-ablations", action="store_true")
+    sub.set_defaults(handler=_cmd_reproduce_all)
+
+    sub = subparsers.add_parser("ablation", help="colour/state/random-walk ablations")
+    _add_grid_argument(sub)
+    sub.add_argument(
+        "--which", choices=("colors", "states", "randomwalk"), default="colors"
+    )
+    sub.set_defaults(handler=_cmd_ablation)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

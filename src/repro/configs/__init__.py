@@ -1,0 +1,37 @@
+"""Initial-configuration suites (paper Sect. 4).
+
+The genetic procedure and every evaluation run over sets of 1003 initial
+configurations per agent count: 1000 randomly generated (positions and
+directions) plus 3 manually designed hard cases -- a queue of agents all
+heading east, the same queue heading west, and agents spread along the
+diagonal with maximum spacing, all heading west.  The manual cases are
+hard because uniform agents moving in lock-step may never meet.
+
+All generation is seeded and reproducible.
+"""
+
+from repro.configs.types import InitialConfiguration, InitialStateScheme
+from repro.configs.random_configs import random_configuration, random_configurations
+from repro.configs.special import (
+    queue_east,
+    queue_west,
+    spread_diagonal,
+    special_configurations,
+    packed_configuration,
+)
+from repro.configs.suite import ConfigSuite, paper_suite, PAPER_AGENT_COUNTS
+
+__all__ = [
+    "InitialConfiguration",
+    "InitialStateScheme",
+    "random_configuration",
+    "random_configurations",
+    "queue_east",
+    "queue_west",
+    "spread_diagonal",
+    "special_configurations",
+    "packed_configuration",
+    "ConfigSuite",
+    "paper_suite",
+    "PAPER_AGENT_COUNTS",
+]

@@ -1,0 +1,48 @@
+"""Randomly generated initial configurations (positions and directions)."""
+
+import numpy as np
+
+from repro.configs.types import InitialConfiguration
+
+
+def random_configuration(grid, n_agents, rng, name="", environment=None):
+    """One random placement: distinct cells, independent random headings.
+
+    With an ``environment`` carrying obstacles, agents are only placed on
+    free cells.
+    """
+    if n_agents < 1:
+        raise ValueError("need at least one agent")
+    obstacles = environment.obstacles if environment is not None else frozenset()
+    free_cells = [
+        index for index in range(grid.n_cells)
+        if grid.unflat(index) not in obstacles
+    ]
+    if n_agents > len(free_cells):
+        raise ValueError(
+            f"{n_agents} agents do not fit on {len(free_cells)} free cells"
+        )
+    chosen = rng.choice(len(free_cells), size=n_agents, replace=False)
+    positions = tuple(grid.unflat(free_cells[int(index)]) for index in chosen)
+    directions = tuple(
+        int(d) for d in rng.integers(0, grid.n_directions, size=n_agents)
+    )
+    return InitialConfiguration(positions=positions, directions=directions, name=name)
+
+
+def random_configurations(grid, n_agents, n_fields, seed, environment=None):
+    """A reproducible list of ``n_fields`` random configurations.
+
+    The generator is seeded with ``(seed, size, n_agents)`` plus a grid
+    tag, so every (grid, agent count) pair gets its own independent but
+    repeatable stream -- re-running an experiment regenerates the same
+    fields.
+    """
+    kind_tag = 0 if grid.kind == "S" else 1
+    rng = np.random.default_rng([seed, grid.size, n_agents, kind_tag])
+    return [
+        random_configuration(
+            grid, n_agents, rng, name=f"random-{index}", environment=environment
+        )
+        for index in range(n_fields)
+    ]

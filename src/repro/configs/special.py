@@ -1,0 +1,111 @@
+"""The three manually designed hard configurations (paper Sect. 4).
+
+Uniform agents following the same synchronous strategy may move along
+"parallel" routes and never meet; the paper therefore adds to every suite
+three constructed cases:
+
+1. a queue of agents, all heading east;
+2. the same queue, all heading west;
+3. agents on the grid diagonal with maximum spacing, all heading west.
+"""
+
+from repro.configs.types import InitialConfiguration
+
+
+def _direction_with_offset(grid, offset):
+    """The direction index whose unit step equals ``offset``."""
+    for direction, candidate in enumerate(grid.DIRECTION_OFFSETS):
+        if candidate == offset:
+            return direction
+    raise ValueError(f"grid {grid.kind} has no direction with offset {offset}")
+
+
+def east(grid):
+    """Direction index of the ``(+1, 0)`` step (``->`` in the paper)."""
+    return _direction_with_offset(grid, (1, 0))
+
+
+def west(grid):
+    """Direction index of the ``(-1, 0)`` step (``<-`` in the paper)."""
+    return _direction_with_offset(grid, (-1, 0))
+
+
+def _queue_positions(grid, n_agents):
+    """``n_agents`` consecutive cells, row-major from the grid centre row."""
+    if n_agents > grid.n_cells:
+        raise ValueError(f"{n_agents} agents do not fit on {grid.n_cells} cells")
+    row = grid.size // 2
+    positions = []
+    for index in range(n_agents):
+        x = index % grid.size
+        y = (row + index // grid.size) % grid.size
+        positions.append((x, y))
+    return tuple(positions)
+
+
+def queue_east(grid, n_agents):
+    """Manual case 1: a queue of agents all heading east."""
+    positions = _queue_positions(grid, n_agents)
+    heading = east(grid)
+    return InitialConfiguration(
+        positions=positions,
+        directions=tuple(heading for _ in positions),
+        name="queue-east",
+    )
+
+
+def queue_west(grid, n_agents):
+    """Manual case 2: a queue of agents all heading west."""
+    positions = _queue_positions(grid, n_agents)
+    heading = west(grid)
+    return InitialConfiguration(
+        positions=positions,
+        directions=tuple(heading for _ in positions),
+        name="queue-west",
+    )
+
+
+def spread_diagonal(grid, n_agents):
+    """Manual case 3: agents spread along the diagonal, all heading west.
+
+    Agents sit on cells ``(j, j)`` with ``j = round(i * M / k)``, the
+    maximum-spacing placement on the diagonal.  Requires ``k <= M``.
+    """
+    if n_agents > grid.size:
+        raise ValueError(
+            f"the diagonal of a {grid.size}-torus holds at most {grid.size} agents"
+        )
+    positions = []
+    for index in range(n_agents):
+        j = (index * grid.size) // n_agents
+        positions.append((j, j))
+    heading = west(grid)
+    return InitialConfiguration(
+        positions=tuple(positions),
+        directions=tuple(heading for _ in positions),
+        name="spread-diagonal",
+    )
+
+
+def special_configurations(grid, n_agents):
+    """All manual cases that fit this grid and agent count, in paper order."""
+    configurations = [queue_east(grid, n_agents), queue_west(grid, n_agents)]
+    if n_agents <= grid.size:
+        configurations.append(spread_diagonal(grid, n_agents))
+    return configurations
+
+
+def packed_configuration(grid):
+    """The fully packed grid: one agent per cell, all heading east.
+
+    With ``k = N`` nobody can move; agents only communicate, and the
+    communication time equals ``diameter - 1`` counted steps (Table 1,
+    column 256).
+    """
+    positions = tuple(grid.unflat(cell) for cell in range(grid.n_cells))
+    heading = east(grid)
+    return InitialConfiguration(
+        positions=positions,
+        directions=tuple(heading for _ in positions),
+        name="packed",
+    )

@@ -1,0 +1,91 @@
+"""The paper's primary contribution: FSM-controlled CA agents solving all-to-all.
+
+The multi-agent system (paper Sect. 3) is a synchronous cellular automaton
+on a cyclic S- or T-grid.  Each agent carries an identifier, a heading, a
+control state of an embedded Mealy machine, and a communication bit
+vector; each cell carries a one-bit colour flag.  Per CA step every agent
+reads ``(blocked, colour, front colour, control state)``, performs
+``(move, turn, setcolor)``, and ORs its communication vector with those of
+its von-Neumann neighbours.  The task is solved when every agent holds the
+full vector.
+
+Two interchangeable simulators are provided: a readable reference
+implementation (:mod:`repro.core.simulation`) and a numpy batch
+implementation (:mod:`repro.core.vectorized`) that runs whole
+configuration suites -- and whole GA populations -- at once.  The test
+suite checks them step-for-step equivalent.
+"""
+
+from repro.core.actions import (
+    Action,
+    TURN_NAMES,
+    TURN_CODES,
+    action_from_abbreviation,
+    ALL_ACTIONS,
+)
+from repro.core.inputs import (
+    N_INPUT_COMBOS,
+    encode_input,
+    decode_input,
+    input_labels,
+)
+from repro.core.fsm import FSM, search_space_size
+from repro.core.published import PAPER_S_AGENT, PAPER_T_AGENT, published_fsm
+from repro.core.evolved import EVOLVED_S_AGENT, EVOLVED_T_AGENT, evolved_fsm
+from repro.core.environment import (
+    Environment,
+    OBSTACLE,
+    random_obstacles,
+    random_color_carpet,
+)
+from repro.core.agent import Agent
+from repro.core.simulation import Simulation, SimulationResult
+from repro.core.vectorized import BatchSimulator, BatchResult
+from repro.core.metrics import (
+    FITNESS_WEIGHT,
+    fitness,
+    mean_fitness,
+    CommunicationStats,
+    summarize_times,
+)
+from repro.core.trace import TraceRecorder
+from repro.core.render import render_panels, render_agents, render_colors, render_visited
+
+__all__ = [
+    "Action",
+    "TURN_NAMES",
+    "TURN_CODES",
+    "action_from_abbreviation",
+    "ALL_ACTIONS",
+    "N_INPUT_COMBOS",
+    "encode_input",
+    "decode_input",
+    "input_labels",
+    "FSM",
+    "search_space_size",
+    "PAPER_S_AGENT",
+    "PAPER_T_AGENT",
+    "published_fsm",
+    "EVOLVED_S_AGENT",
+    "EVOLVED_T_AGENT",
+    "evolved_fsm",
+    "Environment",
+    "OBSTACLE",
+    "random_obstacles",
+    "random_color_carpet",
+    "Agent",
+    "Simulation",
+    "SimulationResult",
+    "BatchSimulator",
+    "BatchResult",
+    "FITNESS_WEIGHT",
+    "fitness",
+    "mean_fitness",
+    "CommunicationStats",
+    "summarize_times",
+    "TraceRecorder",
+    "render_panels",
+    "render_agents",
+    "render_colors",
+    "render_visited",
+]

@@ -1,0 +1,91 @@
+"""The agents' action alphabet (paper Sect. 3, *Actions*).
+
+An agent performs three basic actions independently of each other per CA
+step:
+
+* ``move`` -- advance one cell in the current heading if possible (1) or
+  wait (0);
+* ``turn`` -- rotate the heading by one of four turn codes;
+* ``setcolor`` -- write the one-bit colour flag of the current cell.
+
+That gives the 16-action set the paper writes as::
+
+    {Sm0, Sm1, S.0, S.1, Rm0, Rm1, R.0, R.1,
+     Bm0, Bm1, B.0, B.1, Lm0, Lm1, L.0, L.1}
+
+with turn letters S/R/B/L (Straight, Right, Back, Left), ``m``/``.`` for
+move/wait and the trailing digit for the colour written.  The *meaning*
+of a turn code differs between grids: code 1 is 90 degrees in S but 60
+degrees in T, and code 3 is -90 vs -60 degrees (a T-agent cannot turn
++-120 degrees).  The grid object owns that mapping; this module only
+deals in the 2-bit codes.
+"""
+
+from typing import NamedTuple
+
+#: Paper's one-letter names for the four turn codes, in code order.
+TURN_NAMES = ("S", "R", "B", "L")
+
+#: Inverse of :data:`TURN_NAMES`.
+TURN_CODES = {name: code for code, name in enumerate(TURN_NAMES)}
+
+#: Number of distinct turn codes (deliberately equal for S- and T-agents).
+N_TURN_CODES = len(TURN_NAMES)
+
+#: Number of distinct complete actions: |turn| * |move| * |setcolor|.
+N_ACTIONS = N_TURN_CODES * 2 * 2
+
+
+class Action(NamedTuple):
+    """One complete agent action ``(move, turn, setcolor)``.
+
+    ``move`` and ``setcolor`` are 0/1 flags; ``turn`` is a 2-bit code
+    interpreted by the grid (see :meth:`repro.grids.base.Grid.turn`).
+    """
+
+    move: int
+    turn: int
+    setcolor: int
+
+    @property
+    def abbreviation(self):
+        """Paper-style three-character name, e.g. ``"Rm1"`` or ``"S.0"``."""
+        move_char = "m" if self.move else "."
+        return f"{TURN_NAMES[self.turn]}{move_char}{self.setcolor}"
+
+    def validate(self):
+        """Raise :class:`ValueError` unless every field is in range."""
+        if self.move not in (0, 1):
+            raise ValueError(f"move must be 0 or 1, got {self.move}")
+        if not 0 <= self.turn < N_TURN_CODES:
+            raise ValueError(f"turn must be in 0..3, got {self.turn}")
+        if self.setcolor not in (0, 1):
+            raise ValueError(f"setcolor must be 0 or 1, got {self.setcolor}")
+        return self
+
+
+def action_from_abbreviation(abbreviation):
+    """Parse a paper-style action name such as ``"Lm0"`` back to an :class:`Action`."""
+    if len(abbreviation) != 3:
+        raise ValueError(f"action abbreviation must have 3 characters: {abbreviation!r}")
+    turn_char, move_char, color_char = abbreviation
+    if turn_char not in TURN_CODES:
+        raise ValueError(f"unknown turn letter {turn_char!r} in {abbreviation!r}")
+    if move_char not in ("m", "."):
+        raise ValueError(f"unknown move flag {move_char!r} in {abbreviation!r}")
+    if color_char not in ("0", "1"):
+        raise ValueError(f"unknown colour flag {color_char!r} in {abbreviation!r}")
+    return Action(
+        move=1 if move_char == "m" else 0,
+        turn=TURN_CODES[turn_char],
+        setcolor=int(color_char),
+    )
+
+
+#: All 16 actions in the paper's listing order (S, R, B, L major; move, colour minor).
+ALL_ACTIONS = tuple(
+    Action(move=move, turn=turn, setcolor=setcolor)
+    for turn in range(N_TURN_CODES)
+    for move in (1, 0)
+    for setcolor in (0, 1)
+)

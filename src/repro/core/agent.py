@@ -1,0 +1,44 @@
+"""The mobile agent: identifier, heading, control state, communication vector.
+
+Paper Sect. 3: ``state = {IDentifier, Direction, ControlState,
+CommunicationVector}``.  The communication vector is a ``k``-bit vector
+with bit ``i`` initially set only for agent ``i``; meetings OR vectors
+together and the task is done when every agent holds ``11...1``.  Here
+the vector is a Python integer bitmask, which is exact for any ``k``.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Agent:
+    """One agent of the multi-agent system (reference simulator)."""
+
+    ident: int
+    x: int
+    y: int
+    direction: int
+    state: int
+    knowledge: int = field(default=0)
+
+    def __post_init__(self):
+        if self.knowledge == 0:
+            # mutually exclusive initial information: bit(i) = 1 for agent(i)
+            self.knowledge = 1 << self.ident
+
+    @property
+    def position(self):
+        """Current cell as an ``(x, y)`` pair."""
+        return self.x, self.y
+
+    def knows(self, other_ident):
+        """Whether this agent has gathered agent ``other_ident``'s information."""
+        return bool(self.knowledge >> other_ident & 1)
+
+    def informed(self, n_agents):
+        """Whether this agent holds the complete ``n_agents``-bit vector."""
+        return self.knowledge == (1 << n_agents) - 1
+
+    def known_count(self, n_agents):
+        """How many of the ``n_agents`` information parts this agent holds."""
+        return bin(self.knowledge & ((1 << n_agents) - 1)).count("1")

@@ -1,0 +1,144 @@
+"""Environment variants: cyclic (the paper's default), borders, obstacles.
+
+The paper's experiments run on borderless (cyclic) grids -- chosen as the
+*harder* case because agents cannot use a border for orientation (Sect. 3)
+-- but its prior work ([5-9], surveyed in Sect. 1) also studies bordered
+environments and obstacles, and the conclusion lists both as further
+work.  This module makes the environment explicit so every simulator can
+run all three variants:
+
+* **cyclic** -- all four/six neighbours always exist (wrap-around);
+* **bordered** -- moves and exchanges across the grid edge do not exist:
+  a border behaves like a wall (an agent facing it is ``blocked``, its
+  front colour reads 0);
+* **obstacles** -- marked cells that can never be entered; they block
+  like an agent but carry a colour flag like any cell.
+"""
+
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+#: Occupancy sentinel for an obstacle cell (agents are ``ident + 1 > 0``).
+OBSTACLE = -1
+
+
+class Environment:
+    """Where the agents live: a grid plus border/obstacle/colour decoration.
+
+    Parameters
+    ----------
+    grid:
+        The underlying :class:`repro.grids.base.Grid` (its link structure
+        defines movement directions and exchange neighbourhoods).
+    bordered:
+        When true, the torus wrap-around is disabled: stepping or
+        exchanging across the edge is impossible.
+    obstacles:
+        Cells that can never be entered (wrapped automatically).
+    initial_colors:
+        Optional initial colour field, shape ``(size, size)``; entries
+        must lie in ``0 .. n_colors - 1``.  The paper's runs start
+        all-zero, but a random colour carpet is one of its listed
+        symmetry-breaking options (Sect. 4).
+    n_colors:
+        Size of the colour alphabet the field may use (2 for the paper's
+        model; larger for the multicolour extension).
+    """
+
+    def __init__(self, grid, bordered=False, obstacles=(), initial_colors=None,
+                 n_colors=2):
+        self.grid = grid
+        self.bordered = bool(bordered)
+        self.obstacles: FrozenSet[Tuple[int, int]] = frozenset(
+            grid.wrap(x, y) for x, y in obstacles
+        )
+        if n_colors < 2:
+            raise ValueError(f"need at least two colours, got {n_colors}")
+        self.n_colors = int(n_colors)
+        if initial_colors is not None:
+            initial_colors = np.asarray(initial_colors, dtype=np.int8)
+            if initial_colors.shape != (grid.size, grid.size):
+                raise ValueError(
+                    f"initial_colors must have shape {(grid.size, grid.size)}, "
+                    f"got {initial_colors.shape}"
+                )
+            if ((initial_colors < 0) | (initial_colors >= self.n_colors)).any():
+                raise ValueError(
+                    f"initial_colors entries must be in 0..{self.n_colors - 1}"
+                )
+        self.initial_colors: Optional[np.ndarray] = initial_colors
+
+    @classmethod
+    def cyclic(cls, grid):
+        """The paper's default: a plain borderless grid."""
+        return cls(grid)
+
+    @property
+    def size(self):
+        return self.grid.size
+
+    @property
+    def n_free_cells(self):
+        """Cells an agent could occupy."""
+        return self.grid.n_cells - len(self.obstacles)
+
+    def is_obstacle(self, x, y):
+        return self.grid.wrap(x, y) in self.obstacles
+
+    def front_cell(self, x, y, direction):
+        """The cell ahead, or ``None`` when a border makes it nonexistent."""
+        dx, dy = self.grid.DIRECTION_OFFSETS[direction]
+        nx, ny = x + dx, y + dy
+        if self.bordered and not self.grid.contains(nx, ny):
+            return None
+        return self.grid.wrap(nx, ny)
+
+    def neighbor_cells(self, x, y):
+        """Existing von-Neumann neighbours (border edges removed)."""
+        cells = []
+        for direction in range(self.grid.n_directions):
+            cell = self.front_cell(x, y, direction)
+            if cell is not None:
+                cells.append(cell)
+        return cells
+
+    def starting_colors(self):
+        """A fresh colour field for a new simulation."""
+        if self.initial_colors is not None:
+            return self.initial_colors.copy()
+        return np.zeros((self.size, self.size), dtype=np.int8)
+
+    def __repr__(self):
+        decorations = []
+        if self.bordered:
+            decorations.append("bordered")
+        if self.obstacles:
+            decorations.append(f"{len(self.obstacles)} obstacles")
+        if self.initial_colors is not None:
+            decorations.append("colored")
+        suffix = f" ({', '.join(decorations)})" if decorations else ""
+        return f"Environment({self.grid!r}{suffix})"
+
+
+def random_obstacles(grid, count, rng, forbidden=()):
+    """``count`` distinct random obstacle cells avoiding ``forbidden``."""
+    forbidden = {grid.wrap(x, y) for x, y in forbidden}
+    available = [
+        grid.unflat(index)
+        for index in range(grid.n_cells)
+        if grid.unflat(index) not in forbidden
+    ]
+    if count > len(available):
+        raise ValueError(
+            f"cannot place {count} obstacles on {len(available)} free cells"
+        )
+    chosen = rng.choice(len(available), size=count, replace=False)
+    return frozenset(available[int(index)] for index in chosen)
+
+
+def random_color_carpet(grid, rng, density=0.5):
+    """A random initial colour field (symmetry-breaking option 2, Sect. 4)."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"colour density must be in [0, 1], got {density}")
+    return (rng.random((grid.size, grid.size)) < density).astype(np.int8)

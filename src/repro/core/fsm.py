@@ -1,0 +1,283 @@
+"""The agent's control automaton: a Mealy finite state machine.
+
+The behaviour of an agent is a Mealy machine (paper Sect. 3, *Control
+FSM*): a state register plus a transition/output table.  The table is
+indexed by the pair ``(x, s)`` of input combination and control state and
+stores ``(nextstate, setcolor, move, turn)``.  The index convention is the
+paper's (Fig. 3, bottom row): ``i = x * n_states + s``, i.e. the four
+states of input column ``x`` occupy indices ``4x .. 4x+3``.
+
+The concatenation of all table entries is the *genome* used by the
+genetic procedure (:mod:`repro.evolution`).
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.actions import Action, N_TURN_CODES
+from repro.core.inputs import N_INPUT_COMBOS, decode_input
+
+#: The paper's default number of control states.
+DEFAULT_N_STATES = 4
+
+#: Gene fields per table entry, in genome order.
+GENE_FIELDS = ("next_state", "set_color", "move", "turn")
+
+
+def search_space_size(n_states=DEFAULT_N_STATES, n_inputs=N_INPUT_COMBOS, n_actions=16):
+    """Number of distinct state tables, ``K = (|s| |y|) ** (|s| |x|)``.
+
+    This is the paper's Sect. 4 estimate of the behaviour search space:
+    with 4 states, 8 inputs and 16 actions it is ``64 ** 32 ~ 6.3e57``,
+    which is why enumeration is hopeless and a genetic procedure is used.
+    """
+    return (n_states * n_actions) ** (n_states * n_inputs)
+
+
+class FSM:
+    """A transition/output table controlling one species of agent.
+
+    Parameters
+    ----------
+    next_state, set_color, move, turn:
+        Integer sequences of length ``N_INPUT_COMBOS * n_states``; entry
+        ``i = x * n_states + s`` answers input ``x`` in state ``s``.
+    name:
+        Optional label used in reports (e.g. ``"paper-S"``).
+    """
+
+    def __init__(self, next_state, set_color, move, turn, name=None):
+        self.next_state = np.asarray(next_state, dtype=np.int8).copy()
+        self.set_color = np.asarray(set_color, dtype=np.int8).copy()
+        self.move = np.asarray(move, dtype=np.int8).copy()
+        self.turn = np.asarray(turn, dtype=np.int8).copy()
+        self.name = name
+        table_size = self.next_state.size
+        if table_size % N_INPUT_COMBOS:
+            raise ValueError(
+                f"table size {table_size} is not a multiple of {N_INPUT_COMBOS} inputs"
+            )
+        self.n_states = table_size // N_INPUT_COMBOS
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self):
+        """Raise :class:`ValueError` unless every table entry is in range."""
+        size = self.n_states * N_INPUT_COMBOS
+        for field in GENE_FIELDS:
+            array = getattr(self, field)
+            if array.shape != (size,):
+                raise ValueError(
+                    f"{field} has shape {array.shape}, expected ({size},)"
+                )
+        if self.n_states < 1:
+            raise ValueError("an FSM needs at least one state")
+        if ((self.next_state < 0) | (self.next_state >= self.n_states)).any():
+            raise ValueError("next_state entries must be valid states")
+        if ((self.set_color < 0) | (self.set_color > 1)).any():
+            raise ValueError("set_color entries must be 0 or 1")
+        if ((self.move < 0) | (self.move > 1)).any():
+            raise ValueError("move entries must be 0 or 1")
+        if ((self.turn < 0) | (self.turn >= N_TURN_CODES)).any():
+            raise ValueError("turn entries must be turn codes 0..3")
+        return self
+
+    # -- lookup -------------------------------------------------------------
+
+    @property
+    def table_size(self):
+        """Number of table entries, ``8 * n_states``."""
+        return self.n_states * N_INPUT_COMBOS
+
+    def index(self, x, state):
+        """Paper's table index ``i = x * n_states + s``."""
+        if not 0 <= x < N_INPUT_COMBOS:
+            raise ValueError(f"input index must be in 0..7, got {x}")
+        if not 0 <= state < self.n_states:
+            raise ValueError(
+                f"state must be in 0..{self.n_states - 1}, got {state}"
+            )
+        return x * self.n_states + state
+
+    def transition(self, x, state):
+        """Table lookup: ``(next_state, Action)`` for input ``x`` in ``state``."""
+        i = self.index(x, state)
+        action = Action(
+            move=int(self.move[i]),
+            turn=int(self.turn[i]),
+            setcolor=int(self.set_color[i]),
+        )
+        return int(self.next_state[i]), action
+
+    def react(self, state, blocked, color, frontcolor):
+        """Convenience lookup from raw observations instead of a packed ``x``."""
+        x = (blocked & 1) | ((color & 1) << 1) | ((frontcolor & 1) << 2)
+        return self.transition(x, state)
+
+    def desires_move(self, state, color, frontcolor):
+        """The agent's *move desire*: its move output assuming it is not blocked.
+
+        Used by the conflict phase of the simulators -- an agent requests
+        its front cell only if it would move when free (DESIGN.md note 1a).
+        """
+        _, action = self.react(state, 0, color, frontcolor)
+        return bool(action.move)
+
+    # -- genome -------------------------------------------------------------
+
+    def genome(self):
+        """The genome: an int array of shape ``(table_size, 4)``.
+
+        Columns are ``(next_state, set_color, move, turn)`` -- the paper's
+        concatenation of (nextstate, action) pairs over all indices ``i``.
+        """
+        return np.stack(
+            [self.next_state, self.set_color, self.move, self.turn], axis=1
+        ).astype(np.int8)
+
+    @classmethod
+    def from_genome(cls, genome, name=None):
+        """Rebuild an FSM from a genome array of shape ``(table_size, 4)``."""
+        genome = np.asarray(genome, dtype=np.int8)
+        if genome.ndim != 2 or genome.shape[1] != 4:
+            raise ValueError(f"genome must have shape (table_size, 4), got {genome.shape}")
+        return cls(
+            next_state=genome[:, 0],
+            set_color=genome[:, 1],
+            move=genome[:, 2],
+            turn=genome[:, 3],
+            name=name,
+        )
+
+    def key(self):
+        """Hashable identity of the behaviour (used for pool deduplication)."""
+        return self.genome().tobytes()
+
+    def copy(self, name=None):
+        """An independent copy, optionally renamed."""
+        return FSM(
+            self.next_state, self.set_color, self.move, self.turn,
+            name=self.name if name is None else name,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, FSM) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        label = f" {self.name!r}" if self.name else ""
+        return f"FSM({self.n_states} states{label})"
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def random(cls, rng, n_states=DEFAULT_N_STATES, name=None):
+        """A uniformly random state table (the GA's initial individuals)."""
+        size = n_states * N_INPUT_COMBOS
+        return cls(
+            next_state=rng.integers(0, n_states, size=size),
+            set_color=rng.integers(0, 2, size=size),
+            move=rng.integers(0, 2, size=size),
+            turn=rng.integers(0, N_TURN_CODES, size=size),
+            name=name,
+        )
+
+    @classmethod
+    def from_rows(cls, rows, name=None):
+        """Transcribe a paper-style state table.
+
+        ``rows`` is a sequence of ``N_INPUT_COMBOS`` items, one per input
+        column ``x`` in order, each a 4-tuple of digit strings
+        ``(nextstate, setcolor, move, turn)`` whose ``j``-th characters
+        answer state ``j`` -- exactly how Figs. 3 and 4 print the tables.
+        """
+        if len(rows) != N_INPUT_COMBOS:
+            raise ValueError(f"expected {N_INPUT_COMBOS} input columns, got {len(rows)}")
+        n_states = len(rows[0][0])
+        arrays = {field: np.zeros(n_states * N_INPUT_COMBOS, dtype=np.int8)
+                  for field in GENE_FIELDS}
+        for x, row in enumerate(rows):
+            if len(row) != 4:
+                raise ValueError(f"input column {x} must have 4 rows, got {len(row)}")
+            for field, digits in zip(GENE_FIELDS, row):
+                if len(digits) != n_states:
+                    raise ValueError(
+                        f"column {x} row {field}: expected {n_states} digits, "
+                        f"got {digits!r}"
+                    )
+                for state, char in enumerate(digits):
+                    arrays[field][x * n_states + state] = int(char)
+        return cls(
+            next_state=arrays["next_state"],
+            set_color=arrays["set_color"],
+            move=arrays["move"],
+            turn=arrays["turn"],
+            name=name,
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self):
+        """JSON-serializable representation."""
+        return {
+            "name": self.name,
+            "n_states": self.n_states,
+            "next_state": self.next_state.tolist(),
+            "set_color": self.set_color.tolist(),
+            "move": self.move.tolist(),
+            "turn": self.turn.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            next_state=data["next_state"],
+            set_color=data["set_color"],
+            move=data["move"],
+            turn=data["turn"],
+            name=data.get("name"),
+        )
+
+    def to_json(self):
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text):
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # -- pretty printing ----------------------------------------------------
+
+    def format_table(self, title=None):
+        """Render the state table in the layout of the paper's Figs. 3-4."""
+        header = title or (self.name or "FSM")
+        states = "".join(str(s) for s in range(self.n_states))
+        lines = [header]
+        column_headers = "  ".join(f"/x={x}: {states}\\" for x in range(N_INPUT_COMBOS))
+        lines.append(" " * 12 + column_headers)
+        for label, bit in (("blocked", 0), ("color", 1), ("frontcolor", 2)):
+            cells = []
+            for x in range(N_INPUT_COMBOS):
+                value = decode_input(x)[bit]
+                cells.append(f"{value}".center(7 + self.n_states))
+            lines.append(f"{label:<12}" + " ".join(cells))
+        for label, array in (
+            ("nextstate", self.next_state),
+            ("setcolor", self.set_color),
+            ("move", self.move),
+            ("turn", self.turn),
+        ):
+            cells = []
+            for x in range(N_INPUT_COMBOS):
+                digits = "".join(
+                    str(int(array[x * self.n_states + s])) for s in range(self.n_states)
+                )
+                cells.append(digits.center(7 + self.n_states))
+            lines.append(f"{label:<12}" + " ".join(cells))
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Encoding of the FSM input ``x`` (paper Sect. 3, *Control FSM* and Fig. 3).
+
+The control automaton reads three binary observations besides its own
+state:
+
+* ``blocked`` -- the inverse move condition: there is an agent on the
+  front cell, or this agent loses the conflict for the front cell;
+* ``color`` -- the colour flag of the cell the agent stands on;
+* ``frontcolor`` -- the colour flag of the front cell.
+
+They are packed into ``x in 0..7``.  The bit layout follows the header
+rows of the paper's state tables (Figs. 3 and 4), where ``blocked``
+alternates fastest, then ``color``, then ``frontcolor``::
+
+    x          0  1  2  3  4  5  6  7
+    blocked    0  1  0  1  0  1  0  1
+    color      0  0  1  1  0  0  1  1
+    frontcolor 0  0  0  0  1  1  1  1
+"""
+
+#: Number of distinct input combinations.
+N_INPUT_COMBOS = 8
+
+
+def encode_input(blocked, color, frontcolor):
+    """Pack the three binary observations into the input index ``x``."""
+    return (blocked & 1) | ((color & 1) << 1) | ((frontcolor & 1) << 2)
+
+
+def decode_input(x):
+    """Unpack an input index into ``(blocked, color, frontcolor)``."""
+    if not 0 <= x < N_INPUT_COMBOS:
+        raise ValueError(f"input index must be in 0..7, got {x}")
+    return x & 1, (x >> 1) & 1, (x >> 2) & 1
+
+
+def input_labels():
+    """Human-readable label per input index, for table printing."""
+    labels = []
+    for x in range(N_INPUT_COMBOS):
+        blocked, color, frontcolor = decode_input(x)
+        labels.append(f"b={blocked} c={color} f={frontcolor}")
+    return labels

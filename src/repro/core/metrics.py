@@ -1,0 +1,82 @@
+"""Fitness and communication-time statistics (paper Sect. 4).
+
+The fitness of a multi-agent system on one initial configuration ``i`` is
+
+    F_i = W * (N_agents - a_i) + t_i_comm,      W = 10^4
+
+where ``a_i`` is the number of informed agents and ``t_i_comm`` the
+communication time (capped by the simulation limit on failure).  The
+weight forms a dominance relation: any extra informed agent beats any
+speed-up, and for a successful run ``F_i = t_i_comm``.  Lower is better.
+The fitness of an FSM is the average of ``F_i`` over a configuration
+suite.
+"""
+
+import math
+from dataclasses import dataclass
+
+#: The paper's dominance weight ``W``.
+FITNESS_WEIGHT = 10_000
+
+
+def fitness(result, weight=FITNESS_WEIGHT):
+    """Paper fitness ``F_i`` of one :class:`SimulationResult`-like outcome."""
+    uninformed = result.n_agents - result.informed_agents
+    return weight * uninformed + result.fitness_time
+
+
+def mean_fitness(results, weight=FITNESS_WEIGHT):
+    """Average fitness ``F = sum(F_i) / N_fields`` over a result sequence."""
+    results = list(results)
+    if not results:
+        raise ValueError("mean_fitness of an empty result sequence")
+    return sum(fitness(result, weight) for result in results) / len(results)
+
+
+@dataclass(frozen=True)
+class CommunicationStats:
+    """Aggregate communication-time statistics over a configuration suite."""
+
+    n_fields: int
+    n_successful: int
+    mean_time: float
+    min_time: int
+    max_time: int
+    std_time: float
+
+    @property
+    def completely_successful(self):
+        """The paper's reliability criterion: success on *every* field."""
+        return self.n_successful == self.n_fields
+
+    @property
+    def success_rate(self):
+        """Fraction of fields solved within the step limit."""
+        return self.n_successful / self.n_fields
+
+
+def summarize_times(results):
+    """Reduce per-field results to a :class:`CommunicationStats`.
+
+    Time statistics are computed over the *successful* fields only (the
+    paper reports mean communication time of completely successful
+    agents, where the distinction is moot).
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("summarize_times of an empty result sequence")
+    times = [result.t_comm for result in results if result.success]
+    if times:
+        mean_time = sum(times) / len(times)
+        variance = sum((t - mean_time) ** 2 for t in times) / len(times)
+        min_time, max_time, std_time = min(times), max(times), math.sqrt(variance)
+    else:
+        mean_time, min_time, max_time, std_time = float("inf"), 0, 0, 0.0
+    return CommunicationStats(
+        n_fields=len(results),
+        n_successful=len(times),
+        mean_time=mean_time,
+        min_time=min_time,
+        max_time=max_time,
+        std_time=std_time,
+    )

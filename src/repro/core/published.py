@@ -1,0 +1,57 @@
+"""The best evolved FSMs published in the paper (Figs. 3 and 4).
+
+The tables are transcribed verbatim: for each input column ``x`` the four
+digit strings are ``(nextstate, setcolor, move, turn)``, each read across
+control states 0..3.  These machines were evolved by the authors on the
+16 x 16 torus with 8 agents and were completely successful on all 5 x 1003
+tested configurations when agents start in control state ``ID mod 2``.
+
+Turn-code semantics (identical genome alphabet, different geometry):
+
+* S-agent: turn 0/1/2/3 = 0/+90/180/-90 degrees,
+* T-agent: turn 0/1/2/3 = 0/+60/180/-60 degrees.
+"""
+
+from repro.core.fsm import FSM
+
+#: Best found S-agent (paper Fig. 3), columns x = 0..7.
+PAPER_S_AGENT = FSM.from_rows(
+    [
+        # (nextstate, setcolor, move, turn) for x = blocked + 2*color + 4*frontcolor
+        ("2311", "1100", "1101", "3010"),  # x=0: free,  color=0, frontcolor=0
+        ("0332", "0101", "0111", "1112"),  # x=1: blocked, color=0, frontcolor=0
+        ("1302", "0001", "1111", "3003"),  # x=2: free,  color=1, frontcolor=0
+        ("0021", "1011", "1110", "2123"),  # x=3: blocked, color=1, frontcolor=0
+        ("1220", "0000", "1111", "0121"),  # x=4: free,  color=0, frontcolor=1
+        ("2320", "0001", "0000", "3013"),  # x=5: blocked, color=0, frontcolor=1
+        ("2230", "0001", "0001", "2333"),  # x=6: free,  color=1, frontcolor=1
+        ("3102", "1000", "0100", "3223"),  # x=7: blocked, color=1, frontcolor=1
+    ],
+    name="paper-S",
+)
+
+#: Best evolved T-agent (paper Fig. 4), columns x = 0..7.
+PAPER_T_AGENT = FSM.from_rows(
+    [
+        ("1212", "1111", "1110", "0010"),  # x=0
+        ("1030", "0111", "1000", "3222"),  # x=1
+        ("2103", "0011", "1111", "3001"),  # x=2
+        ("1213", "0100", "0111", "0033"),  # x=3
+        ("1202", "0000", "1110", "1012"),  # x=4
+        ("0130", "1111", "1000", "3301"),  # x=5
+        ("2211", "0010", "1110", "3013"),  # x=6
+        ("2211", "1110", "1011", "2023"),  # x=7
+    ],
+    name="paper-T",
+)
+
+
+def published_fsm(kind):
+    """The paper's best FSM for grid ``kind`` (``"S"`` or ``"T"``)."""
+    fsm_by_kind = {"S": PAPER_S_AGENT, "T": PAPER_T_AGENT}
+    try:
+        return fsm_by_kind[kind.upper()].copy()
+    except KeyError:
+        raise ValueError(
+            f"unknown grid kind {kind!r}; expected 'S' or 'T'"
+        ) from None

@@ -1,0 +1,86 @@
+"""ASCII rendering of simulation snapshots, in the style of Figs. 6-7.
+
+The paper prints three panels per time step: the agents (a heading glyph
+plus the agent ID), the colour flags, and the visited counts -- the last
+two make the "communication streets" (S) and "honeycomb networks" (T)
+visible.  Rows are printed north-up: the highest ``y`` first, matching a
+conventional picture of the grid.
+"""
+
+import numpy as np
+
+
+def _empty_canvas(size, fill):
+    return [[fill for _ in range(size)] for _ in range(size)]
+
+
+def _canvas_to_string(canvas):
+    # canvas[x][y]; print north-up rows of x-increasing cells
+    rows = []
+    size = len(canvas)
+    for y in reversed(range(size)):
+        rows.append(" ".join(canvas[x][y] for x in range(size)))
+    return "\n".join(rows)
+
+
+def _ident_glyph(ident):
+    """Single-character agent label: 0-9, then a-z, then ``*``."""
+    if ident < 10:
+        return str(ident)
+    if ident < 36:
+        return chr(ord("a") + ident - 10)
+    return "*"
+
+
+def render_agents(grid, snapshot):
+    """The agent panel: ``<glyph><id>`` per agent, ``..`` on empty cells."""
+    canvas = _empty_canvas(grid.size, " .")
+    for ident, ((x, y), direction) in enumerate(
+        zip(snapshot.positions, snapshot.directions)
+    ):
+        canvas[x][y] = grid.direction_glyph(direction) + _ident_glyph(ident)
+    return _canvas_to_string(canvas)
+
+
+def render_colors(grid, snapshot):
+    """The colour panel: ``1`` where the flag is set, ``.`` elsewhere."""
+    canvas = _empty_canvas(grid.size, ".")
+    xs, ys = np.nonzero(snapshot.colors)
+    for x, y in zip(xs, ys):
+        canvas[x][y] = "1"
+    return _canvas_to_string(canvas)
+
+
+def render_visited(grid, snapshot):
+    """The visited panel: per-cell visit counts (``+`` beyond 9), ``.`` if never."""
+    canvas = _empty_canvas(grid.size, ".")
+    for x in range(grid.size):
+        for y in range(grid.size):
+            count = int(snapshot.visited[x, y])
+            if count:
+                canvas[x][y] = str(count) if count <= 9 else "+"
+    return _canvas_to_string(canvas)
+
+
+def render_panels(grid, snapshot, title=None):
+    """All three panels stacked, headed like the paper's figures."""
+    header = title or f"{grid.kind}GRID t={snapshot.t}"
+    parts = [
+        header,
+        render_agents(grid, snapshot),
+        "colors",
+        render_colors(grid, snapshot),
+        "visited",
+        render_visited(grid, snapshot),
+    ]
+    return "\n".join(parts)
+
+
+def render_distance_field(grid, field):
+    """Render a distance field (Fig. 2): hex digits, ``*`` beyond 15."""
+    canvas = _empty_canvas(grid.size, ".")
+    for x in range(grid.size):
+        for y in range(grid.size):
+            value = int(field[x, y])
+            canvas[x][y] = format(value, "x") if value < 16 else "*"
+    return _canvas_to_string(canvas)

@@ -1,0 +1,247 @@
+"""Reference simulator: one configuration, synchronous CA semantics, readable.
+
+This is the executable specification of the multi-agent system (paper
+Sect. 3).  The numpy batch simulator (:mod:`repro.core.vectorized`) is
+checked step-for-step against this implementation by the test suite.
+
+One CA step (see DESIGN.md, interpretation notes):
+
+1. every agent observes its own cell colour and the front cell;
+2. every agent computes its *move desire* -- the FSM move output under
+   ``blocked = 0``;
+3. desiring agents whose front cell is free *request* that cell; the
+   lowest agent ID wins a contested cell (conflict resolution, Sect. 3);
+4. ``blocked`` = front cell occupied, or conflict lost;
+5. the FSM row for the actual input yields the action: the cell the agent
+   stands on is recoloured with ``setcolor``, the agent advances into the
+   front cell iff ``move = 1`` and not blocked, then ``turn`` rotates the
+   heading and the control state advances;
+6. agents OR their communication vectors with all von-Neumann neighbours
+   (pre-exchange snapshot -- one hop of information per step).
+
+One uncounted exchange round runs at placement time (t = 0), which makes
+the fully packed grid finish in exactly ``diameter - 1`` counted steps,
+matching the paper's Table 1 (9.00 for T, 15.00 for S on 16 x 16).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.agent import Agent
+from repro.core.environment import Environment
+from repro.core.inputs import encode_input
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated configuration."""
+
+    success: bool
+    t_comm: Optional[int]
+    steps_executed: int
+    informed_agents: int
+    n_agents: int
+
+    @property
+    def fitness_time(self):
+        """The time term used by the fitness function (t_comm, or the cap)."""
+        return self.t_comm if self.success else self.steps_executed
+
+
+class Simulation:
+    """Synchronous CA simulation of ``k`` agents on one grid configuration.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`repro.grids.SquareGrid` or
+        :class:`repro.grids.TriangulateGrid`.
+    fsm:
+        The control :class:`repro.core.fsm.FSM`, shared by all (uniform)
+        agents.
+    config:
+        Any object with ``positions`` (sequence of ``(x, y)``),
+        ``directions`` (sequence of ints) and optional ``states``
+        (initial control states; defaults to the paper's reliability
+        scheme ``ID mod 2``).
+    recorder:
+        Optional :class:`repro.core.trace.TraceRecorder` notified after
+        placement and after every step.
+    environment:
+        Optional :class:`repro.core.environment.Environment` adding
+        borders, obstacles or an initial colour carpet; defaults to the
+        paper's plain cyclic environment on ``grid``.
+    """
+
+    def __init__(self, grid, fsm, config, recorder=None, environment=None):
+        self.grid = grid
+        self.environment = environment or Environment.cyclic(grid)
+        if self.environment.grid is not grid and self.environment.grid != grid:
+            raise ValueError("environment was built for a different grid")
+        self.fsm = fsm
+        self.recorder = recorder
+        positions = list(config.positions)
+        directions = list(config.directions)
+        states = getattr(config, "states", None)
+        if states is None:
+            # the paper's reliability scheme: even IDs start in state 0,
+            # odd IDs in state 1 (degenerates gracefully for 1-state FSMs)
+            states = [ident % min(2, fsm.n_states) for ident in range(len(positions))]
+        if not positions:
+            raise ValueError("a simulation needs at least one agent")
+        if len(directions) != len(positions) or len(states) != len(positions):
+            raise ValueError(
+                "positions, directions and states must have equal lengths"
+            )
+        self.n_agents = len(positions)
+        self.full_mask = (1 << self.n_agents) - 1
+        self.colors = self.environment.starting_colors()
+        self.visited = np.zeros((grid.size, grid.size), dtype=np.int64)
+        # occupancy[x, y] = agent ident + 1, 0 when empty, -1 for obstacles
+        self.occupancy = np.zeros((grid.size, grid.size), dtype=np.int64)
+        for ox, oy in self.environment.obstacles:
+            self.occupancy[ox, oy] = -1
+        self.agents = []
+        for ident, ((x, y), direction, state) in enumerate(
+            zip(positions, directions, states)
+        ):
+            x, y = grid.wrap(x, y)
+            if self.occupancy[x, y] < 0:
+                raise ValueError(f"agent placed on obstacle cell ({x}, {y})")
+            if self.occupancy[x, y]:
+                raise ValueError(f"two agents placed on cell ({x}, {y})")
+            if not 0 <= direction < grid.n_directions:
+                raise ValueError(
+                    f"direction {direction} out of range for {grid.kind}-grid"
+                )
+            if not 0 <= state < fsm.n_states:
+                raise ValueError(f"initial control state {state} out of range")
+            self.agents.append(Agent(ident, x, y, int(direction), int(state)))
+            self.occupancy[x, y] = ident + 1
+            self.visited[x, y] += 1
+        self.t = 0
+        # the communication round right after placement is not counted
+        self.exchange()
+        if self.recorder is not None:
+            self.recorder.on_init(self)
+
+    # -- observation helpers ------------------------------------------------
+
+    def agent_at(self, x, y):
+        """The agent on cell ``(x, y)``, or ``None`` (also for obstacles)."""
+        ident = self.occupancy[x % self.grid.size, y % self.grid.size]
+        return self.agents[ident - 1] if ident > 0 else None
+
+    def front_cell(self, agent):
+        """The cell the agent is heading into, or ``None`` beyond a border."""
+        return self.environment.front_cell(agent.x, agent.y, agent.direction)
+
+    def informed_count(self):
+        """Number of agents holding the complete vector (``a`` in the paper)."""
+        return sum(agent.knowledge == self.full_mask for agent in self.agents)
+
+    def all_informed(self):
+        """Whether the task is solved (*successful* in the paper's terms)."""
+        return all(agent.knowledge == self.full_mask for agent in self.agents)
+
+    # -- decision hooks (overridden by baseline policies) ---------------------
+
+    def _desires_move(self, agent, color, frontcolor):
+        """Phase-1 move desire; the FSM's move output under ``blocked = 0``."""
+        return self.fsm.desires_move(agent.state, color, frontcolor)
+
+    def _decide(self, agent, blocked, color, frontcolor):
+        """Phase-2 decision: ``(next_state, Action)`` for the actual input."""
+        x = encode_input(blocked, color, frontcolor)
+        return self.fsm.transition(x, agent.state)
+
+    def _resolve_conflict(self, cell, requesters):
+        """Pick the winner among the agents requesting ``cell``.
+
+        The paper's rule: the lowest agent ID has priority (Sect. 3).
+        Alternative arbitration policies override this hook
+        (:mod:`repro.extensions.conflicts`).
+        """
+        return min(requesters)
+
+    # -- dynamics -----------------------------------------------------------
+
+    def exchange(self):
+        """One synchronous knowledge exchange with von-Neumann neighbours."""
+        snapshot = [agent.knowledge for agent in self.agents]
+        for agent in self.agents:
+            gathered = snapshot[agent.ident]
+            for nx, ny in self.environment.neighbor_cells(agent.x, agent.y):
+                neighbor_id = self.occupancy[nx, ny]
+                if neighbor_id > 0:
+                    gathered |= snapshot[neighbor_id - 1]
+            agent.knowledge = gathered
+
+    def step(self):
+        """Advance the CA by one synchronous step."""
+        grid = self.grid
+        observations = []
+        requesters_by_cell = {}
+        for agent in self.agents:
+            color = int(self.colors[agent.x, agent.y])
+            front = self.front_cell(agent)
+            if front is None:
+                # facing a border: the wall blocks and reads colour 0
+                frontcolor, front_occupied = 0, True
+            else:
+                frontcolor = int(self.colors[front])
+                front_occupied = bool(self.occupancy[front])
+            desire = self._desires_move(agent, color, frontcolor)
+            observations.append((color, front, frontcolor, front_occupied, desire))
+            if desire and not front_occupied:
+                requesters_by_cell.setdefault(front, set()).add(agent.ident)
+        winners = {
+            cell: self._resolve_conflict(cell, requesters)
+            for cell, requesters in requesters_by_cell.items()
+        }
+        movers = []
+        for agent, (color, front, frontcolor, front_occupied, desire) in zip(
+            self.agents, observations
+        ):
+            lost_conflict = (
+                desire and not front_occupied and winners[front] != agent.ident
+            )
+            blocked = 1 if (front_occupied or lost_conflict) else 0
+            next_state, action = self._decide(agent, blocked, color, frontcolor)
+            # setcolor always writes the flag of the cell the agent is on
+            self.colors[agent.x, agent.y] = action.setcolor
+            if action.move and not blocked:
+                movers.append((agent, front))
+            agent.direction = grid.turn(agent.direction, action.turn)
+            agent.state = next_state
+        # all movements are simultaneous; winners are unique per target cell
+        for agent, front in movers:
+            self.occupancy[agent.x, agent.y] = 0
+        for agent, front in movers:
+            agent.x, agent.y = front
+            self.occupancy[agent.x, agent.y] = agent.ident + 1
+            self.visited[agent.x, agent.y] += 1
+        self.t += 1
+        self.exchange()
+        if self.recorder is not None:
+            self.recorder.on_step(self)
+
+    def run(self, t_max=200):
+        """Simulate until the task is solved or ``t_max`` steps elapsed.
+
+        Returns a :class:`SimulationResult`; ``t_comm`` is the paper's
+        communication time (number of counted steps until every agent is
+        informed), or ``None`` on timeout.
+        """
+        while not self.all_informed() and self.t < t_max:
+            self.step()
+        success = self.all_informed()
+        return SimulationResult(
+            success=success,
+            t_comm=self.t if success else None,
+            steps_executed=self.t,
+            informed_agents=self.informed_count(),
+            n_agents=self.n_agents,
+        )

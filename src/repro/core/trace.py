@@ -1,0 +1,91 @@
+"""Trace recording for simulation runs (data behind the paper's Figs. 6-7).
+
+A :class:`TraceRecorder` attached to a :class:`repro.core.Simulation`
+captures :class:`Snapshot` objects -- agent poses, the colour field and
+the visited-count field -- either at selected times or at every step.
+The ASCII renderer (:mod:`repro.core.render`) turns snapshots into the
+three-panel pictures the paper prints.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Frozen view of a simulation at one time step."""
+
+    t: int
+    positions: Tuple[Tuple[int, int], ...]
+    directions: Tuple[int, ...]
+    states: Tuple[int, ...]
+    knowledge: Tuple[int, ...]
+    colors: np.ndarray
+    visited: np.ndarray
+
+    @property
+    def n_agents(self):
+        return len(self.positions)
+
+    def informed_count(self):
+        """Number of agents already holding the full vector at this time."""
+        full_mask = (1 << self.n_agents) - 1
+        return sum(bits == full_mask for bits in self.knowledge)
+
+
+def capture(simulation):
+    """Take a :class:`Snapshot` of a live simulation."""
+    return Snapshot(
+        t=simulation.t,
+        positions=tuple(agent.position for agent in simulation.agents),
+        directions=tuple(agent.direction for agent in simulation.agents),
+        states=tuple(agent.state for agent in simulation.agents),
+        knowledge=tuple(agent.knowledge for agent in simulation.agents),
+        colors=simulation.colors.copy(),
+        visited=simulation.visited.copy(),
+    )
+
+
+class TraceRecorder:
+    """Collects snapshots from a simulation.
+
+    Parameters
+    ----------
+    times:
+        Iterable of step numbers to record, or ``None`` to record every
+        step.  Time 0 (right after placement and the uncounted initial
+        exchange) is always captured.
+    """
+
+    def __init__(self, times=None):
+        self.times = None if times is None else set(times)
+        self.snapshots = []
+
+    def on_init(self, simulation):
+        self.snapshots.append(capture(simulation))
+
+    def on_step(self, simulation):
+        if self.times is None or simulation.t in self.times:
+            self.snapshots.append(capture(simulation))
+
+    def snapshot_at(self, t):
+        """The recorded snapshot for step ``t`` (last one if duplicated)."""
+        for snapshot in reversed(self.snapshots):
+            if snapshot.t == t:
+                return snapshot
+        raise KeyError(f"no snapshot recorded for t={t}")
+
+    @property
+    def final(self):
+        """The most recent snapshot."""
+        if not self.snapshots:
+            raise ValueError("no snapshots recorded yet")
+        return self.snapshots[-1]
+
+    def __len__(self):
+        return len(self.snapshots)
+
+    def __iter__(self):
+        return iter(self.snapshots)

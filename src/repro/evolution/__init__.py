@@ -1,0 +1,51 @@
+"""The genetic procedure that evolves agent behaviours (paper Sect. 4).
+
+A population of ``N = 20`` state tables is improved by mutation only: each
+generation the top ``N/2`` individuals each produce one offspring by
+independently incrementing (mod range) every gene with probability 18%;
+the union is sorted by fitness, duplicates are deleted, the pool is
+truncated back to ``N``, and ``b = 3`` individuals are exchanged across
+the pool's midline to preserve diversity.  Fitness is the paper's
+``F = mean_i [ W (k - a_i) + t_i ]`` over a configuration suite.
+
+The orchestration mirrors the paper's protocol: several independent runs
+with ``k = 8`` on 1003 fields, then the top completely-successful FSMs of
+every run are screened across agent counts 2..256 and ranked
+(:mod:`repro.evolution.selection`).
+"""
+
+from repro.evolution.genome import MutationRates, mutate
+from repro.evolution.fitness import (
+    EvaluationOutcome,
+    evaluate_fsm,
+    evaluate_population,
+    SuiteEvaluator,
+)
+from repro.evolution.population import Individual, Population
+from repro.evolution.runner import (
+    EvolutionSettings,
+    GenerationRecord,
+    EvolutionResult,
+    evolve,
+    multi_run,
+)
+from repro.evolution.selection import ReliabilityReport, screen_reliability, rank_candidates
+
+__all__ = [
+    "MutationRates",
+    "mutate",
+    "EvaluationOutcome",
+    "evaluate_fsm",
+    "evaluate_population",
+    "SuiteEvaluator",
+    "Individual",
+    "Population",
+    "EvolutionSettings",
+    "GenerationRecord",
+    "EvolutionResult",
+    "evolve",
+    "multi_run",
+    "ReliabilityReport",
+    "screen_reliability",
+    "rank_candidates",
+]

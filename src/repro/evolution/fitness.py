@@ -1,0 +1,118 @@
+"""Fitness evaluation of FSMs over configuration suites.
+
+Evaluation is simulation: an FSM's fitness is the paper's
+``F = mean_i [ W (k - a_i) + t_i ]`` over every field of a suite
+(:mod:`repro.core.metrics`).  The heavy lifting happens in the batch
+simulator; a whole population can be evaluated in a single batch of
+``population x fields`` lanes.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.metrics import FITNESS_WEIGHT
+from repro.core.vectorized import BatchSimulator
+
+
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """One FSM's evaluation over one suite."""
+
+    fitness: float
+    mean_time: float
+    n_fields: int
+    n_successful_fields: int
+
+    @property
+    def completely_successful(self):
+        """Solved every field of the suite (the reliability criterion)."""
+        return self.n_successful_fields == self.n_fields
+
+
+def _outcome_from_batch(batch):
+    return EvaluationOutcome(
+        fitness=batch.mean_fitness(),
+        mean_time=batch.mean_time(),
+        n_fields=batch.n_lanes,
+        n_successful_fields=int(batch.success.sum()),
+    )
+
+
+def evaluate_fsm(grid, fsm, suite, t_max=200):
+    """Evaluate one FSM over every configuration of ``suite``."""
+    simulator = BatchSimulator(grid, fsm, list(suite))
+    batch = simulator.run(t_max=t_max)
+    return _outcome_from_batch(batch)
+
+
+def evaluate_population(grid, fsms, suite, t_max=200):
+    """Evaluate many FSMs over one suite in a single batch.
+
+    Lanes are laid out individual-major: lanes ``[p * F, (p+1) * F)``
+    belong to individual ``p`` over the suite's ``F`` fields.  Returns
+    one :class:`EvaluationOutcome` per FSM.
+    """
+    fsms = list(fsms)
+    configs = list(suite)
+    n_fields = len(configs)
+    lane_fsms = [fsm for fsm in fsms for _ in range(n_fields)]
+    lane_configs = configs * len(fsms)
+    simulator = BatchSimulator(grid, lane_fsms, lane_configs)
+    batch = simulator.run(t_max=t_max)
+    outcomes = []
+    per_lane_fitness = batch.fitness(FITNESS_WEIGHT)
+    for index in range(len(fsms)):
+        lanes = slice(index * n_fields, (index + 1) * n_fields)
+        success = batch.success[lanes]
+        times = batch.t_comm[lanes][success]
+        outcomes.append(
+            EvaluationOutcome(
+                fitness=float(per_lane_fitness[lanes].mean()),
+                mean_time=float(times.mean()) if times.size else float("inf"),
+                n_fields=n_fields,
+                n_successful_fields=int(success.sum()),
+            )
+        )
+    return outcomes
+
+
+class SuiteEvaluator:
+    """Callable evaluator with memoization by genome.
+
+    Fitness is deterministic for a fixed suite, so re-evaluating an
+    unchanged genome (survivors stay in the pool across generations) is
+    wasted simulation; the cache makes each behaviour cost one batch run
+    ever.
+    """
+
+    def __init__(self, grid, suite, t_max=200):
+        self.grid = grid
+        self.suite = suite
+        self.t_max = t_max
+        self._cache = {}
+        self.evaluations = 0
+
+    def __call__(self, fsm):
+        key = fsm.key()
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = evaluate_fsm(self.grid, fsm, self.suite, t_max=self.t_max)
+            self._cache[key] = cached
+            self.evaluations += 1
+        return cached
+
+    def evaluate_many(self, fsms):
+        """Evaluate a batch of FSMs, simulating only the unseen genomes."""
+        fsms = list(fsms)
+        fresh, fresh_indices, seen_fresh = [], [], set()
+        for index, fsm in enumerate(fsms):
+            key = fsm.key()
+            if key not in self._cache and key not in seen_fresh:
+                seen_fresh.add(key)
+                fresh.append(fsm)
+                fresh_indices.append(index)
+        if fresh:
+            outcomes = evaluate_population(self.grid, fresh, self.suite, t_max=self.t_max)
+            for fsm, outcome in zip(fresh, outcomes):
+                self._cache[fsm.key()] = outcome
+            self.evaluations += len(fresh)
+        return [self._cache[fsm.key()] for fsm in fsms]

@@ -1,0 +1,77 @@
+"""Mutation of FSM genomes (paper Sect. 4).
+
+The paper's offspring operator modifies the four gene groups of every
+table index independently::
+
+    nextstate <- nextstate + 1 mod N_states   with prob. p1,
+    setcolor  <- setcolor  + 1 mod 2          with prob. p2,
+    move      <- move      + 1 mod 2          with prob. p3,
+    turn      <- turn      + 1 mod 4          with prob. p4,
+
+with ``p1 = p2 = p3 = p4 = 18%`` found to work well.  Note the operator
+is a *cyclic increment*, not a uniform redraw -- transcribed faithfully
+here.  The authors found mutation-only as good as crossover/mutation, so
+crossover is not part of the reproduction loop (a reference
+implementation is provided for ablation studies).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.actions import N_TURN_CODES
+from repro.core.fsm import FSM
+
+#: The paper's mutation probability for every gene group.
+PAPER_MUTATION_RATE = 0.18
+
+
+@dataclass(frozen=True)
+class MutationRates:
+    """Per-gene-group mutation probabilities ``(p1, p2, p3, p4)``."""
+
+    next_state: float = PAPER_MUTATION_RATE
+    set_color: float = PAPER_MUTATION_RATE
+    move: float = PAPER_MUTATION_RATE
+    turn: float = PAPER_MUTATION_RATE
+
+    def validate(self):
+        for name in ("next_state", "set_color", "move", "turn"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"mutation rate {name}={rate} outside [0, 1]")
+        return self
+
+
+def _cyclic_increment(values, modulus, rate, rng):
+    """Add 1 (mod ``modulus``) to each entry independently with prob ``rate``."""
+    flips = rng.random(values.shape) < rate
+    return np.where(flips, (values + 1) % modulus, values).astype(values.dtype)
+
+
+def mutate(fsm, rng, rates=MutationRates()):
+    """One offspring of ``fsm`` under the paper's mutation operator."""
+    rates.validate()
+    return FSM(
+        next_state=_cyclic_increment(fsm.next_state, fsm.n_states, rates.next_state, rng),
+        set_color=_cyclic_increment(fsm.set_color, 2, rates.set_color, rng),
+        move=_cyclic_increment(fsm.move, 2, rates.move, rng),
+        turn=_cyclic_increment(fsm.turn, N_TURN_CODES, rates.turn, rng),
+    )
+
+
+def crossover(first, second, rng):
+    """Uniform crossover of two parents (per-index coin flips).
+
+    Not used by the paper's final procedure (mutation alone did as well,
+    Sect. 4) but provided for heuristic-comparison ablations.
+    """
+    if first.n_states != second.n_states:
+        raise ValueError("crossover parents must have equal state counts")
+    take_second = rng.random(first.table_size) < 0.5
+    return FSM(
+        next_state=np.where(take_second, second.next_state, first.next_state),
+        set_color=np.where(take_second, second.set_color, first.set_color),
+        move=np.where(take_second, second.move, first.move),
+        turn=np.where(take_second, second.turn, first.turn),
+    )

@@ -1,0 +1,158 @@
+"""Pool management for the genetic procedure (paper Sect. 4).
+
+Per generation:
+
+1. the top ``N/2`` individuals each produce one offspring by mutation;
+2. the union of the ``N`` parents and ``N/2`` offspring is sorted by
+   fitness (lower is better), duplicates are deleted, and the pool is
+   truncated back to ``N``;
+3. to escape local minima, the first ``b`` individuals of the second half
+   are exchanged with the last ``b`` individuals of the first half --
+   with ``N = 20`` and ``b = 3`` individuals 7, 8, 9 swap with
+   10, 11, 12.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.fsm import FSM
+from repro.evolution.genome import MutationRates, mutate
+
+#: Paper pool size.
+PAPER_POOL_SIZE = 20
+
+#: Paper midline-exchange width.
+PAPER_EXCHANGE_WIDTH = 3
+
+
+@dataclass
+class Individual:
+    """One pool member: a behaviour plus its evaluation."""
+
+    fsm: FSM
+    outcome: object  # EvaluationOutcome
+
+    @property
+    def fitness(self):
+        return self.outcome.fitness
+
+    @property
+    def completely_successful(self):
+        return self.outcome.completely_successful
+
+
+def midline_exchange(individuals, width):
+    """Swap the blocks adjacent to the pool midline (diversity step).
+
+    For a pool of size ``N``: indices ``N/2 - width .. N/2 - 1`` exchange
+    with ``N/2 .. N/2 + width - 1``.
+    """
+    pool = list(individuals)
+    half = len(pool) // 2
+    if width < 0 or width > half:
+        raise ValueError(f"exchange width {width} invalid for pool of {len(pool)}")
+    for offset in range(width):
+        upper = half - width + offset
+        lower = half + offset
+        pool[upper], pool[lower] = pool[lower], pool[upper]
+    return pool
+
+
+class Population:
+    """The evolving pool of ``N`` behaviours.
+
+    Parameters
+    ----------
+    evaluator:
+        A callable mapping an :class:`FSM` to an
+        :class:`repro.evolution.fitness.EvaluationOutcome`; a
+        :class:`repro.evolution.fitness.SuiteEvaluator` also exposes
+        ``evaluate_many`` which is used when available.
+    rng:
+        numpy :class:`Generator` driving initialization and mutation.
+    """
+
+    def __init__(
+        self,
+        evaluator,
+        rng,
+        size=PAPER_POOL_SIZE,
+        exchange_width=PAPER_EXCHANGE_WIDTH,
+        rates=MutationRates(),
+        n_states=4,
+        seed_fsms=(),
+        fsm_factory=None,
+        mutation_operator=None,
+    ):
+        if size < 2 or size % 2:
+            raise ValueError(f"pool size must be even and >= 2, got {size}")
+        self.evaluator = evaluator
+        self.rng = rng
+        self.size = size
+        self.exchange_width = exchange_width
+        self.rates = rates
+        self.generation = 0
+        # pluggable genome machinery: defaults are the paper's 2-colour
+        # FSM alphabet; extensions (e.g. multicolour) swap both in
+        if fsm_factory is None:
+            fsm_factory = lambda generator: FSM.random(generator, n_states=n_states)
+        if mutation_operator is None:
+            mutation_operator = lambda fsm, generator: mutate(
+                fsm, generator, self.rates
+            )
+        self._fsm_factory = fsm_factory
+        self._mutation_operator = mutation_operator
+        fsms = [fsm.copy() for fsm in seed_fsms][:size]
+        while len(fsms) < size:
+            fsms.append(fsm_factory(rng))
+        self.individuals = self._evaluate_all(fsms)
+        self.individuals.sort(key=lambda individual: individual.fitness)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _evaluate_all(self, fsms):
+        if hasattr(self.evaluator, "evaluate_many"):
+            outcomes = self.evaluator.evaluate_many(fsms)
+        else:
+            outcomes = [self.evaluator(fsm) for fsm in fsms]
+        return [Individual(fsm, outcome) for fsm, outcome in zip(fsms, outcomes)]
+
+    @property
+    def best(self):
+        """The current best individual (lowest fitness)."""
+        return self.individuals[0]
+
+    def successful_individuals(self):
+        """Pool members that solved every field of the evaluation suite."""
+        return [ind for ind in self.individuals if ind.completely_successful]
+
+    def top(self, count):
+        """The ``count`` best pool members."""
+        return self.individuals[:count]
+
+    # -- one optimization iteration -------------------------------------------
+
+    def advance(self):
+        """Run one generation; returns the new best individual."""
+        parents = self.individuals[: self.size // 2]
+        offspring_fsms = [
+            self._mutation_operator(parent.fsm, self.rng) for parent in parents
+        ]
+        offspring = self._evaluate_all(offspring_fsms)
+
+        merged = list(self.individuals) + offspring
+        merged.sort(key=lambda individual: individual.fitness)
+        unique, seen = [], set()
+        for individual in merged:
+            key = individual.fsm.key()
+            if key not in seen:
+                seen.add(key)
+                unique.append(individual)
+        # deletion of duplicates can shrink the pool below N; the paper
+        # only ever reduces to the limit, so a short pool just stays short
+        # until mutation re-fills it next generation.
+        pool = unique[: self.size]
+        if len(pool) == self.size:
+            pool = midline_exchange(pool, self.exchange_width)
+        self.individuals = pool
+        self.generation += 1
+        return self.best

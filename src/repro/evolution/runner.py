@@ -1,0 +1,167 @@
+"""Orchestration of evolution runs (paper Sect. 4, last paragraphs).
+
+The paper's protocol: four independent optimization runs (field size
+16 x 16, ``k = 8`` agents, 1003 fields); from each run the top three
+completely successful FSMs are taken (twelve candidates altogether),
+screened for reliability across all agent counts, and the best FSM is
+selected.  :func:`evolve` is one run; :func:`multi_run` is the whole
+protocol minus the cross-density screening, which lives in
+:mod:`repro.evolution.selection`.
+"""
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.evolution.fitness import SuiteEvaluator
+from repro.evolution.genome import MutationRates
+from repro.evolution.population import (
+    PAPER_EXCHANGE_WIDTH,
+    PAPER_POOL_SIZE,
+    Population,
+)
+
+
+@dataclass(frozen=True)
+class EvolutionSettings:
+    """Hyper-parameters of one run; defaults are the paper's."""
+
+    n_generations: int = 100
+    pool_size: int = PAPER_POOL_SIZE
+    exchange_width: int = PAPER_EXCHANGE_WIDTH
+    rates: MutationRates = field(default_factory=MutationRates)
+    n_states: int = 4
+    t_max: int = 200
+    seed: int = 0
+
+    def validate(self):
+        if self.n_generations < 1:
+            raise ValueError("need at least one generation")
+        if self.t_max < 1:
+            raise ValueError("t_max must be positive")
+        self.rates.validate()
+        return self
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """Progress of the pool after one generation."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    n_successful: int
+    best_is_successful: bool
+
+
+@dataclass
+class EvolutionResult:
+    """Everything a finished run produced."""
+
+    settings: EvolutionSettings
+    history: List[GenerationRecord]
+    population: Population
+    wall_seconds: float
+
+    @property
+    def best(self):
+        return self.population.best
+
+    def top_successful(self, count=3):
+        """The run's ``count`` best completely successful individuals.
+
+        This is what the paper extracts from each run (top 3) before the
+        cross-density screening.
+        """
+        successful = sorted(
+            self.population.successful_individuals(),
+            key=lambda individual: individual.fitness,
+        )
+        return successful[:count]
+
+    def first_success_generation(self) -> Optional[int]:
+        """First generation whose best individual solved every field."""
+        for record in self.history:
+            if record.best_is_successful:
+                return record.generation
+        return None
+
+
+def _record(population):
+    individuals = population.individuals
+    fitnesses = [individual.fitness for individual in individuals]
+    best = min(individuals, key=lambda individual: individual.fitness)
+    return GenerationRecord(
+        generation=population.generation,
+        best_fitness=best.fitness,
+        mean_fitness=sum(fitnesses) / len(fitnesses),
+        n_successful=len(population.successful_individuals()),
+        best_is_successful=best.completely_successful,
+    )
+
+
+def evolve(grid, suite, settings=EvolutionSettings(), progress=None, seed_fsms=()):
+    """One optimization run over ``suite`` on ``grid``.
+
+    ``progress``, if given, is called with each :class:`GenerationRecord`
+    as it is produced (generation 0 is the evaluated random pool).
+    """
+    settings.validate()
+    rng = np.random.default_rng(settings.seed)
+    evaluator = SuiteEvaluator(grid, suite, t_max=settings.t_max)
+    population = Population(
+        evaluator,
+        rng,
+        size=settings.pool_size,
+        exchange_width=settings.exchange_width,
+        rates=settings.rates,
+        n_states=settings.n_states,
+        seed_fsms=seed_fsms,
+    )
+    started = time.perf_counter()
+    history = [_record(population)]
+    if progress is not None:
+        progress(history[0])
+    for _ in range(settings.n_generations):
+        population.advance()
+        record = _record(population)
+        history.append(record)
+        if progress is not None:
+            progress(record)
+    return EvolutionResult(
+        settings=settings,
+        history=history,
+        population=population,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def multi_run(
+    grid,
+    suite,
+    n_runs=4,
+    settings=EvolutionSettings(),
+    top_per_run=3,
+    progress=None,
+) -> Tuple[List["EvolutionResult"], List]:
+    """The paper's multi-run protocol: independent runs, top-3 extraction.
+
+    Runs ``n_runs`` optimizations with distinct seeds and collects up to
+    ``top_per_run`` completely successful individuals from each --
+    the paper's pool of twelve candidates.  Returns
+    ``(results, candidates)``.
+    """
+    results = []
+    candidates = []
+    for run_index in range(n_runs):
+        run_settings = replace(settings, seed=settings.seed + run_index)
+        result = evolve(grid, suite, run_settings, progress=progress)
+        results.append(result)
+        for individual in result.top_successful(top_per_run):
+            candidate = individual.fsm.copy(
+                name=f"{grid.kind}-run{run_index}-f{individual.fitness:.1f}"
+            )
+            candidates.append(candidate)
+    return results, candidates

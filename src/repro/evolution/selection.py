@@ -1,0 +1,84 @@
+"""Cross-density reliability screening and ranking of candidate FSMs.
+
+Paper Sect. 4: the twelve candidates extracted from the four runs (evolved
+with ``k = 8``) are re-tested for ``k = 2, 4, 8, 16, 32, 256`` on fresh
+1003-field suites; FSMs completely successful on *all* of them are kept
+and ranked, and the best one becomes "the best found algorithm".
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.configs.suite import paper_suite
+from repro.evolution.fitness import evaluate_fsm
+
+#: Agent counts of the paper's screening (Sect. 4).
+SCREENING_AGENT_COUNTS = (2, 4, 8, 16, 32, 256)
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """One candidate's screening outcome across agent counts."""
+
+    fsm_name: str
+    outcomes: Dict[int, "EvaluationOutcome"]  # agent count -> outcome
+
+    @property
+    def reliable(self):
+        """Completely successful for every screened agent count."""
+        return all(outcome.completely_successful for outcome in self.outcomes.values())
+
+    @property
+    def mean_time_overall(self):
+        """Ranking key: mean of the per-density mean communication times."""
+        times = [outcome.mean_time for outcome in self.outcomes.values()]
+        return sum(times) / len(times)
+
+    def mean_time(self, n_agents):
+        return self.outcomes[n_agents].mean_time
+
+
+def screen_reliability(
+    grid,
+    fsm,
+    agent_counts=SCREENING_AGENT_COUNTS,
+    n_random=1000,
+    seed=77,
+    t_max=400,
+):
+    """Test one candidate across agent counts on fresh suites."""
+    outcomes = {}
+    for n_agents in agent_counts:
+        if n_agents > grid.n_cells:
+            continue
+        suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+        outcomes[n_agents] = evaluate_fsm(grid, fsm, suite, t_max=t_max)
+    return ReliabilityReport(fsm_name=fsm.name or "candidate", outcomes=outcomes)
+
+
+def rank_candidates(
+    grid,
+    fsms,
+    agent_counts=SCREENING_AGENT_COUNTS,
+    n_random=1000,
+    seed=77,
+    t_max=400,
+) -> Tuple[list, list]:
+    """Screen every candidate; return ``(reliable_ranked, all_reports)``.
+
+    ``reliable_ranked`` pairs ``(fsm, report)`` sorted by overall mean
+    communication time, best first -- the paper's final selection picks
+    ``reliable_ranked[0]``.
+    """
+    reports = []
+    reliable = []
+    for fsm in fsms:
+        report = screen_reliability(
+            grid, fsm, agent_counts=agent_counts, n_random=n_random,
+            seed=seed, t_max=t_max,
+        )
+        reports.append(report)
+        if report.reliable:
+            reliable.append((fsm, report))
+    reliable.sort(key=lambda pair: pair[1].mean_time_overall)
+    return reliable, reports

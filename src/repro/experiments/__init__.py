@@ -1,0 +1,162 @@
+"""Regeneration harness: one module per table/figure of the paper.
+
+Every experiment returns a plain result object and offers a
+``format_*`` function printing the same rows/series the paper reports,
+so ``python -m repro <experiment>`` and the ``benchmarks/`` suite share
+one code path.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments.report import TextTable, Comparison, format_comparisons, ascii_bars
+from repro.experiments.fig2 import (
+    topology_table,
+    format_topology_table,
+    fig2_distance_maps,
+)
+from repro.experiments.table1 import (
+    Table1Row,
+    PAPER_TABLE1,
+    run_table1,
+    format_table1,
+    fig5_series,
+)
+from repro.experiments.traces import (
+    TraceExperiment,
+    run_fig6,
+    run_fig7,
+    format_trace,
+)
+from repro.experiments.grid33 import run_grid33, format_grid33, PAPER_GRID33
+from repro.experiments.ablations import (
+    run_color_ablation,
+    run_initial_state_ablation,
+    run_random_walk_comparison,
+    format_ablation,
+)
+from repro.experiments.environments import (
+    EnvironmentRow,
+    run_environment_comparison,
+    run_border_evolution_comparison,
+    format_environment_rows,
+)
+from repro.experiments.progress_curves import (
+    ProgressCurve,
+    run_progress_curves,
+    format_progress_curves,
+)
+from repro.experiments.robustness import (
+    RobustnessRow,
+    run_seed_robustness,
+    format_robustness,
+)
+from repro.experiments.scaling import (
+    ScalingRow,
+    run_scaling,
+    growth_exponent,
+    format_scaling,
+)
+from repro.experiments.multicolor_exp import (
+    MulticolorResult,
+    run_multicolor_comparison,
+    format_multicolor,
+)
+from repro.experiments.structures_exp import (
+    StructureStats,
+    run_structure_statistics,
+    format_structure_statistics,
+)
+from repro.experiments.heuristics import (
+    HeuristicResult,
+    run_heuristic_comparison,
+    format_heuristics,
+)
+from repro.experiments.states_exp import (
+    StateBudgetResult,
+    run_state_budget_comparison,
+    format_state_budgets,
+)
+from repro.experiments.anatomy import (
+    AnatomyRow,
+    run_anatomy,
+    format_anatomy,
+)
+from repro.experiments.mutation_rates import (
+    RateSweepPoint,
+    run_mutation_rate_sweep,
+    format_rate_sweep,
+)
+from repro.experiments.shuffle_evolution import (
+    FSMPair,
+    run_shuffle_evolution,
+    format_shuffle_evolution,
+)
+from repro.experiments.campaign import (
+    CampaignSettings,
+    CampaignReport,
+    run_campaign,
+    format_campaign,
+)
+
+__all__ = [
+    "TextTable",
+    "Comparison",
+    "format_comparisons",
+    "ascii_bars",
+    "topology_table",
+    "format_topology_table",
+    "fig2_distance_maps",
+    "Table1Row",
+    "PAPER_TABLE1",
+    "run_table1",
+    "format_table1",
+    "fig5_series",
+    "TraceExperiment",
+    "run_fig6",
+    "run_fig7",
+    "format_trace",
+    "run_grid33",
+    "format_grid33",
+    "PAPER_GRID33",
+    "run_color_ablation",
+    "run_initial_state_ablation",
+    "run_random_walk_comparison",
+    "format_ablation",
+    "EnvironmentRow",
+    "run_environment_comparison",
+    "run_border_evolution_comparison",
+    "format_environment_rows",
+    "ProgressCurve",
+    "run_progress_curves",
+    "format_progress_curves",
+    "RobustnessRow",
+    "run_seed_robustness",
+    "format_robustness",
+    "ScalingRow",
+    "run_scaling",
+    "growth_exponent",
+    "format_scaling",
+    "MulticolorResult",
+    "run_multicolor_comparison",
+    "format_multicolor",
+    "StructureStats",
+    "run_structure_statistics",
+    "format_structure_statistics",
+    "HeuristicResult",
+    "run_heuristic_comparison",
+    "format_heuristics",
+    "StateBudgetResult",
+    "run_state_budget_comparison",
+    "format_state_budgets",
+    "AnatomyRow",
+    "run_anatomy",
+    "format_anatomy",
+    "RateSweepPoint",
+    "run_mutation_rate_sweep",
+    "format_rate_sweep",
+    "FSMPair",
+    "run_shuffle_evolution",
+    "format_shuffle_evolution",
+    "CampaignSettings",
+    "CampaignReport",
+    "run_campaign",
+    "format_campaign",
+]

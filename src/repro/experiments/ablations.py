@@ -1,0 +1,152 @@
+"""Ablations of the design choices the paper calls out.
+
+Three questions the paper raises but does not tabulate directly:
+
+* **Colours** -- prior work (Sect. 1) credits the colour "pheromone"
+  flags with a ~2x speed-up.  We strip the colour channel from the
+  published FSMs (every setcolor output forced to 0, so the colour
+  observations stay constant) and re-measure.
+* **Initial control states** -- Sect. 4: uniform starts (all state 0)
+  made reliable agents impossible to find; the shipped scheme starts
+  agents in ``ID mod 2``.  We re-run the published FSMs under both.
+* **Random-walk baseline** -- how much do the evolved behaviours beat
+  blind randomness?
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.random_walk import run_random_walk_suite
+from repro.configs.suite import paper_suite
+from repro.configs.types import InitialStateScheme
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.evolution.fitness import evaluate_fsm
+from repro.experiments.report import TextTable
+from repro.grids import make_grid
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One variant's outcome."""
+
+    label: str
+    mean_time: float
+    success_rate: float
+    reliable: bool
+    versus_baseline: Optional[float] = None  # slowdown factor vs the intact agent
+
+
+def strip_colors(fsm):
+    """The same behaviour with the colour channel disabled.
+
+    Every ``setcolor`` output is forced to 0; since all flags start at 0
+    the ``color``/``frontcolor`` observations are then constantly 0 and
+    only the ``x in {0, 1}`` table columns are ever exercised.
+    """
+    return FSM(
+        next_state=fsm.next_state,
+        set_color=[0] * fsm.table_size,
+        move=fsm.move,
+        turn=fsm.turn,
+        name=f"{fsm.name or 'fsm'}-nocolor",
+    )
+
+
+def run_color_ablation(kind, n_agents=16, n_random=200, seed=11, t_max=2000):
+    """Published FSM with and without the colour channel."""
+    grid = make_grid(kind, 16)
+    suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    intact_fsm = published_fsm(kind)
+    intact = evaluate_fsm(grid, intact_fsm, suite, t_max=t_max)
+    stripped = evaluate_fsm(grid, strip_colors(intact_fsm), suite, t_max=t_max)
+    rows = [
+        AblationRow(
+            label=f"{kind}-agent with colours",
+            mean_time=intact.mean_time,
+            success_rate=intact.n_successful_fields / intact.n_fields,
+            reliable=intact.completely_successful,
+            versus_baseline=1.0,
+        ),
+        AblationRow(
+            label=f"{kind}-agent colours stripped",
+            mean_time=stripped.mean_time,
+            success_rate=stripped.n_successful_fields / stripped.n_fields,
+            reliable=stripped.completely_successful,
+            versus_baseline=stripped.mean_time / intact.mean_time,
+        ),
+    ]
+    return rows
+
+
+def run_initial_state_ablation(kind, n_agents=16, n_random=200, seed=12, t_max=2000):
+    """Published FSM under different initial-control-state schemes."""
+    grid = make_grid(kind, 16)
+    fsm = published_fsm(kind)
+    base_suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    rows = []
+    baseline_time = None
+    for scheme in (
+        InitialStateScheme.ID_MOD_2,
+        InitialStateScheme.ALL_ZERO,
+        InitialStateScheme.ALL_ONE,
+        InitialStateScheme.ID_MOD_N,
+    ):
+        configs = [
+            config.with_states(scheme, fsm.n_states) for config in base_suite
+        ]
+        outcome = evaluate_fsm(grid, fsm, configs, t_max=t_max)
+        if baseline_time is None:
+            baseline_time = outcome.mean_time
+        rows.append(
+            AblationRow(
+                label=f"{kind}-agent start={scheme.value}",
+                mean_time=outcome.mean_time,
+                success_rate=outcome.n_successful_fields / outcome.n_fields,
+                reliable=outcome.completely_successful,
+                versus_baseline=(
+                    outcome.mean_time / baseline_time if baseline_time else None
+                ),
+            )
+        )
+    return rows
+
+
+def run_random_walk_comparison(kind, n_agents=16, n_random=50, seed=13, t_max=4000):
+    """Published FSM vs blind random walkers on the same (small) suite."""
+    grid = make_grid(kind, 16)
+    suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    evolved = evaluate_fsm(grid, published_fsm(kind), suite, t_max=t_max)
+    walk_stats, _ = run_random_walk_suite(grid, suite, seed=seed, t_max=t_max)
+    return [
+        AblationRow(
+            label=f"{kind}-agent (evolved FSM)",
+            mean_time=evolved.mean_time,
+            success_rate=evolved.n_successful_fields / evolved.n_fields,
+            reliable=evolved.completely_successful,
+            versus_baseline=1.0,
+        ),
+        AblationRow(
+            label=f"{kind} random walkers",
+            mean_time=walk_stats.mean_time,
+            success_rate=walk_stats.success_rate,
+            reliable=walk_stats.completely_successful,
+            versus_baseline=walk_stats.mean_time / evolved.mean_time,
+        ),
+    ]
+
+
+def format_ablation(title, rows):
+    """Text table for any ablation row list."""
+    table = TextTable(["variant", "mean t_comm", "success", "reliable", "x slower"])
+    for row in rows:
+        table.add_row(
+            [
+                row.label,
+                f"{row.mean_time:.2f}" if row.mean_time != float("inf") else "inf",
+                f"{100 * row.success_rate:.1f}%",
+                "yes" if row.reliable else "no",
+                "-" if row.versus_baseline is None else f"{row.versus_baseline:.2f}",
+            ]
+        )
+    return f"{title}\n{table}"

@@ -1,0 +1,94 @@
+"""Experiment Eq. 1-3 / Fig. 2: topology metrics of the S and T tori.
+
+Regenerates the distance maps from a centre cell for ``n = 3`` (the
+paper's Fig. 2: ``D = 8`` and mean 4 for S, ``D = 5`` and mean ~3.09 for
+T) and tabulates closed-form vs measured diameters and mean distances
+with their T/S ratios (Eq. 3: ~0.666 and ~0.775) across sizes.
+"""
+
+from repro.core.render import render_distance_field
+from repro.grids import make_grid
+from repro.grids.analysis import (
+    antipodal_cells,
+    diameter_ratio,
+    distance_field,
+    mean_distance_ratio,
+    summarize_topology,
+)
+from repro.experiments.report import TextTable
+
+
+def topology_table(exponents=(1, 2, 3, 4, 5, 6)):
+    """Topology summaries for both grids at each size exponent ``n``."""
+    rows = []
+    for n in exponents:
+        summaries = {
+            kind: summarize_topology(make_grid(kind, 2**n)) for kind in ("S", "T")
+        }
+        rows.append(
+            {
+                "n": n,
+                "S": summaries["S"],
+                "T": summaries["T"],
+                "diameter_ratio": summaries["T"].diameter / summaries["S"].diameter,
+                "mean_ratio": summaries["T"].mean_distance
+                / summaries["S"].mean_distance,
+                "diameter_ratio_formula": diameter_ratio(n),
+                "mean_ratio_formula": mean_distance_ratio(n),
+            }
+        )
+    return rows
+
+
+def format_topology_table(rows=None):
+    """Text report of Eq. 1-3 vs measurement."""
+    if rows is None:
+        rows = topology_table()
+    table = TextTable(
+        [
+            "n", "M",
+            "D_S (eq1)", "D_S (bfs)",
+            "D_T (eq1)", "D_T (bfs)",
+            "mean_S (eq2)", "mean_S (bfs)",
+            "mean_T (eq2)", "mean_T (bfs)",
+            "D T/S", "mean T/S",
+        ]
+    )
+    for row in rows:
+        s, t = row["S"], row["T"]
+        table.add_row(
+            [
+                row["n"], s.side,
+                s.diameter_predicted, s.diameter,
+                t.diameter_predicted, t.diameter,
+                f"{s.mean_distance_predicted:.3f}", f"{s.mean_distance:.3f}",
+                f"{t.mean_distance_predicted:.3f}", f"{t.mean_distance:.3f}",
+                f"{row['diameter_ratio']:.3f}", f"{row['mean_ratio']:.3f}",
+            ]
+        )
+    header = (
+        "Eq. 1-3 / Fig. 2: diameters and mean distances "
+        "(paper ratios: D ~ 0.666, mean ~ 0.775)"
+    )
+    return f"{header}\n{table}"
+
+
+def fig2_distance_maps(n=3):
+    """The two distance maps of Fig. 2 as ASCII, plus their key numbers."""
+    reports = []
+    for kind in ("S", "T"):
+        grid = make_grid(kind, 2**n)
+        field = distance_field(grid)
+        antipodals = antipodal_cells(grid)
+        summary = summarize_topology(grid)
+        reports.append(
+            "\n".join(
+                [
+                    f"{kind}-grid, n={n} (M={grid.size}): "
+                    f"D={summary.diameter}, mean={summary.mean_distance:.2f}, "
+                    f"{len(antipodals)} antipodal cell(s)",
+                    render_distance_field(grid, field),
+                ]
+            )
+        )
+    return "\n\n".join(reports)

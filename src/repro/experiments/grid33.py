@@ -1,0 +1,71 @@
+"""Experiment Sect. 5: cross-size generalisation to the 33 x 33 grid.
+
+The paper re-tests its best agents -- evolved on 16 x 16 with 8 agents --
+on 1003 random 33 x 33 fields with 16 agents: the S-agent needed 229
+steps, the T-agent 181, both reliable, and T again beat S.  (Their prior
+work [9] reached 195 on the S-grid with a bigger, specialised machine;
+this paper's agents trade speed for reliability and generality.)
+"""
+
+from dataclasses import dataclass
+
+from repro.configs.suite import paper_suite
+from repro.core.published import published_fsm
+from repro.evolution.fitness import evaluate_fsm
+from repro.experiments.report import Comparison, format_comparisons
+from repro.grids import make_grid
+
+#: Paper Sect. 5: mean steps on 33 x 33 with 16 agents.
+PAPER_GRID33 = {"S": 229.0, "T": 181.0}
+
+#: Prior work [9] on the same field (two 8-state FSMs, actively evolved for it).
+PAPER_GRID33_PRIOR_WORK = 195.0
+
+
+@dataclass(frozen=True)
+class Grid33Result:
+    """Measured 33 x 33 outcomes per grid kind."""
+
+    mean_time: dict       # kind -> mean steps
+    reliable: dict        # kind -> completely successful
+    n_fields: int
+
+    @property
+    def ratio(self):
+        return self.mean_time["T"] / self.mean_time["S"]
+
+
+def run_grid33(n_agents=16, size=33, n_random=1000, seed=2013, t_max=2000):
+    """Evaluate the published FSMs on the large grid."""
+    mean_time, reliable, n_fields = {}, {}, 0
+    for kind in ("S", "T"):
+        grid = make_grid(kind, size)
+        suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+        outcome = evaluate_fsm(grid, published_fsm(kind), suite, t_max=t_max)
+        mean_time[kind] = outcome.mean_time
+        reliable[kind] = outcome.completely_successful
+        n_fields = outcome.n_fields
+    return Grid33Result(mean_time=mean_time, reliable=reliable, n_fields=n_fields)
+
+
+def format_grid33(result):
+    """Text report with the paper's Sect. 5 numbers alongside."""
+    comparisons = [
+        Comparison("S-agent mean steps", PAPER_GRID33["S"], result.mean_time["S"]),
+        Comparison("T-agent mean steps", PAPER_GRID33["T"], result.mean_time["T"]),
+        Comparison(
+            "T/S ratio", PAPER_GRID33["T"] / PAPER_GRID33["S"], result.ratio
+        ),
+    ]
+    reliability = ", ".join(
+        f"{kind}: {'reliable' if result.reliable[kind] else 'UNRELIABLE'}"
+        for kind in ("S", "T")
+    )
+    return (
+        format_comparisons(
+            f"Sect. 5: 33 x 33 grid, 16 agents, {result.n_fields} fields",
+            comparisons,
+        )
+        + f"\n({reliability}; prior work [9] reached {PAPER_GRID33_PRIOR_WORK} on S"
+        " with two specialised 8-state FSMs)"
+    )

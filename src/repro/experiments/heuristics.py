@@ -1,0 +1,156 @@
+"""The paper's deferred question: which search heuristic evolves FSMs best?
+
+Sect. 4: "We experimented with the classical crossover/mutation method.
+Then we found that mutation only gave us similar good results. ... It is
+subject to further research which heuristic is best to evolve state
+machines."  This experiment runs that comparison under equal evaluation
+budgets:
+
+* **mutation-only** -- the paper's final procedure (pool 20, 18% cyclic
+  increments, midline exchange);
+* **crossover+mutation** -- the classical variant: offspring are uniform
+  crossovers of two top-half parents, then mutated;
+* **random search** -- the null heuristic: every "generation" evaluates
+  a fresh random cohort and keeps the best ever seen.
+
+All three consume exactly the same number of simulated fitness
+evaluations, so the comparison is budget-fair.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.evolution.fitness import SuiteEvaluator
+from repro.evolution.genome import MutationRates, crossover, mutate
+from repro.evolution.population import Population
+from repro.experiments.report import TextTable
+from repro.grids import make_grid
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """One strategy's outcome under the shared budget."""
+
+    name: str
+    best_fitness: float
+    best_reliable: bool
+    evaluations: int
+    history: List[float]  # best-so-far after each generation
+
+
+def _record(history, population):
+    best = min(ind.fitness for ind in population.individuals)
+    history.append(min(best, history[-1]) if history else best)
+
+
+def run_mutation_only(evaluator, rng, n_generations, pool_size):
+    population = Population(evaluator, rng, size=pool_size)
+    history = []
+    _record(history, population)
+    for _ in range(n_generations):
+        population.advance()
+        _record(history, population)
+    best = min(population.individuals, key=lambda ind: ind.fitness)
+    return best, history
+
+
+def run_crossover_mutation(evaluator, rng, n_generations, pool_size):
+    """The classical variant: two-parent crossover, then mutation."""
+    population = Population(evaluator, rng, size=pool_size)
+
+    def crossover_then_mutate(fsm, generator):
+        parents = population.individuals[: population.size // 2]
+        partner = parents[int(generator.integers(0, len(parents)))].fsm
+        child = crossover(fsm, partner, generator)
+        return mutate(child, generator, MutationRates())
+
+    population._mutation_operator = crossover_then_mutate
+    history = []
+    _record(history, population)
+    for _ in range(n_generations):
+        population.advance()
+        _record(history, population)
+    best = min(population.individuals, key=lambda ind: ind.fitness)
+    return best, history
+
+
+def run_random_search(evaluator, rng, n_generations, pool_size):
+    """Null heuristic: fresh random cohorts, keep the best ever."""
+    best_fsm, best_outcome = None, None
+    history = []
+    # gen 0 cohort of pool_size, then cohorts of pool_size // 2 to match
+    # the GA's per-generation evaluation count
+    for generation in range(n_generations + 1):
+        cohort_size = pool_size if generation == 0 else pool_size // 2
+        cohort = [FSM.random(rng) for _ in range(cohort_size)]
+        outcomes = evaluator.evaluate_many(cohort)
+        for fsm, outcome in zip(cohort, outcomes):
+            if best_outcome is None or outcome.fitness < best_outcome.fitness:
+                best_fsm, best_outcome = fsm, outcome
+        history.append(best_outcome.fitness)
+
+    class _Individual:
+        def __init__(self, fsm, outcome):
+            self.fsm = fsm
+            self.fitness = outcome.fitness
+            self.completely_successful = outcome.completely_successful
+
+    return _Individual(best_fsm, best_outcome), history
+
+
+STRATEGIES = {
+    "mutation-only (paper)": run_mutation_only,
+    "crossover+mutation": run_crossover_mutation,
+    "random search": run_random_search,
+}
+
+
+def run_heuristic_comparison(
+    kind="T",
+    n_agents=8,
+    n_random=40,
+    n_generations=20,
+    pool_size=20,
+    seed=17,
+    t_max=200,
+) -> Dict[str, HeuristicResult]:
+    """All strategies on the same suite with the same budget."""
+    grid = make_grid(kind, 16)
+    suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    results = {}
+    for name, strategy in STRATEGIES.items():
+        evaluator = SuiteEvaluator(grid, suite, t_max=t_max)
+        rng = np.random.default_rng(seed)
+        best, history = strategy(evaluator, rng, n_generations, pool_size)
+        results[name] = HeuristicResult(
+            name=name,
+            best_fitness=best.fitness,
+            best_reliable=best.completely_successful,
+            evaluations=evaluator.evaluations,
+            history=history,
+        )
+    return results
+
+
+def format_heuristics(results) -> str:
+    table = TextTable(
+        ["heuristic", "best fitness", "reliable", "evaluations", "gen-0 best"]
+    )
+    for name, result in results.items():
+        table.add_row(
+            [
+                name,
+                f"{result.best_fitness:.1f}",
+                "yes" if result.best_reliable else "no",
+                result.evaluations,
+                f"{result.history[0]:.1f}",
+            ]
+        )
+    return (
+        "Search-heuristic comparison (equal budgets; Sect. 4's open question)\n"
+        f"{table}"
+    )

@@ -1,0 +1,87 @@
+"""Shared plain-text reporting for the experiment harness."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TextTable:
+    """A minimal fixed-width table printer (no external dependencies)."""
+
+    def __init__(self, headers):
+        self.headers = [str(header) for header in headers]
+        self.rows = []
+
+    def add_row(self, cells):
+        row = [self._render(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _render(cell):
+        if isinstance(cell, float):
+            return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+        return str(cell)
+
+    def __str__(self):
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for column, cell in enumerate(row):
+                widths[column] = max(widths[column], len(cell))
+        def line(cells):
+            return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+        parts = [line(self.headers), line(["-" * width for width in widths])]
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper: Optional[float]
+    measured: float
+
+    @property
+    def relative_error(self):
+        """``(measured - paper) / paper``; ``None`` when the paper gives none."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+def ascii_bars(labels, series_by_name, width=60):
+    """A minimal horizontal bar chart (used for Fig. 5-style series).
+
+    ``series_by_name`` maps a series name to one value per label; all
+    series share one scale.
+    """
+    peak = max(max(series) for series in series_by_name.values())
+    if peak <= 0:
+        raise ValueError("ascii_bars needs at least one positive value")
+    lines = []
+    for index, label in enumerate(labels):
+        for name, series in series_by_name.items():
+            bar = "#" * max(1, round(width * series[index] / peak))
+            lines.append(f"{label:>8} {name} |{bar} {series[index]:.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_comparisons(title, comparisons):
+    """Render a list of :class:`Comparison` as a text table."""
+    table = TextTable(["quantity", "paper", "measured", "rel.err"])
+    for comparison in comparisons:
+        error = comparison.relative_error
+        table.add_row(
+            [
+                comparison.label,
+                "-" if comparison.paper is None else f"{comparison.paper:g}",
+                f"{comparison.measured:g}",
+                "-" if error is None else f"{100 * error:+.1f}%",
+            ]
+        )
+    return f"{title}\n{table}"

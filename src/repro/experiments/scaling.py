@@ -1,0 +1,108 @@
+"""Scaling experiment: communication time vs torus size.
+
+The paper's argument for the T-grid's advantage is geometric: the
+communication-time ratio tracks the *diameter* ratio ``~0.666`` (Eq. 3),
+not the mean-distance ratio ``~0.775`` (Sect. 5).  If that is the right
+explanation, the advantage must persist across grid sizes and the times
+must grow roughly linearly in the side length ``M`` (like the diameters)
+at fixed agent density.  This experiment sweeps ``M`` with density held
+at the paper's ``16 / 256`` and checks both predictions -- an extension
+of the evaluation the paper itself only ran at ``M = 16`` and ``33``.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.configs.suite import paper_suite
+from repro.core.published import published_fsm
+from repro.evolution.fitness import evaluate_fsm
+from repro.experiments.report import TextTable
+from repro.grids import make_grid
+
+#: The paper's density: 16 agents on the 16 x 16 grid.
+PAPER_DENSITY = 16 / 256
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One grid size of the sweep."""
+
+    size: int
+    n_agents: int
+    t_time: float
+    s_time: float
+    t_reliable: bool
+    s_reliable: bool
+
+    @property
+    def ratio(self):
+        return self.t_time / self.s_time
+
+
+def run_scaling(
+    sizes=(8, 12, 16, 24, 32),
+    density=PAPER_DENSITY,
+    n_random=150,
+    seed=2013,
+    t_max=4000,
+) -> Dict[int, ScalingRow]:
+    """Sweep torus sizes at fixed agent density with the published FSMs."""
+    rows = {}
+    for size in sizes:
+        n_agents = max(2, round(density * size * size))
+        outcome = {}
+        for kind in ("S", "T"):
+            grid = make_grid(kind, size)
+            suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+            outcome[kind] = evaluate_fsm(
+                grid, published_fsm(kind), suite, t_max=t_max
+            )
+        rows[size] = ScalingRow(
+            size=size,
+            n_agents=n_agents,
+            t_time=outcome["T"].mean_time,
+            s_time=outcome["S"].mean_time,
+            t_reliable=outcome["T"].completely_successful,
+            s_reliable=outcome["S"].completely_successful,
+        )
+    return rows
+
+
+def growth_exponent(rows, kind="S"):
+    """Log-log slope of mean time vs size (1.0 = diameter-like growth)."""
+    import math
+
+    sizes = sorted(rows)
+    times = [getattr(rows[size], f"{kind.lower()}_time") for size in sizes]
+    logs = [(math.log(size), math.log(time)) for size, time in zip(sizes, times)]
+    n = len(logs)
+    mean_x = sum(x for x, _ in logs) / n
+    mean_y = sum(y for _, y in logs) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in logs)
+    denominator = sum((x - mean_x) ** 2 for x, _ in logs)
+    return numerator / denominator
+
+
+def format_scaling(rows) -> str:
+    table = TextTable(
+        ["M", "agents", "T time", "S time", "T/S", "T ok", "S ok"]
+    )
+    for size in sorted(rows):
+        row = rows[size]
+        table.add_row(
+            [
+                size, row.n_agents,
+                f"{row.t_time:.2f}", f"{row.s_time:.2f}", f"{row.ratio:.3f}",
+                "yes" if row.t_reliable else "no",
+                "yes" if row.s_reliable else "no",
+            ]
+        )
+    t_slope = growth_exponent(rows, "T")
+    s_slope = growth_exponent(rows, "S")
+    return (
+        "Scaling sweep at the paper's density 16/256 "
+        "(prediction: ratio ~ 0.666, time ~ M)\n"
+        f"{table}\n"
+        f"log-log growth exponents: T {t_slope:.2f}, S {s_slope:.2f} "
+        "(diameter-like = 1.0)"
+    )

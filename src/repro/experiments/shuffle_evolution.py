@@ -1,0 +1,196 @@
+"""Prior-work claim [8]: does evolving time-shuffled FSM *pairs* help?
+
+The paper's earlier work evolved hybrid time-shuffled behaviours (two
+FSMs alternating by step parity) and found them faster than single
+machines of the same size.  This experiment re-asks the question inside
+the present model (4 states, colours, von-Neumann communication): evolve
+single FSMs and shuffled pairs under equal evaluation budgets and
+compare the best reliable fitness.
+
+A pair has twice the genome (a caveat the paper's own comparison shares):
+what is held equal here is the number of simulated fitness evaluations,
+i.e. compute, not genome length.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.evolution.fitness import EvaluationOutcome
+from repro.evolution.genome import MutationRates, mutate
+from repro.evolution.population import Population
+from repro.experiments.report import TextTable
+from repro.extensions.timeshuffle import TimeShuffledBatchSimulator
+from repro.grids import make_grid
+
+
+class FSMPair:
+    """A time-shuffled behaviour: the (even, odd) machine pair."""
+
+    def __init__(self, even, odd, name=None):
+        if even.n_states != odd.n_states:
+            raise ValueError("pair halves must share the state count")
+        self.even = even
+        self.odd = odd
+        self.name = name
+
+    @property
+    def n_states(self):
+        return self.even.n_states
+
+    def key(self):
+        return (self.even.key(), self.odd.key())
+
+    def copy(self, name=None):
+        return FSMPair(self.even.copy(), self.odd.copy(),
+                       name=self.name if name is None else name)
+
+    @classmethod
+    def random(cls, rng, n_states=4):
+        return cls(FSM.random(rng, n_states=n_states),
+                   FSM.random(rng, n_states=n_states))
+
+    def __repr__(self):
+        return f"FSMPair({self.n_states} states)"
+
+
+def mutate_pair(pair, rng, rates=MutationRates()):
+    """The paper's mutation applied to both halves independently."""
+    return FSMPair(mutate(pair.even, rng, rates), mutate(pair.odd, rng, rates))
+
+
+class PairSuiteEvaluator:
+    """Suite evaluator for shuffled pairs (batch-simulated, cached)."""
+
+    def __init__(self, grid, configs, t_max=200):
+        self.grid = grid
+        self.configs = list(configs)
+        self.t_max = t_max
+        self._cache = {}
+        self.evaluations = 0
+
+    def _evaluate_batch(self, pairs):
+        n_fields = len(self.configs)
+        lane_even = [pair.even for pair in pairs for _ in range(n_fields)]
+        lane_odd = [pair.odd for pair in pairs for _ in range(n_fields)]
+        lane_configs = self.configs * len(pairs)
+        batch = TimeShuffledBatchSimulator(
+            self.grid, lane_even, lane_odd, lane_configs
+        ).run(t_max=self.t_max)
+        fitness = batch.fitness()
+        outcomes = []
+        for index in range(len(pairs)):
+            lanes = slice(index * n_fields, (index + 1) * n_fields)
+            success = batch.success[lanes]
+            times = batch.t_comm[lanes][success]
+            outcomes.append(
+                EvaluationOutcome(
+                    fitness=float(fitness[lanes].mean()),
+                    mean_time=float(times.mean()) if times.size else float("inf"),
+                    n_fields=n_fields,
+                    n_successful_fields=int(success.sum()),
+                )
+            )
+        return outcomes
+
+    def __call__(self, pair):
+        return self.evaluate_many([pair])[0]
+
+    def evaluate_many(self, pairs):
+        pairs = list(pairs)
+        fresh, seen = [], set()
+        for pair in pairs:
+            key = pair.key()
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                fresh.append(pair)
+        if fresh:
+            for pair, outcome in zip(fresh, self._evaluate_batch(fresh)):
+                self._cache[pair.key()] = outcome
+            self.evaluations += len(fresh)
+        return [self._cache[pair.key()] for pair in pairs]
+
+
+@dataclass(frozen=True)
+class ShuffleEvolutionResult:
+    """One arm of the single-vs-pair comparison."""
+
+    name: str
+    best_fitness: float
+    best_reliable: bool
+    evaluations: int
+    history: List[float]
+
+
+def run_shuffle_evolution(
+    kind="S",
+    n_agents=8,
+    n_random=40,
+    n_generations=20,
+    pool_size=20,
+    seed=23,
+    t_max=200,
+) -> Dict[str, ShuffleEvolutionResult]:
+    """Evolve single FSMs and shuffled pairs under equal budgets."""
+    grid = make_grid(kind, 16)
+    suite = list(paper_suite(grid, n_agents, n_random=n_random, seed=seed))
+    results = {}
+
+    from repro.evolution.fitness import SuiteEvaluator
+
+    arms = {
+        "single FSM (paper)": (
+            SuiteEvaluator(grid, suite, t_max=t_max),
+            lambda generator: FSM.random(generator),
+            lambda fsm, generator: mutate(fsm, generator, MutationRates()),
+        ),
+        "time-shuffled pair [8]": (
+            PairSuiteEvaluator(grid, suite, t_max=t_max),
+            lambda generator: FSMPair.random(generator),
+            mutate_pair,
+        ),
+    }
+    for name, (evaluator, factory, operator) in arms.items():
+        rng = np.random.default_rng(seed)
+        population = Population(
+            evaluator, rng, size=pool_size,
+            fsm_factory=factory, mutation_operator=operator,
+        )
+        history = [population.best.fitness]
+        for _ in range(n_generations):
+            population.advance()
+            history.append(
+                min(history[-1],
+                    min(ind.fitness for ind in population.individuals))
+            )
+        best = min(population.individuals, key=lambda ind: ind.fitness)
+        results[name] = ShuffleEvolutionResult(
+            name=name,
+            best_fitness=best.fitness,
+            best_reliable=best.completely_successful,
+            evaluations=evaluator.evaluations,
+            history=history,
+        )
+    return results
+
+
+def format_shuffle_evolution(results) -> str:
+    table = TextTable(
+        ["behaviour", "best fitness", "reliable", "evaluations"]
+    )
+    for name, result in results.items():
+        table.add_row(
+            [
+                name,
+                f"{result.best_fitness:.1f}",
+                "yes" if result.best_reliable else "no",
+                result.evaluations,
+            ]
+        )
+    return (
+        "Single FSM vs evolved time-shuffled pair (equal budgets)\n"
+        f"{table}"
+    )

@@ -1,0 +1,92 @@
+"""Further-work experiment: does a bigger control-state budget help?
+
+The paper fixes 4 control states "in order to keep the control automaton
+simple" (Sect. 3) and lists "more states" first among further work.
+This experiment runs the same GA with 2-, 4-, 6- and 8-state genomes
+under equal evaluation budgets.  The trade-off mirrors the colour one:
+more states are strictly more expressive (a 4-state table embeds in an
+8-state one), but the search space grows as
+``K = (|s| * 16) ** (|s| * 8)`` (Sect. 4), so equal-budget evolution
+digs a shallower hole.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.configs.suite import paper_suite
+from repro.evolution.fitness import SuiteEvaluator
+from repro.evolution.population import Population
+from repro.experiments.report import TextTable
+from repro.grids import make_grid
+
+
+@dataclass(frozen=True)
+class StateBudgetResult:
+    """One state-count arm of the comparison."""
+
+    n_states: int
+    table_size: int
+    best_fitness: float
+    best_reliable: bool
+    history: List[float]
+
+
+def run_state_budget_comparison(
+    kind="T",
+    state_counts=(2, 4, 6, 8),
+    n_agents=8,
+    n_random=40,
+    n_generations=15,
+    pool_size=20,
+    seed=13,
+    t_max=200,
+) -> Dict[int, StateBudgetResult]:
+    """Equal-budget evolution per control-state budget."""
+    grid = make_grid(kind, 16)
+    suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    results = {}
+    for n_states in state_counts:
+        evaluator = SuiteEvaluator(grid, suite, t_max=t_max)
+        rng = np.random.default_rng([seed, n_states])
+        population = Population(
+            evaluator, rng, size=pool_size, n_states=n_states,
+        )
+        history = [population.best.fitness]
+        for _ in range(n_generations):
+            population.advance()
+            history.append(
+                min(history[-1],
+                    min(ind.fitness for ind in population.individuals))
+            )
+        best = min(population.individuals, key=lambda ind: ind.fitness)
+        results[n_states] = StateBudgetResult(
+            n_states=n_states,
+            table_size=best.fsm.table_size,
+            best_fitness=best.fitness,
+            best_reliable=best.completely_successful,
+            history=history,
+        )
+    return results
+
+
+def format_state_budgets(results) -> str:
+    table = TextTable(
+        ["states", "table entries", "best fitness", "reliable", "gen-0 best"]
+    )
+    for n_states in sorted(results):
+        result = results[n_states]
+        table.add_row(
+            [
+                str(n_states) + (" (paper)" if n_states == 4 else ""),
+                result.table_size,
+                f"{result.best_fitness:.1f}",
+                "yes" if result.best_reliable else "no",
+                f"{result.history[0]:.1f}",
+            ]
+        )
+    return (
+        "Further work: control-state budget comparison (equal GA budgets)\n"
+        f"{table}"
+    )

@@ -1,0 +1,101 @@
+"""Figs. 6-7 made statistical: streets vs honeycombs over many runs.
+
+The paper shows one pictured instance of each structure.  This experiment
+measures the structure metrics over an ensemble of two-agent runs:
+
+* **colour loop count** -- independent cycles in the coloured subgraph:
+  the T-agents' honeycombs produce an order of magnitude more closed
+  loops than the S-agents' streets;
+* **street concentration** -- axis-marginal concentration of the colour
+  mass: higher for the S-agents' orthogonal streets;
+* **travel Gini** -- inequality of per-cell visit counts: street traffic
+  is more repetitive.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.structures import (
+    color_loop_count,
+    street_concentration,
+    visited_gini,
+)
+from repro.configs.random_configs import random_configuration
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.core.trace import capture
+from repro.experiments.report import TextTable
+from repro.grids import make_grid
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Mean structure metrics of one grid's final colour/visited fields."""
+
+    kind: str
+    n_runs: int
+    mean_street_concentration: float
+    mean_loop_count: float
+    mean_travel_gini: float
+    mean_t_comm: float
+
+
+def run_structure_statistics(
+    n_runs=30, n_agents=2, size=16, t_max=1500, seed0=0
+) -> Dict[str, StructureStats]:
+    """Final-field structure metrics over an ensemble of runs."""
+    results = {}
+    for kind in ("S", "T"):
+        grid = make_grid(kind, size)
+        fsm = published_fsm(kind)
+        streets, loops, ginis, times = [], [], [], []
+        for seed in range(seed0, seed0 + n_runs):
+            config = random_configuration(
+                grid, n_agents, np.random.default_rng(seed)
+            )
+            simulation = Simulation(grid, fsm, config)
+            outcome = simulation.run(t_max=t_max)
+            if not outcome.success:
+                continue
+            snapshot = capture(simulation)
+            streets.append(street_concentration(snapshot.colors))
+            loops.append(color_loop_count(snapshot.colors, grid))
+            ginis.append(visited_gini(snapshot.visited))
+            times.append(outcome.t_comm)
+        results[kind] = StructureStats(
+            kind=kind,
+            n_runs=len(times),
+            mean_street_concentration=float(np.mean(streets)),
+            mean_loop_count=float(np.mean(loops)),
+            mean_travel_gini=float(np.mean(ginis)),
+            mean_t_comm=float(np.mean(times)),
+        )
+    return results
+
+
+def format_structure_statistics(results) -> str:
+    table = TextTable(
+        ["grid", "runs", "street conc.", "colour loops", "travel Gini", "t_comm"]
+    )
+    for kind in ("S", "T"):
+        stats = results[kind]
+        table.add_row(
+            [
+                kind,
+                stats.n_runs,
+                f"{stats.mean_street_concentration:.3f}",
+                f"{stats.mean_loop_count:.1f}",
+                f"{stats.mean_travel_gini:.3f}",
+                f"{stats.mean_t_comm:.1f}",
+            ]
+        )
+    return (
+        "Structure statistics over two-agent ensembles "
+        "(Figs. 6-7 quantified)\n"
+        f"{table}\n"
+        "expected signature: S concentrates colour on streets (higher\n"
+        "street conc., near-zero loops); T weaves honeycombs (an order of\n"
+        "magnitude more colour loops)."
+    )

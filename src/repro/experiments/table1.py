@@ -1,0 +1,132 @@
+"""Experiment Table 1 / Fig. 5: communication time vs agent count, T vs S.
+
+The paper's headline table: mean communication time of the best found
+T- and S-algorithms on the 16 x 16 torus over 1003 initial configurations
+for ``k in {2, 4, 8, 16, 32, 256}``, with the T/S ratio per column.
+Expected shape: ratio between 0.60 and 0.71 (tracking the diameter ratio
+0.666), a slowness *maximum* at ``k = 4``, and the packed column equal to
+``diameter - 1`` exactly (9 and 15).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.configs.suite import PAPER_AGENT_COUNTS, paper_suite
+from repro.core.published import published_fsm
+from repro.evolution.fitness import evaluate_fsm
+from repro.experiments.report import TextTable
+from repro.grids import make_grid
+
+#: The paper's Table 1 (16 x 16, 1003 fields): agent count -> (T, S) times.
+PAPER_TABLE1 = {
+    2: (58.43, 82.78),
+    4: (78.30, 116.12),
+    8: (58.68, 90.93),
+    16: (41.25, 63.39),
+    32: (28.06, 42.93),
+    256: (9.00, 15.00),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured column of Table 1."""
+
+    n_agents: int
+    t_time: float
+    s_time: float
+    t_reliable: bool
+    s_reliable: bool
+    paper_t: Optional[float]
+    paper_s: Optional[float]
+
+    @property
+    def ratio(self):
+        return self.t_time / self.s_time
+
+    @property
+    def paper_ratio(self):
+        if self.paper_t is None or self.paper_s is None:
+            return None
+        return self.paper_t / self.paper_s
+
+
+def run_table1(
+    size=16,
+    agent_counts=PAPER_AGENT_COUNTS,
+    n_random=1000,
+    seed=2013,
+    t_max=1000,
+    fsms=None,
+) -> Dict[int, Table1Row]:
+    """Measure Table 1 with the published (or supplied) best FSMs.
+
+    ``fsms`` maps grid kind to the FSM to evaluate; default is the
+    paper's Figs. 3-4 machines.  Random fields differ from the authors'
+    (they are not published), so absolute times match only statistically.
+    """
+    if fsms is None:
+        fsms = {"S": published_fsm("S"), "T": published_fsm("T")}
+    grids = {kind: make_grid(kind, size) for kind in ("S", "T")}
+    rows = {}
+    for n_agents in agent_counts:
+        if n_agents > size * size:
+            continue
+        outcomes = {}
+        for kind in ("S", "T"):
+            suite = paper_suite(grids[kind], n_agents, n_random=n_random, seed=seed)
+            outcomes[kind] = evaluate_fsm(
+                grids[kind], fsms[kind], suite, t_max=t_max
+            )
+        paper = PAPER_TABLE1.get(n_agents) if size == 16 else None
+        rows[n_agents] = Table1Row(
+            n_agents=n_agents,
+            t_time=outcomes["T"].mean_time,
+            s_time=outcomes["S"].mean_time,
+            t_reliable=outcomes["T"].completely_successful,
+            s_reliable=outcomes["S"].completely_successful,
+            paper_t=paper[0] if paper else None,
+            paper_s=paper[1] if paper else None,
+        )
+    return rows
+
+
+def format_table1(rows):
+    """Text rendering in the paper's layout (T row, S row, T/S row)."""
+    counts = sorted(rows)
+    table = TextTable(["N_agents"] + [str(count) for count in counts])
+    table.add_row(["T-grid"] + [f"{rows[c].t_time:.2f}" for c in counts])
+    table.add_row(["S-grid"] + [f"{rows[c].s_time:.2f}" for c in counts])
+    table.add_row(["T/S"] + [f"{rows[c].ratio:.3f}" for c in counts])
+    if any(rows[c].paper_t is not None for c in counts):
+        table.add_row(
+            ["paper T"]
+            + [
+                "-" if rows[c].paper_t is None else f"{rows[c].paper_t:.2f}"
+                for c in counts
+            ]
+        )
+        table.add_row(
+            ["paper S"]
+            + [
+                "-" if rows[c].paper_s is None else f"{rows[c].paper_s:.2f}"
+                for c in counts
+            ]
+        )
+    reliable = all(rows[c].t_reliable and rows[c].s_reliable for c in counts)
+    note = "completely successful on every field" if reliable else \
+        "WARNING: some fields unsolved within the step limit"
+    return (
+        "Table 1 / Fig. 5: mean communication time, 16 x 16, 1003 fields\n"
+        f"{table}\n({note})"
+    )
+
+
+def fig5_series(rows):
+    """The two Fig. 5 series as ``(agent_counts, t_times, s_times)``."""
+    counts = sorted(rows)
+    return (
+        counts,
+        [rows[count].t_time for count in counts],
+        [rows[count].s_time for count in counts],
+    )

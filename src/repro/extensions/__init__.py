@@ -1,0 +1,62 @@
+"""Extensions beyond the paper's core experiments.
+
+The paper's conclusion lists further work -- "more states, more colors,
+obstacles, or borders" -- and Sect. 4 lists symmetry-breaking options
+beyond the one it adopts (initial state ``ID mod 2``): random initial
+colour patterns and different species of agents.  Its prior work [8]
+used *time-shuffling* (two FSMs alternating in time).  This package
+implements all of them on top of the core simulators:
+
+* borders, obstacles and colour carpets live in
+  :mod:`repro.core.environment` (they touch the simulators directly);
+* :mod:`repro.extensions.timeshuffle` -- alternate two FSMs by step parity;
+* :mod:`repro.extensions.species` -- heterogeneous agents (one FSM per
+  agent slot), in both the reference and the batch simulator;
+* :mod:`repro.extensions.multicolor` -- a generalized FSM with more than
+  two cell colours, plus its simulator and mutation operator;
+* :mod:`repro.extensions.conflicts` -- pluggable movement-arbitration
+  policies (the paper fixes lowest-ID priority);
+* :mod:`repro.extensions.faults` -- lossy-exchange fault injection.
+"""
+
+from repro.extensions.timeshuffle import (
+    TimeShuffledSimulation,
+    TimeShuffledBatchSimulator,
+)
+from repro.extensions.species import (
+    HeterogeneousSimulation,
+    heterogeneous_batch,
+)
+from repro.extensions.multicolor import (
+    MulticolorFSM,
+    MulticolorSimulation,
+    encode_multicolor_input,
+    mutate_multicolor,
+)
+from repro.extensions.conflicts import (
+    PolicySimulation,
+    POLICIES,
+    compare_policies,
+)
+from repro.extensions.faults import (
+    FaultyExchangeSimulation,
+    FaultSweepPoint,
+    run_fault_sweep,
+)
+
+__all__ = [
+    "TimeShuffledSimulation",
+    "TimeShuffledBatchSimulator",
+    "HeterogeneousSimulation",
+    "heterogeneous_batch",
+    "MulticolorFSM",
+    "MulticolorSimulation",
+    "encode_multicolor_input",
+    "mutate_multicolor",
+    "PolicySimulation",
+    "POLICIES",
+    "compare_policies",
+    "FaultyExchangeSimulation",
+    "FaultSweepPoint",
+    "run_fault_sweep",
+]

@@ -1,0 +1,98 @@
+"""Alternative conflict-arbitration policies (paper Sect. 3, *Conflicts*).
+
+The paper resolves movement conflicts by *lowest agent ID* and notes the
+detection can be done by per-cell arbitration logic in hardware.  The
+winner rule is a free design parameter -- and a hidden symmetry breaker,
+since ID-based priority distinguishes otherwise identical agents.  This
+module makes the rule pluggable so its effect can be measured:
+
+* ``lowest_id`` -- the paper's rule (deterministic, global priority);
+* ``highest_id`` -- the mirror image (a relabelling sanity check);
+* ``rotating`` -- priority rotates with time, fairer over a run;
+* ``random_winner`` -- seeded coin flips, the maximal symmetry breaker.
+"""
+
+import numpy as np
+
+from repro.core.simulation import Simulation
+
+
+def lowest_id(requesters, cell, t, rng):
+    """The paper's rule: the smallest agent ID wins."""
+    return min(requesters)
+
+
+def highest_id(requesters, cell, t, rng):
+    """Mirror rule: the largest agent ID wins."""
+    return max(requesters)
+
+
+def rotating(requesters, cell, t, rng):
+    """Time-rotating priority: winner minimizes ``(ident - t) mod (max + 1)``.
+
+    Over a long run every agent gets its turn at the head of the queue.
+    """
+    modulus = max(requesters) + 1
+    return min(requesters, key=lambda ident: (ident - t) % modulus)
+
+
+def random_winner(requesters, cell, t, rng):
+    """A uniformly random requester wins (seeded, reproducible)."""
+    ordered = sorted(requesters)
+    return ordered[int(rng.integers(0, len(ordered)))]
+
+
+POLICIES = {
+    "lowest_id": lowest_id,
+    "highest_id": highest_id,
+    "rotating": rotating,
+    "random": random_winner,
+}
+
+
+class PolicySimulation(Simulation):
+    """Reference simulator with a pluggable conflict-winner policy.
+
+    ``policy(requesters, cell, t, rng) -> ident`` must return a member of
+    ``requesters`` (the non-empty set of agent IDs contesting ``cell`` at
+    step ``t``).
+    """
+
+    def __init__(self, grid, fsm, config, policy=lowest_id, seed=0,
+                 recorder=None, environment=None):
+        self.policy = policy
+        self.policy_rng = np.random.default_rng(seed)
+        super().__init__(grid, fsm, config, recorder=recorder,
+                         environment=environment)
+
+    def _resolve_conflict(self, cell, requesters):
+        winner = self.policy(requesters, cell, self.t, self.policy_rng)
+        if winner not in requesters:
+            raise ValueError(
+                f"policy returned {winner}, not one of the requesters "
+                f"{sorted(requesters)}"
+            )
+        return winner
+
+
+def compare_policies(grid, fsm, configs, policies=None, t_max=1000, seed=0):
+    """Mean time and success rate of each arbitration policy on a workload.
+
+    Returns ``{policy_name: (mean_time, success_rate)}``.
+    """
+    policies = policies or POLICIES
+    configs = list(configs)
+    results = {}
+    for name, policy in policies.items():
+        times, successes = [], 0
+        for index, config in enumerate(configs):
+            simulation = PolicySimulation(
+                grid, fsm, config, policy=policy, seed=seed + index
+            )
+            outcome = simulation.run(t_max=t_max)
+            if outcome.success:
+                successes += 1
+                times.append(outcome.t_comm)
+        mean_time = sum(times) / len(times) if times else float("inf")
+        results[name] = (mean_time, successes / len(configs))
+    return results

@@ -1,0 +1,86 @@
+"""Fault injection: lossy information exchange.
+
+Beyond the paper: how robust is the evolved behaviour when meetings do
+not always succeed?  Each directed neighbour read fails independently
+with probability ``p`` (a flaky radio / a missed clock edge in the
+paper's hardware framing).  Knowledge stays monotone -- a failed read
+just postpones the OR -- so the task remains solvable for any ``p < 1``;
+the question is the slowdown curve and whether reliability degrades
+gracefully.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.simulation import Simulation
+
+
+class FaultyExchangeSimulation(Simulation):
+    """Reference simulator whose exchange reads fail with probability ``p``."""
+
+    def __init__(self, grid, fsm, config, failure_probability=0.0, seed=0,
+                 recorder=None, environment=None):
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ValueError(
+                f"failure probability must be in [0, 1], got {failure_probability}"
+            )
+        self.failure_probability = failure_probability
+        self.fault_rng = np.random.default_rng(seed)
+        super().__init__(grid, fsm, config, recorder=recorder,
+                         environment=environment)
+
+    def exchange(self):
+        """Knowledge exchange with independent per-read failures."""
+        snapshot = [agent.knowledge for agent in self.agents]
+        p = self.failure_probability
+        for agent in self.agents:
+            gathered = snapshot[agent.ident]
+            for nx, ny in self.environment.neighbor_cells(agent.x, agent.y):
+                neighbor_id = self.occupancy[nx, ny]
+                if neighbor_id > 0:
+                    if p and self.fault_rng.random() < p:
+                        continue  # this read is lost
+                    gathered |= snapshot[neighbor_id - 1]
+            agent.knowledge = gathered
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One failure probability's outcome."""
+
+    failure_probability: float
+    mean_time: float
+    success_rate: float
+    slowdown: float  # vs the fault-free point
+
+
+def run_fault_sweep(
+    grid, fsm, configs, probabilities=(0.0, 0.2, 0.4, 0.6, 0.8),
+    t_max=2000, seed=0,
+) -> Dict[float, FaultSweepPoint]:
+    """Measure mean time and success rate per failure probability."""
+    configs = list(configs)
+    points = {}
+    baseline = None
+    for p in probabilities:
+        times, successes = [], 0
+        for index, config in enumerate(configs):
+            simulation = FaultyExchangeSimulation(
+                grid, fsm, config, failure_probability=p, seed=seed + index
+            )
+            outcome = simulation.run(t_max=t_max)
+            if outcome.success:
+                successes += 1
+                times.append(outcome.t_comm)
+        mean_time = sum(times) / len(times) if times else float("inf")
+        if baseline is None:
+            baseline = mean_time
+        points[p] = FaultSweepPoint(
+            failure_probability=p,
+            mean_time=mean_time,
+            success_rate=successes / len(configs),
+            slowdown=mean_time / baseline if baseline else float("inf"),
+        )
+    return points

@@ -1,0 +1,46 @@
+"""Heterogeneous swarms: one FSM per agent slot (paper Sect. 4, option 3).
+
+"Use different species (FSMs) of agents" is one of the paper's listed
+ways to break the symmetry that defeats uniform agents.  The reference
+simulator gets a subclass that dispatches decisions per agent; the batch
+simulator already supports per-agent species tables natively via its
+``agent_fsms`` parameter, exposed here through a small helper.
+"""
+
+from repro.core.simulation import Simulation
+from repro.core.vectorized import BatchSimulator
+
+
+class HeterogeneousSimulation(Simulation):
+    """Reference simulator where each agent has its own FSM.
+
+    ``fsms`` is a sequence of ``k`` FSMs, one per agent ID, all with the
+    same state count (they share the initial-state scheme).
+    """
+
+    def __init__(self, grid, fsms, config, recorder=None, environment=None):
+        fsms = list(fsms)
+        if len(fsms) != len(list(config.positions)):
+            raise ValueError(
+                f"{len(fsms)} FSMs for {len(list(config.positions))} agents"
+            )
+        n_states = fsms[0].n_states
+        if any(fsm.n_states != n_states for fsm in fsms):
+            raise ValueError("all species must have the same state count")
+        self.fsms = fsms
+        super().__init__(grid, fsms[0], config, recorder=recorder,
+                         environment=environment)
+
+    def _desires_move(self, agent, color, frontcolor):
+        return self.fsms[agent.ident].desires_move(agent.state, color, frontcolor)
+
+    def _decide(self, agent, blocked, color, frontcolor):
+        x = (blocked & 1) | ((color & 1) << 1) | ((frontcolor & 1) << 2)
+        return self.fsms[agent.ident].transition(x, agent.state)
+
+
+def heterogeneous_batch(grid, fsms, configs, environment=None):
+    """Batch simulator with one FSM per agent slot, shared across lanes."""
+    return BatchSimulator(
+        grid, configs=configs, agent_fsms=list(fsms), environment=environment
+    )

@@ -1,0 +1,93 @@
+"""Torus topologies used by the paper: the square grid S and the triangulate grid T.
+
+The paper (Sect. 2) works on cyclic :math:`M \\times M` grids:
+
+* **S-grid** -- the 4-valent torus: node ``(x, y)`` is linked to
+  ``(x +- 1, y)`` and ``(x, y +- 1)`` (addition modulo ``M``).
+* **T-grid** -- the 6-valent torus: the S-grid plus the two diagonal links
+  ``(x + 1, y + 1)`` and ``(x - 1, y - 1)``.
+
+This package provides the direction systems agents use to move, the torus
+metrics (Manhattan distance in S, "hexagonal" distance in T), closed-form
+diameters and mean distances (paper Eq. 1--3) together with exhaustive
+cross-checks, and graph exports.
+"""
+
+from repro.grids.base import Grid
+from repro.grids.square import SquareGrid
+from repro.grids.triangulate import TriangulateGrid
+from repro.grids.distance import (
+    torus_delta,
+    manhattan_torus_distance,
+    hexagonal_torus_distance,
+    bfs_distance_field,
+)
+from repro.grids.analysis import (
+    diameter_formula,
+    mean_distance_formula,
+    diameter_ratio,
+    mean_distance_ratio,
+    empirical_diameter,
+    empirical_mean_distance,
+    distance_field,
+    TopologySummary,
+    summarize_topology,
+)
+
+from repro.grids.routing import (
+    greedy_step,
+    minimal_route,
+    broadcast_rounds,
+    gossip_rounds,
+    flood,
+)
+
+GRID_TYPES = {"S": SquareGrid, "T": TriangulateGrid}
+
+
+def make_grid(kind, size):
+    """Build a grid by its paper label.
+
+    Parameters
+    ----------
+    kind:
+        ``"S"`` for the square torus or ``"T"`` for the triangulate torus
+        (case-insensitive).
+    size:
+        Side length ``M`` of the torus (the paper mostly uses ``M = 16``,
+        plus ``M = 33`` in Sect. 5).
+    """
+    try:
+        grid_cls = GRID_TYPES[kind.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown grid kind {kind!r}; expected one of {sorted(GRID_TYPES)}"
+        ) from None
+    return grid_cls(size)
+
+
+__all__ = [
+    "Grid",
+    "SquareGrid",
+    "TriangulateGrid",
+    "make_grid",
+    "GRID_TYPES",
+    "torus_delta",
+    "manhattan_torus_distance",
+    "hexagonal_torus_distance",
+    "bfs_distance_field",
+    "diameter_formula",
+    "mean_distance_formula",
+    "diameter_ratio",
+    "mean_distance_ratio",
+    "empirical_diameter",
+    "empirical_mean_distance",
+    "distance_field",
+    "TopologySummary",
+    "summarize_topology",
+    "greedy_step",
+    "minimal_route",
+    "broadcast_rounds",
+    "gossip_rounds",
+    "flood",
+]

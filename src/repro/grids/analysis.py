@@ -1,0 +1,137 @@
+"""Topology analysis: diameters, mean distances and their T/S ratios.
+
+Implements the paper's Eq. (1)--(3) in closed form and, independently,
+computes the same quantities by exhaustive graph search so the formulas
+can be validated (and Fig. 2 regenerated) for any size.
+
+Both tori are vertex-transitive -- every cell looks the same -- so the
+eccentricity and mean distance measured from a single source cell equal
+the graph diameter and the all-pairs mean distance.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grids.distance import bfs_distance_field
+
+
+def diameter_formula(kind, n):
+    """Closed-form diameter of the size-``n`` torus (paper Eq. 1).
+
+    ``D_n^S = sqrt(N) = 2^n`` and ``D_n^T = (2(sqrt(N) - 1) + eps_n) / 3``
+    with ``eps_n = 1`` for odd ``n`` and ``0`` for even ``n``.  Only
+    power-of-two sides ``M = 2^n`` are covered by the paper's formula.
+    """
+    side = 2**n
+    if kind.upper() == "S":
+        return side
+    if kind.upper() == "T":
+        eps = n % 2
+        return (2 * (side - 1) + eps) // 3
+    raise ValueError(f"unknown grid kind {kind!r}")
+
+
+def mean_distance_formula(kind, n):
+    """Closed-form mean distance of the size-``n`` torus (paper Eq. 2).
+
+    ``mean^S = sqrt(N) / 2`` exactly; ``mean^T`` uses the paper's
+    approximation ``(1/6) (7 sqrt(N) / 3 - 1 / sqrt(N))``.  The average is
+    over *all ordered pairs including the zero-distance self pairs*, which
+    is the convention under which ``mean^S`` is exact (the paper reports
+    ``mean_3^S = 4`` for the 8 x 8 torus).
+    """
+    side = 2**n
+    if kind.upper() == "S":
+        return side / 2
+    if kind.upper() == "T":
+        return (7 * side / 3 - 1 / side) / 6
+    raise ValueError(f"unknown grid kind {kind!r}")
+
+
+def diameter_ratio(n):
+    """The T/S diameter ratio for size ``n`` (paper Eq. 3: ~0.666)."""
+    return diameter_formula("T", n) / diameter_formula("S", n)
+
+
+def mean_distance_ratio(n):
+    """The T/S mean-distance ratio for size ``n`` (paper Eq. 3: ~0.775)."""
+    return mean_distance_formula("T", n) / mean_distance_formula("S", n)
+
+
+def distance_field(grid, source=None):
+    """Hop distances from ``source`` (default: the centre cell) to all cells.
+
+    Regenerates the data behind the paper's Fig. 2 (distances and
+    antipodals from a centre cell).  Returns an int array indexed
+    ``[x][y]``.
+    """
+    if source is None:
+        source = (grid.size // 2, grid.size // 2)
+    return bfs_distance_field(grid, *source)
+
+
+def empirical_diameter(grid):
+    """Graph diameter measured by BFS (vertex-transitivity exploited)."""
+    return int(distance_field(grid, source=(0, 0)).max())
+
+
+def empirical_mean_distance(grid):
+    """All-pairs mean distance measured by BFS, self pairs included."""
+    return float(distance_field(grid, source=(0, 0)).mean())
+
+
+def antipodal_cells(grid, source=None):
+    """Cells at maximal distance from ``source`` (the *antipodals*, Fig. 2)."""
+    field = distance_field(grid, source)
+    max_distance = field.max()
+    xs, ys = np.nonzero(field == max_distance)
+    return [(int(x), int(y)) for x, y in zip(xs, ys)]
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """One row of the topology comparison (Sect. 2 of the paper)."""
+
+    kind: str
+    n: int
+    side: int
+    n_cells: int
+    n_links: int
+    diameter: int
+    diameter_predicted: int
+    mean_distance: float
+    mean_distance_predicted: float
+
+    @property
+    def formula_consistent(self):
+        """Whether the measured diameter matches Eq. 1 exactly."""
+        return self.diameter == self.diameter_predicted
+
+
+def summarize_topology(grid, n=None):
+    """Measure a grid and compare it with the paper's closed forms.
+
+    ``n`` is the size exponent for the formulas; it defaults to
+    ``log2(size)`` and must be supplied only when the side is not a power
+    of two (in which case the predicted values are computed for the
+    nearest exponent and are meaningless -- the paper's formulas cover
+    ``M = 2^n`` only).
+    """
+    if n is None:
+        n = int(round(np.log2(grid.size)))
+        if 2**n != grid.size:
+            raise ValueError(
+                f"side {grid.size} is not a power of two; pass n explicitly"
+            )
+    return TopologySummary(
+        kind=grid.kind,
+        n=n,
+        side=grid.size,
+        n_cells=grid.n_cells,
+        n_links=grid.n_links,
+        diameter=empirical_diameter(grid),
+        diameter_predicted=diameter_formula(grid.kind, n),
+        mean_distance=empirical_mean_distance(grid),
+        mean_distance_predicted=mean_distance_formula(grid.kind, n),
+    )

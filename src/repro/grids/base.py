@@ -1,0 +1,146 @@
+"""Common behaviour of the cyclic grids (tori) the agents live on.
+
+A grid knows its side length ``M`` (``size``), its direction system (4
+directions in S, 6 in T), how to wrap coordinates on the torus, and its
+metric.  Concrete subclasses only supply class-level constants plus the
+closed-form metric; everything else is shared here.
+
+Coordinates follow the paper's XY-orthogonal labelling (Fig. 1): ``x``
+grows eastwards, ``y`` grows northwards, both taken modulo ``M``.
+"""
+
+import numpy as np
+
+
+class Grid:
+    """Base class for the cyclic S- and T-grids.
+
+    Subclasses define:
+
+    ``KIND``
+        The paper's one-letter label, ``"S"`` or ``"T"``.
+    ``DIRECTION_OFFSETS``
+        Tuple of ``(dx, dy)`` unit steps, listed in rotation order so that
+        ``direction + 1`` is one elementary (90 or 60 degree) left turn.
+    ``TURN_INCREMENTS``
+        Mapping from the 2-bit FSM ``turn`` code 0..3 to a direction
+        increment.  Both grids expose exactly four turn codes so S- and
+        T-agents have the same complexity of abilities (Sect. 3).
+    ``DIRECTION_GLYPHS``
+        One printable character per direction, used by the ASCII renderer.
+    """
+
+    KIND = "?"
+    DIRECTION_OFFSETS = ()
+    TURN_INCREMENTS = ()
+    DIRECTION_GLYPHS = ()
+
+    def __init__(self, size):
+        if size < 2:
+            raise ValueError(f"grid size must be >= 2, got {size}")
+        self.size = int(size)
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def kind(self):
+        """The paper's label for this topology (``"S"`` or ``"T"``)."""
+        return self.KIND
+
+    @property
+    def n_cells(self):
+        """Number of nodes ``N = M * M``."""
+        return self.size * self.size
+
+    @property
+    def n_directions(self):
+        """Valence of the torus: 4 for S, 6 for T."""
+        return len(self.DIRECTION_OFFSETS)
+
+    @property
+    def n_links(self):
+        """Number of undirected links: ``2N`` for S, ``3N`` for T (Sect. 2)."""
+        return self.n_cells * self.n_directions // 2
+
+    def __repr__(self):
+        return f"{type(self).__name__}(size={self.size})"
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.size == other.size
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.size))
+
+    # -- coordinates ------------------------------------------------------
+
+    def wrap(self, x, y):
+        """Reduce a coordinate pair modulo the torus."""
+        return x % self.size, y % self.size
+
+    def flat(self, x, y):
+        """Flatten wrapped coordinates to a cell index in ``0 .. N-1``."""
+        x, y = self.wrap(x, y)
+        return x * self.size + y
+
+    def unflat(self, index):
+        """Inverse of :meth:`flat`."""
+        if not 0 <= index < self.n_cells:
+            raise ValueError(f"cell index {index} out of range for {self!r}")
+        return divmod(index, self.size)
+
+    def contains(self, x, y):
+        """Whether ``(x, y)`` is an in-range (unwrapped) coordinate."""
+        return 0 <= x < self.size and 0 <= y < self.size
+
+    # -- movement ---------------------------------------------------------
+
+    def step(self, x, y, direction):
+        """The cell one move ahead of ``(x, y)`` in ``direction``.
+
+        This is the *front cell* of an agent standing on ``(x, y)`` and
+        heading ``direction``.
+        """
+        dx, dy = self.DIRECTION_OFFSETS[direction]
+        return self.wrap(x + dx, y + dy)
+
+    def neighbors(self, x, y):
+        """All von-Neumann neighbours of ``(x, y)``, in direction order.
+
+        These are exactly the cells an agent on ``(x, y)`` exchanges
+        information with (4 in S, 6 in T; Sect. 3, *Communication Method*).
+        """
+        return [self.step(x, y, d) for d in range(self.n_directions)]
+
+    def turn(self, direction, turn_code):
+        """Apply a 2-bit FSM ``turn`` code to a direction.
+
+        ``turn_code`` 0..3 selects an increment from ``TURN_INCREMENTS``
+        (0/90/180/-90 degrees in S, 0/60/180/-60 degrees in T -- the
+        T-agent cannot turn +-120 degrees, Sect. 3).
+        """
+        return (direction + self.TURN_INCREMENTS[turn_code]) % self.n_directions
+
+    def opposite(self, direction):
+        """The direction pointing back the way ``direction`` came."""
+        return (direction + self.n_directions // 2) % self.n_directions
+
+    # -- metric (supplied by subclasses) ----------------------------------
+
+    def distance(self, a, b):
+        """Closed-form torus distance between cells ``a`` and ``b``."""
+        raise NotImplementedError
+
+    # -- numpy views for the vectorized simulator --------------------------
+
+    def direction_deltas(self):
+        """``(dx, dy)`` per direction as two int arrays of shape ``(deg,)``."""
+        offsets = np.asarray(self.DIRECTION_OFFSETS, dtype=np.int64)
+        return offsets[:, 0].copy(), offsets[:, 1].copy()
+
+    def turn_table(self):
+        """Direction increments per turn code as an int array of shape (4,)."""
+        return np.asarray(self.TURN_INCREMENTS, dtype=np.int64)
+
+    def direction_glyph(self, direction):
+        """Printable character for a heading, used by the ASCII renderer."""
+        return self.DIRECTION_GLYPHS[direction]

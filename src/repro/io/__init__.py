@@ -1,0 +1,19 @@
+"""Persistence: saving and loading agents and experiment results."""
+
+from repro.io.store import (
+    save_fsm,
+    load_fsm,
+    save_fsm_library,
+    load_fsm_library,
+    save_results,
+    load_results,
+)
+
+__all__ = [
+    "save_fsm",
+    "load_fsm",
+    "save_fsm_library",
+    "load_fsm_library",
+    "save_results",
+    "load_results",
+]

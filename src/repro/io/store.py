@@ -1,0 +1,100 @@
+"""JSON persistence for evolved agents and measured results.
+
+Evolution runs are expensive; the machines they produce (and the numbers
+experiments measure) should outlive the process.  Formats are plain
+versioned JSON so results stay diffable and future-proof.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.fsm import FSM
+from repro.extensions.multicolor import MulticolorFSM
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def _fsm_payload(fsm):
+    if isinstance(fsm, MulticolorFSM):
+        return {
+            "type": "multicolor",
+            "n_colors": fsm.n_colors,
+            "name": fsm.name,
+            "next_state": fsm.next_state.tolist(),
+            "set_color": fsm.set_color.tolist(),
+            "move": fsm.move.tolist(),
+            "turn": fsm.turn.tolist(),
+        }
+    if isinstance(fsm, FSM):
+        payload = fsm.to_dict()
+        payload["type"] = "standard"
+        return payload
+    raise TypeError(f"cannot serialize {type(fsm).__name__}")
+
+
+def _fsm_from_payload(payload):
+    kind = payload.get("type", "standard")
+    if kind == "standard":
+        return FSM.from_dict(payload)
+    if kind == "multicolor":
+        return MulticolorFSM(
+            next_state=payload["next_state"],
+            set_color=payload["set_color"],
+            move=payload["move"],
+            turn=payload["turn"],
+            n_colors=payload["n_colors"],
+            name=payload.get("name"),
+        )
+    raise ValueError(f"unknown FSM type {kind!r}")
+
+
+def save_fsm(fsm, path):
+    """Write one agent (standard or multicolour) to a JSON file."""
+    document = {"format_version": FORMAT_VERSION, "fsm": _fsm_payload(fsm)}
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_fsm(path):
+    """Read one agent back from :func:`save_fsm` output."""
+    document = json.loads(Path(path).read_text())
+    _check_version(document)
+    return _fsm_from_payload(document["fsm"])
+
+
+def save_fsm_library(fsms, path):
+    """Write a named collection of agents to one JSON file."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "fsms": [_fsm_payload(fsm) for fsm in fsms],
+    }
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_fsm_library(path):
+    """Read a collection written by :func:`save_fsm_library`."""
+    document = json.loads(Path(path).read_text())
+    _check_version(document)
+    return [_fsm_from_payload(payload) for payload in document["fsms"]]
+
+
+def save_results(results, path):
+    """Write an experiment-results mapping (JSON-serializable) to disk."""
+    document = {"format_version": FORMAT_VERSION, "results": results}
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_results(path):
+    """Read an experiment-results mapping back."""
+    document = json.loads(Path(path).read_text())
+    _check_version(document)
+    return document["results"]
+
+
+def _check_version(document):
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.grids import SquareGrid, TriangulateGrid
+
+
+@pytest.fixture(params=["S", "T"], ids=["S-grid", "T-grid"])
+def grid16(request):
+    """Both 16 x 16 tori, parametrized."""
+    return (SquareGrid if request.param == "S" else TriangulateGrid)(16)
+
+
+@pytest.fixture(params=["S", "T"], ids=["S-grid", "T-grid"])
+def grid8(request):
+    """Both 8 x 8 tori, parametrized."""
+    return (SquareGrid if request.param == "S" else TriangulateGrid)(8)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic numpy generator."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,221 @@
+"""Analysis package: structure metrics, progress curves, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.progress import (
+    count_meetings,
+    knowledge_fraction,
+    progress_timeline,
+    time_to_fraction,
+)
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    compare_grids,
+    rank_test_less,
+)
+from repro.analysis.structures import (
+    color_loop_count,
+    colored_fraction,
+    street_concentration,
+    visited_gini,
+)
+from repro.configs.types import InitialConfiguration
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.core.trace import TraceRecorder
+from repro.experiments.traces import two_agent_configuration
+from repro.grids import SquareGrid, TriangulateGrid, make_grid
+
+
+@pytest.fixture(scope="module")
+def recorded_s_trace():
+    grid = make_grid("S", 16)
+    recorder = TraceRecorder()
+    simulation = Simulation(
+        grid, published_fsm("S"), two_agent_configuration(grid), recorder=recorder
+    )
+    simulation.run(t_max=400)
+    return grid, recorder
+
+
+class TestStructureMetrics:
+    def test_colored_fraction_bounds(self):
+        assert colored_fraction(np.zeros((4, 4))) == 0.0
+        assert colored_fraction(np.ones((4, 4))) == 1.0
+
+    def test_street_concentration_of_a_single_row(self):
+        field = np.zeros((8, 8))
+        field[:, 3] = 1  # one horizontal street
+        spread = np.ones((8, 8))
+        assert street_concentration(field) > street_concentration(spread)
+
+    def test_street_concentration_uniform_is_zero(self):
+        assert street_concentration(np.ones((8, 8))) == pytest.approx(0.0)
+
+    def test_street_concentration_empty_field(self):
+        assert street_concentration(np.zeros((8, 8))) == pytest.approx(0.0)
+
+    def test_visited_gini_equal_counts(self):
+        visited = np.zeros((8, 8), dtype=int)
+        visited[:2] = 3
+        assert visited_gini(visited) == pytest.approx(0.0, abs=1e-9)
+
+    def test_visited_gini_concentrated(self):
+        visited = np.zeros((8, 8), dtype=int)
+        visited[0, 0] = 100
+        visited[1, :] = 1
+        assert visited_gini(visited) > 0.5
+
+    def test_visited_gini_empty(self):
+        assert visited_gini(np.zeros((4, 4))) == 0.0
+
+    def test_loop_count_no_colors(self):
+        assert color_loop_count(np.zeros((8, 8)), SquareGrid(8)) == 0
+
+    def test_loop_count_of_a_square_ring(self):
+        colors = np.zeros((8, 8))
+        for x in range(2, 5):
+            colors[x, 2] = colors[x, 4] = 1
+        colors[2, 3] = colors[4, 3] = 1
+        assert color_loop_count(colors, SquareGrid(8)) == 1
+
+    def test_loop_count_of_a_line_is_zero(self):
+        colors = np.zeros((8, 8))
+        colors[2, 2:6] = 1
+        assert color_loop_count(colors, SquareGrid(8)) == 0
+
+    def test_diagonal_line_loops_in_t_but_not_s(self):
+        # a filled 2 x 2 block: in S it is one 4-cycle; in T the two
+        # diagonals add chords, creating more independent cycles
+        colors = np.zeros((8, 8))
+        colors[3:5, 3:5] = 1
+        assert color_loop_count(colors, SquareGrid(8)) == 1
+        assert color_loop_count(colors, TriangulateGrid(8)) > 1
+
+    def test_real_s_trace_has_street_structure(self, recorded_s_trace):
+        _, recorder = recorded_s_trace
+        final = recorder.final
+        assert colored_fraction(final.colors) > 0.05
+        assert visited_gini(final.visited) > 0.1
+
+
+class TestProgress:
+    def test_knowledge_fraction_initial(self, recorded_s_trace):
+        _, recorder = recorded_s_trace
+        assert knowledge_fraction(recorder.snapshots[0]) in (0.5, 1.0)
+
+    def test_timeline_is_monotone(self, recorded_s_trace):
+        _, recorder = recorded_s_trace
+        timeline = progress_timeline(recorder)
+        fractions = [point.knowledge_fraction for point in timeline]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == 1.0
+
+    def test_time_to_fraction(self, recorded_s_trace):
+        _, recorder = recorded_s_trace
+        timeline = progress_timeline(recorder)
+        t_half = time_to_fraction(timeline, 0.5)
+        t_full = time_to_fraction(timeline, 1.0)
+        assert t_half is not None and t_full is not None
+        assert t_half <= t_full
+
+    def test_time_to_fraction_validates(self, recorded_s_trace):
+        _, recorder = recorded_s_trace
+        with pytest.raises(ValueError):
+            time_to_fraction(progress_timeline(recorder), 1.5)
+
+    def test_time_to_fraction_unreached_is_none(self):
+        grid = SquareGrid(8)
+        recorder = TraceRecorder()
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 0), states=(0, 0))
+        from repro.baselines.trivial import always_straight_fsm
+
+        Simulation(
+            grid, always_straight_fsm(), config, recorder=recorder
+        ).run(t_max=20)
+        assert time_to_fraction(progress_timeline(recorder), 1.0) is None
+
+    def test_meetings_counted(self, recorded_s_trace):
+        grid, recorder = recorded_s_trace
+        # the two agents must have met at least once to have solved the task
+        assert count_meetings(recorder, grid) >= 1
+
+    def test_meetings_zero_for_distant_static_agents(self):
+        grid = SquareGrid(8)
+        recorder = TraceRecorder()
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 0))
+        from repro.baselines.trivial import always_straight_fsm
+
+        fsm = always_straight_fsm()
+        waiting = Simulation(grid, fsm, config, recorder=recorder)
+        # straight walkers on offset lanes: never adjacent on this diagonal
+        for _ in range(10):
+            waiting.step()
+        assert count_meetings(recorder, grid) == 0
+
+
+class TestStats:
+    def test_bootstrap_brackets_the_mean(self, rng):
+        sample = rng.normal(50, 5, size=400)
+        mean, low, high = bootstrap_mean_ci(sample, rng)
+        assert low < mean < high
+        assert high - low < 3  # tight for n=400
+
+    def test_bootstrap_validates(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([], rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], rng, confidence=2.0)
+
+    def test_rank_test_detects_a_clear_shift(self, rng):
+        fast = rng.normal(40, 5, size=200)
+        slow = rng.normal(60, 5, size=200)
+        assert rank_test_less(fast, slow) < 1e-6
+        assert rank_test_less(slow, fast) > 0.5
+
+    def test_compare_grids_on_real_data(self):
+        # T vs S on a shared small suite: T must win significantly
+        from repro.configs.suite import paper_suite
+        from repro.core.vectorized import BatchSimulator
+
+        times = {}
+        for kind in ("T", "S"):
+            grid = make_grid(kind, 16)
+            suite = paper_suite(grid, 16, n_random=120)
+            batch = BatchSimulator(
+                grid, published_fsm(kind), list(suite)
+            ).run(t_max=1000)
+            times[kind] = batch.times()
+        comparison = compare_grids(times["T"], times["S"])
+        assert comparison.t_mean < comparison.s_mean
+        assert comparison.significantly_faster
+        assert 0.5 < comparison.ratio < 0.8
+        assert comparison.ratio_ci[0] < comparison.ratio < comparison.ratio_ci[1]
+
+
+class TestRankTestFallback:
+    def test_pure_python_path_matches_scipy(self, rng, monkeypatch):
+        # hide scipy so the normal-approximation branch runs
+        import builtins
+        import sys
+
+        from repro.analysis.stats import rank_test_less
+
+        fast = rng.normal(40, 5, size=150)
+        slow = rng.normal(60, 5, size=150)
+        with_scipy = rank_test_less(fast, slow)
+
+        real_import = builtins.__import__
+
+        def no_scipy(name, *args, **kwargs):
+            if name.startswith("scipy"):
+                raise ImportError(name)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", no_scipy)
+        monkeypatch.delitem(sys.modules, "scipy.stats", raising=False)
+        monkeypatch.delitem(sys.modules, "scipy", raising=False)
+        without_scipy = rank_test_less(fast, slow)
+        # both must agree the shift is overwhelmingly significant
+        assert with_scipy < 1e-6 and without_scipy < 1e-6

@@ -1,0 +1,186 @@
+"""Mealy-machine analysis: reachability, minimization, usage profiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.machines import (
+    InstrumentedSimulation,
+    equivalent_state_classes,
+    is_minimal,
+    machines_equivalent,
+    minimize,
+    output_signature,
+    reachable_states,
+    table_usage,
+)
+from repro.configs.random_configs import random_configuration
+from repro.core.fsm import FSM
+from repro.core.published import PAPER_S_AGENT, PAPER_T_AGENT
+from repro.core.simulation import Simulation
+from repro.grids import SquareGrid, make_grid
+
+
+def duplicated_state_fsm():
+    """A 4-state machine whose states 2 and 3 are exact copies of 0 and 1."""
+    base = FSM.random(np.random.default_rng(0), n_states=2)
+    size = 4 * 8
+    next_state = np.zeros(size, dtype=np.int8)
+    set_color = np.zeros(size, dtype=np.int8)
+    move = np.zeros(size, dtype=np.int8)
+    turn = np.zeros(size, dtype=np.int8)
+    for x in range(8):
+        for state in range(4):
+            old_i = x * 2 + (state % 2)
+            new_i = x * 4 + state
+            # successors also duplicated: keep them in the same half
+            next_state[new_i] = base.next_state[old_i] + (2 if state >= 2 else 0)
+            set_color[new_i] = base.set_color[old_i]
+            move[new_i] = base.move[old_i]
+            turn[new_i] = base.turn[old_i]
+    return FSM(next_state=next_state, set_color=set_color, move=move, turn=turn), base
+
+
+class TestReachability:
+    def test_published_agents_use_all_states(self):
+        assert reachable_states(PAPER_S_AGENT) == frozenset({0, 1, 2, 3})
+        assert reachable_states(PAPER_T_AGENT) == frozenset({0, 1, 2, 3})
+
+    def test_self_loop_is_unreachable_rich(self):
+        fsm = FSM(
+            next_state=np.tile([0, 1, 2, 3], 8),  # every state loops
+            set_color=[0] * 32, move=[1] * 32, turn=[0] * 32,
+        )
+        assert reachable_states(fsm, initial_states=(0,)) == frozenset({0})
+        assert reachable_states(fsm, initial_states=(0, 1)) == frozenset({0, 1})
+
+
+class TestEquivalenceAndMinimization:
+    def test_published_agents_are_minimal(self):
+        # the evolved machines waste no state budget
+        assert is_minimal(PAPER_S_AGENT)
+        assert is_minimal(PAPER_T_AGENT)
+
+    def test_duplicated_states_are_detected(self):
+        fsm, base = duplicated_state_fsm()
+        classes = equivalent_state_classes(fsm)
+        assert len(classes) == len(equivalent_state_classes(base))
+        assert (0, 2) in classes and (1, 3) in classes
+
+    def test_minimize_shrinks_duplicates(self):
+        fsm, base = duplicated_state_fsm()
+        minimized, state_map = minimize(fsm)
+        assert minimized.n_states == base.n_states
+        assert state_map[0] == state_map[2]
+        assert state_map[1] == state_map[3]
+
+    def test_minimized_machine_is_bisimilar(self):
+        fsm, _ = duplicated_state_fsm()
+        minimized, state_map = minimize(fsm)
+        for state in range(fsm.n_states):
+            assert machines_equivalent(
+                fsm, minimized, first_state=state, second_state=state_map[state]
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_minimization_preserves_simulation(self, seed):
+        grid = SquareGrid(8)
+        fsm = FSM.random(np.random.default_rng(seed))
+        minimized, state_map = minimize(fsm)
+        config = random_configuration(grid, 5, np.random.default_rng(seed + 1))
+        original = Simulation(grid, fsm, config).run(t_max=80)
+        mapped = config.__class__(
+            positions=config.positions,
+            directions=config.directions,
+            states=tuple(
+                state_map[ident % min(2, fsm.n_states)]
+                for ident in range(config.n_agents)
+            ),
+        )
+        quotient = Simulation(grid, minimized, mapped).run(t_max=80)
+        assert quotient.success == original.success
+        if original.success:
+            assert quotient.t_comm == original.t_comm
+
+    def test_machines_equivalent_detects_difference(self):
+        first = PAPER_S_AGENT
+        second = first.copy()
+        second.move[0] = 1 - second.move[0]
+        assert not machines_equivalent(first, second)
+
+    def test_output_signature_length(self):
+        assert len(output_signature(PAPER_S_AGENT, 0)) == 8
+
+
+class TestUsageProfiling:
+    def test_instrumented_simulation_counts(self):
+        grid = make_grid("S", 16)
+        config = random_configuration(grid, 8, np.random.default_rng(2))
+        simulation = InstrumentedSimulation(grid, PAPER_S_AGENT, config)
+        simulation.run(t_max=200)
+        total = sum(simulation.usage.values())
+        # one decision per agent per step
+        assert total == 8 * simulation.t
+
+    def test_instrumented_matches_plain_simulation(self):
+        grid = make_grid("T", 16)
+        config = random_configuration(grid, 6, np.random.default_rng(3))
+        plain = Simulation(grid, PAPER_T_AGENT, config).run(t_max=400)
+        counted = InstrumentedSimulation(grid, PAPER_T_AGENT, config).run(t_max=400)
+        assert counted.t_comm == plain.t_comm
+
+    def test_published_agents_exercise_their_whole_table(self):
+        grid = make_grid("S", 16)
+        configs = [
+            random_configuration(grid, 8, np.random.default_rng(seed))
+            for seed in range(20)
+        ]
+        _, live_fraction = table_usage(grid, PAPER_S_AGENT, configs)
+        assert live_fraction == 1.0
+
+    def test_waiter_uses_a_tiny_live_set(self):
+        fsm = FSM(
+            next_state=[0] * 8, set_color=[0] * 8, move=[0] * 8, turn=[0] * 8
+        )
+        grid = SquareGrid(8)
+        configs = [random_configuration(grid, 3, np.random.default_rng(4))]
+        usage, live_fraction = table_usage(grid, fsm, configs, t_max=30)
+        # a static waiter on clean cells only ever sees x in {0, 1}
+        assert live_fraction <= 2 / 8
+
+
+class TestEvolvedAgents:
+    def test_evolved_agents_are_reliable_on_fresh_fields(self):
+        from repro.configs.suite import paper_suite
+        from repro.core.evolved import evolved_fsm
+        from repro.evolution.fitness import evaluate_fsm
+
+        for kind in ("S", "T"):
+            grid = make_grid(kind, 16)
+            suite = paper_suite(grid, 16, n_random=100, seed=555)
+            outcome = evaluate_fsm(grid, evolved_fsm(kind), suite, t_max=1000)
+            assert outcome.completely_successful
+
+    def test_evolved_agents_use_all_states_and_are_minimal(self):
+        from repro.core.evolved import EVOLVED_S_AGENT, EVOLVED_T_AGENT
+
+        for fsm in (EVOLVED_S_AGENT, EVOLVED_T_AGENT):
+            assert reachable_states(fsm) == frozenset({0, 1, 2, 3})
+            assert is_minimal(fsm)
+
+    def test_evolved_t_beats_evolved_s(self):
+        from repro.configs.suite import paper_suite
+        from repro.core.evolved import evolved_fsm
+        from repro.evolution.fitness import evaluate_fsm
+
+        times = {}
+        for kind in ("S", "T"):
+            grid = make_grid(kind, 16)
+            suite = paper_suite(grid, 16, n_random=100, seed=556)
+            times[kind] = evaluate_fsm(
+                grid, evolved_fsm(kind), suite, t_max=1000
+            ).mean_time
+        # the headline holds for independently evolved agents too
+        assert times["T"] < times["S"]
+        assert 0.55 < times["T"] / times["S"] < 0.85

@@ -1,0 +1,127 @@
+"""Trajectory unwrapping, MSD, and the motility of evolved agents."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trajectories import (
+    agent_trajectories,
+    diffusion_exponent,
+    mean_squared_displacement,
+    motility,
+    unwrap_trajectory,
+)
+from repro.baselines.random_walk import RandomWalkSimulation
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.core.trace import TraceRecorder
+from repro.experiments.traces import two_agent_configuration
+from repro.grids import SquareGrid, make_grid
+
+
+class TestUnwrap:
+    def test_no_wrap_is_identity(self):
+        grid = SquareGrid(8)
+        path = [(0, 0), (1, 0), (2, 0), (2, 1)]
+        assert unwrap_trajectory(grid, path) == path
+
+    def test_wrap_across_the_east_edge(self):
+        grid = SquareGrid(8)
+        path = [(6, 0), (7, 0), (0, 0), (1, 0)]
+        assert unwrap_trajectory(grid, path) == [(6, 0), (7, 0), (8, 0), (9, 0)]
+
+    def test_wrap_across_the_west_edge(self):
+        grid = SquareGrid(8)
+        path = [(1, 0), (0, 0), (7, 0)]
+        assert unwrap_trajectory(grid, path) == [(1, 0), (0, 0), (-1, 0)]
+
+    def test_diagonal_wrap(self):
+        from repro.grids import TriangulateGrid
+
+        grid = TriangulateGrid(8)
+        path = [(7, 7), (0, 0)]
+        assert unwrap_trajectory(grid, path) == [(7, 7), (8, 8)]
+
+    def test_empty(self):
+        assert unwrap_trajectory(SquareGrid(8), []) == []
+
+
+class TestMSD:
+    def test_straight_line_is_ballistic(self):
+        trajectory = [(t, 0) for t in range(40)]
+        msd = mean_squared_displacement(trajectory)
+        assert msd[1] == pytest.approx(1.0)
+        assert msd[2] == pytest.approx(4.0)
+        assert diffusion_exponent(msd) == pytest.approx(2.0, abs=0.01)
+
+    def test_static_agent_has_zero_msd(self):
+        trajectory = [(3, 3)] * 20
+        msd = mean_squared_displacement(trajectory)
+        assert all(value == 0.0 for value in msd)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement([(0, 0)])
+
+    def test_random_walk_is_roughly_diffusive(self):
+        rng = np.random.default_rng(0)
+        position = (0, 0)
+        trajectory = [position]
+        steps = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+        for _ in range(3000):
+            dx, dy = steps[rng.integers(0, 4)]
+            position = (position[0] + dx, position[1] + dy)
+            trajectory.append(position)
+        exponent = diffusion_exponent(mean_squared_displacement(trajectory, 60))
+        assert 0.8 <= exponent <= 1.2
+
+    def test_exponent_requires_positive_points(self):
+        with pytest.raises(ValueError):
+            diffusion_exponent([0.0, 0.0, 0.0])
+
+
+class TestMotility:
+    @pytest.fixture(scope="class")
+    def evolved_trace(self):
+        grid = make_grid("T", 16)
+        recorder = TraceRecorder()
+        Simulation(
+            grid, published_fsm("T"), two_agent_configuration(grid),
+            recorder=recorder,
+        ).run(t_max=400)
+        return grid, recorder
+
+    def test_evolved_agents_move_constantly(self, evolved_trace):
+        grid, recorder = evolved_trace
+        stats = motility(grid, recorder)
+        assert stats.move_fraction > 0.9
+
+    def test_evolved_agents_are_superdiffusive(self, evolved_trace):
+        grid, recorder = evolved_trace
+        stats = motility(grid, recorder)
+        assert stats.diffusion_exponent > 1.25
+
+    def test_random_walkers_are_diffusive_by_contrast(self, evolved_trace):
+        grid, _ = evolved_trace
+        recorder = TraceRecorder()
+        simulation = RandomWalkSimulation(
+            grid, two_agent_configuration(grid), np.random.default_rng(1)
+        )
+        simulation.recorder = recorder
+        recorder.on_init(simulation)
+        for _ in range(300):
+            simulation.step()
+        walk_stats = motility(grid, recorder)
+        evolved_stats = motility(grid, evolved_trace[1])
+        assert walk_stats.diffusion_exponent < evolved_stats.diffusion_exponent
+        assert walk_stats.diffusion_exponent < 1.25
+
+    def test_agent_trajectories_shape(self, evolved_trace):
+        grid, recorder = evolved_trace
+        trajectories = agent_trajectories(grid, recorder)
+        assert len(trajectories) == 2
+        assert all(len(t) == len(recorder) for t in trajectories)
+
+    def test_short_recording_rejected(self, evolved_trace):
+        grid, _ = evolved_trace
+        with pytest.raises(ValueError):
+            motility(grid, TraceRecorder())

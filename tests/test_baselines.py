@@ -1,0 +1,153 @@
+"""Baselines: random walkers, degenerate FSMs, communication bounds."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gossip import (
+    packed_gossip_time,
+    pairwise_lower_bound,
+    static_gossip_time,
+)
+from repro.baselines.random_walk import RandomWalkSimulation, run_random_walk_suite
+from repro.baselines.trivial import always_straight_fsm, circler_fsm
+from repro.configs.random_configs import random_configuration
+from repro.configs.special import spread_diagonal
+from repro.configs.suite import paper_suite
+from repro.configs.types import InitialConfiguration
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.grids import SquareGrid, TriangulateGrid, make_grid
+
+
+class TestRandomWalk:
+    def test_solves_a_small_instance(self):
+        grid = SquareGrid(8)
+        config = random_configuration(grid, 4, np.random.default_rng(0))
+        simulation = RandomWalkSimulation(grid, config, np.random.default_rng(1))
+        result = simulation.run(t_max=3000)
+        assert result.success
+
+    def test_never_touches_colors(self):
+        grid = SquareGrid(8)
+        config = random_configuration(grid, 4, np.random.default_rng(0))
+        simulation = RandomWalkSimulation(grid, config, np.random.default_rng(1))
+        for _ in range(100):
+            simulation.step()
+        assert simulation.colors.sum() == 0
+
+    def test_reproducible_given_the_rng(self):
+        grid = SquareGrid(8)
+        config = random_configuration(grid, 4, np.random.default_rng(0))
+        first = RandomWalkSimulation(grid, config, np.random.default_rng(9)).run(2000)
+        second = RandomWalkSimulation(grid, config, np.random.default_rng(9)).run(2000)
+        assert first.t_comm == second.t_comm
+
+    def test_suite_runner_aggregates(self):
+        grid = SquareGrid(8)
+        suite = paper_suite(grid, 4, n_random=5, seed=4)
+        stats, results = run_random_walk_suite(grid, suite, seed=0, t_max=3000)
+        assert stats.n_fields == len(suite)
+        assert len(results) == len(suite)
+
+    def test_solves_the_diagonal_trap(self):
+        # randomness breaks the symmetry that defeats uniform agents
+        grid = SquareGrid(8)
+        config = spread_diagonal(grid, 4)
+        simulation = RandomWalkSimulation(grid, config, np.random.default_rng(2))
+        assert simulation.run(t_max=5000).success
+
+    def test_slower_than_the_evolved_agent(self):
+        grid = SquareGrid(16)
+        config = random_configuration(grid, 8, np.random.default_rng(5))
+        walk_times = []
+        for seed in range(5):
+            walk = RandomWalkSimulation(grid, config, np.random.default_rng(seed))
+            walk_times.append(walk.run(t_max=20_000).t_comm)
+        evolved = Simulation(grid, published_fsm("S"), config).run(t_max=2000)
+        assert evolved.success
+        assert evolved.t_comm < np.mean(walk_times)
+
+
+class TestTrivialAgents:
+    def test_straight_walker_fails_on_parallel_lanes(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(
+            ((0, 0), (0, 4)), (0, 0), states=(0, 0)
+        )
+        result = Simulation(grid, always_straight_fsm(), config).run(t_max=200)
+        assert not result.success
+
+    def test_straight_walker_fails_on_the_diagonal(self):
+        grid = SquareGrid(8)
+        config = spread_diagonal(grid, 4)
+        result = Simulation(grid, always_straight_fsm(), config).run(t_max=200)
+        assert not result.success
+
+    def test_straight_walker_keeps_heading(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0),), (1,))
+        simulation = Simulation(grid, always_straight_fsm(), config)
+        for _ in range(5):
+            simulation.step()
+        assert simulation.agents[0].direction == 1
+        assert simulation.agents[0].position == (0, 5)
+
+    def test_circler_orbits_in_s(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((3, 3),), (0,))
+        simulation = Simulation(grid, circler_fsm(), config)
+        start = simulation.agents[0].position
+        for _ in range(4):  # four 90-degree turns close the loop
+            simulation.step()
+        assert simulation.agents[0].position == start
+
+    def test_circler_orbits_in_t(self):
+        grid = TriangulateGrid(8)
+        config = InitialConfiguration(((3, 3),), (0,))
+        simulation = Simulation(grid, circler_fsm(), config)
+        start = simulation.agents[0].position
+        for _ in range(6):  # six 60-degree turns close the loop
+            simulation.step()
+        assert simulation.agents[0].position == start
+
+    def test_trivial_fsms_are_valid(self):
+        assert always_straight_fsm().validate()
+        assert circler_fsm().validate()
+
+
+class TestGossipBounds:
+    @pytest.mark.parametrize("kind", ["S", "T"])
+    def test_lower_bound_never_exceeds_reality(self, kind):
+        grid = make_grid(kind, 16)
+        fsm = published_fsm(kind)
+        for seed in range(10):
+            config = random_configuration(grid, 6, np.random.default_rng(seed))
+            bound = pairwise_lower_bound(grid, config)
+            result = Simulation(grid, fsm, config).run(t_max=2000)
+            assert result.success
+            assert result.t_comm >= bound
+
+    def test_static_gossip_on_a_chain(self):
+        grid = SquareGrid(8)
+        positions = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        # eccentricity 3 hops, one initial round uncounted
+        assert static_gossip_time(grid, positions) == 2
+
+    def test_static_gossip_disconnected_is_none(self):
+        grid = SquareGrid(8)
+        assert static_gossip_time(grid, [(0, 0), (4, 4)]) is None
+
+    def test_static_gossip_single_agent(self):
+        grid = SquareGrid(8)
+        assert static_gossip_time(grid, [(0, 0)]) == 0
+
+    @pytest.mark.parametrize(
+        "kind,size,expected", [("S", 16, 15), ("T", 16, 9), ("S", 8, 7), ("T", 8, 4)]
+    )
+    def test_packed_gossip_is_diameter_minus_one(self, kind, size, expected):
+        assert packed_gossip_time(make_grid(kind, size)) == expected
+
+    def test_pairwise_bound_zero_for_adjacent_pair(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (1, 0)), (0, 0))
+        assert pairwise_lower_bound(grid, config) == 0

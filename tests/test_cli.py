@@ -1,0 +1,79 @@
+"""The command-line interface, exercised end-to-end with small workloads."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_grid_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fsm", "--grid", "Q"])
+
+
+class TestCommands:
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 1-3" in out
+        assert "D=5" in out  # Fig. 2 T-grid diameter
+
+    def test_fsm_s(self, capsys):
+        assert main(["fsm", "--grid", "S"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "nextstate" in out
+
+    def test_fsm_t(self, capsys):
+        assert main(["fsm", "--grid", "T"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_table1_small(self, capsys):
+        assert main(
+            ["table1", "--fields", "5", "--t-max", "500", "--agents", "2", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T-grid" in out and "T/S" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--grid", "T"]) == 0
+        out = capsys.readouterr().out
+        assert "communication time: 41" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "--grid", "S", "--agents", "4", "--seed", "1",
+             "--t-max", "500"]
+        ) == 0
+        assert "solved" in capsys.readouterr().out
+
+    def test_simulate_render(self, capsys):
+        assert main(
+            ["simulate", "--grid", "T", "--agents", "2", "--seed", "2",
+             "--t-max", "500", "--render"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "colors" in out and "visited" in out
+
+    def test_evolve_tiny(self, capsys):
+        assert main(
+            ["evolve", "--grid", "S", "--size", "8", "--agents", "4",
+             "--fields", "6", "--generations", "2", "--seed", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gen" in out and "best evolved FSM" in out
+
+    def test_grid33_tiny(self, capsys):
+        assert main(["grid33", "--fields", "3", "--t-max", "1500"]) == 0
+        assert "33 x 33" in capsys.readouterr().out
+
+    def test_ablation_colors(self, capsys):
+        assert main(["ablation", "--grid", "T", "--which", "colors"]) == 0
+        assert "Colour" in capsys.readouterr().out

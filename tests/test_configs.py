@@ -1,0 +1,178 @@
+"""Configuration value types, random generation, manual cases, suites."""
+
+import numpy as np
+import pytest
+
+from repro.configs import (
+    InitialConfiguration,
+    InitialStateScheme,
+    packed_configuration,
+    paper_suite,
+    queue_east,
+    queue_west,
+    random_configuration,
+    special_configurations,
+    spread_diagonal,
+)
+from repro.configs.random_configs import random_configurations
+from repro.configs.special import east, west
+from repro.configs.suite import PAPER_AGENT_COUNTS
+from repro.grids import SquareGrid, TriangulateGrid
+
+
+class TestInitialConfiguration:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            InitialConfiguration(((0, 0),), (0, 1))
+
+    def test_rejects_state_length_mismatch(self):
+        with pytest.raises(ValueError):
+            InitialConfiguration(((0, 0),), (0,), states=(0, 1))
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InitialConfiguration(((0, 0), (0, 0)), (0, 1))
+
+    def test_n_agents(self):
+        config = InitialConfiguration(((0, 0), (1, 1)), (0, 1))
+        assert config.n_agents == 2
+
+    def test_with_states_materializes_scheme(self):
+        config = InitialConfiguration(((0, 0), (1, 1), (2, 2)), (0, 0, 0))
+        enriched = config.with_states(InitialStateScheme.ID_MOD_2, n_states=4)
+        assert enriched.states == (0, 1, 0)
+
+
+class TestInitialStateScheme:
+    def test_id_mod_2(self):
+        assert InitialStateScheme.ID_MOD_2.states_for(4, 4) == (0, 1, 0, 1)
+
+    def test_all_zero(self):
+        assert InitialStateScheme.ALL_ZERO.states_for(3, 4) == (0, 0, 0)
+
+    def test_all_one(self):
+        assert InitialStateScheme.ALL_ONE.states_for(3, 4) == (1, 1, 1)
+
+    def test_all_one_degenerates_for_single_state(self):
+        assert InitialStateScheme.ALL_ONE.states_for(3, 1) == (0, 0, 0)
+
+    def test_id_mod_n(self):
+        assert InitialStateScheme.ID_MOD_N.states_for(5, 3) == (0, 1, 2, 0, 1)
+
+
+class TestRandomConfigurations:
+    def test_positions_are_distinct(self, grid16, rng):
+        config = random_configuration(grid16, 32, rng)
+        assert len(set(config.positions)) == 32
+
+    def test_directions_in_range(self, grid16, rng):
+        config = random_configuration(grid16, 32, rng)
+        assert all(0 <= d < grid16.n_directions for d in config.directions)
+
+    def test_rejects_too_many_agents(self, rng):
+        with pytest.raises(ValueError):
+            random_configuration(SquareGrid(4), 17, rng)
+
+    def test_rejects_zero_agents(self, rng):
+        with pytest.raises(ValueError):
+            random_configuration(SquareGrid(4), 0, rng)
+
+    def test_full_occupancy_allowed(self, rng):
+        config = random_configuration(SquareGrid(4), 16, rng)
+        assert len(set(config.positions)) == 16
+
+    def test_stream_is_reproducible(self):
+        grid = SquareGrid(16)
+        first = random_configurations(grid, 8, 5, seed=42)
+        second = random_configurations(grid, 8, 5, seed=42)
+        assert [c.positions for c in first] == [c.positions for c in second]
+        assert [c.directions for c in first] == [c.directions for c in second]
+
+    def test_different_seeds_differ(self):
+        grid = SquareGrid(16)
+        first = random_configurations(grid, 8, 5, seed=1)
+        second = random_configurations(grid, 8, 5, seed=2)
+        assert [c.positions for c in first] != [c.positions for c in second]
+
+    def test_grids_get_independent_streams(self):
+        square, triangulate = SquareGrid(16), TriangulateGrid(16)
+        s_configs = random_configurations(square, 8, 3, seed=9)
+        t_configs = random_configurations(triangulate, 8, 3, seed=9)
+        assert [c.positions for c in s_configs] != [c.positions for c in t_configs]
+
+
+class TestSpecialConfigurations:
+    def test_queue_east_is_a_contiguous_row(self, grid16):
+        config = queue_east(grid16, 5)
+        xs = [x for x, _ in config.positions]
+        ys = {y for _, y in config.positions}
+        assert xs == [0, 1, 2, 3, 4]
+        assert len(ys) == 1
+
+    def test_queue_east_heads_east(self, grid16):
+        config = queue_east(grid16, 4)
+        offset = grid16.DIRECTION_OFFSETS[config.directions[0]]
+        assert offset == (1, 0)
+
+    def test_queue_west_heads_west(self, grid16):
+        config = queue_west(grid16, 4)
+        offset = grid16.DIRECTION_OFFSETS[config.directions[0]]
+        assert offset == (-1, 0)
+
+    def test_queue_wraps_to_next_row_when_long(self, grid8):
+        config = queue_east(grid8, 10)
+        assert config.n_agents == 10
+        assert len(set(config.positions)) == 10
+
+    def test_diagonal_spacing_is_maximal(self, grid16):
+        config = spread_diagonal(grid16, 4)
+        assert config.positions == ((0, 0), (4, 4), (8, 8), (12, 12))
+
+    def test_diagonal_rejects_more_agents_than_cells(self, grid16):
+        with pytest.raises(ValueError):
+            spread_diagonal(grid16, 17)
+
+    def test_special_set_has_three_members_when_diagonal_fits(self, grid16):
+        assert len(special_configurations(grid16, 16)) == 3
+
+    def test_special_set_drops_diagonal_when_too_crowded(self, grid16):
+        assert len(special_configurations(grid16, 32)) == 2
+
+    def test_direction_helpers(self, grid16):
+        assert grid16.DIRECTION_OFFSETS[east(grid16)] == (1, 0)
+        assert grid16.DIRECTION_OFFSETS[west(grid16)] == (-1, 0)
+
+    def test_packed_fills_every_cell(self, grid8):
+        config = packed_configuration(grid8)
+        assert config.n_agents == grid8.n_cells
+        assert len(set(config.positions)) == grid8.n_cells
+
+
+class TestPaperSuite:
+    def test_default_field_count_is_1003(self, grid16):
+        suite = paper_suite(grid16, 16)
+        assert suite.n_fields == 1003
+
+    def test_manual_cases_are_last(self, grid16):
+        suite = paper_suite(grid16, 8)
+        names = [config.name for config in suite][-3:]
+        assert names == ["queue-east", "queue-west", "spread-diagonal"]
+
+    def test_large_counts_drop_the_diagonal(self, grid16):
+        suite = paper_suite(grid16, 32)
+        assert suite.n_fields == 1002
+
+    def test_metadata(self, grid16):
+        suite = paper_suite(grid16, 8, n_random=10, seed=5)
+        assert suite.grid_kind == grid16.kind
+        assert suite.grid_size == 16
+        assert suite.n_agents == 8
+        assert suite.seed == 5
+        assert len(suite) == 13
+
+    def test_indexing(self, grid16):
+        suite = paper_suite(grid16, 8, n_random=10)
+        assert suite[0].name == "random-0"
+
+    def test_paper_agent_counts_constant(self):
+        assert PAPER_AGENT_COUNTS == (2, 4, 8, 16, 32, 256)

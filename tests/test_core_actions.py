@@ -1,0 +1,72 @@
+"""The 16-action alphabet and its paper-style abbreviations."""
+
+import pytest
+
+from repro.core.actions import (
+    ALL_ACTIONS,
+    Action,
+    TURN_CODES,
+    TURN_NAMES,
+    action_from_abbreviation,
+)
+
+
+class TestAction:
+    def test_abbreviation_move_with_color(self):
+        assert Action(move=1, turn=1, setcolor=1).abbreviation == "Rm1"
+
+    def test_abbreviation_wait_without_color(self):
+        assert Action(move=0, turn=0, setcolor=0).abbreviation == "S.0"
+
+    def test_abbreviation_back(self):
+        assert Action(move=1, turn=2, setcolor=0).abbreviation == "Bm0"
+
+    def test_abbreviation_left(self):
+        assert Action(move=0, turn=3, setcolor=1).abbreviation == "L.1"
+
+    def test_validate_accepts_all_fields_in_range(self):
+        for action in ALL_ACTIONS:
+            assert action.validate() is action
+
+    @pytest.mark.parametrize(
+        "action",
+        [
+            Action(move=2, turn=0, setcolor=0),
+            Action(move=0, turn=4, setcolor=0),
+            Action(move=0, turn=-1, setcolor=0),
+            Action(move=0, turn=0, setcolor=5),
+        ],
+    )
+    def test_validate_rejects_out_of_range(self, action):
+        with pytest.raises(ValueError):
+            action.validate()
+
+
+class TestAbbreviationParsing:
+    def test_roundtrip_every_action(self):
+        for action in ALL_ACTIONS:
+            assert action_from_abbreviation(action.abbreviation) == action
+
+    def test_paper_listing_is_complete(self):
+        # Sect. 3: the 16-element action set
+        paper_listing = [
+            "Sm0", "Sm1", "S.0", "S.1", "Rm0", "Rm1", "R.0", "R.1",
+            "Bm0", "Bm1", "B.0", "B.1", "Lm0", "Lm1", "L.0", "L.1",
+        ]
+        parsed = {action_from_abbreviation(name) for name in paper_listing}
+        assert parsed == set(ALL_ACTIONS)
+        assert len(ALL_ACTIONS) == 16
+
+    @pytest.mark.parametrize("bad", ["", "Xm0", "Sx0", "Sm2", "Sm00"])
+    def test_rejects_malformed_names(self, bad):
+        with pytest.raises(ValueError):
+            action_from_abbreviation(bad)
+
+
+class TestTurnNames:
+    def test_order_is_straight_right_back_left(self):
+        assert TURN_NAMES == ("S", "R", "B", "L")
+
+    def test_codes_invert_names(self):
+        for code, name in enumerate(TURN_NAMES):
+            assert TURN_CODES[name] == code

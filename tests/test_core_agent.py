@@ -1,0 +1,34 @@
+"""The agent value type: identity, knowledge bit vector."""
+
+from repro.core.agent import Agent
+
+
+class TestInitialKnowledge:
+    def test_agent_knows_only_itself(self):
+        agent = Agent(ident=3, x=0, y=0, direction=0, state=0)
+        assert agent.knowledge == 1 << 3
+        assert agent.knows(3)
+        assert not agent.knows(0)
+
+    def test_explicit_knowledge_is_kept(self):
+        agent = Agent(ident=0, x=0, y=0, direction=0, state=0, knowledge=0b111)
+        assert agent.knowledge == 0b111
+
+
+class TestKnowledgeQueries:
+    def test_informed_requires_every_bit(self):
+        agent = Agent(ident=0, x=0, y=0, direction=0, state=0, knowledge=0b0111)
+        assert agent.informed(3)
+        assert not agent.informed(4)
+
+    def test_known_count(self):
+        agent = Agent(ident=0, x=0, y=0, direction=0, state=0, knowledge=0b1011)
+        assert agent.known_count(4) == 3
+
+    def test_known_count_masks_to_n_agents(self):
+        agent = Agent(ident=0, x=0, y=0, direction=0, state=0, knowledge=0b11111)
+        assert agent.known_count(2) == 2
+
+    def test_position_property(self):
+        agent = Agent(ident=0, x=4, y=9, direction=2, state=1)
+        assert agent.position == (4, 9)

@@ -1,0 +1,327 @@
+"""Environment variants: borders, obstacles, initial colour carpets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.configs.random_configs import random_configuration
+from repro.configs.types import InitialConfiguration
+from repro.core.environment import (
+    Environment,
+    random_color_carpet,
+    random_obstacles,
+)
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.core.vectorized import BatchSimulator
+from repro.grids import SquareGrid, TriangulateGrid, make_grid
+
+
+def constant_fsm(move=1, turn=0, setcolor=0):
+    return FSM(
+        next_state=[0] * 8, set_color=[setcolor] * 8,
+        move=[move] * 8, turn=[turn] * 8,
+    )
+
+
+class TestEnvironmentType:
+    def test_cyclic_default(self):
+        environment = Environment.cyclic(SquareGrid(8))
+        assert not environment.bordered
+        assert not environment.obstacles
+        assert environment.n_free_cells == 64
+
+    def test_obstacles_are_wrapped(self):
+        environment = Environment(SquareGrid(8), obstacles=[(9, -1)])
+        assert environment.is_obstacle(1, 7)
+        assert environment.n_free_cells == 63
+
+    def test_front_cell_cyclic_wraps(self):
+        environment = Environment.cyclic(SquareGrid(8))
+        assert environment.front_cell(7, 0, 0) == (0, 0)
+
+    def test_front_cell_bordered_is_none_off_edge(self):
+        environment = Environment(SquareGrid(8), bordered=True)
+        assert environment.front_cell(7, 0, 0) is None
+        assert environment.front_cell(0, 0, 2) is None
+        assert environment.front_cell(3, 3, 0) == (4, 3)
+
+    def test_neighbor_cells_in_a_corner(self):
+        bordered = Environment(SquareGrid(8), bordered=True)
+        assert sorted(bordered.neighbor_cells(0, 0)) == [(0, 1), (1, 0)]
+        cyclic = Environment.cyclic(SquareGrid(8))
+        assert len(cyclic.neighbor_cells(0, 0)) == 4
+
+    def test_triangulate_corner_neighbors(self):
+        bordered = Environment(TriangulateGrid(8), bordered=True)
+        assert sorted(bordered.neighbor_cells(0, 0)) == [(0, 1), (1, 0), (1, 1)]
+
+    def test_initial_colors_validated(self):
+        grid = SquareGrid(8)
+        with pytest.raises(ValueError, match="shape"):
+            Environment(grid, initial_colors=np.zeros((4, 4)))
+        with pytest.raises(ValueError, match="0..1"):
+            Environment(grid, initial_colors=np.full((8, 8), 2))
+
+    def test_starting_colors_copy(self):
+        grid = SquareGrid(4)
+        carpet = np.ones((4, 4), dtype=np.int8)
+        environment = Environment(grid, initial_colors=carpet)
+        colors = environment.starting_colors()
+        colors[0, 0] = 0
+        assert environment.starting_colors()[0, 0] == 1
+
+    def test_repr_mentions_decorations(self):
+        environment = Environment(SquareGrid(8), bordered=True, obstacles=[(1, 1)])
+        assert "bordered" in repr(environment)
+        assert "1 obstacles" in repr(environment)
+
+
+class TestRandomHelpers:
+    def test_random_obstacles_avoid_forbidden(self, rng):
+        grid = SquareGrid(8)
+        forbidden = [(0, 0), (1, 1)]
+        obstacles = random_obstacles(grid, 20, rng, forbidden=forbidden)
+        assert len(obstacles) == 20
+        assert not obstacles & set(forbidden)
+
+    def test_random_obstacles_rejects_overflow(self, rng):
+        with pytest.raises(ValueError):
+            random_obstacles(SquareGrid(2), 5, rng)
+
+    def test_color_carpet_density(self, rng):
+        carpet = random_color_carpet(SquareGrid(32), rng, density=0.25)
+        assert carpet.shape == (32, 32)
+        assert 0.15 < carpet.mean() < 0.35
+
+    def test_color_carpet_density_validated(self, rng):
+        with pytest.raises(ValueError):
+            random_color_carpet(SquareGrid(8), rng, density=1.5)
+
+
+class TestBorderedSimulation:
+    def test_wall_blocks_movement(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, bordered=True)
+        config = InitialConfiguration(((7, 3),), (0,))  # facing the east wall
+        simulation = Simulation(grid, constant_fsm(), config, environment=environment)
+        simulation.step()
+        assert simulation.agents[0].position == (7, 3)
+
+    def test_wall_sets_the_blocked_input(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, bordered=True)
+        # writes colour 1 only on the blocked rows
+        fsm = FSM(
+            next_state=[0] * 8,
+            set_color=[x & 1 for x in range(8)],
+            move=[1] * 8,
+            turn=[0] * 8,
+        )
+        config = InitialConfiguration(((7, 3),), (0,))
+        simulation = Simulation(grid, fsm, config, environment=environment)
+        simulation.step()
+        assert simulation.colors[7, 3] == 1
+
+    def test_no_exchange_across_the_border(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, bordered=True)
+        config = InitialConfiguration(((0, 0), (7, 0)), (1, 1))
+        simulation = Simulation(
+            grid, constant_fsm(move=0), config, environment=environment
+        )
+        # cyclically these two are adjacent; with a border they are not
+        assert not simulation.all_informed()
+        cyclic = Simulation(grid, constant_fsm(move=0), config)
+        assert cyclic.all_informed()
+
+    def test_bordered_run_still_solves(self):
+        grid = SquareGrid(16)
+        environment = Environment(grid, bordered=True)
+        config = random_configuration(grid, 8, np.random.default_rng(0))
+        simulation = Simulation(
+            grid, published_fsm("S"), config, environment=environment
+        )
+        assert simulation.run(t_max=2000).success
+
+
+class TestObstacleSimulation:
+    def test_obstacle_blocks_entry(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, obstacles=[(1, 0)])
+        config = InitialConfiguration(((0, 0),), (0,))
+        simulation = Simulation(grid, constant_fsm(), config, environment=environment)
+        simulation.step()
+        assert simulation.agents[0].position == (0, 0)
+
+    def test_agents_cannot_start_on_obstacles(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, obstacles=[(2, 2)])
+        config = InitialConfiguration(((2, 2),), (0,))
+        with pytest.raises(ValueError, match="obstacle"):
+            Simulation(grid, constant_fsm(), config, environment=environment)
+
+    def test_obstacles_do_not_relay_knowledge(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, obstacles=[(1, 0)])
+        config = InitialConfiguration(((0, 0), (2, 0)), (1, 1))
+        simulation = Simulation(
+            grid, constant_fsm(move=0), config, environment=environment
+        )
+        assert not simulation.all_informed()
+
+    def test_agent_at_obstacle_is_none(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, obstacles=[(3, 3)])
+        config = InitialConfiguration(((0, 0),), (0,))
+        simulation = Simulation(grid, constant_fsm(), config, environment=environment)
+        assert simulation.agent_at(3, 3) is None
+
+    def test_random_configuration_avoids_obstacles(self, rng):
+        grid = SquareGrid(8)
+        environment = Environment(grid, obstacles=random_obstacles(grid, 30, rng))
+        config = random_configuration(grid, 20, rng, environment=environment)
+        assert not set(config.positions) & environment.obstacles
+
+
+class TestInitialColors:
+    def test_carpet_is_visible_to_agents(self):
+        grid = SquareGrid(8)
+        carpet = np.zeros((8, 8), dtype=np.int8)
+        carpet[1, 0] = 1
+        environment = Environment(grid, initial_colors=carpet)
+        # moves only when the front cell is coloured
+        fsm = FSM(
+            next_state=[0] * 8, set_color=[0] * 8,
+            move=[1 if x >= 4 else 0 for x in range(8)], turn=[0] * 8,
+        )
+        config = InitialConfiguration(((0, 0),), (0,))
+        simulation = Simulation(grid, fsm, config, environment=environment)
+        simulation.step()
+        assert simulation.agents[0].position == (1, 0)
+
+
+class TestBatchEquivalenceWithEnvironments:
+    """The batch simulator must stay bit-compatible in every variant."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kind=st.sampled_from(["S", "T"]),
+        fsm_seed=st.integers(0, 10_000),
+        config_seed=st.integers(0, 10_000),
+        bordered=st.booleans(),
+        n_obstacles=st.integers(0, 10),
+    )
+    def test_t_comm_matches_reference(
+        self, kind, fsm_seed, config_seed, bordered, n_obstacles
+    ):
+        grid = make_grid(kind, 8)
+        obstacle_rng = np.random.default_rng(config_seed + 1)
+        environment = Environment(
+            grid,
+            bordered=bordered,
+            obstacles=random_obstacles(grid, n_obstacles, obstacle_rng),
+        )
+        fsm = FSM.random(np.random.default_rng(fsm_seed))
+        config = random_configuration(
+            grid, 5, np.random.default_rng(config_seed), environment=environment
+        )
+        reference = Simulation(
+            grid, fsm, config, environment=environment
+        ).run(t_max=60)
+        batch = BatchSimulator(
+            grid, fsm, [config], environment=environment
+        ).run(t_max=60)
+        assert bool(batch.success[0]) == reference.success
+        if reference.success:
+            assert int(batch.t_comm[0]) == reference.t_comm
+
+    def test_initial_colors_match_reference(self):
+        grid = SquareGrid(8)
+        carpet_rng = np.random.default_rng(3)
+        environment = Environment(
+            grid, initial_colors=random_color_carpet(grid, carpet_rng)
+        )
+        fsm = published_fsm("S")
+        config = random_configuration(grid, 4, np.random.default_rng(5))
+        reference = Simulation(
+            grid, fsm, config, environment=environment
+        ).run(t_max=300)
+        batch = BatchSimulator(
+            grid, fsm, [config], environment=environment
+        ).run(t_max=300)
+        assert bool(batch.success[0]) == reference.success
+        assert int(batch.t_comm[0]) == reference.t_comm
+
+    def test_batch_rejects_agents_on_obstacles(self):
+        grid = SquareGrid(8)
+        environment = Environment(grid, obstacles=[(0, 0)])
+        config = InitialConfiguration(((0, 0),), (0,))
+        with pytest.raises(ValueError, match="obstacle"):
+            BatchSimulator(grid, constant_fsm(), [config], environment=environment)
+
+
+class TestPriorWorkClaim:
+    """Prior work (Sect. 1): bordered environments are easier (faster)."""
+
+    def test_border_helps_on_average(self):
+        # evolved for the cyclic case, agents may still exploit walls;
+        # at minimum both variants stay solvable and finite
+        grid = SquareGrid(16)
+        fsm = published_fsm("S")
+        bordered_env = Environment(grid, bordered=True)
+        times = {"cyclic": [], "bordered": []}
+        for seed in range(30):
+            config = random_configuration(grid, 8, np.random.default_rng(seed))
+            cyclic = Simulation(grid, fsm, config).run(t_max=3000)
+            walled = Simulation(
+                grid, fsm, config, environment=bordered_env
+            ).run(t_max=3000)
+            assert cyclic.success
+            if walled.success:
+                times["bordered"].append(walled.t_comm)
+            times["cyclic"].append(cyclic.t_comm)
+        # the claim is about evolved-for-border agents; ours are not, so we
+        # only require that the bordered world remains overwhelmingly solvable
+        assert len(times["bordered"]) >= 27
+
+
+class TestMulticolorCarpets:
+    def test_wider_alphabet_accepted_with_n_colors(self):
+        grid = SquareGrid(4)
+        carpet = np.full((4, 4), 3, dtype=np.int8)
+        environment = Environment(grid, initial_colors=carpet, n_colors=4)
+        assert environment.starting_colors().max() == 3
+
+    def test_default_alphabet_rejects_wide_colors(self):
+        grid = SquareGrid(4)
+        carpet = np.full((4, 4), 3, dtype=np.int8)
+        with pytest.raises(ValueError, match="0..1"):
+            Environment(grid, initial_colors=carpet)
+
+    def test_rejects_degenerate_alphabet(self):
+        with pytest.raises(ValueError, match="two colours"):
+            Environment(SquareGrid(4), n_colors=1)
+
+    def test_multicolor_simulation_reads_the_carpet(self):
+        from repro.extensions.multicolor import MulticolorFSM, MulticolorSimulation
+
+        grid = SquareGrid(8)
+        carpet = np.zeros((8, 8), dtype=np.int8)
+        carpet[1, 0] = 2
+        environment = Environment(grid, initial_colors=carpet, n_colors=3)
+        # moves only when the front cell shows colour 2
+        fsm = MulticolorFSM.random(np.random.default_rng(0), n_colors=3)
+        fsm.move[:] = 0
+        fsm.turn[:] = 0
+        fsm.set_color[:] = 0
+        for state in range(4):
+            # x = blocked + 2*(color + 3*frontcolor); frontcolor=2, color=0
+            fsm.move[(0 + 2 * (0 + 3 * 2)) * 4 + state] = 1
+        config = InitialConfiguration(((0, 0),), (0,))
+        simulation = MulticolorSimulation(
+            grid, fsm, config, environment=environment
+        )
+        simulation.step()
+        assert simulation.agents[0].position == (1, 0)

@@ -1,0 +1,223 @@
+"""The Mealy FSM: table lookup, genome codec, serialization, printing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.actions import Action
+from repro.core.fsm import DEFAULT_N_STATES, FSM, search_space_size
+from repro.core.inputs import N_INPUT_COMBOS
+
+
+def tiny_fsm():
+    """A hand-written 2-state FSM with recognizable entries."""
+    # 8 inputs x 2 states = 16 entries; entry i = x * 2 + s
+    return FSM(
+        next_state=[1, 0] * 8,
+        set_color=[0, 1] * 8,
+        move=[1] * 16,
+        turn=[0, 1, 2, 3] * 4,
+        name="tiny",
+    )
+
+
+class TestConstruction:
+    def test_infers_state_count_from_table_size(self):
+        assert tiny_fsm().n_states == 2
+
+    def test_random_fsm_is_valid(self, rng):
+        fsm = FSM.random(rng)
+        assert fsm.n_states == DEFAULT_N_STATES
+        assert fsm.validate() is fsm
+
+    def test_random_fsm_with_custom_state_count(self, rng):
+        assert FSM.random(rng, n_states=6).n_states == 6
+
+    def test_rejects_non_multiple_of_inputs(self):
+        with pytest.raises(ValueError, match="multiple"):
+            FSM(next_state=[0] * 7, set_color=[0] * 7, move=[0] * 7, turn=[0] * 7)
+
+    def test_rejects_mismatched_field_lengths(self):
+        with pytest.raises(ValueError):
+            FSM(next_state=[0] * 8, set_color=[0] * 8, move=[0] * 8, turn=[0] * 16)
+
+    def test_rejects_out_of_range_next_state(self):
+        with pytest.raises(ValueError, match="next_state"):
+            FSM(next_state=[2] * 8, set_color=[0] * 8, move=[0] * 8, turn=[0] * 8)
+
+    def test_rejects_out_of_range_set_color(self):
+        with pytest.raises(ValueError, match="set_color"):
+            FSM(next_state=[0] * 8, set_color=[2] * 8, move=[0] * 8, turn=[0] * 8)
+
+    def test_rejects_out_of_range_move(self):
+        with pytest.raises(ValueError, match="move"):
+            FSM(next_state=[0] * 8, set_color=[0] * 8, move=[3] * 8, turn=[0] * 8)
+
+    def test_rejects_out_of_range_turn(self):
+        with pytest.raises(ValueError, match="turn"):
+            FSM(next_state=[0] * 8, set_color=[0] * 8, move=[0] * 8, turn=[4] * 8)
+
+    def test_arrays_are_copied(self):
+        source = np.zeros(8, dtype=np.int8)
+        fsm = FSM(next_state=source, set_color=source, move=source, turn=source)
+        source[0] = 1
+        assert fsm.next_state[0] == 0
+
+
+class TestLookup:
+    def test_index_convention_is_x_times_states_plus_s(self):
+        fsm = tiny_fsm()
+        assert fsm.index(0, 0) == 0
+        assert fsm.index(0, 1) == 1
+        assert fsm.index(3, 0) == 6
+        assert fsm.index(7, 1) == 15
+
+    def test_index_rejects_out_of_range(self):
+        fsm = tiny_fsm()
+        with pytest.raises(ValueError):
+            fsm.index(8, 0)
+        with pytest.raises(ValueError):
+            fsm.index(0, 2)
+
+    def test_transition_returns_state_and_action(self):
+        next_state, action = tiny_fsm().transition(0, 0)
+        assert next_state == 1
+        assert action == Action(move=1, turn=0, setcolor=0)
+
+    def test_react_packs_observations(self):
+        fsm = tiny_fsm()
+        # blocked=1, color=1, frontcolor=0 -> x = 3; state 0 -> index 6
+        assert fsm.react(0, 1, 1, 0) == fsm.transition(3, 0)
+
+    def test_desires_move_reads_the_unblocked_row(self):
+        fsm = tiny_fsm()
+        assert fsm.desires_move(0, 0, 0) == bool(
+            fsm.transition(0, 0)[1].move
+        )
+
+    def test_table_size(self):
+        assert tiny_fsm().table_size == 16
+
+
+class TestGenome:
+    def test_genome_shape(self):
+        assert tiny_fsm().genome().shape == (16, 4)
+
+    def test_genome_roundtrip(self, rng):
+        fsm = FSM.random(rng)
+        clone = FSM.from_genome(fsm.genome())
+        assert clone == fsm
+
+    def test_from_genome_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            FSM.from_genome(np.zeros((16, 3), dtype=np.int8))
+
+    def test_key_distinguishes_behaviours(self, rng):
+        first = FSM.random(rng)
+        second = FSM.random(rng)
+        assert first.key() != second.key()
+
+    def test_equality_and_hash_follow_the_genome(self, rng):
+        fsm = FSM.random(rng)
+        assert fsm.copy() == fsm
+        assert hash(fsm.copy()) == hash(fsm)
+
+    def test_copy_is_independent(self, rng):
+        fsm = FSM.random(rng)
+        clone = fsm.copy()
+        clone.move[0] = 1 - clone.move[0]
+        assert clone != fsm
+
+    def test_copy_can_rename(self, rng):
+        assert FSM.random(rng, name="a").copy(name="b").name == "b"
+
+    @given(data=st.data())
+    def test_any_valid_genome_builds_a_valid_fsm(self, data):
+        n_states = data.draw(st.integers(1, 6))
+        size = n_states * N_INPUT_COMBOS
+        genome = np.stack(
+            [
+                data.draw(
+                    st.lists(
+                        st.integers(0, n_states - 1), min_size=size, max_size=size
+                    )
+                ),
+                data.draw(st.lists(st.integers(0, 1), min_size=size, max_size=size)),
+                data.draw(st.lists(st.integers(0, 1), min_size=size, max_size=size)),
+                data.draw(st.lists(st.integers(0, 3), min_size=size, max_size=size)),
+            ],
+            axis=1,
+        )
+        fsm = FSM.from_genome(genome)
+        assert fsm.n_states == n_states
+        assert (fsm.genome() == genome).all()
+
+
+class TestFromRows:
+    def test_transcription_layout(self):
+        rows = [("01", "10", "11", "23")] * 8
+        fsm = FSM.from_rows(rows)
+        assert fsm.n_states == 2
+        # column x=0, state 0: first characters of each digit string
+        next_state, action = fsm.transition(0, 0)
+        assert next_state == 0
+        assert action == Action(move=1, turn=2, setcolor=1)
+        # column x=0, state 1: second characters
+        next_state, action = fsm.transition(0, 1)
+        assert next_state == 1
+        assert action == Action(move=1, turn=3, setcolor=0)
+
+    def test_rejects_wrong_column_count(self):
+        with pytest.raises(ValueError, match="columns"):
+            FSM.from_rows([("0", "0", "0", "0")] * 7)
+
+    def test_rejects_wrong_row_count(self):
+        with pytest.raises(ValueError):
+            FSM.from_rows([("0", "0", "0")] * 8)
+
+    def test_rejects_ragged_digits(self):
+        rows = [("01", "10", "11", "23")] * 7 + [("012", "10", "11", "23")]
+        with pytest.raises(ValueError, match="digits"):
+            FSM.from_rows(rows)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, rng):
+        fsm = FSM.random(rng, name="dictable")
+        clone = FSM.from_dict(fsm.to_dict())
+        assert clone == fsm
+        assert clone.name == "dictable"
+
+    def test_json_roundtrip(self, rng):
+        fsm = FSM.random(rng)
+        assert FSM.from_json(fsm.to_json()) == fsm
+
+    def test_repr_mentions_states_and_name(self, rng):
+        fsm = FSM.random(rng, name="sample")
+        assert "4 states" in repr(fsm)
+        assert "sample" in repr(fsm)
+
+
+class TestFormatTable:
+    def test_contains_all_field_rows(self):
+        text = tiny_fsm().format_table()
+        for label in ("blocked", "color", "frontcolor", "nextstate",
+                      "setcolor", "move", "turn"):
+            assert label in text
+
+    def test_title_override(self):
+        assert tiny_fsm().format_table(title="CUSTOM").startswith("CUSTOM")
+
+    def test_digit_groups_match_table(self):
+        text = tiny_fsm().format_table()
+        # turn pattern repeats 0123 over (x, s) pairs => first column "01"
+        assert "01" in text
+
+
+class TestSearchSpace:
+    def test_paper_order_of_magnitude(self):
+        # Sect. 4: K = (|s| |y|) ** (|s| |x|) = 64 ** 32 with the defaults
+        assert search_space_size() == 64**32
+
+    def test_grows_with_states(self):
+        assert search_space_size(n_states=6) > search_space_size(n_states=4)

@@ -1,0 +1,55 @@
+"""Packing of the FSM input (blocked, color, frontcolor) into x = 0..7."""
+
+import pytest
+
+from repro.core.inputs import N_INPUT_COMBOS, decode_input, encode_input, input_labels
+
+
+class TestEncoding:
+    def test_all_clear_is_zero(self):
+        assert encode_input(0, 0, 0) == 0
+
+    def test_blocked_is_bit_zero(self):
+        assert encode_input(1, 0, 0) == 1
+
+    def test_color_is_bit_one(self):
+        assert encode_input(0, 1, 0) == 2
+
+    def test_frontcolor_is_bit_two(self):
+        assert encode_input(0, 0, 1) == 4
+
+    def test_all_set_is_seven(self):
+        assert encode_input(1, 1, 1) == 7
+
+    def test_matches_paper_table_header(self):
+        # Fig. 3 header rows: blocked 01010101, color 00110011, front 00001111
+        blocked_row = [decode_input(x)[0] for x in range(8)]
+        color_row = [decode_input(x)[1] for x in range(8)]
+        front_row = [decode_input(x)[2] for x in range(8)]
+        assert blocked_row == [0, 1, 0, 1, 0, 1, 0, 1]
+        assert color_row == [0, 0, 1, 1, 0, 0, 1, 1]
+        assert front_row == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_roundtrip(self):
+        for x in range(N_INPUT_COMBOS):
+            assert encode_input(*decode_input(x)) == x
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_input(8)
+        with pytest.raises(ValueError):
+            decode_input(-1)
+
+    def test_masking_of_wide_values(self):
+        # only the low bit of each observation matters
+        assert encode_input(3, 2, 4) == encode_input(1, 0, 0)
+
+
+class TestLabels:
+    def test_one_label_per_combination(self):
+        labels = input_labels()
+        assert len(labels) == N_INPUT_COMBOS
+        assert len(set(labels)) == N_INPUT_COMBOS
+
+    def test_label_mentions_all_three_bits(self):
+        assert input_labels()[5] == "b=1 c=0 f=1"

@@ -1,0 +1,98 @@
+"""Fitness function and communication-time statistics (paper Sect. 4)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    FITNESS_WEIGHT,
+    CommunicationStats,
+    fitness,
+    mean_fitness,
+    summarize_times,
+)
+from repro.core.simulation import SimulationResult
+
+
+def result(success, t_comm, informed, n_agents=8, steps=200):
+    return SimulationResult(
+        success=success,
+        t_comm=t_comm,
+        steps_executed=steps,
+        informed_agents=informed,
+        n_agents=n_agents,
+    )
+
+
+class TestFitness:
+    def test_successful_run_fitness_is_the_time(self):
+        # "for a successful FSM the relation F_i = t_i,comm holds"
+        assert fitness(result(True, 42, 8)) == 42
+
+    def test_each_uninformed_agent_costs_the_weight(self):
+        assert fitness(result(False, None, 5)) == 3 * FITNESS_WEIGHT + 200
+
+    def test_weight_forms_a_dominance_relation(self):
+        # one more informed agent always beats any time advantage
+        slow_but_informed = fitness(result(True, 199, 8))
+        fast_but_uninformed = fitness(result(False, None, 7, steps=1))
+        assert slow_but_informed < fast_but_uninformed
+
+    def test_custom_weight(self):
+        assert fitness(result(False, None, 7), weight=100) == 100 + 200
+
+    def test_paper_weight_value(self):
+        assert FITNESS_WEIGHT == 10_000
+
+
+class TestMeanFitness:
+    def test_average_over_fields(self):
+        results = [result(True, 10, 8), result(True, 30, 8)]
+        assert mean_fitness(results) == 20
+
+    def test_mixed_success(self):
+        results = [result(True, 10, 8), result(False, None, 7)]
+        assert mean_fitness(results) == (10 + FITNESS_WEIGHT + 200) / 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_fitness([])
+
+
+class TestSummarizeTimes:
+    def test_all_successful(self):
+        stats = summarize_times([result(True, 10, 8), result(True, 20, 8)])
+        assert stats.mean_time == 15
+        assert stats.min_time == 10
+        assert stats.max_time == 20
+        assert stats.std_time == pytest.approx(5.0)
+        assert stats.completely_successful
+        assert stats.success_rate == 1.0
+
+    def test_partial_success(self):
+        stats = summarize_times(
+            [result(True, 10, 8), result(False, None, 4), result(True, 30, 8)]
+        )
+        assert stats.n_fields == 3
+        assert stats.n_successful == 2
+        assert stats.mean_time == 20
+        assert not stats.completely_successful
+        assert stats.success_rate == pytest.approx(2 / 3)
+
+    def test_no_success_gives_infinite_mean(self):
+        stats = summarize_times([result(False, None, 0)])
+        assert math.isinf(stats.mean_time)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_times([])
+
+    def test_stats_is_frozen(self):
+        stats = summarize_times([result(True, 10, 8)])
+        with pytest.raises(AttributeError):
+            stats.mean_time = 0
+
+    def test_single_sample_has_zero_std(self):
+        stats = summarize_times([result(True, 10, 8)])
+        assert stats.std_time == 0.0
+        assert isinstance(stats, CommunicationStats)

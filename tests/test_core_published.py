@@ -1,0 +1,84 @@
+"""Verbatim transcription checks of the published FSMs (Figs. 3 and 4)."""
+
+import pytest
+
+from repro.core.fsm import FSM
+from repro.core.published import PAPER_S_AGENT, PAPER_T_AGENT, published_fsm
+
+
+class TestSAgentTranscription:
+    """Spot checks against Fig. 3, using index i = x * 4 + s."""
+
+    def test_four_states(self):
+        assert PAPER_S_AGENT.n_states == 4
+
+    def test_column_x0(self):
+        # x=0: nextstate 2311, setcolor 1100, move 1101, turn 3010
+        assert list(PAPER_S_AGENT.next_state[0:4]) == [2, 3, 1, 1]
+        assert list(PAPER_S_AGENT.set_color[0:4]) == [1, 1, 0, 0]
+        assert list(PAPER_S_AGENT.move[0:4]) == [1, 1, 0, 1]
+        assert list(PAPER_S_AGENT.turn[0:4]) == [3, 0, 1, 0]
+
+    def test_column_x5_never_moves(self):
+        # x=5 (blocked, frontcolor=1): move row is 0000
+        assert list(PAPER_S_AGENT.move[20:24]) == [0, 0, 0, 0]
+
+    def test_column_x7(self):
+        # x=7: nextstate 3102, setcolor 1000, move 0100, turn 3223
+        assert list(PAPER_S_AGENT.next_state[28:32]) == [3, 1, 0, 2]
+        assert list(PAPER_S_AGENT.set_color[28:32]) == [1, 0, 0, 0]
+        assert list(PAPER_S_AGENT.move[28:32]) == [0, 1, 0, 0]
+        assert list(PAPER_S_AGENT.turn[28:32]) == [3, 2, 2, 3]
+
+    def test_figure_index_example(self):
+        # Fig. 3 bottom row: indices 16..19 belong to x=4
+        assert PAPER_S_AGENT.index(4, 0) == 16
+        assert PAPER_S_AGENT.index(7, 3) == 31
+
+
+class TestTAgentTranscription:
+    """Spot checks against Fig. 4."""
+
+    def test_four_states(self):
+        assert PAPER_T_AGENT.n_states == 4
+
+    def test_column_x0(self):
+        # x=0: nextstate 1212, setcolor 1111, move 1110, turn 0010
+        assert list(PAPER_T_AGENT.next_state[0:4]) == [1, 2, 1, 2]
+        assert list(PAPER_T_AGENT.set_color[0:4]) == [1, 1, 1, 1]
+        assert list(PAPER_T_AGENT.move[0:4]) == [1, 1, 1, 0]
+        assert list(PAPER_T_AGENT.turn[0:4]) == [0, 0, 1, 0]
+
+    def test_columns_x6_and_x7_share_nextstate(self):
+        # Fig. 4: both are 2211
+        assert list(PAPER_T_AGENT.next_state[24:28]) == [2, 2, 1, 1]
+        assert list(PAPER_T_AGENT.next_state[28:32]) == [2, 2, 1, 1]
+
+    def test_column_x4_writes_no_color(self):
+        assert list(PAPER_T_AGENT.set_color[16:20]) == [0, 0, 0, 0]
+
+
+class TestAccessors:
+    def test_published_fsm_by_kind(self):
+        assert published_fsm("S") == PAPER_S_AGENT
+        assert published_fsm("t") == PAPER_T_AGENT
+
+    def test_published_fsm_returns_a_copy(self):
+        fsm = published_fsm("S")
+        fsm.move[0] = 1 - fsm.move[0]
+        assert PAPER_S_AGENT.move[0] != fsm.move[0]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            published_fsm("Z")
+
+    def test_names(self):
+        assert PAPER_S_AGENT.name == "paper-S"
+        assert PAPER_T_AGENT.name == "paper-T"
+
+    def test_the_two_machines_differ(self):
+        assert PAPER_S_AGENT != PAPER_T_AGENT
+
+    def test_tables_are_valid(self):
+        assert isinstance(PAPER_S_AGENT.validate(), FSM)
+        assert isinstance(PAPER_T_AGENT.validate(), FSM)

@@ -1,0 +1,384 @@
+"""Reference-simulator semantics: hand-built scenarios with known outcomes."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gossip import static_gossip_time
+from repro.baselines.trivial import always_straight_fsm
+from repro.configs.types import InitialConfiguration
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.grids import SquareGrid, TriangulateGrid
+
+
+def constant_fsm(move, turn, setcolor, blocked_setcolor=None):
+    """A 1-state FSM with fixed outputs (optionally different when blocked)."""
+    set_color = []
+    for x in range(8):
+        blocked = x & 1
+        if blocked and blocked_setcolor is not None:
+            set_color.append(blocked_setcolor)
+        else:
+            set_color.append(setcolor)
+    return FSM(
+        next_state=[0] * 8,
+        set_color=set_color,
+        move=[move] * 8,
+        turn=[turn] * 8,
+    )
+
+
+def config(positions, directions, states=None):
+    return InitialConfiguration(
+        positions=tuple(positions), directions=tuple(directions),
+        states=None if states is None else tuple(states),
+    )
+
+
+class TestPlacement:
+    def test_rejects_empty_configuration(self):
+        grid = SquareGrid(8)
+        with pytest.raises(ValueError, match="at least one agent"):
+            Simulation(grid, constant_fsm(1, 0, 0), config([], []))
+
+    def test_rejects_duplicate_cells(self):
+        grid = SquareGrid(8)
+        with pytest.raises(ValueError, match="duplicate"):
+            config([(1, 1), (1, 1)], [0, 0])
+
+    def test_rejects_out_of_range_direction(self):
+        grid = SquareGrid(8)
+        with pytest.raises(ValueError, match="direction"):
+            Simulation(grid, constant_fsm(1, 0, 0), config([(0, 0)], [4]))
+
+    def test_rejects_out_of_range_state(self):
+        grid = SquareGrid(8)
+        with pytest.raises(ValueError, match="state"):
+            Simulation(
+                grid, constant_fsm(1, 0, 0), config([(0, 0)], [0], states=[1])
+            )
+
+    def test_positions_are_wrapped(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(0, 0, 0), config([(9, -1)], [0]))
+        assert simulation.agents[0].position == (1, 7)
+
+    def test_default_states_follow_id_mod_2(self):
+        grid = SquareGrid(8)
+        fsm = published_fsm("S")
+        simulation = Simulation(
+            grid, fsm, config([(0, 0), (2, 0), (4, 0)], [0, 0, 0])
+        )
+        assert [agent.state for agent in simulation.agents] == [0, 1, 0]
+
+    def test_occupancy_matches_agents(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config([(1, 2), (3, 4)], [0, 1])
+        )
+        assert simulation.agent_at(1, 2).ident == 0
+        assert simulation.agent_at(3, 4).ident == 1
+        assert simulation.agent_at(0, 0) is None
+
+
+class TestMovement:
+    def test_free_agent_moves_one_cell(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(1, 0, 0), config([(0, 0)], [0]))
+        simulation.step()
+        assert simulation.agents[0].position == (1, 0)
+
+    def test_waiting_fsm_never_moves(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(0, 0, 0), config([(3, 3)], [0]))
+        for _ in range(5):
+            simulation.step()
+        assert simulation.agents[0].position == (3, 3)
+
+    def test_movement_wraps_the_torus(self):
+        grid = SquareGrid(4)
+        simulation = Simulation(grid, constant_fsm(1, 0, 0), config([(3, 0)], [0]))
+        simulation.step()
+        assert simulation.agents[0].position == (0, 0)
+
+    def test_turn_applies_after_the_move(self):
+        # turn code 1: the agent moves east first, then faces north
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(1, 1, 0), config([(0, 0)], [0]))
+        simulation.step()
+        agent = simulation.agents[0]
+        assert agent.position == (1, 0)
+        assert agent.direction == 1
+        simulation.step()
+        assert agent.position == (1, 1)
+
+    def test_diagonal_movement_in_t_grid(self):
+        grid = TriangulateGrid(8)
+        diagonal = grid.DIRECTION_OFFSETS.index((1, 1))
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(2, 2)], [diagonal])
+        )
+        simulation.step()
+        assert simulation.agents[0].position == (3, 3)
+
+    def test_visited_counts_accumulate(self):
+        grid = SquareGrid(4)
+        simulation = Simulation(grid, constant_fsm(1, 0, 0), config([(0, 0)], [0]))
+        for _ in range(4):  # a full lap back to the start
+            simulation.step()
+        assert simulation.visited[0, 0] == 2
+        assert simulation.visited[1, 0] == 1
+
+
+class TestBlockingAndConflicts:
+    def test_agent_in_front_blocks(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(0, 0), (1, 0)], [0, 1])
+        )
+        simulation.step()
+        # agent 1 (facing north) moved; agent 0 was blocked by it
+        assert simulation.agents[0].position == (0, 0)
+        assert simulation.agents[1].position == (1, 1)
+
+    def test_no_swap_through_each_other(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(0, 0), (1, 0)], [0, 2])
+        )
+        simulation.step()
+        # facing each other: both blocked, nobody moves
+        assert simulation.agents[0].position == (0, 0)
+        assert simulation.agents[1].position == (1, 0)
+
+    def test_no_train_into_a_vacated_cell(self):
+        # leader moves away, follower is still blocked this step
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(0, 0), (1, 0)], [0, 0])
+        )
+        simulation.step()
+        assert simulation.agents[1].position == (2, 0)
+        assert simulation.agents[0].position == (0, 0)
+
+    def test_lowest_id_wins_a_conflict(self):
+        grid = SquareGrid(8)
+        # both face the empty cell (1, 1): agent 0 from the west, 1 from the east
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(0, 1), (2, 1)], [0, 2])
+        )
+        simulation.step()
+        assert simulation.agents[0].position == (1, 1)
+        assert simulation.agents[1].position == (2, 1)
+
+    def test_conflict_order_is_by_id_not_position(self):
+        grid = SquareGrid(8)
+        # same geometry, IDs swapped
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(2, 1), (0, 1)], [2, 0])
+        )
+        simulation.step()
+        assert simulation.agents[0].position == (1, 1)
+        assert simulation.agents[1].position == (0, 1)
+
+    def test_three_way_conflict_single_winner(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid,
+            constant_fsm(1, 0, 0),
+            config([(0, 1), (2, 1), (1, 0)], [0, 2, 1]),
+        )
+        simulation.step()
+        positions = [agent.position for agent in simulation.agents]
+        assert positions[0] == (1, 1)
+        assert positions[1] == (2, 1)
+        assert positions[2] == (1, 0)
+        assert len(set(positions)) == 3
+
+    def test_non_desiring_agent_does_not_contest(self):
+        # agent 0 faces the cell but never moves; agent 1 should win it
+        grid = SquareGrid(8)
+        waiter = constant_fsm(0, 0, 0)
+        mover = constant_fsm(1, 0, 0)
+
+        class MixedSimulation(Simulation):
+            def _desires_move(self, agent, color, frontcolor):
+                fsm = waiter if agent.ident == 0 else mover
+                return fsm.desires_move(agent.state, color, frontcolor)
+
+            def _decide(self, agent, blocked, color, frontcolor):
+                fsm = waiter if agent.ident == 0 else mover
+                x = (blocked & 1) | ((color & 1) << 1) | ((frontcolor & 1) << 2)
+                return fsm.transition(x, agent.state)
+
+        simulation = MixedSimulation(
+            grid, mover, config([(0, 1), (2, 1)], [0, 2])
+        )
+        simulation.step()
+        assert simulation.agents[0].position == (0, 1)
+        assert simulation.agents[1].position == (1, 1)
+
+    def test_blocked_row_of_the_fsm_is_used(self):
+        # the FSM writes colour 1 only when blocked; a blocked pair proves it
+        grid = SquareGrid(8)
+        fsm = constant_fsm(1, 0, 0, blocked_setcolor=1)
+        simulation = Simulation(
+            grid, fsm, config([(0, 0), (1, 0)], [0, 2])
+        )
+        simulation.step()
+        assert simulation.colors[0, 0] == 1
+        assert simulation.colors[1, 0] == 1
+
+
+class TestColors:
+    def test_setcolor_writes_the_departed_cell(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(1, 0, 1), config([(0, 0)], [0]))
+        simulation.step()
+        assert simulation.colors[0, 0] == 1
+        assert simulation.colors[1, 0] == 0
+
+    def test_setcolor_zero_erases(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(0, 0, 0), config([(2, 2)], [0]))
+        simulation.colors[2, 2] = 1
+        simulation.step()
+        assert simulation.colors[2, 2] == 0
+
+    def test_colors_start_clear(self, grid16):
+        simulation = Simulation(
+            grid16, constant_fsm(0, 0, 0), config([(0, 0)], [0])
+        )
+        assert simulation.colors.sum() == 0
+
+    def test_frontcolor_observation_changes_the_row(self):
+        # move only when the front cell is coloured
+        move_row = [1 if x >= 4 else 0 for x in range(8)]  # frontcolor = bit 2
+        fsm = FSM(
+            next_state=[0] * 8, set_color=[0] * 8, move=move_row, turn=[0] * 8
+        )
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, fsm, config([(0, 0)], [0]))
+        simulation.step()
+        assert simulation.agents[0].position == (0, 0)
+        simulation.colors[1, 0] = 1
+        simulation.step()
+        assert simulation.agents[0].position == (1, 0)
+
+
+class TestKnowledgeExchange:
+    def test_initial_exchange_is_uncounted(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config([(0, 0), (1, 0)], [0, 0])
+        )
+        # adjacent at placement: already informed at t = 0
+        assert simulation.t == 0
+        assert simulation.all_informed()
+        result = simulation.run(t_max=10)
+        assert result.success and result.t_comm == 0
+
+    def test_exchange_is_one_hop_per_step(self):
+        grid = SquareGrid(8)
+        positions = [(0, 0), (1, 0), (2, 0), (3, 0)]
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config(positions, [0] * 4)
+        )
+        # chain of four: ends are 3 hops apart; one uncounted round done
+        assert not simulation.all_informed()
+        simulation.step()
+        assert not simulation.all_informed()
+        simulation.step()
+        assert simulation.all_informed()
+
+    def test_static_chain_matches_gossip_baseline(self):
+        grid = TriangulateGrid(8)
+        positions = [(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config(positions, [0] * 5)
+        )
+        expected = static_gossip_time(grid, positions)
+        result = simulation.run(t_max=50)
+        assert result.success
+        assert result.t_comm == expected
+
+    def test_exchange_uses_von_neumann_neighbors_only(self):
+        grid = SquareGrid(8)
+        # diagonal neighbours in S do not communicate
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config([(0, 0), (1, 1)], [0, 0])
+        )
+        assert not simulation.all_informed()
+
+    def test_diagonal_neighbors_communicate_in_t(self):
+        grid = TriangulateGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config([(0, 0), (1, 1)], [0, 0])
+        )
+        assert simulation.all_informed()
+
+    def test_knowledge_is_monotone(self):
+        grid = SquareGrid(8)
+        fsm = published_fsm("S")
+        rng = np.random.default_rng(3)
+        cells = rng.choice(64, size=6, replace=False)
+        positions = [divmod(int(cell), 8) for cell in cells]
+        directions = [int(d) for d in rng.integers(0, 4, size=6)]
+        simulation = Simulation(grid, fsm, config(positions, directions))
+        previous = [agent.knowledge for agent in simulation.agents]
+        for _ in range(30):
+            simulation.step()
+            current = [agent.knowledge for agent in simulation.agents]
+            for old, new in zip(previous, current):
+                assert old & new == old  # never forgets
+            previous = current
+
+    def test_own_bit_always_known(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(1, 1, 0), config([(0, 0), (4, 4)], [0, 1])
+        )
+        for _ in range(10):
+            simulation.step()
+        for agent in simulation.agents:
+            assert agent.knows(agent.ident)
+
+
+class TestRun:
+    def test_timeout_reports_failure(self):
+        grid = SquareGrid(8)
+        # straight walkers on parallel lanes never meet
+        fsm = always_straight_fsm()
+        simulation = Simulation(
+            grid, fsm, config([(0, 0), (0, 2)], [0, 0], states=[0, 0])
+        )
+        result = simulation.run(t_max=40)
+        assert not result.success
+        assert result.t_comm is None
+        assert result.steps_executed == 40
+        assert result.fitness_time == 40
+
+    def test_success_reports_time_and_informed(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(0, 0, 0), config([(0, 0), (2, 0)], [0, 0])
+        )
+        result = simulation.run(t_max=10)
+        assert not result.success  # static, 2 hops apart, never adjacent
+        assert result.informed_agents == 0
+
+    def test_run_stops_at_first_success(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(
+            grid, constant_fsm(1, 0, 0), config([(0, 0), (4, 0)], [0, 2])
+        )
+        result = simulation.run(t_max=100)
+        assert result.success
+        assert result.t_comm == simulation.t
+
+    def test_single_agent_is_trivially_informed(self):
+        grid = SquareGrid(8)
+        simulation = Simulation(grid, constant_fsm(1, 0, 0), config([(0, 0)], [0]))
+        result = simulation.run(t_max=10)
+        assert result.success and result.t_comm == 0

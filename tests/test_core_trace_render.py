@@ -1,0 +1,151 @@
+"""Trace recording and the Fig. 6/7-style ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.configs.types import InitialConfiguration
+from repro.core.published import published_fsm
+from repro.core.render import (
+    render_agents,
+    render_colors,
+    render_distance_field,
+    render_panels,
+    render_visited,
+)
+from repro.core.simulation import Simulation
+from repro.core.trace import TraceRecorder, capture
+from repro.grids import SquareGrid
+from repro.grids.analysis import distance_field
+
+
+@pytest.fixture
+def recorded_run():
+    grid = SquareGrid(8)
+    config = InitialConfiguration(((0, 0), (4, 4)), (0, 2))
+    recorder = TraceRecorder()
+    simulation = Simulation(grid, published_fsm("S"), config, recorder=recorder)
+    result = simulation.run(t_max=100)
+    return grid, recorder, result
+
+
+class TestTraceRecorder:
+    def test_records_placement_snapshot(self, recorded_run):
+        _, recorder, _ = recorded_run
+        assert recorder.snapshots[0].t == 0
+
+    def test_records_every_step_by_default(self, recorded_run):
+        _, recorder, result = recorded_run
+        assert len(recorder) == result.steps_executed + 1
+        assert [snapshot.t for snapshot in recorder] == list(
+            range(result.steps_executed + 1)
+        )
+
+    def test_selected_times_only(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 2))
+        recorder = TraceRecorder(times=[2, 5])
+        simulation = Simulation(grid, published_fsm("S"), config, recorder=recorder)
+        for _ in range(6):
+            simulation.step()
+        assert [snapshot.t for snapshot in recorder] == [0, 2, 5]
+
+    def test_snapshot_at(self, recorded_run):
+        _, recorder, _ = recorded_run
+        assert recorder.snapshot_at(3).t == 3
+        with pytest.raises(KeyError):
+            recorder.snapshot_at(10_000)
+
+    def test_final_property(self, recorded_run):
+        _, recorder, result = recorded_run
+        assert recorder.final.t == result.steps_executed
+
+    def test_empty_recorder_final_raises(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().final
+
+    def test_snapshots_are_frozen_copies(self, recorded_run):
+        _, recorder, _ = recorded_run
+        first, second = recorder.snapshots[0], recorder.snapshots[1]
+        assert first.colors is not second.colors
+
+    def test_snapshot_informed_count(self, recorded_run):
+        _, recorder, result = recorded_run
+        assert recorder.final.informed_count() == 2
+        assert recorder.snapshots[0].informed_count() == 0
+
+    def test_capture_matches_simulation(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((1, 2), (5, 6)), (0, 1))
+        simulation = Simulation(grid, published_fsm("S"), config)
+        snapshot = capture(simulation)
+        assert snapshot.positions == ((1, 2), (5, 6))
+        assert snapshot.directions == (0, 1)
+        assert snapshot.n_agents == 2
+
+
+class TestRendering:
+    def test_agent_panel_shape(self, recorded_run):
+        grid, recorder, _ = recorded_run
+        panel = render_agents(grid, recorder.snapshots[0])
+        lines = panel.split("\n")
+        assert len(lines) == grid.size
+
+    def test_agent_panel_shows_glyph_and_id(self, recorded_run):
+        grid, recorder, _ = recorded_run
+        panel = render_agents(grid, recorder.snapshots[0])
+        assert ">0" in panel
+        assert "<1" in panel
+
+    def test_agent_panel_is_north_up(self):
+        grid = SquareGrid(4)
+        config = InitialConfiguration(((0, 3),), (1,))
+        snapshot = capture(Simulation(grid, published_fsm("S"), config))
+        first_line = render_agents(grid, snapshot).split("\n")[0]
+        assert "^0" in first_line  # y = 3 is the top row
+
+    def test_color_panel_marks_flags(self, recorded_run):
+        grid, recorder, _ = recorded_run
+        final_panel = render_colors(grid, recorder.final)
+        assert "1" in final_panel
+
+    def test_visited_panel_counts(self, recorded_run):
+        grid, recorder, _ = recorded_run
+        panel = render_visited(grid, recorder.final)
+        assert any(char.isdigit() for char in panel)
+
+    def test_visited_panel_caps_at_plus(self):
+        grid = SquareGrid(4)
+        config = InitialConfiguration(((0, 0),), (0,))
+        recorder = TraceRecorder()
+        simulation = Simulation(grid, published_fsm("S"), config, recorder=recorder)
+        for _ in range(50):
+            simulation.step()
+        panel = render_visited(grid, recorder.final)
+        assert "+" in panel or all(
+            int(c) <= 9 for c in panel if c.isdigit()
+        )
+
+    def test_panels_contain_all_sections(self, recorded_run):
+        grid, recorder, _ = recorded_run
+        text = render_panels(grid, recorder.final)
+        assert "colors" in text
+        assert "visited" in text
+        assert text.startswith("SGRID")
+
+    def test_panels_custom_title(self, recorded_run):
+        grid, recorder, _ = recorded_run
+        assert render_panels(grid, recorder.final, title="X").startswith("X")
+
+    def test_distance_field_render(self):
+        grid = SquareGrid(8)
+        text = render_distance_field(grid, distance_field(grid))
+        assert "0" in text
+        assert "8" in text  # the diameter appears
+
+    def test_large_ident_glyphs(self):
+        from repro.core.render import _ident_glyph
+
+        assert _ident_glyph(3) == "3"
+        assert _ident_glyph(10) == "a"
+        assert _ident_glyph(35) == "z"
+        assert _ident_glyph(36) == "*"

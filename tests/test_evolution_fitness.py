@@ -1,0 +1,96 @@
+"""Suite evaluation: batch fitness vs the reference simulator, caching."""
+
+import numpy as np
+import pytest
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.core.metrics import fitness as scalar_fitness
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.evolution.fitness import (
+    SuiteEvaluator,
+    evaluate_fsm,
+    evaluate_population,
+)
+from repro.grids import SquareGrid
+
+
+@pytest.fixture
+def small_suite():
+    return paper_suite(SquareGrid(8), 4, n_random=12, seed=3)
+
+
+class TestEvaluateFsm:
+    def test_matches_reference_simulation(self, small_suite):
+        grid = SquareGrid(8)
+        fsm = published_fsm("S")
+        outcome = evaluate_fsm(grid, fsm, small_suite, t_max=150)
+        reference_results = [
+            Simulation(grid, fsm, config).run(t_max=150) for config in small_suite
+        ]
+        expected = sum(scalar_fitness(r) for r in reference_results) / len(
+            reference_results
+        )
+        assert outcome.fitness == pytest.approx(expected)
+        assert outcome.n_fields == len(small_suite)
+        assert outcome.n_successful_fields == sum(
+            r.success for r in reference_results
+        )
+
+    def test_completely_successful_flag(self, small_suite):
+        outcome = evaluate_fsm(SquareGrid(8), published_fsm("S"), small_suite, t_max=500)
+        assert outcome.completely_successful == (
+            outcome.n_successful_fields == outcome.n_fields
+        )
+
+
+class TestEvaluatePopulation:
+    def test_matches_individual_evaluation(self, small_suite):
+        grid = SquareGrid(8)
+        rng = np.random.default_rng(7)
+        fsms = [published_fsm("S")] + [FSM.random(rng) for _ in range(3)]
+        pooled = evaluate_population(grid, fsms, small_suite, t_max=100)
+        for fsm, outcome in zip(fsms, pooled):
+            alone = evaluate_fsm(grid, fsm, small_suite, t_max=100)
+            assert outcome.fitness == pytest.approx(alone.fitness)
+            assert outcome.n_successful_fields == alone.n_successful_fields
+
+    def test_one_outcome_per_fsm(self, small_suite):
+        rng = np.random.default_rng(1)
+        fsms = [FSM.random(rng) for _ in range(5)]
+        assert len(evaluate_population(SquareGrid(8), fsms, small_suite)) == 5
+
+
+class TestSuiteEvaluator:
+    def test_caches_by_genome(self, small_suite):
+        evaluator = SuiteEvaluator(SquareGrid(8), small_suite, t_max=100)
+        fsm = published_fsm("S")
+        first = evaluator(fsm)
+        second = evaluator(fsm.copy())  # same genome, different object
+        assert first is second
+        assert evaluator.evaluations == 1
+
+    def test_evaluate_many_skips_cached(self, small_suite):
+        evaluator = SuiteEvaluator(SquareGrid(8), small_suite, t_max=100)
+        rng = np.random.default_rng(2)
+        fsms = [FSM.random(rng) for _ in range(3)]
+        evaluator.evaluate_many(fsms)
+        assert evaluator.evaluations == 3
+        evaluator.evaluate_many(fsms + [FSM.random(rng)])
+        assert evaluator.evaluations == 4
+
+    def test_evaluate_many_handles_duplicates_in_one_call(self, small_suite):
+        evaluator = SuiteEvaluator(SquareGrid(8), small_suite, t_max=100)
+        fsm = published_fsm("S")
+        outcomes = evaluator.evaluate_many([fsm, fsm.copy()])
+        assert evaluator.evaluations == 1
+        assert outcomes[0] is outcomes[1]
+
+    def test_results_consistent_with_direct_evaluation(self, small_suite):
+        grid = SquareGrid(8)
+        evaluator = SuiteEvaluator(grid, small_suite, t_max=100)
+        fsm = published_fsm("S")
+        via_evaluator = evaluator(fsm)
+        direct = evaluate_fsm(grid, fsm, small_suite, t_max=100)
+        assert via_evaluator.fitness == pytest.approx(direct.fitness)

@@ -1,0 +1,91 @@
+"""The paper's mutation operator (cyclic increments) and crossover."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fsm import FSM
+from repro.evolution.genome import MutationRates, PAPER_MUTATION_RATE, crossover, mutate
+
+
+class TestMutationRates:
+    def test_paper_default_is_18_percent(self):
+        rates = MutationRates()
+        assert rates.next_state == PAPER_MUTATION_RATE == 0.18
+        assert rates.set_color == rates.move == rates.turn == 0.18
+
+    def test_validation_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MutationRates(move=1.5).validate()
+        with pytest.raises(ValueError):
+            MutationRates(turn=-0.1).validate()
+
+
+class TestMutate:
+    def test_rate_zero_is_identity(self, rng):
+        fsm = FSM.random(rng)
+        rates = MutationRates(0.0, 0.0, 0.0, 0.0)
+        assert mutate(fsm, rng, rates) == fsm
+
+    def test_rate_one_increments_every_gene(self, rng):
+        fsm = FSM.random(rng)
+        rates = MutationRates(1.0, 1.0, 1.0, 1.0)
+        child = mutate(fsm, rng, rates)
+        assert (child.next_state == (fsm.next_state + 1) % fsm.n_states).all()
+        assert (child.set_color == 1 - fsm.set_color).all()
+        assert (child.move == 1 - fsm.move).all()
+        assert (child.turn == (fsm.turn + 1) % 4).all()
+
+    def test_mutation_is_cyclic_not_random(self, rng):
+        # a mutated gene differs from its parent by exactly +1 (mod range)
+        fsm = FSM.random(rng)
+        child = mutate(fsm, rng)
+        changed = child.turn != fsm.turn
+        assert (
+            child.turn[changed] == (fsm.turn[changed] + 1) % 4
+        ).all()
+
+    def test_child_is_always_valid(self, rng):
+        for _ in range(20):
+            child = mutate(FSM.random(rng), rng)
+            assert child.validate() is child
+
+    def test_parent_untouched(self, rng):
+        fsm = FSM.random(rng)
+        genome_before = fsm.genome().copy()
+        mutate(fsm, rng, MutationRates(1.0, 1.0, 1.0, 1.0))
+        assert (fsm.genome() == genome_before).all()
+
+    def test_expected_change_fraction(self):
+        # with p = 0.18 about 18% of each gene row changes
+        rng = np.random.default_rng(0)
+        fsm = FSM.random(rng)
+        total, changed = 0, 0
+        for _ in range(300):
+            child = mutate(fsm, rng)
+            changed += int((child.move != fsm.move).sum())
+            total += fsm.table_size
+        assert changed / total == pytest.approx(0.18, abs=0.02)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_preserves_state_count(self, seed):
+        rng = np.random.default_rng(seed)
+        fsm = FSM.random(rng, n_states=6)
+        assert mutate(fsm, rng).n_states == 6
+
+
+class TestCrossover:
+    def test_child_genes_come_from_a_parent(self, rng):
+        first, second = FSM.random(rng), FSM.random(rng)
+        child = crossover(first, second, rng)
+        for index in range(first.table_size):
+            gene = tuple(child.genome()[index])
+            assert gene in (
+                tuple(first.genome()[index]),
+                tuple(second.genome()[index]),
+            )
+
+    def test_rejects_mismatched_state_counts(self, rng):
+        with pytest.raises(ValueError):
+            crossover(FSM.random(rng, n_states=4), FSM.random(rng, n_states=2), rng)

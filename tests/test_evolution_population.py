@@ -1,0 +1,166 @@
+"""Pool management: reproduction, dedup, truncation, midline exchange."""
+
+import numpy as np
+import pytest
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.evolution.fitness import SuiteEvaluator
+from repro.evolution.population import (
+    Individual,
+    Population,
+    midline_exchange,
+)
+from repro.grids import SquareGrid
+
+
+def make_population(pool_size=8, seed=0, n_random=8, seed_fsms=()):
+    grid = SquareGrid(8)
+    suite = paper_suite(grid, 4, n_random=n_random, seed=1)
+    evaluator = SuiteEvaluator(grid, suite, t_max=60)
+    rng = np.random.default_rng(seed)
+    return Population(
+        evaluator, rng, size=pool_size, exchange_width=2, seed_fsms=seed_fsms
+    )
+
+
+class TestMidlineExchange:
+    def test_paper_indices_for_n20_b3(self):
+        pool = list(range(20))
+        exchanged = midline_exchange(pool, 3)
+        # individuals 7, 8, 9 exchange with 10, 11, 12
+        assert exchanged[7:10] == [10, 11, 12]
+        assert exchanged[10:13] == [7, 8, 9]
+        assert exchanged[:7] == list(range(7))
+        assert exchanged[13:] == list(range(13, 20))
+
+    def test_width_zero_is_identity(self):
+        assert midline_exchange([1, 2, 3, 4], 0) == [1, 2, 3, 4]
+
+    def test_rejects_excessive_width(self):
+        with pytest.raises(ValueError):
+            midline_exchange([1, 2, 3, 4], 3)
+
+    def test_is_an_involution(self):
+        pool = list(range(10))
+        assert midline_exchange(midline_exchange(pool, 2), 2) == pool
+
+
+class TestPopulation:
+    def test_rejects_odd_pool_size(self):
+        with pytest.raises(ValueError):
+            make_population(pool_size=7)
+
+    def test_initial_pool_is_sorted_by_fitness(self):
+        population = make_population()
+        fitnesses = [individual.fitness for individual in population.individuals]
+        assert fitnesses == sorted(fitnesses)
+
+    def test_seed_fsms_are_included(self):
+        seed_fsm = published_fsm("S")
+        population = make_population(seed_fsms=[seed_fsm])
+        keys = {individual.fsm.key() for individual in population.individuals}
+        assert seed_fsm.key() in keys
+
+    def test_pool_size_is_respected(self):
+        population = make_population(pool_size=8)
+        assert len(population.individuals) == 8
+
+    def test_best_fitness_never_regresses(self):
+        population = make_population()
+        best_history = [population.best.fitness]
+        for _ in range(5):
+            population.advance()
+            best_history.append(population.best.fitness)
+        assert all(
+            later <= earlier
+            for earlier, later in zip(best_history, best_history[1:])
+        )
+
+    def test_generation_counter(self):
+        population = make_population()
+        population.advance()
+        population.advance()
+        assert population.generation == 2
+
+    def test_no_duplicate_genomes_after_advance(self):
+        population = make_population()
+        for _ in range(3):
+            population.advance()
+        keys = [individual.fsm.key() for individual in population.individuals]
+        assert len(keys) == len(set(keys))
+
+    def test_top_returns_best_prefix(self):
+        population = make_population()
+        top = population.top(3)
+        assert len(top) == 3
+        assert top[0] is population.individuals[0]
+
+    def test_successful_individuals_filter(self):
+        population = make_population(seed_fsms=[published_fsm("S")])
+        successful = population.successful_individuals()
+        assert all(ind.completely_successful for ind in successful)
+
+    def test_individual_properties(self):
+        population = make_population()
+        individual = population.best
+        assert isinstance(individual, Individual)
+        assert individual.fitness == individual.outcome.fitness
+
+
+class TestPoolShrinkage:
+    def test_duplicate_seeds_shrink_then_mutation_refills(self):
+        # seeding with duplicates + dedup at advance shrinks the pool;
+        # nonzero mutation refills it on later generations
+        from repro.core.published import published_fsm
+        from repro.evolution.genome import MutationRates
+
+        grid = SquareGrid(8)
+        suite = paper_suite(grid, 4, n_random=6, seed=1)
+        evaluator = SuiteEvaluator(grid, suite, t_max=60)
+        rng = np.random.default_rng(0)
+        seed_fsm = published_fsm("S")
+        population = Population(
+            evaluator, rng, size=4, exchange_width=1,
+            seed_fsms=[seed_fsm, seed_fsm, seed_fsm, seed_fsm],
+            rates=MutationRates(0.3, 0.3, 0.3, 0.3),
+        )
+        population.advance()
+        # duplicates collapse to one + up to two fresh mutants
+        assert 1 <= len(population.individuals) <= 4
+        keys = [ind.fsm.key() for ind in population.individuals]
+        assert len(keys) == len(set(keys))
+        for _ in range(5):
+            population.advance()
+        # mutation eventually repopulates a full, duplicate-free pool
+        keys = [ind.fsm.key() for ind in population.individuals]
+        assert len(keys) == len(set(keys))
+
+    def test_zero_mutation_freezes_the_pool(self):
+        from repro.core.published import published_fsm
+        from repro.evolution.genome import MutationRates
+
+        grid = SquareGrid(8)
+        suite = paper_suite(grid, 4, n_random=6, seed=1)
+        evaluator = SuiteEvaluator(grid, suite, t_max=60)
+        rng = np.random.default_rng(0)
+        population = Population(
+            evaluator, rng, size=4, exchange_width=1,
+            seed_fsms=[published_fsm("S")],
+            rates=MutationRates(0.0, 0.0, 0.0, 0.0),
+        )
+        before = {ind.fsm.key() for ind in population.individuals}
+        population.advance()
+        after = {ind.fsm.key() for ind in population.individuals}
+        # offspring are exact copies: dedup leaves the pool unchanged
+        assert after <= before
+
+    def test_advance_returns_the_best(self):
+        grid = SquareGrid(8)
+        suite = paper_suite(grid, 4, n_random=6, seed=1)
+        evaluator = SuiteEvaluator(grid, suite, t_max=60)
+        rng = np.random.default_rng(3)
+        population = Population(evaluator, rng, size=4, exchange_width=1)
+        returned = population.advance()
+        assert returned is population.best

@@ -1,0 +1,128 @@
+"""Evolution runs: history, reproducibility, multi-run protocol."""
+
+import pytest
+
+from repro.configs.suite import paper_suite
+from repro.core.published import published_fsm
+from repro.evolution.runner import (
+    EvolutionSettings,
+    GenerationRecord,
+    evolve,
+    multi_run,
+)
+from repro.grids import SquareGrid
+
+
+def tiny_settings(**overrides):
+    defaults = dict(
+        n_generations=4, pool_size=8, exchange_width=2, t_max=120, seed=0
+    )
+    defaults.update(overrides)
+    return EvolutionSettings(**defaults)
+
+
+@pytest.fixture
+def tiny_problem():
+    grid = SquareGrid(8)
+    suite = paper_suite(grid, 4, n_random=8, seed=2)
+    return grid, suite
+
+
+class TestSettings:
+    def test_defaults_are_the_papers(self):
+        settings = EvolutionSettings()
+        assert settings.pool_size == 20
+        assert settings.exchange_width == 3
+        assert settings.rates.next_state == 0.18
+        assert settings.n_states == 4
+        assert settings.t_max == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EvolutionSettings(n_generations=0).validate()
+        with pytest.raises(ValueError):
+            EvolutionSettings(t_max=0).validate()
+
+
+class TestEvolve:
+    def test_history_length(self, tiny_problem):
+        grid, suite = tiny_problem
+        result = evolve(grid, suite, tiny_settings())
+        assert len(result.history) == 5  # generation 0 + 4 iterations
+
+    def test_history_best_is_monotone(self, tiny_problem):
+        grid, suite = tiny_problem
+        result = evolve(grid, suite, tiny_settings(n_generations=8))
+        best = [record.best_fitness for record in result.history]
+        assert all(later <= earlier for earlier, later in zip(best, best[1:]))
+
+    def test_progress_callback_sees_every_record(self, tiny_problem):
+        grid, suite = tiny_problem
+        seen = []
+        evolve(grid, suite, tiny_settings(), progress=seen.append)
+        assert len(seen) == 5
+        assert all(isinstance(record, GenerationRecord) for record in seen)
+
+    def test_reproducible_with_same_seed(self, tiny_problem):
+        grid, suite = tiny_problem
+        first = evolve(grid, suite, tiny_settings(seed=5))
+        second = evolve(grid, suite, tiny_settings(seed=5))
+        assert first.best.fsm == second.best.fsm
+        assert [r.best_fitness for r in first.history] == [
+            r.best_fitness for r in second.history
+        ]
+
+    def test_different_seeds_explore_differently(self, tiny_problem):
+        grid, suite = tiny_problem
+        first = evolve(grid, suite, tiny_settings(seed=5))
+        second = evolve(grid, suite, tiny_settings(seed=6))
+        assert first.best.fsm != second.best.fsm
+
+    def test_seeding_with_published_fsm_dominates(self, tiny_problem):
+        grid, suite = tiny_problem
+        result = evolve(
+            grid, suite, tiny_settings(), seed_fsms=[published_fsm("S")]
+        )
+        # the reliable published agent solves every field; a 4-generation
+        # random pool essentially never beats it
+        assert result.best.completely_successful
+
+    def test_top_successful_sorted(self, tiny_problem):
+        grid, suite = tiny_problem
+        result = evolve(
+            grid, suite, tiny_settings(), seed_fsms=[published_fsm("S")]
+        )
+        top = result.top_successful(3)
+        fitnesses = [individual.fitness for individual in top]
+        assert fitnesses == sorted(fitnesses)
+        assert all(individual.completely_successful for individual in top)
+
+    def test_first_success_generation(self, tiny_problem):
+        grid, suite = tiny_problem
+        result = evolve(
+            grid, suite, tiny_settings(), seed_fsms=[published_fsm("S")]
+        )
+        assert result.first_success_generation() == 0
+
+    def test_wall_time_recorded(self, tiny_problem):
+        grid, suite = tiny_problem
+        result = evolve(grid, suite, tiny_settings())
+        assert result.wall_seconds > 0
+
+
+class TestMultiRun:
+    def test_runs_use_distinct_seeds(self, tiny_problem):
+        grid, suite = tiny_problem
+        results, _ = multi_run(grid, suite, n_runs=2, settings=tiny_settings())
+        assert results[0].settings.seed != results[1].settings.seed
+
+    def test_candidate_extraction(self, tiny_problem):
+        grid, suite = tiny_problem
+        _, candidates = multi_run(
+            grid, suite, n_runs=2,
+            settings=tiny_settings(n_generations=2),
+            top_per_run=3,
+        )
+        # candidates only exist if runs found completely successful FSMs
+        for candidate in candidates:
+            assert candidate.name  # tagged with run provenance

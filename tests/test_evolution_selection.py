@@ -1,0 +1,89 @@
+"""Cross-density reliability screening and final ranking."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import always_straight_fsm
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.evolution.selection import (
+    SCREENING_AGENT_COUNTS,
+    rank_candidates,
+    screen_reliability,
+)
+from repro.grids import SquareGrid
+
+
+class TestScreenReliability:
+    def test_published_agent_is_reliable_on_small_screen(self):
+        grid = SquareGrid(16)
+        report = screen_reliability(
+            grid, published_fsm("S"),
+            agent_counts=(2, 8), n_random=30, t_max=500,
+        )
+        assert report.reliable
+        assert set(report.outcomes) == {2, 8}
+
+    def test_straight_walker_fails_the_screen(self):
+        grid = SquareGrid(16)
+        report = screen_reliability(
+            grid, always_straight_fsm(),
+            agent_counts=(4,), n_random=30, t_max=300,
+        )
+        assert not report.reliable
+
+    def test_counts_beyond_capacity_are_skipped(self):
+        grid = SquareGrid(4)
+        report = screen_reliability(
+            grid, published_fsm("S"),
+            agent_counts=(2, 256), n_random=10, t_max=200,
+        )
+        assert set(report.outcomes) == {2}
+
+    def test_mean_time_accessors(self):
+        grid = SquareGrid(16)
+        report = screen_reliability(
+            grid, published_fsm("S"),
+            agent_counts=(2, 8), n_random=20, t_max=500,
+        )
+        assert report.mean_time(2) == report.outcomes[2].mean_time
+        assert report.mean_time_overall == pytest.approx(
+            (report.mean_time(2) + report.mean_time(8)) / 2
+        )
+
+    def test_paper_screening_counts(self):
+        assert SCREENING_AGENT_COUNTS == (2, 4, 8, 16, 32, 256)
+
+
+class TestRankCandidates:
+    def test_reliable_candidates_ranked_by_time(self):
+        grid = SquareGrid(16)
+        candidates = [published_fsm("S"), always_straight_fsm()]
+        reliable, reports = rank_candidates(
+            grid, candidates, agent_counts=(4,), n_random=20, t_max=500
+        )
+        assert len(reports) == 2
+        assert len(reliable) == 1
+        best_fsm, best_report = reliable[0]
+        assert best_fsm == candidates[0]
+        assert best_report.reliable
+
+    def test_empty_candidate_list(self):
+        grid = SquareGrid(16)
+        reliable, reports = rank_candidates(grid, [], agent_counts=(2,))
+        assert reliable == [] and reports == []
+
+    def test_ranking_order(self):
+        grid = SquareGrid(16)
+        fast = published_fsm("S")
+        # a mutant is usually slower (and possibly unreliable)
+        rng = np.random.default_rng(0)
+        from repro.evolution.genome import MutationRates, mutate
+
+        slow = mutate(fast, rng, MutationRates(0.05, 0.05, 0.05, 0.05))
+        reliable, _ = rank_candidates(
+            grid, [slow, fast], agent_counts=(8,), n_random=15, t_max=500
+        )
+        if len(reliable) == 2:
+            first, second = reliable
+            assert first[1].mean_time_overall <= second[1].mean_time_overall

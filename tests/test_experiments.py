@@ -1,0 +1,181 @@
+"""The table/figure regeneration harness (small-scale runs)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_color_ablation,
+    run_initial_state_ablation,
+    run_random_walk_comparison,
+    strip_colors,
+)
+from repro.experiments.fig2 import (
+    fig2_distance_maps,
+    format_topology_table,
+    topology_table,
+)
+from repro.experiments.grid33 import PAPER_GRID33, format_grid33, run_grid33
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    fig5_series,
+    format_table1,
+    run_table1,
+)
+from repro.experiments.traces import (
+    format_trace,
+    run_fig6,
+    run_fig7,
+    two_agent_configuration,
+)
+from repro.core.published import published_fsm
+from repro.grids import make_grid
+
+
+class TestFig2:
+    def test_rows_cover_both_grids(self):
+        rows = topology_table(exponents=(2, 3))
+        assert len(rows) == 2
+        assert rows[0]["S"].kind == "S"
+        assert rows[0]["T"].kind == "T"
+
+    def test_formulas_agree_with_measurement(self):
+        for row in topology_table(exponents=(3, 4)):
+            assert row["S"].formula_consistent
+            assert row["T"].formula_consistent
+
+    def test_fig2_exact_values(self):
+        rows = topology_table(exponents=(3,))
+        row = rows[0]
+        assert row["S"].diameter == 8
+        assert row["T"].diameter == 5
+        assert row["S"].mean_distance == pytest.approx(4.0)
+        assert row["T"].mean_distance == pytest.approx(3.09, abs=0.01)
+
+    def test_format_contains_ratio_columns(self):
+        text = format_topology_table(topology_table(exponents=(3,)))
+        assert "T/S" in text
+
+    def test_distance_maps_render(self):
+        text = fig2_distance_maps(n=3)
+        assert "S-grid" in text and "T-grid" in text
+        assert "D=8" in text and "D=5" in text
+
+
+class TestTable1:
+    def test_small_scale_shape(self):
+        rows = run_table1(agent_counts=(2, 4, 8), n_random=25, t_max=600)
+        assert set(rows) == {2, 4, 8}
+        for row in rows.values():
+            assert row.t_reliable and row.s_reliable
+            # the headline: T beats S at every density
+            assert row.t_time < row.s_time
+            assert 0.5 < row.ratio < 0.85
+
+    def test_k4_maximum(self):
+        rows = run_table1(agent_counts=(2, 4, 8), n_random=40, t_max=600)
+        assert rows[4].t_time > rows[2].t_time
+        assert rows[4].t_time > rows[8].t_time
+        assert rows[4].s_time > rows[2].s_time
+        assert rows[4].s_time > rows[8].s_time
+
+    def test_packed_column_is_exact(self):
+        rows = run_table1(agent_counts=(256,), n_random=1, t_max=100)
+        assert rows[256].t_time == 9.0
+        assert rows[256].s_time == 15.0
+        assert rows[256].ratio == pytest.approx(0.6)
+
+    def test_paper_reference_attached_for_16x16(self):
+        rows = run_table1(agent_counts=(2,), n_random=5, t_max=500)
+        assert rows[2].paper_t == PAPER_TABLE1[2][0]
+        assert rows[2].paper_ratio == pytest.approx(58.43 / 82.78)
+
+    def test_format_lists_all_columns(self):
+        rows = run_table1(agent_counts=(2, 256), n_random=5, t_max=500)
+        text = format_table1(rows)
+        assert "T-grid" in text and "S-grid" in text and "T/S" in text
+        assert "paper T" in text
+
+    def test_fig5_series_order(self):
+        rows = run_table1(agent_counts=(8, 2), n_random=5, t_max=500)
+        counts, t_series, s_series = fig5_series(rows)
+        assert counts == [2, 8]
+        assert len(t_series) == len(s_series) == 2
+
+
+class TestTraces:
+    def test_fig6_runs_and_formats(self):
+        experiment = run_fig6()
+        assert experiment.grid_kind == "S"
+        assert experiment.t_comm == 106  # fixed placement, deterministic
+        text = format_trace(experiment, paper_t_comm=114)
+        assert "114" in text and "colors" in text
+
+    def test_fig7_runs_and_formats(self):
+        experiment = run_fig7()
+        assert experiment.grid_kind == "T"
+        assert experiment.t_comm == 41
+        assert 13 in experiment.panels
+
+    def test_t_trace_is_faster_than_s(self):
+        assert run_fig7().t_comm < run_fig6().t_comm
+
+    def test_panels_include_start_and_end(self):
+        experiment = run_fig6()
+        assert 0 in experiment.panels
+        assert experiment.t_comm in experiment.panels
+
+    def test_two_agent_configuration_scales(self):
+        grid = make_grid("S", 32)
+        config = two_agent_configuration(grid)
+        assert config.n_agents == 2
+        assert all(grid.contains(x, y) for x, y in config.positions)
+
+
+class TestGrid33:
+    def test_small_scale_run(self):
+        result = run_grid33(n_random=8, t_max=1500)
+        assert result.reliable["S"] and result.reliable["T"]
+        assert result.mean_time["T"] < result.mean_time["S"]
+        assert result.n_fields == 11
+
+    def test_format(self):
+        result = run_grid33(n_random=5, t_max=1500)
+        text = format_grid33(result)
+        assert "229" in text and "181" in text
+        assert str(PAPER_GRID33["S"]) in text or "229" in text
+
+
+class TestAblations:
+    def test_strip_colors_silences_the_channel(self):
+        stripped = strip_colors(published_fsm("S"))
+        assert stripped.set_color.sum() == 0
+        assert (stripped.move == published_fsm("S").move).all()
+
+    def test_color_ablation_shows_colors_help(self):
+        rows = run_color_ablation("S", n_agents=16, n_random=40, t_max=2000)
+        with_colors, without_colors = rows
+        assert with_colors.reliable
+        # stripping colours must hurt: slower or even unreliable
+        assert (
+            not without_colors.reliable
+            or without_colors.mean_time > with_colors.mean_time
+        )
+
+    def test_initial_state_ablation_shows_uniform_starts_fail(self):
+        rows = run_initial_state_ablation("S", n_agents=16, n_random=150, t_max=1500)
+        by_label = {row.label: row for row in rows}
+        assert by_label["S-agent start=id_mod_2"].reliable
+        assert not by_label["S-agent start=all_zero"].reliable
+
+    def test_random_walk_is_slower(self):
+        rows = run_random_walk_comparison("S", n_agents=16, n_random=8, t_max=6000)
+        evolved, walkers = rows
+        assert evolved.reliable
+        assert walkers.mean_time > evolved.mean_time
+        assert walkers.versus_baseline > 1.5
+
+    def test_format_ablation(self):
+        rows = run_color_ablation("T", n_agents=8, n_random=10, t_max=1500)
+        text = format_ablation("demo", rows)
+        assert text.startswith("demo")
+        assert "x slower" in text

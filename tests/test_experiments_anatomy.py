@@ -1,0 +1,40 @@
+"""The k = 4 maximum anatomy experiment."""
+
+import pytest
+
+from repro.experiments.anatomy import AnatomyRow, format_anatomy, run_anatomy
+
+
+class TestAnatomyRow:
+    def test_tail_ratio(self):
+        row = AnatomyRow(
+            n_agents=2, mean=59.0, p25=18.0, median=42.0, p90=126.0,
+            max_time=361,
+        )
+        assert row.tail_ratio == pytest.approx(3.0)
+
+
+class TestRunAnatomy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_anatomy(agent_counts=(2, 4, 8), n_random=120)
+
+    def test_rows_per_density(self, rows):
+        assert set(rows) == {2, 4, 8}
+
+    def test_percentiles_are_ordered(self, rows):
+        for row in rows.values():
+            assert row.p25 <= row.median <= row.p90 <= row.max_time
+
+    def test_k4_has_the_highest_median(self, rows):
+        assert rows[4].median > rows[2].median
+        assert rows[4].median > rows[8].median
+
+    def test_k2_has_the_heaviest_tail(self, rows):
+        assert rows[2].tail_ratio > rows[4].tail_ratio
+        assert rows[2].tail_ratio > rows[8].tail_ratio
+
+    def test_format(self, rows):
+        text = format_anatomy(rows)
+        assert "tail p90/p50" in text
+        assert "k = 4" in text

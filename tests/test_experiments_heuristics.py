@@ -1,0 +1,46 @@
+"""The search-heuristic comparison (Sect. 4's deferred question)."""
+
+import pytest
+
+from repro.experiments.heuristics import (
+    STRATEGIES,
+    format_heuristics,
+    run_heuristic_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_heuristic_comparison(
+        n_agents=4, n_random=10, n_generations=6, pool_size=8, t_max=120,
+    )
+
+
+class TestHeuristicComparison:
+    def test_all_strategies_run(self, results):
+        assert set(results) == set(STRATEGIES)
+
+    def test_budgets_are_equal(self, results):
+        budgets = {result.evaluations for result in results.values()}
+        assert len(budgets) == 1
+
+    def test_histories_are_monotone_best_so_far(self, results):
+        for result in results.values():
+            history = result.history
+            assert all(b <= a for a, b in zip(history, history[1:]))
+            assert len(history) == 7  # gen 0 + 6 iterations
+
+    def test_shared_initial_cohort(self, results):
+        # same seed => every strategy starts from the same random pool
+        starts = {result.history[0] for result in results.values()}
+        assert len(starts) == 1
+
+    def test_evolutionary_strategies_beat_or_match_random(self, results):
+        random_best = results["random search"].best_fitness
+        assert results["mutation-only (paper)"].best_fitness <= random_best
+        assert results["crossover+mutation"].best_fitness <= random_best
+
+    def test_format(self, results):
+        text = format_heuristics(results)
+        assert "mutation-only" in text
+        assert "evaluations" in text

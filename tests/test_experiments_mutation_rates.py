@@ -1,0 +1,44 @@
+"""The mutation-rate sweep (Sect. 4's 18% tuning)."""
+
+import pytest
+
+from repro.experiments.mutation_rates import (
+    RateSweepPoint,
+    format_rate_sweep,
+    run_mutation_rate_sweep,
+)
+
+
+class TestRateSweepPoint:
+    def test_aggregation(self):
+        point = RateSweepPoint(
+            rate=0.18, best_fitness_per_seed=[60.0, 70.0], reliable_runs=2
+        )
+        assert point.mean_best_fitness == 65.0
+        assert point.n_runs == 2
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_mutation_rate_sweep(
+            rates=(0.05, 0.18), n_agents=4, n_random=8,
+            n_generations=4, pool_size=8, seeds=(1, 2), t_max=120,
+        )
+
+    def test_one_point_per_rate(self, points):
+        assert set(points) == {0.05, 0.18}
+
+    def test_runs_counted(self, points):
+        for point in points.values():
+            assert point.n_runs == 2
+            assert 0 <= point.reliable_runs <= 2
+
+    def test_fitness_positive(self, points):
+        for point in points.values():
+            assert point.mean_best_fitness > 0
+
+    def test_format_marks_the_paper_rate(self, points):
+        text = format_rate_sweep(points)
+        assert "(paper)" in text
+        assert "18%" in text

@@ -1,0 +1,84 @@
+"""The aggregate knowledge-growth-curve experiment."""
+
+import pytest
+
+from repro.experiments.progress_curves import (
+    ProgressCurve,
+    format_progress_curves,
+    knowledge_bits_fraction,
+    run_progress_curves,
+)
+
+
+class TestKnowledgeBitsFraction:
+    def test_initial_fraction_is_one_over_k(self):
+        import numpy as np
+
+        from repro.configs.random_configs import random_configuration
+        from repro.core.published import published_fsm
+        from repro.core.vectorized import BatchSimulator
+        from repro.grids import make_grid
+
+        grid = make_grid("S", 16)
+        # far-apart pair: placement exchange learns nothing
+        from repro.configs.types import InitialConfiguration
+
+        config = InitialConfiguration(((0, 0), (8, 8), (0, 8), (8, 0)), (0,) * 4)
+        simulator = BatchSimulator(grid, published_fsm("S"), [config])
+        assert knowledge_bits_fraction(simulator) == pytest.approx(0.25)
+
+    def test_fraction_reaches_one_at_success(self):
+        from repro.configs.types import InitialConfiguration
+        from repro.core.published import published_fsm
+        from repro.core.vectorized import BatchSimulator
+        from repro.grids import make_grid
+
+        grid = make_grid("S", 8)
+        config = InitialConfiguration(((0, 0), (1, 0)), (0, 0))
+        simulator = BatchSimulator(grid, published_fsm("S"), [config])
+        assert knowledge_bits_fraction(simulator) == 1.0
+
+
+class TestProgressCurve:
+    def test_time_to(self):
+        curve = ProgressCurve(kind="T", n_agents=4, fractions=(0.25, 0.5, 1.0))
+        assert curve.time_to(0.25) == 0
+        assert curve.time_to(0.6) == 2
+        assert curve.time_to(1.0) == 2
+
+    def test_time_to_unreached(self):
+        curve = ProgressCurve(kind="T", n_agents=4, fractions=(0.25, 0.5))
+        assert curve.time_to(0.9) is None
+
+
+class TestRunProgressCurves:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return run_progress_curves(n_agents=8, n_random=40, t_max=400)
+
+    def test_two_curves(self, curves):
+        assert [curve.kind for curve in curves] == ["T", "S"]
+
+    def test_curves_are_monotone(self, curves):
+        for curve in curves:
+            values = curve.fractions
+            assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_curves_end_complete(self, curves):
+        for curve in curves:
+            assert curve.fractions[-1] == pytest.approx(1.0)
+
+    def test_t_leads_at_every_milestone(self, curves):
+        t_curve, s_curve = curves
+        for milestone in (0.5, 0.75, 0.9):
+            assert t_curve.time_to(milestone) <= s_curve.time_to(milestone)
+
+    def test_milestone_ratio_in_diameter_band(self, curves):
+        t_curve, s_curve = curves
+        ratio = t_curve.time_to(0.5) / s_curve.time_to(0.5)
+        assert 0.5 <= ratio <= 0.8
+
+    def test_format(self, curves):
+        text = format_progress_curves(curves)
+        assert "t@50%" in text
+        assert "relative time" in text

@@ -1,0 +1,56 @@
+"""The shared text-table and comparison formatting."""
+
+import pytest
+
+from repro.experiments.report import Comparison, TextTable, format_comparisons
+
+
+class TestTextTable:
+    def test_renders_headers_and_rows(self):
+        table = TextTable(["a", "bb"])
+        table.add_row([1, 2.5])
+        text = str(table)
+        lines = text.split("\n")
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "2.500" in lines[2]
+
+    def test_rejects_ragged_rows(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_column_alignment(self):
+        table = TextTable(["col"])
+        table.add_row(["wide-value"])
+        lines = str(table).split("\n")
+        assert len(lines[0]) == len(lines[2])
+
+    def test_large_floats_get_one_decimal(self):
+        table = TextTable(["x"])
+        table.add_row([12345.678])
+        assert "12345.7" in str(table)
+
+
+class TestComparison:
+    def test_relative_error(self):
+        comparison = Comparison("x", paper=100.0, measured=90.0)
+        assert comparison.relative_error == pytest.approx(-0.1)
+
+    def test_relative_error_without_reference(self):
+        assert Comparison("x", paper=None, measured=5.0).relative_error is None
+
+    def test_relative_error_zero_reference(self):
+        assert Comparison("x", paper=0.0, measured=5.0).relative_error is None
+
+    def test_format_comparisons(self):
+        text = format_comparisons(
+            "title",
+            [
+                Comparison("first", 10.0, 11.0),
+                Comparison("second", None, 3.0),
+            ],
+        )
+        assert text.startswith("title")
+        assert "+10.0%" in text
+        assert "first" in text and "second" in text

@@ -1,0 +1,68 @@
+"""Seed-robustness experiment and the ascii chart helper."""
+
+import pytest
+
+from repro.experiments.report import ascii_bars
+from repro.experiments.robustness import (
+    RobustnessRow,
+    format_robustness,
+    run_seed_robustness,
+)
+
+
+class TestRobustnessRow:
+    def test_statistics(self):
+        row = RobustnessRow(
+            kind="T", n_agents=16, means=(40.0, 42.0, 41.0), all_reliable=True
+        )
+        assert row.grand_mean == pytest.approx(41.0)
+        assert row.std == pytest.approx(0.8165, abs=1e-3)
+        assert row.relative_spread == pytest.approx(0.8165 / 41.0, abs=1e-4)
+
+
+class TestRunSeedRobustness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_seed_robustness(seeds=(1, 2), n_random=60)
+
+    def test_both_grids_measured(self, rows):
+        assert set(rows) == {"T", "S"}
+
+    def test_one_mean_per_seed(self, rows):
+        assert len(rows["T"].means) == 2
+
+    def test_reliable_on_every_ensemble(self, rows):
+        assert rows["T"].all_reliable and rows["S"].all_reliable
+
+    def test_small_spread(self, rows):
+        # even at 60 fields the means shouldn't wander by more than ~10%
+        assert rows["T"].relative_spread < 0.10
+        assert rows["S"].relative_spread < 0.10
+
+    def test_format(self, rows):
+        text = format_robustness(rows)
+        assert "grand T/S ratio" in text
+        assert "rel. spread" in text
+
+
+class TestAsciiBars:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bars(["a", "b"], {"x": [1.0, 2.0]}, width=10)
+        lines = [line for line in chart.split("\n") if "|" in line]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_multiple_series_share_the_scale(self):
+        chart = ascii_bars(["a"], {"x": [2.0], "y": [4.0]}, width=8)
+        lines = [line for line in chart.split("\n") if "|" in line]
+        assert lines[0].count("#") == 4
+        assert lines[1].count("#") == 8
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], {"x": [0.0]})
+
+    def test_minimum_one_hash(self):
+        chart = ascii_bars(["a", "b"], {"x": [0.001, 100.0]}, width=10)
+        lines = [line for line in chart.split("\n") if "|" in line]
+        assert lines[0].count("#") == 1

@@ -1,0 +1,46 @@
+"""The scaling sweep experiment."""
+
+import pytest
+
+from repro.experiments.scaling import (
+    PAPER_DENSITY,
+    format_scaling,
+    growth_exponent,
+    run_scaling,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_scaling(sizes=(8, 16), n_random=25, t_max=3000)
+
+
+class TestScalingSweep:
+    def test_density_is_the_papers(self):
+        assert PAPER_DENSITY == pytest.approx(16 / 256)
+
+    def test_agent_counts_follow_density(self, small_sweep):
+        assert small_sweep[8].n_agents == 4
+        assert small_sweep[16].n_agents == 16
+
+    def test_t_wins_at_every_size(self, small_sweep):
+        for row in small_sweep.values():
+            assert row.t_time < row.s_time
+
+    def test_times_grow_with_size(self, small_sweep):
+        assert small_sweep[16].t_time > small_sweep[8].t_time
+        assert small_sweep[16].s_time > small_sweep[8].s_time
+
+    def test_reliability_everywhere(self, small_sweep):
+        for row in small_sweep.values():
+            assert row.t_reliable and row.s_reliable
+
+    def test_growth_exponent_sign(self, small_sweep):
+        # two points define the slope exactly; it must be positive and
+        # roughly linear-like
+        assert 0.5 < growth_exponent(small_sweep, "S") < 1.6
+
+    def test_format(self, small_sweep):
+        text = format_scaling(small_sweep)
+        assert "growth exponents" in text
+        assert "0.666" in text

@@ -1,0 +1,40 @@
+"""The control-state-budget comparison (the paper's "more states")."""
+
+import pytest
+
+from repro.experiments.states_exp import (
+    format_state_budgets,
+    run_state_budget_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_state_budget_comparison(
+        state_counts=(2, 4), n_agents=4, n_random=8,
+        n_generations=4, pool_size=8, t_max=120,
+    )
+
+
+class TestStateBudgets:
+    def test_one_arm_per_budget(self, results):
+        assert set(results) == {2, 4}
+
+    def test_table_sizes(self, results):
+        assert results[2].table_size == 16
+        assert results[4].table_size == 32
+
+    def test_histories_are_monotone(self, results):
+        for result in results.values():
+            history = result.history
+            assert all(b <= a for a, b in zip(history, history[1:]))
+
+    def test_evolved_machines_keep_their_state_count(self, results):
+        # the GA must not silently change the genome shape
+        assert results[2].table_size // 8 == 2
+        assert results[4].table_size // 8 == 4
+
+    def test_format_marks_the_paper_budget(self, results):
+        text = format_state_budgets(results)
+        assert "(paper)" in text
+        assert "table entries" in text

@@ -1,0 +1,36 @@
+"""The ensemble structure-statistics experiment."""
+
+import pytest
+
+from repro.experiments.structures_exp import (
+    format_structure_statistics,
+    run_structure_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_structure_statistics(n_runs=10, t_max=1500)
+
+
+class TestStructureStatistics:
+    def test_both_grids_measured(self, results):
+        assert set(results) == {"S", "T"}
+
+    def test_all_runs_succeed(self, results):
+        assert results["S"].n_runs == 10
+        assert results["T"].n_runs == 10
+
+    def test_honeycomb_signature(self, results):
+        assert results["T"].mean_loop_count > results["S"].mean_loop_count
+
+    def test_metrics_are_in_range(self, results):
+        for stats in results.values():
+            assert 0.0 <= stats.mean_street_concentration <= 1.0
+            assert 0.0 <= stats.mean_travel_gini <= 1.0
+            assert stats.mean_loop_count >= 0.0
+
+    def test_format(self, results):
+        text = format_structure_statistics(results)
+        assert "street conc." in text
+        assert "colour loops" in text

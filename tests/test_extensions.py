@@ -1,0 +1,299 @@
+"""Extensions: time-shuffling, heterogeneous species, multi-colour agents."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import always_straight_fsm, circler_fsm
+from repro.configs.random_configs import random_configuration
+from repro.configs.special import spread_diagonal
+from repro.configs.types import InitialConfiguration
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.extensions.multicolor import (
+    MulticolorFSM,
+    MulticolorSimulation,
+    encode_multicolor_input,
+    mutate_multicolor,
+)
+from repro.extensions.species import HeterogeneousSimulation, heterogeneous_batch
+from repro.extensions.timeshuffle import (
+    TimeShuffledBatchSimulator,
+    TimeShuffledSimulation,
+)
+from repro.grids import SquareGrid, make_grid
+
+
+class TestTimeShuffle:
+    def test_rejects_mismatched_state_counts(self, rng):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0),), (0,))
+        with pytest.raises(ValueError, match="state counts"):
+            TimeShuffledSimulation(
+                grid, FSM.random(rng, n_states=4), FSM.random(rng, n_states=2),
+                config,
+            )
+
+    def test_identical_pair_equals_single_fsm(self, rng):
+        grid = SquareGrid(8)
+        fsm = published_fsm("S")
+        config = random_configuration(grid, 6, rng)
+        single = Simulation(grid, fsm, config).run(t_max=500)
+        shuffled = TimeShuffledSimulation(grid, fsm, fsm, config).run(t_max=500)
+        assert shuffled.t_comm == single.t_comm
+
+    def test_alternation_is_observable(self):
+        # even FSM walks east, odd FSM walks north: the path staircases
+        grid = SquareGrid(8)
+        walk_east = always_straight_fsm(1)
+        walk_north = FSM(
+            next_state=[0] * 8, set_color=[0] * 8, move=[1] * 8, turn=[1] * 8
+        )
+        config = InitialConfiguration(((0, 0),), (0,), states=(0,))
+        simulation = TimeShuffledSimulation(grid, walk_east, walk_north, config)
+        simulation.step()  # decided by even FSM at t=0: move east
+        assert simulation.agents[0].position == (1, 0)
+        simulation.step()  # odd FSM: move east then turn left (now facing N)
+        assert simulation.agents[0].position == (2, 0)
+        simulation.step()  # even FSM again: move north (no turn)
+        assert simulation.agents[0].position == (2, 1)
+
+    def test_batch_matches_reference(self, rng):
+        grid = make_grid("T", 8)
+        fsm_even = FSM.random(np.random.default_rng(1))
+        fsm_odd = FSM.random(np.random.default_rng(2))
+        for seed in range(5):
+            config = random_configuration(grid, 5, np.random.default_rng(seed))
+            reference = TimeShuffledSimulation(
+                grid, fsm_even, fsm_odd, config
+            ).run(t_max=80)
+            batch = TimeShuffledBatchSimulator(
+                grid, fsm_even, fsm_odd, [config]
+            ).run(t_max=80)
+            assert bool(batch.success[0]) == reference.success
+            if reference.success:
+                assert int(batch.t_comm[0]) == reference.t_comm
+
+    def test_shuffling_cannot_break_spatial_symmetry(self):
+        # time-shuffling is uniform in space: two identical agents offset
+        # by the half-torus translation see translated copies of the same
+        # world forever (the colour field W + (W + (4,4)) is invariant),
+        # so no FSM pair can ever make them meet -- this is exactly why
+        # the paper needs a *spatial* symmetry breaker (ID mod 2 states)
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 0), states=(0, 0))
+        shuffled = TimeShuffledSimulation(
+            grid, published_fsm("S"), always_straight_fsm(), config
+        ).run(t_max=500)
+        assert not shuffled.success
+        # while the ID mod 2 scheme solves the very same placement
+        rescued = Simulation(
+            grid, published_fsm("S"),
+            InitialConfiguration(((0, 0), (4, 4)), (0, 0)),
+        ).run(t_max=500)
+        assert rescued.success
+
+    def test_shuffled_published_agents_stay_functional(self):
+        grid = SquareGrid(16)
+        fsm = published_fsm("S")
+        solved = 0
+        for seed in range(5):
+            config = random_configuration(grid, 8, np.random.default_rng(seed))
+            result = TimeShuffledSimulation(
+                grid, fsm, always_straight_fsm(), config
+            ).run(t_max=3000)
+            solved += result.success
+        # interleaving plain straight moves keeps the evolved behaviour
+        # productive (the shuffled swarm still solves everything here)
+        assert solved == 5
+
+
+class TestSpecies:
+    def test_rejects_wrong_fsm_count(self, rng):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (1, 1)), (0, 0))
+        with pytest.raises(ValueError, match="FSMs for"):
+            HeterogeneousSimulation(grid, [FSM.random(rng)], config)
+
+    def test_rejects_mixed_state_counts(self, rng):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (1, 1)), (0, 0))
+        with pytest.raises(ValueError, match="state count"):
+            HeterogeneousSimulation(
+                grid, [FSM.random(rng, n_states=4), FSM.random(rng, n_states=2)],
+                config,
+            )
+
+    def test_each_agent_follows_its_species(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 0), states=(0, 0))
+        simulation = HeterogeneousSimulation(
+            grid, [always_straight_fsm(), circler_fsm()], config
+        )
+        for _ in range(4):
+            simulation.step()
+        assert simulation.agents[0].position == (4, 0)  # straight east
+        assert simulation.agents[1].position == (4, 4)  # orbit closed
+
+    def test_mixed_species_break_the_same_lane_trap(self):
+        # two straight walkers on one lane keep their distance forever;
+        # replacing one with a waiter (a different species) lets the
+        # walker sweep into the waiter -- Sect. 4's option 3 at its core
+        grid = SquareGrid(8)
+        waiter = FSM(
+            next_state=[0] * 8, set_color=[0] * 8, move=[0] * 8, turn=[0] * 8
+        )
+        config = InitialConfiguration(((0, 0), (4, 0)), (0, 0), states=(0, 0))
+        uniform = Simulation(grid, always_straight_fsm(), config).run(t_max=200)
+        assert not uniform.success
+        mixed = HeterogeneousSimulation(
+            grid, [always_straight_fsm(1), waiter], config
+        ).run(t_max=200)
+        assert mixed.success
+        assert mixed.t_comm == 3  # the walker arrives next to (4, 0) at t = 3
+
+    def test_mixed_species_solve_the_diagonal_eventually(self):
+        # uniform straight walkers fail the diagonal; a half-and-half mix
+        # with the evolved agent solves it (the evolved agents hunt)
+        grid = SquareGrid(8)
+        config = spread_diagonal(grid, 4)
+        uniform = Simulation(grid, always_straight_fsm(), config).run(t_max=400)
+        assert not uniform.success
+        mixed = HeterogeneousSimulation(
+            grid,
+            [published_fsm("S"), always_straight_fsm(),
+             published_fsm("S"), always_straight_fsm()],
+            config,
+        ).run(t_max=5000)
+        assert mixed.success
+
+    def test_batch_matches_reference(self):
+        grid = make_grid("T", 8)
+        species = [
+            FSM.random(np.random.default_rng(10)),
+            FSM.random(np.random.default_rng(11)),
+            FSM.random(np.random.default_rng(12)),
+        ]
+        for seed in range(5):
+            config = random_configuration(grid, 3, np.random.default_rng(seed))
+            reference = HeterogeneousSimulation(grid, species, config).run(t_max=80)
+            batch = heterogeneous_batch(grid, species, [config]).run(t_max=80)
+            assert bool(batch.success[0]) == reference.success
+            if reference.success:
+                assert int(batch.t_comm[0]) == reference.t_comm
+
+    def test_batch_rejects_both_fsm_forms(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0),), (0,))
+        from repro.core.vectorized import BatchSimulator
+
+        with pytest.raises(ValueError, match="not both"):
+            BatchSimulator(
+                grid, fsms=published_fsm("S"), configs=[config],
+                agent_fsms=[published_fsm("S")],
+            )
+
+
+class TestMulticolorEncoding:
+    def test_two_colors_match_core_packing(self):
+        from repro.core.inputs import encode_input
+
+        for blocked in (0, 1):
+            for color in (0, 1):
+                for frontcolor in (0, 1):
+                    assert encode_multicolor_input(
+                        blocked, color, frontcolor, 2
+                    ) == encode_input(blocked, color, frontcolor)
+
+    def test_input_count(self):
+        seen = {
+            encode_multicolor_input(b, c, f, 3)
+            for b in (0, 1) for c in range(3) for f in range(3)
+        }
+        assert seen == set(range(18))
+
+    def test_rejects_out_of_range_colors(self):
+        with pytest.raises(ValueError):
+            encode_multicolor_input(0, 3, 0, 3)
+
+
+class TestMulticolorFSM:
+    def test_random_is_valid(self, rng):
+        fsm = MulticolorFSM.random(rng, n_states=4, n_colors=3)
+        assert fsm.n_inputs == 18
+        assert fsm.table_size == 72
+        assert fsm.validate() is fsm
+
+    def test_rejects_single_color(self, rng):
+        with pytest.raises(ValueError):
+            MulticolorFSM.random(rng, n_colors=1)
+
+    def test_rejects_color_overflow_in_table(self):
+        with pytest.raises(ValueError, match="set_color"):
+            MulticolorFSM(
+                next_state=[0] * 8, set_color=[2] * 8, move=[0] * 8,
+                turn=[0] * 8, n_colors=2,
+            )
+
+    def test_from_standard_embedding_behaves_identically(self, rng):
+        standard = published_fsm("T")
+        embedded = MulticolorFSM.from_standard(standard)
+        for x in range(8):
+            for state in range(4):
+                assert embedded.transition(x, state) == standard.transition(x, state)
+
+    def test_mutation_preserves_validity(self, rng):
+        fsm = MulticolorFSM.random(rng, n_colors=4)
+        for _ in range(10):
+            fsm = mutate_multicolor(fsm, rng)
+            assert fsm.validate() is fsm
+
+    def test_mutation_is_cyclic_in_colors(self, rng):
+        fsm = MulticolorFSM.random(rng, n_colors=3)
+        child = mutate_multicolor(fsm, rng, rate=1.0)
+        assert (child.set_color == (fsm.set_color + 1) % 3).all()
+
+    def test_equality_and_hash(self, rng):
+        fsm = MulticolorFSM.random(rng, n_colors=3)
+        same = MulticolorFSM(
+            fsm.next_state, fsm.set_color, fsm.move, fsm.turn, n_colors=3
+        )
+        assert fsm == same and hash(fsm) == hash(same)
+
+
+class TestMulticolorSimulation:
+    def test_requires_multicolor_fsm(self, rng):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0),), (0,))
+        with pytest.raises(TypeError):
+            MulticolorSimulation(grid, FSM.random(rng), config)
+
+    def test_embedded_standard_fsm_reproduces_core_run(self, rng):
+        grid = make_grid("T", 8)
+        config = random_configuration(grid, 5, np.random.default_rng(4))
+        standard = published_fsm("T")
+        core = Simulation(grid, standard, config).run(t_max=300)
+        lifted = MulticolorSimulation(
+            grid, MulticolorFSM.from_standard(standard), config
+        ).run(t_max=300)
+        assert lifted.success == core.success
+        assert lifted.t_comm == core.t_comm
+
+    def test_third_color_is_written_and_read(self, rng):
+        grid = SquareGrid(8)
+        # a machine that always writes colour 2 on its cell
+        fsm = MulticolorFSM.random(np.random.default_rng(0), n_colors=3)
+        fsm.set_color[:] = 2
+        fsm.move[:] = 1
+        fsm.turn[:] = 0
+        config = InitialConfiguration(((0, 0),), (0,))
+        simulation = MulticolorSimulation(grid, fsm, config)
+        simulation.step()
+        assert simulation.colors[0, 0] == 2
+
+    def test_random_multicolor_swarm_runs(self, rng):
+        grid = make_grid("T", 8)
+        fsm = MulticolorFSM.random(rng, n_states=4, n_colors=4)
+        config = random_configuration(grid, 6, rng)
+        result = MulticolorSimulation(grid, fsm, config).run(t_max=100)
+        assert result.steps_executed <= 100

@@ -1,0 +1,163 @@
+"""Conflict-policy and fault-injection extensions."""
+
+import numpy as np
+import pytest
+
+from repro.configs.random_configs import random_configuration
+from repro.configs.types import InitialConfiguration
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.extensions.conflicts import (
+    POLICIES,
+    PolicySimulation,
+    compare_policies,
+    highest_id,
+    lowest_id,
+    random_winner,
+    rotating,
+)
+from repro.extensions.faults import FaultyExchangeSimulation, run_fault_sweep
+from repro.grids import SquareGrid, make_grid
+
+
+def head_to_head_config():
+    """Two agents contesting cell (1, 1) from the west and the east."""
+    return InitialConfiguration(((0, 1), (2, 1)), (0, 2))
+
+
+class TestPolicies:
+    def test_lowest_id_matches_the_base_simulator(self):
+        grid = SquareGrid(16)
+        fsm = published_fsm("S")
+        for seed in range(5):
+            config = random_configuration(grid, 8, np.random.default_rng(seed))
+            base = Simulation(grid, fsm, config).run(t_max=1000)
+            policy = PolicySimulation(
+                grid, fsm, config, policy=lowest_id
+            ).run(t_max=1000)
+            assert policy.t_comm == base.t_comm
+
+    def test_highest_id_flips_the_winner(self):
+        grid = SquareGrid(8)
+        from repro.core.fsm import FSM
+
+        mover = FSM(next_state=[0] * 8, set_color=[0] * 8,
+                    move=[1] * 8, turn=[0] * 8)
+        simulation = PolicySimulation(
+            grid, mover, head_to_head_config(), policy=highest_id
+        )
+        simulation.step()
+        assert simulation.agents[1].position == (1, 1)
+        assert simulation.agents[0].position == (0, 1)
+
+    def test_rotating_priority_alternates(self):
+        assert rotating({0, 1}, None, t=0, rng=None) == 0
+        assert rotating({0, 1}, None, t=1, rng=None) == 1
+
+    def test_random_winner_is_seeded(self):
+        rng_a = np.random.default_rng(4)
+        rng_b = np.random.default_rng(4)
+        picks_a = [random_winner({0, 1, 2}, None, 0, rng_a) for _ in range(20)]
+        picks_b = [random_winner({0, 1, 2}, None, 0, rng_b) for _ in range(20)]
+        assert picks_a == picks_b
+        assert set(picks_a) <= {0, 1, 2}
+
+    def test_policy_must_return_a_requester(self):
+        grid = SquareGrid(8)
+        from repro.core.fsm import FSM
+
+        mover = FSM(next_state=[0] * 8, set_color=[0] * 8,
+                    move=[1] * 8, turn=[0] * 8)
+        simulation = PolicySimulation(
+            grid, mover, head_to_head_config(), policy=lambda r, c, t, g: 99
+        )
+        with pytest.raises(ValueError, match="requester"):
+            simulation.step()
+
+    def test_compare_policies_shapes(self):
+        grid = make_grid("T", 16)
+        fsm = published_fsm("T")
+        configs = [
+            random_configuration(grid, 8, np.random.default_rng(seed))
+            for seed in range(6)
+        ]
+        results = compare_policies(grid, fsm, configs, t_max=1000)
+        assert set(results) == set(POLICIES)
+        for mean_time, success_rate in results.values():
+            assert success_rate == 1.0
+            assert mean_time < 1000
+
+    def test_all_policies_solve_the_task(self):
+        grid = make_grid("S", 16)
+        fsm = published_fsm("S")
+        configs = [
+            random_configuration(grid, 8, np.random.default_rng(seed))
+            for seed in range(4)
+        ]
+        results = compare_policies(grid, fsm, configs, t_max=2000)
+        # the arbitration rule is not what makes the behaviour work
+        assert all(rate == 1.0 for _, rate in results.values())
+
+
+class TestFaultInjection:
+    def test_zero_fault_rate_matches_the_base_simulator(self):
+        grid = make_grid("T", 16)
+        fsm = published_fsm("T")
+        config = random_configuration(grid, 8, np.random.default_rng(1))
+        base = Simulation(grid, fsm, config).run(t_max=1000)
+        faulty = FaultyExchangeSimulation(
+            grid, fsm, config, failure_probability=0.0
+        ).run(t_max=1000)
+        assert faulty.t_comm == base.t_comm
+
+    def test_rejects_invalid_probability(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0),), (0,))
+        with pytest.raises(ValueError):
+            FaultyExchangeSimulation(
+                grid, published_fsm("S"), config, failure_probability=1.5
+            )
+
+    def test_total_loss_never_solves(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (1, 0)), (0, 0))
+        result = FaultyExchangeSimulation(
+            grid, published_fsm("S"), config, failure_probability=1.0
+        ).run(t_max=50)
+        assert not result.success
+
+    def test_faults_slow_the_task_down(self):
+        grid = make_grid("T", 16)
+        fsm = published_fsm("T")
+        configs = [
+            random_configuration(grid, 8, np.random.default_rng(seed))
+            for seed in range(10)
+        ]
+        sweep = run_fault_sweep(
+            grid, fsm, configs, probabilities=(0.0, 0.6), t_max=4000
+        )
+        assert sweep[0.0].slowdown == 1.0
+        assert sweep[0.6].mean_time > sweep[0.0].mean_time
+        assert sweep[0.6].success_rate == 1.0  # graceful: still solves
+
+    def test_sweep_is_reproducible(self):
+        grid = SquareGrid(8)
+        fsm = published_fsm("S")
+        configs = [random_configuration(grid, 4, np.random.default_rng(2))]
+        first = run_fault_sweep(grid, fsm, configs, probabilities=(0.3,), seed=9)
+        second = run_fault_sweep(grid, fsm, configs, probabilities=(0.3,), seed=9)
+        assert first[0.3].mean_time == second[0.3].mean_time
+
+    def test_knowledge_stays_monotone_under_faults(self):
+        grid = make_grid("S", 8)
+        config = random_configuration(grid, 5, np.random.default_rng(3))
+        simulation = FaultyExchangeSimulation(
+            grid, published_fsm("S"), config, failure_probability=0.5, seed=1
+        )
+        previous = [agent.knowledge for agent in simulation.agents]
+        for _ in range(40):
+            simulation.step()
+            current = [agent.knowledge for agent in simulation.agents]
+            for old, new in zip(previous, current):
+                assert old & new == old
+            previous = current

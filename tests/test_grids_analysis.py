@@ -1,0 +1,134 @@
+"""Eq. 1-3 closed forms vs exhaustive measurement (and Fig. 2's numbers)."""
+
+import pytest
+
+from repro.grids import (
+    SquareGrid,
+    TriangulateGrid,
+    diameter_formula,
+    diameter_ratio,
+    make_grid,
+    mean_distance_formula,
+    mean_distance_ratio,
+    summarize_topology,
+)
+from repro.grids.analysis import (
+    antipodal_cells,
+    distance_field,
+    empirical_diameter,
+    empirical_mean_distance,
+)
+
+
+class TestDiameterFormula:
+    """Eq. 1: D^S = sqrt(N); D^T = (2(sqrt(N) - 1) + eps) / 3."""
+
+    def test_square_diameter_is_the_side(self):
+        for n in range(1, 7):
+            assert diameter_formula("S", n) == 2**n
+
+    def test_triangulate_even_exponent(self):
+        assert diameter_formula("T", 4) == 10  # (2 * 15 + 0) / 3
+
+    def test_triangulate_odd_exponent(self):
+        assert diameter_formula("T", 3) == 5  # (2 * 7 + 1) / 3
+
+    def test_fig2_values(self):
+        # Fig. 2 caption: D_3^S = 8, D_3^T = 5
+        assert diameter_formula("S", 3) == 8
+        assert diameter_formula("T", 3) == 5
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            diameter_formula("Q", 3)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("kind", ["S", "T"])
+    def test_formula_matches_bfs(self, kind, n):
+        grid = make_grid(kind, 2**n)
+        assert diameter_formula(kind, n) == empirical_diameter(grid)
+
+
+class TestMeanDistanceFormula:
+    """Eq. 2: mean^S = sqrt(N)/2 exactly, mean^T approximately."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_square_mean_is_exact(self, n):
+        grid = SquareGrid(2**n)
+        assert mean_distance_formula("S", n) == pytest.approx(
+            empirical_mean_distance(grid)
+        )
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_triangulate_mean_is_close(self, n):
+        grid = TriangulateGrid(2**n)
+        assert mean_distance_formula("T", n) == pytest.approx(
+            empirical_mean_distance(grid), rel=0.01
+        )
+
+    def test_fig2_values(self):
+        # Fig. 2 caption: mean_3^S = 4, mean_3^T ~ 3.09
+        assert mean_distance_formula("S", 3) == 4
+        assert mean_distance_formula("T", 3) == pytest.approx(3.09, abs=0.005)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            mean_distance_formula("Q", 3)
+
+
+class TestRatios:
+    """Eq. 3: D^{T/S} ~ 0.666, mean^{T/S} ~ 0.775 (asymptotically)."""
+
+    def test_diameter_ratio_approaches_two_thirds(self):
+        assert diameter_ratio(8) == pytest.approx(2 / 3, abs=0.01)
+
+    def test_mean_ratio_approaches_0775(self):
+        assert mean_distance_ratio(8) == pytest.approx(0.775, abs=0.005)
+
+    def test_ratio_is_monotone_toward_limit(self):
+        ratios = [diameter_ratio(n) for n in range(2, 9)]
+        assert all(earlier <= later for earlier, later in zip(ratios, ratios[1:]))
+
+
+class TestDistanceFieldAndAntipodals:
+    def test_field_defaults_to_center_source(self, grid8):
+        field = distance_field(grid8)
+        center = grid8.size // 2
+        assert field[center, center] == 0
+
+    def test_max_of_field_is_diameter(self, grid8):
+        assert distance_field(grid8).max() == empirical_diameter(grid8)
+
+    def test_square_has_unique_antipodal(self):
+        # even torus: exactly one cell at distance D in S
+        assert len(antipodal_cells(SquareGrid(8))) == 1
+
+    def test_triangulate_has_multiple_antipodals(self):
+        # Fig. 2 shows several antipodal cells in T
+        assert len(antipodal_cells(TriangulateGrid(8))) > 1
+
+    def test_antipodals_at_maximal_distance(self, grid8):
+        field = distance_field(grid8)
+        for cell in antipodal_cells(grid8):
+            assert field[cell] == field.max()
+
+
+class TestSummarizeTopology:
+    def test_summary_is_formula_consistent(self, grid16):
+        summary = summarize_topology(grid16)
+        assert summary.formula_consistent
+
+    def test_summary_counts(self):
+        summary = summarize_topology(TriangulateGrid(16))
+        assert summary.n_cells == 256
+        assert summary.n_links == 768
+        assert summary.side == 16
+        assert summary.n == 4
+
+    def test_rejects_non_power_of_two_without_exponent(self):
+        with pytest.raises(ValueError, match="power of two"):
+            summarize_topology(SquareGrid(12))
+
+    def test_explicit_exponent_accepted(self):
+        summary = summarize_topology(SquareGrid(12), n=4)
+        assert summary.diameter == 12  # measured, regardless of the formula

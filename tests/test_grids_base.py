@@ -1,0 +1,168 @@
+"""Shared grid behaviour: wrapping, indexing, movement, turning."""
+
+import numpy as np
+import pytest
+
+from repro.grids import SquareGrid, TriangulateGrid, make_grid
+
+
+class TestConstruction:
+    def test_make_grid_square(self):
+        assert isinstance(make_grid("S", 16), SquareGrid)
+
+    def test_make_grid_triangulate(self):
+        assert isinstance(make_grid("T", 16), TriangulateGrid)
+
+    def test_make_grid_is_case_insensitive(self):
+        assert isinstance(make_grid("t", 8), TriangulateGrid)
+
+    def test_make_grid_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown grid kind"):
+            make_grid("X", 16)
+
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(ValueError, match="size"):
+            SquareGrid(1)
+
+    def test_kind_labels(self):
+        assert SquareGrid(4).kind == "S"
+        assert TriangulateGrid(4).kind == "T"
+
+    def test_equality_same_type_same_size(self):
+        assert SquareGrid(8) == SquareGrid(8)
+        assert hash(SquareGrid(8)) == hash(SquareGrid(8))
+
+    def test_inequality_across_types(self):
+        assert SquareGrid(8) != TriangulateGrid(8)
+
+    def test_inequality_across_sizes(self):
+        assert SquareGrid(8) != SquareGrid(16)
+
+    def test_repr_mentions_size(self):
+        assert "16" in repr(SquareGrid(16))
+
+
+class TestCounts:
+    def test_cell_count(self, grid16):
+        assert grid16.n_cells == 256
+
+    def test_square_link_count_is_2n(self):
+        # Sect. 2: the number of links is 2N for torus S
+        grid = SquareGrid(16)
+        assert grid.n_links == 2 * grid.n_cells
+
+    def test_triangulate_link_count_is_3n(self):
+        # Sect. 2: ... and 3N for torus T
+        grid = TriangulateGrid(16)
+        assert grid.n_links == 3 * grid.n_cells
+
+    def test_valence(self):
+        assert SquareGrid(8).n_directions == 4
+        assert TriangulateGrid(8).n_directions == 6
+
+
+class TestCoordinates:
+    def test_wrap_identity_in_range(self, grid16):
+        assert grid16.wrap(3, 5) == (3, 5)
+
+    def test_wrap_negative(self, grid16):
+        assert grid16.wrap(-1, -1) == (15, 15)
+
+    def test_wrap_overflow(self, grid16):
+        assert grid16.wrap(16, 17) == (0, 1)
+
+    def test_flat_unflat_roundtrip(self, grid8):
+        for index in range(grid8.n_cells):
+            assert grid8.flat(*grid8.unflat(index)) == index
+
+    def test_flat_wraps(self, grid16):
+        assert grid16.flat(16, 0) == grid16.flat(0, 0)
+
+    def test_unflat_rejects_out_of_range(self, grid16):
+        with pytest.raises(ValueError):
+            grid16.unflat(256)
+        with pytest.raises(ValueError):
+            grid16.unflat(-1)
+
+    def test_contains(self, grid16):
+        assert grid16.contains(0, 15)
+        assert not grid16.contains(16, 0)
+        assert not grid16.contains(0, -1)
+
+
+class TestMovement:
+    def test_step_wraps_around(self, grid16):
+        x, y = grid16.step(15, 0, 0)  # east from the east edge
+        assert (x, y) == (0, 0)
+
+    def test_neighbors_count_matches_valence(self, grid16):
+        assert len(grid16.neighbors(3, 3)) == grid16.n_directions
+
+    def test_neighbors_are_all_distinct(self, grid16):
+        neighbors = grid16.neighbors(5, 7)
+        assert len(set(neighbors)) == len(neighbors)
+
+    def test_neighbors_are_mutual(self, grid8):
+        # if b is a neighbour of a, then a is a neighbour of b
+        for x in range(grid8.size):
+            for y in range(grid8.size):
+                for nx, ny in grid8.neighbors(x, y):
+                    assert (x, y) in grid8.neighbors(nx, ny)
+
+    def test_step_then_opposite_returns(self, grid16):
+        for direction in range(grid16.n_directions):
+            forward = grid16.step(4, 9, direction)
+            back = grid16.step(*forward, grid16.opposite(direction))
+            assert back == (4, 9)
+
+    def test_opposite_is_involution(self, grid16):
+        for direction in range(grid16.n_directions):
+            assert grid16.opposite(grid16.opposite(direction)) == direction
+
+
+class TestTurning:
+    def test_turn_code_zero_is_straight(self, grid16):
+        for direction in range(grid16.n_directions):
+            assert grid16.turn(direction, 0) == direction
+
+    def test_turn_code_two_is_back(self, grid16):
+        # both grids: turn code 2 means 180 degrees
+        for direction in range(grid16.n_directions):
+            assert grid16.turn(direction, 2) == grid16.opposite(direction)
+
+    def test_turn_codes_one_and_three_are_inverse(self, grid16):
+        for direction in range(grid16.n_directions):
+            assert grid16.turn(grid16.turn(direction, 1), 3) == direction
+
+    def test_direction_plus_one_is_one_rotation_step(self, grid16):
+        # the offsets are listed in rotation order
+        assert grid16.turn(grid16.n_directions - 1, 1) == 0
+
+    def test_turn_table_matches_turn(self, grid16):
+        table = grid16.turn_table()
+        for direction in range(grid16.n_directions):
+            for code in range(4):
+                expected = (direction + table[code]) % grid16.n_directions
+                assert grid16.turn(direction, code) == expected
+
+
+class TestNumpyViews:
+    def test_direction_deltas_match_offsets(self, grid16):
+        dx, dy = grid16.direction_deltas()
+        assert dx.shape == (grid16.n_directions,)
+        for direction, (ox, oy) in enumerate(grid16.DIRECTION_OFFSETS):
+            assert dx[direction] == ox
+            assert dy[direction] == oy
+
+    def test_direction_deltas_are_copies(self, grid16):
+        dx, _ = grid16.direction_deltas()
+        dx[0] = 99
+        assert grid16.DIRECTION_OFFSETS[0][0] != 99
+
+    def test_turn_table_dtype(self, grid16):
+        assert grid16.turn_table().dtype == np.int64
+
+    def test_glyph_per_direction(self, grid16):
+        glyphs = [grid16.direction_glyph(d) for d in range(grid16.n_directions)]
+        assert len(set(glyphs)) == grid16.n_directions
+        assert all(len(glyph) == 1 for glyph in glyphs)

@@ -1,0 +1,149 @@
+"""Metric functions vs breadth-first search on the actual torus graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grids import SquareGrid, TriangulateGrid
+from repro.grids.distance import (
+    bfs_distance_field,
+    hexagonal_steps,
+    hexagonal_torus_distance,
+    manhattan_torus_distance,
+    metric_distance_field,
+    torus_delta,
+)
+
+
+class TestTorusDelta:
+    def test_forward_is_positive(self):
+        assert torus_delta(0, 3, 16) == 3
+
+    def test_backward_is_negative(self):
+        assert torus_delta(0, 13, 16) == -3
+
+    def test_halfway_tie_is_positive(self):
+        assert torus_delta(0, 8, 16) == 8
+
+    def test_zero(self):
+        assert torus_delta(5, 5, 16) == 0
+
+    @given(
+        a=st.integers(0, 30), b=st.integers(0, 30),
+        size=st.integers(2, 31),
+    )
+    def test_magnitude_never_exceeds_half(self, a, b, size):
+        delta = torus_delta(a % size, b % size, size)
+        assert abs(delta) <= size // 2 + (size % 2 == 0)
+        assert (a + delta) % size == b % size
+
+
+class TestHexagonalSteps:
+    def test_origin(self):
+        assert hexagonal_steps(0, 0) == 0
+
+    def test_axis_moves(self):
+        assert hexagonal_steps(4, 0) == 4
+        assert hexagonal_steps(0, -3) == 3
+
+    def test_diagonal_moves(self):
+        assert hexagonal_steps(4, 4) == 4
+        assert hexagonal_steps(-2, -2) == 2
+
+    def test_mixed_signs_add(self):
+        assert hexagonal_steps(3, -2) == 5
+        assert hexagonal_steps(-1, 4) == 5
+
+    @given(dx=st.integers(-20, 20), dy=st.integers(-20, 20))
+    def test_closed_form_equals_greedy_walk(self, dx, dy):
+        # walk greedily with the six unit moves; step count must match
+        steps, x, y = 0, dx, dy
+        while (x, y) != (0, 0):
+            if x > 0 and y > 0:
+                x, y = x - 1, y - 1
+            elif x < 0 and y < 0:
+                x, y = x + 1, y + 1
+            elif x != 0:
+                x -= np.sign(x)
+            else:
+                y -= np.sign(y)
+            steps += 1
+        assert steps == hexagonal_steps(dx, dy)
+
+
+class TestTorusMetricsAgainstBFS:
+    """The closed forms must equal hop counts on the real link structure."""
+
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8, 9, 16])
+    def test_manhattan_matches_bfs(self, size):
+        grid = SquareGrid(size)
+        bfs = bfs_distance_field(grid, 0, 0)
+        metric = metric_distance_field(grid, 0, 0)
+        assert (bfs == metric).all()
+
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 8, 9, 16])
+    def test_hexagonal_matches_bfs(self, size):
+        grid = TriangulateGrid(size)
+        bfs = bfs_distance_field(grid, 0, 0)
+        metric = metric_distance_field(grid, 0, 0)
+        assert (bfs == metric).all()
+
+    @pytest.mark.parametrize("size", [5, 8])
+    def test_matches_from_every_source(self, size):
+        # vertex-transitivity is an output, not an assumption, here
+        for grid in (SquareGrid(size), TriangulateGrid(size)):
+            for source in [(0, 0), (2, 3), (size - 1, size - 1)]:
+                bfs = bfs_distance_field(grid, *source)
+                metric = metric_distance_field(grid, *source)
+                assert (bfs == metric).all()
+
+
+class TestMetricAxioms:
+    @settings(max_examples=50)
+    @given(
+        ax=st.integers(0, 15), ay=st.integers(0, 15),
+        bx=st.integers(0, 15), by=st.integers(0, 15),
+        cx=st.integers(0, 15), cy=st.integers(0, 15),
+    )
+    def test_triangle_inequality_square(self, ax, ay, bx, by, cx, cy):
+        a, b, c = (ax, ay), (bx, by), (cx, cy)
+        d = manhattan_torus_distance
+        assert d(a, c, 16) <= d(a, b, 16) + d(b, c, 16)
+
+    @settings(max_examples=50)
+    @given(
+        ax=st.integers(0, 15), ay=st.integers(0, 15),
+        bx=st.integers(0, 15), by=st.integers(0, 15),
+        cx=st.integers(0, 15), cy=st.integers(0, 15),
+    )
+    def test_triangle_inequality_hexagonal(self, ax, ay, bx, by, cx, cy):
+        a, b, c = (ax, ay), (bx, by), (cx, cy)
+        d = hexagonal_torus_distance
+        assert d(a, c, 16) <= d(a, b, 16) + d(b, c, 16)
+
+    @given(
+        ax=st.integers(0, 15), ay=st.integers(0, 15),
+        bx=st.integers(0, 15), by=st.integers(0, 15),
+    )
+    def test_symmetry_and_identity(self, ax, ay, bx, by):
+        a, b = (ax, ay), (bx, by)
+        for d in (manhattan_torus_distance, hexagonal_torus_distance):
+            assert d(a, b, 16) == d(b, a, 16)
+            assert (d(a, b, 16) == 0) == (a == b)
+
+
+class TestBFSField:
+    def test_source_is_zero(self, grid16):
+        field = bfs_distance_field(grid16, 4, 7)
+        assert field[4, 7] == 0
+
+    def test_every_cell_reached(self, grid16):
+        field = bfs_distance_field(grid16, 0, 0)
+        assert (field >= 0).all()
+
+    def test_neighbors_differ_by_at_most_one(self, grid8):
+        field = bfs_distance_field(grid8, 1, 1)
+        for x in range(grid8.size):
+            for y in range(grid8.size):
+                for nx, ny in grid8.neighbors(x, y):
+                    assert abs(int(field[x, y]) - int(field[nx, ny])) <= 1

@@ -1,0 +1,89 @@
+"""Graph exports and the four-block scalability construction."""
+
+import networkx as nx
+import pytest
+
+from repro.grids import SquareGrid, TriangulateGrid
+from repro.grids.graphs import (
+    assemble_from_blocks,
+    block_embedding,
+    degree_histogram,
+    to_networkx,
+)
+
+
+class TestNetworkxExport:
+    @pytest.mark.parametrize("grid_cls,degree", [(SquareGrid, 4), (TriangulateGrid, 6)])
+    def test_regularity(self, grid_cls, degree):
+        graph = to_networkx(grid_cls(8))
+        degrees = {deg for _, deg in graph.degree()}
+        assert degrees == {degree}
+
+    @pytest.mark.parametrize(
+        "grid_cls,links_per_node", [(SquareGrid, 2), (TriangulateGrid, 3)]
+    )
+    def test_link_counts_match_section2(self, grid_cls, links_per_node):
+        grid = grid_cls(8)
+        graph = to_networkx(grid)
+        assert graph.number_of_edges() == links_per_node * grid.n_cells
+        assert graph.number_of_edges() == grid.n_links
+
+    def test_connected(self, grid8):
+        assert nx.is_connected(to_networkx(grid8))
+
+    def test_networkx_distances_match_metric(self):
+        grid = TriangulateGrid(8)
+        graph = to_networkx(grid)
+        lengths = nx.single_source_shortest_path_length(graph, (0, 0))
+        for cell, hops in lengths.items():
+            assert hops == grid.distance((0, 0), cell)
+
+    def test_networkx_diameter_matches_formula(self):
+        from repro.grids import diameter_formula
+
+        graph = to_networkx(TriangulateGrid(8))
+        assert nx.diameter(graph) == diameter_formula("T", 3)
+
+
+class TestDegreeHistogram:
+    def test_square(self):
+        assert degree_histogram(SquareGrid(6)) == {4: 36}
+
+    def test_triangulate(self):
+        assert degree_histogram(TriangulateGrid(6)) == {6: 36}
+
+    def test_smallest_torus_collapses_degrees(self):
+        # on the 2 x 2 torus opposite neighbours coincide
+        histogram = degree_histogram(SquareGrid(2))
+        assert set(histogram.values()) == {4}
+        assert all(degree < 4 for degree in histogram)
+
+
+class TestBlockConstruction:
+    def test_four_equal_blocks(self):
+        blocks = block_embedding(8)
+        for label in range(4):
+            assert (blocks == label).sum() == 16
+
+    def test_rejects_odd_size(self):
+        with pytest.raises(ValueError):
+            block_embedding(7)
+
+    def test_assembled_parent_doubles_the_side(self):
+        parent, blocks = assemble_from_blocks(TriangulateGrid, 4)
+        assert parent.size == 8
+        assert blocks.shape == (8, 8)
+
+    def test_intra_block_links_are_child_links(self):
+        # any parent link between same-block cells exists in the free child
+        parent, blocks = assemble_from_blocks(SquareGrid, 4)
+        half = 4
+        for x in range(parent.size):
+            for y in range(parent.size):
+                for nx_, ny_ in parent.neighbors(x, y):
+                    if blocks[x, y] != blocks[nx_, ny_]:
+                        continue
+                    # same block: the step must be a unit step without wrap
+                    assert abs((x % half) - (nx_ % half)) + abs(
+                        (y % half) - (ny_ % half)
+                    ) == 1

@@ -1,0 +1,113 @@
+"""Deterministic routing and flooding protocols on the tori."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grids import (
+    SquareGrid,
+    TriangulateGrid,
+    broadcast_rounds,
+    diameter_formula,
+    flood,
+    gossip_rounds,
+    greedy_step,
+    make_grid,
+    minimal_route,
+)
+
+
+class TestGreedyStep:
+    def test_improves_the_distance(self):
+        grid = TriangulateGrid(16)
+        direction = greedy_step(grid, (0, 0), (5, 3))
+        next_cell = grid.step(0, 0, direction)
+        assert grid.distance(next_cell, (5, 3)) == grid.distance((0, 0), (5, 3)) - 1
+
+    def test_rejects_trivial_route(self):
+        grid = SquareGrid(8)
+        with pytest.raises(ValueError):
+            greedy_step(grid, (3, 3), (3, 3))
+
+
+class TestMinimalRoute:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        kind=st.sampled_from(["S", "T"]),
+        size=st.sampled_from([5, 8, 16]),
+        ax=st.integers(0, 15), ay=st.integers(0, 15),
+        bx=st.integers(0, 15), by=st.integers(0, 15),
+    )
+    def test_route_length_equals_the_metric(self, kind, size, ax, ay, bx, by):
+        grid = make_grid(kind, size)
+        source = grid.wrap(ax, ay)
+        target = grid.wrap(bx, by)
+        route = minimal_route(grid, source, target)
+        assert route[0] == source and route[-1] == target
+        assert len(route) == grid.distance(source, target) + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kind=st.sampled_from(["S", "T"]),
+        ax=st.integers(0, 7), ay=st.integers(0, 7),
+        bx=st.integers(0, 7), by=st.integers(0, 7),
+    )
+    def test_route_hops_are_links(self, kind, ax, ay, bx, by):
+        grid = make_grid(kind, 8)
+        route = minimal_route(grid, (ax, ay), (bx, by))
+        for here, there in zip(route, route[1:]):
+            assert there in grid.neighbors(*here)
+
+    def test_diagonal_uses_the_t_link(self):
+        grid = TriangulateGrid(8)
+        route = minimal_route(grid, (0, 0), (3, 3))
+        assert len(route) == 4  # three diagonal hops
+
+    def test_same_route_in_s_costs_more(self):
+        grid = SquareGrid(8)
+        route = minimal_route(grid, (0, 0), (3, 3))
+        assert len(route) == 7  # six orthogonal hops
+
+
+class TestBroadcastAndGossip:
+    @pytest.mark.parametrize("kind,n", [("S", 3), ("T", 3), ("S", 4), ("T", 4)])
+    def test_broadcast_takes_diameter_rounds(self, kind, n):
+        grid = make_grid(kind, 2**n)
+        assert broadcast_rounds(grid, (0, 0)) == diameter_formula(kind, n)
+
+    def test_gossip_equals_broadcast_by_transitivity(self, grid16):
+        assert gossip_rounds(grid16) == broadcast_rounds(grid16, (3, 7))
+
+    def test_agents_cannot_beat_the_gossip_bound(self):
+        # Table 1 column 256: packed agents realize diameter - 1 counted
+        # steps (one flooding round is the uncounted placement exchange)
+        from repro.baselines.gossip import packed_gossip_time
+
+        for kind in ("S", "T"):
+            grid = make_grid(kind, 16)
+            assert packed_gossip_time(grid) == gossip_rounds(grid) - 1
+
+
+class TestFlood:
+    def test_single_source_matches_bfs(self, grid8):
+        from repro.grids.distance import bfs_distance_field
+
+        field = flood(grid8, [(0, 0)])
+        assert (field == bfs_distance_field(grid8, 0, 0)).all()
+
+    def test_multi_source_takes_the_minimum(self, grid8):
+        field = flood(grid8, [(0, 0), (4, 4)])
+        for x in range(grid8.size):
+            for y in range(grid8.size):
+                expected = min(
+                    grid8.distance((0, 0), (x, y)),
+                    grid8.distance((4, 4), (x, y)),
+                )
+                assert field[x, y] == expected
+
+    def test_round_limit(self, grid8):
+        field = flood(grid8, [(0, 0)], rounds=1)
+        assert (field >= 0).sum() == 1 + grid8.n_directions
+
+    def test_sources_are_round_zero(self, grid8):
+        field = flood(grid8, [(2, 2)])
+        assert field[2, 2] == 0

@@ -1,0 +1,56 @@
+"""S-grid specifics: offsets, turn geometry, Manhattan metric."""
+
+import pytest
+
+from repro.grids import SquareGrid
+
+
+@pytest.fixture
+def grid():
+    return SquareGrid(16)
+
+
+class TestTopologyDefinition:
+    def test_offsets_are_the_four_axis_steps(self, grid):
+        assert set(grid.DIRECTION_OFFSETS) == {(1, 0), (0, 1), (-1, 0), (0, -1)}
+
+    def test_neighbors_match_paper_definition(self, grid):
+        # (x +- 1, y) and (x, y +- 1) with addition modulo 2^n (Sect. 2)
+        assert set(grid.neighbors(0, 0)) == {(1, 0), (0, 1), (15, 0), (0, 15)}
+
+    def test_turn_increments(self, grid):
+        # Fig. 3: turn = 0,1,2,3 means 0/90/180/-90 degrees
+        assert grid.TURN_INCREMENTS == (0, 1, 2, 3)
+
+    def test_s_agent_reaches_any_direction_in_one_turn(self, grid):
+        reachable = {grid.turn(0, code) for code in range(4)}
+        assert reachable == {0, 1, 2, 3}
+
+
+class TestManhattanMetric:
+    def test_zero_distance_to_self(self, grid):
+        assert grid.distance((3, 3), (3, 3)) == 0
+
+    def test_unit_neighbors_at_distance_one(self, grid):
+        for neighbor in grid.neighbors(5, 5):
+            assert grid.distance((5, 5), neighbor) == 1
+
+    def test_wraps_shorter_way(self, grid):
+        assert grid.distance((0, 0), (15, 0)) == 1
+        assert grid.distance((0, 0), (9, 0)) == 7
+
+    def test_antipodal_distance_is_diameter(self, grid):
+        # D^S = sqrt(N) = 16 (Eq. 1)
+        assert grid.distance((0, 0), (8, 8)) == 16
+
+    def test_symmetry(self, grid):
+        assert grid.distance((2, 9), (13, 4)) == grid.distance((13, 4), (2, 9))
+
+    def test_translation_invariance(self, grid):
+        base = grid.distance((1, 2), (7, 11))
+        shifted = grid.distance(grid.wrap(1 + 5, 2 + 9), grid.wrap(7 + 5, 11 + 9))
+        assert base == shifted
+
+    def test_diagonal_costs_two(self, grid):
+        # no diagonal links in S
+        assert grid.distance((0, 0), (1, 1)) == 2

@@ -1,0 +1,85 @@
+"""T-grid specifics: diagonal links, restricted turns, hexagonal metric."""
+
+import pytest
+
+from repro.grids import TriangulateGrid
+
+
+@pytest.fixture
+def grid():
+    return TriangulateGrid(16)
+
+
+class TestTopologyDefinition:
+    def test_offsets_include_the_diagonal_pair(self, grid):
+        # the S-grid links plus (x+1, y+1) and (x-1, y-1) (Sect. 2, Fig. 1)
+        assert set(grid.DIRECTION_OFFSETS) == {
+            (1, 0), (0, 1), (-1, 0), (0, -1), (1, 1), (-1, -1),
+        }
+
+    def test_six_neighbors(self, grid):
+        assert set(grid.neighbors(0, 0)) == {
+            (1, 0), (0, 1), (15, 0), (0, 15), (1, 1), (15, 15),
+        }
+
+    def test_turn_increments_skip_120_degrees(self, grid):
+        # Sect. 3: turn in {0, 1, 3, 5} -- the T-agent cannot turn +-120
+        assert grid.TURN_INCREMENTS == (0, 1, 3, 5)
+
+    def test_reachable_directions_exclude_120(self, grid):
+        reachable = {grid.turn(0, code) for code in range(4)}
+        assert reachable == {0, 1, 3, 5}
+        assert 2 not in reachable and 4 not in reachable
+
+    def test_same_turn_cardinality_as_s_agent(self, grid):
+        # deliberate design: same complexity of abilities (Sect. 3)
+        assert len(grid.TURN_INCREMENTS) == 4
+
+
+class TestHexagonalMetric:
+    def test_zero_distance_to_self(self, grid):
+        assert grid.distance((7, 7), (7, 7)) == 0
+
+    def test_all_six_neighbors_at_distance_one(self, grid):
+        for neighbor in grid.neighbors(5, 5):
+            assert grid.distance((5, 5), neighbor) == 1
+
+    def test_diagonal_costs_one(self, grid):
+        # the extra links make (1, 1) a single step
+        assert grid.distance((0, 0), (1, 1)) == 1
+
+    def test_anti_diagonal_costs_two(self, grid):
+        # but (1, -1) still needs two moves
+        assert grid.distance((0, 0), (1, 15)) == 2
+
+    def test_same_sign_offsets_cost_the_maximum(self, grid):
+        assert grid.distance((0, 0), (3, 2)) == 3
+        assert grid.distance((0, 0), (2, 5)) == 5
+
+    def test_opposite_sign_offsets_cost_the_sum(self, grid):
+        assert grid.distance((0, 0), (3, 16 - 2)) == 5
+
+    def test_symmetry(self, grid):
+        assert grid.distance((2, 9), (13, 4)) == grid.distance((13, 4), (2, 9))
+
+    def test_translation_invariance(self, grid):
+        base = grid.distance((1, 2), (7, 11))
+        shifted = grid.distance(grid.wrap(1 + 3, 2 + 12), grid.wrap(7 + 3, 11 + 12))
+        assert base == shifted
+
+    def test_diameter_value(self, grid):
+        # D_4^T = (2(16 - 1) + 0) / 3 = 10 (Eq. 1, n = 4 even)
+        worst = max(
+            grid.distance((0, 0), (x, y))
+            for x in range(grid.size)
+            for y in range(grid.size)
+        )
+        assert worst == 10
+
+    def test_never_exceeds_manhattan(self, grid):
+        from repro.grids import SquareGrid
+
+        square = SquareGrid(grid.size)
+        for x in range(0, grid.size, 3):
+            for y in range(0, grid.size, 3):
+                assert grid.distance((0, 0), (x, y)) <= square.distance((0, 0), (x, y))

@@ -1,0 +1,95 @@
+"""Cross-package integration: evolve -> persist -> reload -> evaluate, etc."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structures import color_loop_count, street_concentration
+from repro.configs.suite import paper_suite
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.core.trace import TraceRecorder
+from repro.evolution.fitness import evaluate_fsm
+from repro.evolution.runner import EvolutionSettings, evolve
+from repro.experiments.traces import two_agent_configuration
+from repro.grids import make_grid
+from repro.io import load_fsm_library, save_fsm_library
+
+
+class TestEvolveSaveReload:
+    def test_round_trip_preserves_fitness(self, tmp_path):
+        grid = make_grid("S", 8)
+        suite = paper_suite(grid, 4, n_random=10, seed=6)
+        settings = EvolutionSettings(
+            n_generations=4, pool_size=8, exchange_width=2, t_max=120, seed=3
+        )
+        result = evolve(grid, suite, settings)
+        top = [individual.fsm for individual in result.population.top(3)]
+        library_path = tmp_path / "library.json"
+        save_fsm_library(top, library_path)
+        reloaded = load_fsm_library(library_path)
+        for original, restored in zip(top, reloaded):
+            assert restored == original
+            original_eval = evaluate_fsm(grid, original, suite, t_max=120)
+            restored_eval = evaluate_fsm(grid, restored, suite, t_max=120)
+            assert restored_eval.fitness == pytest.approx(original_eval.fitness)
+
+
+class TestStructureSignatures:
+    """The paper's qualitative claims, measured on real runs."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        recorders = {}
+        for kind in ("S", "T"):
+            grid = make_grid(kind, 16)
+            recorder = TraceRecorder()
+            Simulation(
+                grid, published_fsm(kind), two_agent_configuration(grid),
+                recorder=recorder,
+            ).run(t_max=400)
+            recorders[kind] = (grid, recorder.final)
+        return recorders
+
+    def test_t_agents_weave_loops(self, traces):
+        grid, final = traces["T"]
+        # Fig. 7: honeycomb-like networks = closed loops in the colour field
+        assert color_loop_count(final.colors, grid) >= 1
+
+    def test_s_colors_are_street_concentrated(self, traces):
+        s_grid, s_final = traces["S"]
+        # the S colour field concentrates on lines more than a uniform spray
+        uniform = np.ones_like(s_final.colors)
+        assert street_concentration(s_final.colors) > street_concentration(uniform)
+
+
+class TestEvolutionFindsReliableAgents:
+    def test_small_world_evolution_reaches_reliability(self):
+        # a complete, self-contained mini-reproduction of Sect. 4: on an
+        # 8 x 8 world with 4 agents a short run must find a machine that
+        # solves every field of its training suite
+        grid = make_grid("T", 8)
+        suite = paper_suite(grid, 4, n_random=20, seed=8)
+        settings = EvolutionSettings(n_generations=25, t_max=150, seed=4)
+        result = evolve(grid, suite, settings)
+        assert result.best.completely_successful
+        assert result.first_success_generation() is not None
+
+    def test_evolved_agent_transfers_to_fresh_fields(self):
+        grid = make_grid("T", 8)
+        train = paper_suite(grid, 4, n_random=20, seed=8)
+        settings = EvolutionSettings(n_generations=25, t_max=150, seed=4)
+        result = evolve(grid, suite=train, settings=settings)
+        fresh = paper_suite(grid, 4, n_random=100, seed=9)
+        outcome = evaluate_fsm(grid, result.best.fsm, fresh, t_max=400)
+        # generalisation: the vast majority of unseen fields are solved
+        assert outcome.n_successful_fields >= 95
+
+
+class TestPublishedAgentsFullReliability:
+    @pytest.mark.parametrize("kind", ["S", "T"])
+    @pytest.mark.parametrize("n_agents", [2, 8, 32])
+    def test_published_agents_solve_every_field(self, kind, n_agents):
+        grid = make_grid(kind, 16)
+        suite = paper_suite(grid, n_agents, n_random=150)
+        outcome = evaluate_fsm(grid, published_fsm(kind), suite, t_max=1000)
+        assert outcome.completely_successful

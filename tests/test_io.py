@@ -1,0 +1,94 @@
+"""Persistence round trips for agents and results."""
+
+import json
+
+import pytest
+
+from repro.core.fsm import FSM
+from repro.core.published import PAPER_S_AGENT, PAPER_T_AGENT
+from repro.extensions.multicolor import MulticolorFSM
+from repro.io import (
+    load_fsm,
+    load_fsm_library,
+    load_results,
+    save_fsm,
+    save_fsm_library,
+    save_results,
+)
+
+
+class TestFsmRoundTrip:
+    def test_standard_fsm(self, tmp_path, rng):
+        fsm = FSM.random(rng, name="roundtrip")
+        target = tmp_path / "agent.json"
+        save_fsm(fsm, target)
+        loaded = load_fsm(target)
+        assert loaded == fsm
+        assert loaded.name == "roundtrip"
+
+    def test_published_agents(self, tmp_path):
+        for fsm in (PAPER_S_AGENT, PAPER_T_AGENT):
+            target = tmp_path / f"{fsm.name}.json"
+            save_fsm(fsm, target)
+            assert load_fsm(target) == fsm
+
+    def test_multicolor_fsm(self, tmp_path, rng):
+        fsm = MulticolorFSM.random(rng, n_states=3, n_colors=4, name="mc")
+        target = tmp_path / "mc.json"
+        save_fsm(fsm, target)
+        loaded = load_fsm(target)
+        assert isinstance(loaded, MulticolorFSM)
+        assert loaded == fsm
+        assert loaded.n_colors == 4
+
+    def test_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_fsm(object(), tmp_path / "nope.json")
+
+    def test_rejects_future_format(self, tmp_path, rng):
+        target = tmp_path / "agent.json"
+        save_fsm(FSM.random(rng), target)
+        document = json.loads(target.read_text())
+        document["format_version"] = 99
+        target.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="format version"):
+            load_fsm(target)
+
+    def test_rejects_unknown_fsm_kind(self, tmp_path, rng):
+        target = tmp_path / "agent.json"
+        save_fsm(FSM.random(rng), target)
+        document = json.loads(target.read_text())
+        document["fsm"]["type"] = "quantum"
+        target.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="unknown FSM type"):
+            load_fsm(target)
+
+
+class TestLibrary:
+    def test_mixed_library(self, tmp_path, rng):
+        fsms = [PAPER_S_AGENT, MulticolorFSM.random(rng, n_colors=3)]
+        target = tmp_path / "library.json"
+        save_fsm_library(fsms, target)
+        loaded = load_fsm_library(target)
+        assert len(loaded) == 2
+        assert loaded[0] == PAPER_S_AGENT
+        assert isinstance(loaded[1], MulticolorFSM)
+
+    def test_empty_library(self, tmp_path):
+        target = tmp_path / "empty.json"
+        save_fsm_library([], target)
+        assert load_fsm_library(target) == []
+
+
+class TestResults:
+    def test_round_trip(self, tmp_path):
+        results = {"table1": {"16": {"T": 41.25, "S": 63.39}}, "seed": 2013}
+        target = tmp_path / "results.json"
+        save_results(results, target)
+        assert load_results(target) == results
+
+    def test_output_is_stable_sorted_json(self, tmp_path):
+        target = tmp_path / "results.json"
+        save_results({"b": 1, "a": 2}, target)
+        text = target.read_text()
+        assert text.index('"a"') < text.index('"b"')

@@ -1,0 +1,125 @@
+"""A final property-test sweep across feature combinations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.configs.random_configs import random_configuration
+from repro.core.environment import Environment, random_obstacles
+from repro.core.fsm import FSM
+from repro.core.simulation import Simulation
+from repro.core.vectorized import BatchSimulator
+from repro.extensions.multicolor import MulticolorFSM, MulticolorSimulation
+from repro.grids import make_grid
+
+
+class TestObstaclesAreInviolable:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        kind=st.sampled_from(["S", "T"]),
+        fsm_seed=st.integers(0, 10**5),
+        world_seed=st.integers(0, 10**5),
+        n_obstacles=st.integers(1, 12),
+    )
+    def test_no_agent_ever_stands_on_an_obstacle(
+        self, kind, fsm_seed, world_seed, n_obstacles
+    ):
+        grid = make_grid(kind, 8)
+        rng = np.random.default_rng(world_seed)
+        environment = Environment(
+            grid, obstacles=random_obstacles(grid, n_obstacles, rng)
+        )
+        fsm = FSM.random(np.random.default_rng(fsm_seed))
+        config = random_configuration(grid, 5, rng, environment=environment)
+        simulation = Simulation(grid, fsm, config, environment=environment)
+        for _ in range(25):
+            simulation.step()
+            for agent in simulation.agents:
+                assert agent.position not in environment.obstacles
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        fsm_seed=st.integers(0, 10**5),
+        world_seed=st.integers(0, 10**5),
+    )
+    def test_bordered_agents_never_leave_the_board(self, fsm_seed, world_seed):
+        grid = make_grid("T", 8)
+        environment = Environment(grid, bordered=True)
+        fsm = FSM.random(np.random.default_rng(fsm_seed))
+        config = random_configuration(
+            grid, 4, np.random.default_rng(world_seed)
+        )
+        simulation = Simulation(grid, fsm, config, environment=environment)
+        for _ in range(25):
+            before = [agent.position for agent in simulation.agents]
+            simulation.step()
+            after = [agent.position for agent in simulation.agents]
+            # no torus jump: a bordered move never wraps an edge
+            for (bx, by), (ax, ay) in zip(before, after):
+                assert abs(ax - bx) <= 1 and abs(ay - by) <= 1
+
+
+class TestMulticolorInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fsm_seed=st.integers(0, 10**5),
+        config_seed=st.integers(0, 10**5),
+        n_colors=st.integers(2, 5),
+    )
+    def test_colors_stay_in_the_alphabet(self, fsm_seed, config_seed, n_colors):
+        grid = make_grid("S", 8)
+        fsm = MulticolorFSM.random(
+            np.random.default_rng(fsm_seed), n_colors=n_colors
+        )
+        config = random_configuration(grid, 4, np.random.default_rng(config_seed))
+        simulation = MulticolorSimulation(grid, fsm, config)
+        for _ in range(20):
+            simulation.step()
+            assert simulation.colors.min() >= 0
+            assert simulation.colors.max() < n_colors
+
+
+class TestBatchStateConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kind=st.sampled_from(["S", "T"]),
+        fsm_seed=st.integers(0, 10**5),
+        config_seed=st.integers(0, 10**5),
+    )
+    def test_occupancy_always_matches_positions(
+        self, kind, fsm_seed, config_seed
+    ):
+        grid = make_grid(kind, 8)
+        fsm = FSM.random(np.random.default_rng(fsm_seed))
+        configs = [
+            random_configuration(grid, 4, np.random.default_rng(config_seed + i))
+            for i in range(3)
+        ]
+        simulator = BatchSimulator(grid, fsm, configs)
+        for _ in range(15):
+            simulator.step()
+            for lane in range(3):
+                for agent in range(4):
+                    flat = int(
+                        simulator.px[lane, agent] * grid.size
+                        + simulator.py[lane, agent]
+                    )
+                    assert simulator.occupancy[lane, flat] == agent + 1
+                assert int((simulator.occupancy[lane] > 0).sum()) == 4
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kind=st.sampled_from(["S", "T"]),
+        seed=st.integers(0, 10**5),
+    )
+    def test_directions_and_states_stay_in_range(self, kind, seed):
+        grid = make_grid(kind, 8)
+        fsm = FSM.random(np.random.default_rng(seed))
+        config = random_configuration(grid, 6, np.random.default_rng(seed + 1))
+        simulator = BatchSimulator(grid, fsm, [config])
+        for _ in range(20):
+            simulator.step()
+            assert (simulator.direction >= 0).all()
+            assert (simulator.direction < grid.n_directions).all()
+            assert (simulator.state >= 0).all()
+            assert (simulator.state < fsm.n_states).all()

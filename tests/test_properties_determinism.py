@@ -1,0 +1,125 @@
+"""Determinism and exchange-closure properties of the simulators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.configs.random_configs import random_configuration
+from repro.core.fsm import FSM
+from repro.core.simulation import Simulation
+from repro.core.vectorized import BatchSimulator
+from repro.grids import make_grid
+
+case = {
+    "kind": st.sampled_from(["S", "T"]),
+    "fsm_seed": st.integers(0, 10**6),
+    "config_seed": st.integers(0, 10**6),
+    "n_agents": st.integers(2, 10),
+}
+
+
+def build(kind, fsm_seed, config_seed, n_agents):
+    grid = make_grid(kind, 8)
+    fsm = FSM.random(np.random.default_rng(fsm_seed))
+    config = random_configuration(grid, n_agents, np.random.default_rng(config_seed))
+    return grid, fsm, config
+
+
+class TestDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(**case)
+    def test_reference_runs_are_identical(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build(kind, fsm_seed, config_seed, n_agents)
+        first = Simulation(grid, fsm, config)
+        second = Simulation(grid, fsm, config)
+        for _ in range(15):
+            first.step()
+            second.step()
+            assert [a.position for a in first.agents] == [
+                a.position for a in second.agents
+            ]
+            assert (first.colors == second.colors).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(**case)
+    def test_batch_runs_are_identical(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build(kind, fsm_seed, config_seed, n_agents)
+        first = BatchSimulator(grid, fsm, [config]).run(t_max=40)
+        second = BatchSimulator(grid, fsm, [config]).run(t_max=40)
+        assert first.success[0] == second.success[0]
+        assert first.t_comm[0] == second.t_comm[0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(**case)
+    def test_config_objects_are_not_mutated(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build(kind, fsm_seed, config_seed, n_agents)
+        positions_before = tuple(config.positions)
+        directions_before = tuple(config.directions)
+        Simulation(grid, fsm, config).run(t_max=30)
+        BatchSimulator(grid, fsm, [config]).run(t_max=30)
+        assert config.positions == positions_before
+        assert config.directions == directions_before
+
+    @settings(max_examples=15, deadline=None)
+    @given(**case)
+    def test_fsm_is_not_mutated_by_simulation(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build(kind, fsm_seed, config_seed, n_agents)
+        genome_before = fsm.genome().copy()
+        Simulation(grid, fsm, config).run(t_max=30)
+        BatchSimulator(grid, fsm, [config]).run(t_max=30)
+        assert (fsm.genome() == genome_before).all()
+
+
+class TestExchangeClosure:
+    @settings(max_examples=20, deadline=None)
+    @given(**case)
+    def test_repeated_exchange_reaches_component_closure(
+        self, kind, fsm_seed, config_seed, n_agents
+    ):
+        # exchanging k times without movement must saturate every
+        # connected component of the agent-adjacency graph
+        grid, fsm, config = build(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        for _ in range(n_agents):
+            simulation.exchange()
+        # compute components by brute force
+        positions = [agent.position for agent in simulation.agents]
+        index_of = {pos: i for i, pos in enumerate(positions)}
+        adjacency = {
+            i: {
+                index_of[cell]
+                for cell in grid.neighbors(*positions[i])
+                if cell in index_of
+            }
+            for i in range(n_agents)
+        }
+        # union-find over adjacency
+        parent = list(range(n_agents))
+
+        def find(i):
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for i, neighbors in adjacency.items():
+            for j in neighbors:
+                parent[find(i)] = find(j)
+        for i in range(n_agents):
+            component_bits = 0
+            for j in range(n_agents):
+                if find(j) == find(i):
+                    component_bits |= 1 << j
+            assert simulation.agents[i].knowledge & component_bits == component_bits
+
+    @settings(max_examples=20, deadline=None)
+    @given(**case)
+    def test_exchange_is_idempotent_at_closure(
+        self, kind, fsm_seed, config_seed, n_agents
+    ):
+        grid, fsm, config = build(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        for _ in range(n_agents):
+            simulation.exchange()
+        saturated = [agent.knowledge for agent in simulation.agents]
+        simulation.exchange()
+        assert [agent.knowledge for agent in simulation.agents] == saturated

@@ -1,0 +1,149 @@
+"""Property-based invariants of the multi-agent CA, on random behaviours.
+
+These run arbitrary (mostly broken) FSMs, not just the evolved ones: the
+invariants below must hold for *every* behaviour, which is what makes
+them properties of the simulator rather than of the agents.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.configs.random_configs import random_configuration
+from repro.core.fsm import FSM
+from repro.core.simulation import Simulation
+from repro.core.vectorized import BatchSimulator
+from repro.grids import make_grid
+
+
+def build_case(kind, fsm_seed, config_seed, n_agents, size=8):
+    grid = make_grid(kind, size)
+    fsm = FSM.random(np.random.default_rng(fsm_seed))
+    config = random_configuration(grid, n_agents, np.random.default_rng(config_seed))
+    return grid, fsm, config
+
+
+case_strategy = {
+    "kind": st.sampled_from(["S", "T"]),
+    "fsm_seed": st.integers(0, 10**6),
+    "config_seed": st.integers(0, 10**6),
+    "n_agents": st.integers(2, 12),
+}
+
+
+class TestConservationLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(**case_strategy)
+    def test_one_agent_per_cell_always(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        for _ in range(25):
+            simulation.step()
+            positions = [agent.position for agent in simulation.agents]
+            assert len(set(positions)) == n_agents
+
+    @settings(max_examples=30, deadline=None)
+    @given(**case_strategy)
+    def test_occupancy_index_stays_consistent(
+        self, kind, fsm_seed, config_seed, n_agents
+    ):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        for _ in range(15):
+            simulation.step()
+            for agent in simulation.agents:
+                assert simulation.agent_at(*agent.position) is agent
+            assert (simulation.occupancy > 0).sum() == n_agents
+
+    @settings(max_examples=30, deadline=None)
+    @given(**case_strategy)
+    def test_agents_move_at_most_one_cell(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        for _ in range(15):
+            before = [agent.position for agent in simulation.agents]
+            simulation.step()
+            for agent, old in zip(simulation.agents, before):
+                assert grid.distance(old, agent.position) <= 1
+
+
+class TestKnowledgeLaws:
+    @settings(max_examples=30, deadline=None)
+    @given(**case_strategy)
+    def test_knowledge_monotone_and_self_aware(
+        self, kind, fsm_seed, config_seed, n_agents
+    ):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        previous = [agent.knowledge for agent in simulation.agents]
+        for _ in range(20):
+            simulation.step()
+            for agent, old in zip(simulation.agents, previous):
+                assert old & agent.knowledge == old
+                assert agent.knows(agent.ident)
+            previous = [agent.knowledge for agent in simulation.agents]
+
+    @settings(max_examples=30, deadline=None)
+    @given(**case_strategy)
+    def test_knowledge_spreads_at_most_one_hop_per_step(
+        self, kind, fsm_seed, config_seed, n_agents
+    ):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        for _ in range(10):
+            snapshot = {
+                agent.ident: (agent.knowledge, agent.position)
+                for agent in simulation.agents
+            }
+            simulation.step()
+            for agent in simulation.agents:
+                gained = agent.knowledge & ~snapshot[agent.ident][0]
+                if not gained:
+                    continue
+                # every gained bit must have been carried, pre-step, by an
+                # agent within 3 cells of this agent's pre-step position:
+                # receiver moves <= 1, carrier moves <= 1, exchange hops 1
+                old_position = snapshot[agent.ident][1]
+                for other in range(n_agents):
+                    bit = 1 << other
+                    if not gained & bit:
+                        continue
+                    carriers = [
+                        other_position
+                        for _, (old_knowledge, other_position) in snapshot.items()
+                        if old_knowledge & bit
+                    ]
+                    assert carriers, "a gained bit must have had a carrier"
+                    assert min(
+                        grid.distance(old_position, carrier)
+                        for carrier in carriers
+                    ) <= 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(**case_strategy)
+    def test_success_is_permanent(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        simulation = Simulation(grid, fsm, config)
+        solved_at = None
+        for step in range(30):
+            simulation.step()
+            if simulation.all_informed():
+                solved_at = step
+                break
+        if solved_at is not None:
+            simulation.step()
+            assert simulation.all_informed()
+
+
+class TestCrossImplementation:
+    @settings(max_examples=25, deadline=None)
+    @given(**case_strategy)
+    def test_informed_counts_agree(self, kind, fsm_seed, config_seed, n_agents):
+        grid, fsm, config = build_case(kind, fsm_seed, config_seed, n_agents)
+        reference = Simulation(grid, fsm, config)
+        batch = BatchSimulator(grid, fsm, [config])
+        for _ in range(20):
+            if batch.done.all():
+                break
+            reference.step()
+            batch.step()
+            assert int(batch.informed_counts()[0]) == reference.informed_count()

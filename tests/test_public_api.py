@@ -1,0 +1,44 @@
+"""The package's public surface: imports, __all__, the README quickstart."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_key_entry_points_exposed(self):
+        assert callable(repro.make_grid)
+        assert callable(repro.published_fsm)
+        assert callable(repro.paper_suite)
+        assert callable(repro.evolve)
+
+    def test_subpackages_import(self):
+        import repro.baselines
+        import repro.configs
+        import repro.core
+        import repro.evolution
+        import repro.experiments
+        import repro.grids
+
+        for module in (
+            repro.core, repro.grids, repro.configs,
+            repro.evolution, repro.baselines,
+        ):
+            assert module.__doc__
+
+
+class TestQuickstart:
+    def test_readme_snippet_works(self):
+        # the code from the package docstring / README, at reduced scale
+        grid = repro.make_grid("T", 16)
+        fsm = repro.published_fsm("T")
+        suite = repro.paper_suite(grid, n_agents=16, n_random=20)
+        batch = repro.BatchSimulator(grid, fsm, list(suite)).run(t_max=400)
+        assert batch.completely_successful
+        assert 25 < batch.mean_time() < 60  # paper reports 41.25

@@ -1,0 +1,74 @@
+"""Semantic regression locks.
+
+The whole model is deterministic given a seed, so these exact expected
+values pin the *current* step semantics (DESIGN.md notes 1-5).  Any
+future change to movement, arbitration, colour writing, exchange order
+or suite generation will flip them -- deliberately.  If you change the
+semantics on purpose, re-derive the constants and say so in DESIGN.md.
+"""
+
+import pytest
+
+from repro.configs.suite import paper_suite
+from repro.core.evolved import evolved_fsm
+from repro.core.published import published_fsm
+from repro.evolution.fitness import evaluate_fsm
+from repro.experiments.table1 import run_table1
+from repro.experiments.traces import run_fig6, run_fig7
+from repro.grids import make_grid
+
+#: Exact mean times at seed 2013, 100 random fields + manual cases.
+TABLE1_LOCK = {
+    2: (53.19417475728155, 73.42718446601941),
+    8: (55.90291262135922, 90.72815533980582),
+    16: (39.87378640776699, 62.28155339805825),
+}
+
+
+class TestTable1Lock:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(agent_counts=(2, 8, 16), n_random=100, t_max=1000)
+
+    @pytest.mark.parametrize("n_agents", [2, 8, 16])
+    def test_exact_t_time(self, rows, n_agents):
+        assert rows[n_agents].t_time == pytest.approx(
+            TABLE1_LOCK[n_agents][0], abs=1e-9
+        )
+
+    @pytest.mark.parametrize("n_agents", [2, 8, 16])
+    def test_exact_s_time(self, rows, n_agents):
+        assert rows[n_agents].s_time == pytest.approx(
+            TABLE1_LOCK[n_agents][1], abs=1e-9
+        )
+
+
+class TestTraceLocks:
+    def test_fig6_exact_steps(self):
+        assert run_fig6().t_comm == 106
+
+    def test_fig7_exact_steps(self):
+        assert run_fig7().t_comm == 41
+
+
+class TestEvolvedAgentLock:
+    def test_evolved_t_exact_mean(self):
+        grid = make_grid("T", 16)
+        suite = paper_suite(grid, 8, n_random=50)
+        outcome = evaluate_fsm(grid, evolved_fsm("T"), suite, t_max=1000)
+        assert outcome.mean_time == pytest.approx(68.15094339622641, abs=1e-9)
+
+
+class TestPackedLocks:
+    @pytest.mark.parametrize(
+        "kind,size,expected", [("S", 16, 15), ("T", 16, 9)]
+    )
+    def test_packed_is_analytically_exact(self, kind, size, expected):
+        from repro.configs.special import packed_configuration
+        from repro.core.vectorized import BatchSimulator
+
+        grid = make_grid(kind, size)
+        result = BatchSimulator(
+            grid, published_fsm(kind), [packed_configuration(grid)]
+        ).run(t_max=50)
+        assert int(result.t_comm[0]) == expected

@@ -1,0 +1,171 @@
+"""Batch-simulator feature combinations and secondary APIs."""
+
+import numpy as np
+import pytest
+
+from repro.configs.random_configs import random_configuration
+from repro.configs.types import InitialConfiguration, InitialStateScheme
+from repro.core.environment import Environment, random_obstacles
+from repro.core.fsm import FSM
+from repro.core.published import published_fsm
+from repro.core.simulation import Simulation
+from repro.core.vectorized import BatchSimulator
+from repro.extensions.species import HeterogeneousSimulation
+from repro.extensions.timeshuffle import (
+    TimeShuffledBatchSimulator,
+    TimeShuffledSimulation,
+)
+from repro.grids import SquareGrid, make_grid
+
+
+class TestStateScheme:
+    def test_scheme_applies_when_config_has_no_states(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (2, 2), (4, 4)), (0, 0, 0))
+        simulator = BatchSimulator(
+            grid, published_fsm("S"), [config],
+            state_scheme=InitialStateScheme.ALL_ZERO,
+        )
+        assert simulator.state.tolist() == [[0, 0, 0]]
+
+    def test_config_states_override_scheme(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(
+            ((0, 0), (2, 2)), (0, 0), states=(3, 3)
+        )
+        simulator = BatchSimulator(
+            grid, published_fsm("S"), [config],
+            state_scheme=InitialStateScheme.ALL_ZERO,
+        )
+        assert simulator.state.tolist() == [[3, 3]]
+
+    def test_scheme_changes_the_outcome(self):
+        # the symmetric half-torus pair: solvable only with distinct states
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 0))
+        fsm = published_fsm("S")
+        asymmetric = BatchSimulator(
+            grid, fsm, [config], state_scheme=InitialStateScheme.ID_MOD_2
+        ).run(t_max=500)
+        symmetric = BatchSimulator(
+            grid, fsm, [config], state_scheme=InitialStateScheme.ALL_ZERO
+        ).run(t_max=500)
+        assert bool(asymmetric.success[0])
+        assert not bool(symmetric.success[0])
+
+
+class TestSecondaryApis:
+    def test_knowledge_view_shape(self):
+        grid = SquareGrid(8)
+        configs = [
+            random_configuration(grid, 5, np.random.default_rng(seed))
+            for seed in range(3)
+        ]
+        simulator = BatchSimulator(grid, published_fsm("S"), configs)
+        assert simulator.knowledge.shape == (3, 5, 1)
+
+    def test_informed_counts_start_low(self):
+        grid = SquareGrid(16)
+        config = random_configuration(grid, 8, np.random.default_rng(0))
+        simulator = BatchSimulator(grid, published_fsm("S"), [config])
+        assert int(simulator.informed_counts()[0]) in (0, 8)
+
+    def test_run_is_idempotent_after_completion(self):
+        grid = SquareGrid(8)
+        config = random_configuration(grid, 4, np.random.default_rng(1))
+        simulator = BatchSimulator(grid, published_fsm("S"), [config])
+        first = simulator.run(t_max=500)
+        second = simulator.run(t_max=500)
+        assert first.t_comm[0] == second.t_comm[0]
+
+    def test_step_after_done_is_a_noop(self):
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (1, 0)), (0, 0))
+        simulator = BatchSimulator(grid, published_fsm("S"), [config])
+        assert simulator.done.all()  # adjacent pair: solved at placement
+        positions = (simulator.px.copy(), simulator.py.copy())
+        simulator.step()
+        assert (simulator.px == positions[0]).all()
+        assert (simulator.py == positions[1]).all()
+
+    def test_t_comm_stays_minus_one_on_timeout(self):
+        from repro.baselines.trivial import always_straight_fsm
+
+        grid = SquareGrid(8)
+        config = InitialConfiguration(((0, 0), (4, 4)), (0, 0), states=(0, 0))
+        result = BatchSimulator(
+            grid, always_straight_fsm(), [config]
+        ).run(t_max=20)
+        assert not result.success[0]
+        assert result.t_comm[0] == -1
+
+
+class TestFeatureCombinations:
+    def test_species_in_bordered_world_matches_reference(self):
+        grid = make_grid("T", 8)
+        environment = Environment(grid, bordered=True)
+        species = [FSM.random(np.random.default_rng(s)) for s in range(4)]
+        config = random_configuration(
+            grid, 4, np.random.default_rng(3), environment=environment
+        )
+        reference = HeterogeneousSimulation(
+            grid, species, config, environment=environment
+        ).run(t_max=80)
+        batch = BatchSimulator(
+            grid, configs=[config], agent_fsms=species, environment=environment
+        ).run(t_max=80)
+        assert bool(batch.success[0]) == reference.success
+        if reference.success:
+            assert int(batch.t_comm[0]) == reference.t_comm
+
+    def test_timeshuffle_with_obstacles_matches_reference(self):
+        grid = make_grid("S", 8)
+        rng = np.random.default_rng(5)
+        environment = Environment(grid, obstacles=random_obstacles(grid, 6, rng))
+        fsm_even = FSM.random(np.random.default_rng(7))
+        fsm_odd = FSM.random(np.random.default_rng(8))
+        config = random_configuration(
+            grid, 4, np.random.default_rng(9), environment=environment
+        )
+        reference = TimeShuffledSimulation(
+            grid, fsm_even, fsm_odd, config, environment=environment
+        ).run(t_max=80)
+        batch = TimeShuffledBatchSimulator(
+            grid, fsm_even, fsm_odd, [config], environment=environment
+        ).run(t_max=80)
+        assert bool(batch.success[0]) == reference.success
+        if reference.success:
+            assert int(batch.t_comm[0]) == reference.t_comm
+
+    def test_many_lanes_with_agent_fsms(self):
+        grid = make_grid("T", 8)
+        species = [published_fsm("T"), published_fsm("S"), published_fsm("T")]
+        configs = [
+            random_configuration(grid, 3, np.random.default_rng(seed))
+            for seed in range(10)
+        ]
+        joint = BatchSimulator(grid, configs=configs, agent_fsms=species).run(
+            t_max=600
+        )
+        for lane, config in enumerate(configs):
+            alone = HeterogeneousSimulation(grid, species, config).run(t_max=600)
+            assert bool(joint.success[lane]) == alone.success
+            if alone.success:
+                assert int(joint.t_comm[lane]) == alone.t_comm
+
+    def test_packed_grid_in_bordered_world(self):
+        # with a border the packed gossip needs the full eccentricity of
+        # the *path-like* grid, which exceeds the torus diameter
+        from repro.configs.special import packed_configuration
+
+        grid = SquareGrid(8)
+        config = packed_configuration(grid)
+        bordered = BatchSimulator(
+            grid, published_fsm("S"), [config],
+            environment=Environment(grid, bordered=True),
+        ).run(t_max=100)
+        cyclic = BatchSimulator(grid, published_fsm("S"), [config]).run(t_max=100)
+        assert bool(bordered.success[0]) and bool(cyclic.success[0])
+        assert int(cyclic.t_comm[0]) == 7  # torus diameter - 1
+        # bordered grid: corner-to-corner distance is 2 (M - 1) = 14
+        assert int(bordered.t_comm[0]) == 13

@@ -1,0 +1,105 @@
+"""Bench the optimized batch-simulator hot path against the frozen baseline.
+
+Reduced copies of the pinned ``repro-a2a bench`` scenarios (16 x 16,
+``k = 8``; fewer random fields so the tier-2 suite stays fast).  The
+optimized stepper must beat the pre-optimization
+:class:`LegacyBatchSimulator` on the same workload, and the chunked /
+sharded population evaluation must match the monolithic path while it is
+being timed.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.core.vectorized import BatchSimulator
+from repro.evolution.fitness import evaluate_population
+from repro.grids import make_grid
+from repro.perf.harness import PINNED_STEP_SCENARIOS, measure_steps, quick_scenario
+from repro.perf.reference import LegacyBatchSimulator
+
+N_FIELDS = 200
+
+
+def _scenario(kind):
+    pinned = next(s for s in PINNED_STEP_SCENARIOS if s.kind == kind)
+    return quick_scenario(pinned, n_fields=N_FIELDS)
+
+
+def test_optimized_stepper_beats_baseline_s(benchmark):
+    scenario = _scenario("S")
+    record = run_once(benchmark, measure_steps, scenario, repeats=1)
+    baseline = measure_steps(
+        scenario, simulator_cls=LegacyBatchSimulator, repeats=1
+    )
+    speedup = record["steps_per_sec"] / baseline["steps_per_sec"]
+    print()
+    print(
+        f"S16_k8 ({record['n_lanes']} lanes): "
+        f"{record['steps_per_sec']:.0f} steps/s vs "
+        f"baseline {baseline['steps_per_sec']:.0f} steps/s "
+        f"-> {speedup:.2f}x"
+    )
+    assert speedup > 1.5
+
+
+def test_optimized_stepper_beats_baseline_t(benchmark):
+    scenario = _scenario("T")
+    record = run_once(benchmark, measure_steps, scenario, repeats=1)
+    baseline = measure_steps(
+        scenario, simulator_cls=LegacyBatchSimulator, repeats=1
+    )
+    speedup = record["steps_per_sec"] / baseline["steps_per_sec"]
+    print()
+    print(
+        f"T16_k8 ({record['n_lanes']} lanes): "
+        f"{record['steps_per_sec']:.0f} steps/s vs "
+        f"baseline {baseline['steps_per_sec']:.0f} steps/s "
+        f"-> {speedup:.2f}x"
+    )
+    assert speedup > 1.5
+
+
+def test_lane_compaction_on_solving_population(benchmark):
+    # published controllers solve every field, exercising retirement
+    from repro.core.published import published_fsm
+
+    grid = make_grid("T", 16)
+    configs = list(paper_suite(grid, 8, n_random=N_FIELDS, seed=2013))
+    fsm = published_fsm("T")
+
+    def run():
+        simulator = BatchSimulator(grid, fsm, configs)
+        result = simulator.run(t_max=200)
+        return simulator.counters, result
+
+    counters, result = run_once(benchmark, run)
+    assert result.success.all()
+    assert counters.retired_lanes == len(configs)
+    assert counters.lane_steps < len(configs) * counters.steps
+
+
+def test_chunked_population_evaluation(benchmark):
+    grid = make_grid("T", 8)
+    suite = paper_suite(grid, 5, n_random=30, seed=1)
+    fsms = [FSM.random(np.random.default_rng(seed)) for seed in range(10)]
+    chunked = run_once(
+        benchmark, evaluate_population, grid, fsms, suite,
+        t_max=100, lane_block=64,
+    )
+    monolithic = evaluate_population(grid, fsms, suite, t_max=100,
+                                     lane_block=None)
+    assert chunked == monolithic
+
+
+def test_sharded_population_evaluation(benchmark):
+    grid = make_grid("T", 8)
+    suite = paper_suite(grid, 5, n_random=30, seed=1)
+    fsms = [FSM.random(np.random.default_rng(seed)) for seed in range(10)]
+    sharded = run_once(
+        benchmark, evaluate_population, grid, fsms, suite,
+        t_max=100, n_workers=2,
+    )
+    serial = evaluate_population(grid, fsms, suite, t_max=100)
+    assert sharded == serial

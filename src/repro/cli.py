@@ -130,6 +130,37 @@ def _cmd_evolve(args):
     return 0
 
 
+def _cmd_bench(args):
+    from repro.perf.harness import append_bench_record, run_bench
+
+    record = run_bench(
+        quick=args.quick,
+        include_baseline=not args.skip_baseline,
+        n_fields=args.fields,
+        n_generations=args.generations,
+    )
+    path = append_bench_record(record, args.out)
+    for name, row in record["scenarios"].items():
+        line = (
+            f"{name}: {row['steps_per_sec']:10.1f} steps/s  "
+            f"{row['lane_steps_per_sec']:12.1f} lane-steps/s  "
+            f"({row['n_lanes']} lanes, {row['steps']} steps)"
+        )
+        if "speedup" in row:
+            line += (
+                f"  baseline {row['baseline_steps_per_sec']:10.1f} steps/s"
+                f"  speedup {row['speedup']:.2f}x"
+            )
+        print(line)
+    for kind, row in record["generations"].items():
+        print(
+            f"evolve {kind}: {row['generations_per_sec']:8.2f} generations/s  "
+            f"({row['n_generations']} generations, {row['n_fields']} fields)"
+        )
+    print(f"\nbenchmark record appended to {path}")
+    return 0
+
+
 def _cmd_ablation(args):
     from repro.experiments.ablations import (
         format_ablation,
@@ -378,6 +409,31 @@ def build_parser():
     sub.add_argument("--skip-grid33", action="store_true")
     sub.add_argument("--skip-ablations", action="store_true")
     sub.set_defaults(handler=_cmd_reproduce_all)
+
+    sub = subparsers.add_parser(
+        "bench", help="core perf benchmark; appends to BENCH_core.json"
+    )
+    sub.add_argument(
+        "--quick", action="store_true",
+        help="reduced fields/generations for smoke runs (e.g. CI)",
+    )
+    sub.add_argument(
+        "--out", default="BENCH_core.json",
+        help="benchmark trajectory log to append to",
+    )
+    sub.add_argument(
+        "--skip-baseline", action="store_true",
+        help="skip the pre-optimization baseline measurement",
+    )
+    sub.add_argument(
+        "--fields", type=int, default=None,
+        help="override the pinned random-field count",
+    )
+    sub.add_argument(
+        "--generations", type=int, default=None,
+        help="override the pinned GA generation count",
+    )
+    sub.set_defaults(handler=_cmd_bench)
 
     sub = subparsers.add_parser("ablation", help="colour/state/random-walk ablations")
     _add_grid_argument(sub)

@@ -11,6 +11,30 @@ Semantics are identical to :class:`repro.core.simulation.Simulation`
 (the test suite checks bit-exact equivalence of trajectories, colours,
 control states, knowledge and communication times).  Knowledge vectors
 are bit-packed into ``uint64`` words, so any agent count works.
+
+The stepper is built for throughput:
+
+* **Precomputed neighbour kernels** -- per-cell x per-direction flat
+  lookup tables for exchange neighbours and front cells are built once at
+  construction, with torus wrap and border walls folded in; the hot loop
+  is pure ``take``/gather with no modulo arithmetic.
+* **Zero-allocation stepping** -- every per-step temporary (gathered
+  knowledge, conflict winners, request masks, table indices) lives in a
+  scratch buffer allocated once; steady-state ``step()`` performs no
+  heap allocation of per-lane arrays.
+* **Lane compaction** -- lanes that solved the task are physically
+  swapped to the back of the working arrays, so late steps only pay for
+  the unsolved lanes (the expensive tail of a 1003-field suite).
+* **Exchange early-out** -- when a step changes no lane's knowledge the
+  success check is skipped entirely.
+
+Two padded sentinel cells per lane make borders branch-free: cell ``N``
+is the *void* (exchange across a border reaches nothing), cell ``N + 1``
+is the *wall* (a front across a border is blocked and reads colour 0).
+
+Throughput counters are kept in :class:`repro.perf.counters.StepCounters`
+(``simulator.counters``); ``repro-a2a bench`` uses them to report
+lane-steps per second.
 """
 
 from dataclasses import dataclass
@@ -20,6 +44,7 @@ import numpy as np
 from repro.core.environment import Environment
 from repro.core.metrics import FITNESS_WEIGHT
 from repro.core.simulation import SimulationResult
+from repro.perf.counters import StepCounters
 
 #: Bits per knowledge word.
 _WORD_BITS = 64
@@ -124,6 +149,12 @@ class BatchSimulator:
         behaviour per *agent slot*, the same in every lane -- the paper's
         "different species" symmetry-breaking option (Sect. 4, item 3).
         Mutually exclusive with a per-lane ``fsms`` list.
+
+    Lanes are compacted as they finish, so the row order of the internal
+    working arrays is *not* the lane order; the public views (``px``,
+    ``py``, ``direction``, ``state``, ``colors``, ``knowledge``) always
+    present lanes in their original order.  ``done`` and ``t_comm`` are
+    plain per-lane arrays in original order.
     """
 
     def __init__(self, grid, fsms=None, configs=(), state_scheme=None,
@@ -191,184 +222,417 @@ class BatchSimulator:
         self._dx, self._dy = dx, dy
         self._turn_increments = grid.turn_table()
         self._n_directions = grid.n_directions
-
-        # agent state, shape (B, k)
-        self.px = np.empty((self.n_lanes, self.n_agents), dtype=np.int64)
-        self.py = np.empty_like(self.px)
-        self.direction = np.empty_like(self.px)
-        self.state = np.empty_like(self.px)
-        for lane, config in enumerate(configs):
-            for agent, (x, y) in enumerate(config.positions):
-                self.px[lane, agent] = x % size
-                self.py[lane, agent] = y % size
-            self.direction[lane] = np.asarray(config.directions, dtype=np.int64)
-            states = config.states
-            if states is None and state_scheme is not None:
-                states = state_scheme.states_for(self.n_agents, self.n_states)
-            if states is None:
-                states = [
-                    ident % min(2, self.n_states) for ident in range(self.n_agents)
-                ]
-            self.state[lane] = np.asarray(states, dtype=np.int64)
-        if (self.direction >= self._n_directions).any() or (self.direction < 0).any():
-            raise ValueError("a configuration direction is out of range for this grid")
-        if (self.state >= self.n_states).any() or (self.state < 0).any():
-            raise ValueError("an initial control state is out of range for this FSM")
-
-        # fields, shape (B, M*M)
-        starting = self.environment.starting_colors().reshape(-1).astype(np.int64)
-        self.colors = np.tile(starting, (self.n_lanes, 1))
-        self.occupancy = np.zeros((self.n_lanes, self._n_cells), dtype=np.int64)
-        for ox, oy in self.environment.obstacles:
-            self.occupancy[:, ox * size + oy] = -1
-        lane_index = np.arange(self.n_lanes)[:, None]
-        flat = self.px * size + self.py
-        if (self.occupancy[lane_index, flat] < 0).any():
-            raise ValueError("a configuration places an agent on an obstacle")
-        self.occupancy[lane_index, flat] = np.arange(1, self.n_agents + 1)[None, :]
-        occupied_counts = (self.occupancy > 0).sum(axis=1)
-        if (occupied_counts != self.n_agents).any():
-            raise ValueError("a configuration places two agents on one cell")
         self._bordered = self.environment.bordered
 
-        # knowledge, shape (B, k, W); row 0 of the padded view is all-zero
-        self._mask = _full_mask(self.n_agents)
-        self._know_padded = np.zeros(
-            (self.n_lanes, self.n_agents + 1, self._mask.size), dtype=np.uint64
-        )
-        self._know_padded[:, 1:, :] = _pack_identity(self.n_lanes, self.n_agents)
+        n_lanes, n_agents, n_cells = self.n_lanes, self.n_agents, self._n_cells
 
-        self.t = 0
-        self.done = np.zeros(self.n_lanes, dtype=bool)
-        self.t_comm = np.full(self.n_lanes, -1, dtype=np.int64)
-        # the exchange right after placement is not counted
-        self._exchange_and_check(np.arange(self.n_lanes))
-
-    # -- views ---------------------------------------------------------------
-
-    @property
-    def knowledge(self):
-        """Packed knowledge words, shape ``(B, k, W)``."""
-        return self._know_padded[:, 1:, :]
-
-    def informed_counts(self):
-        """Per-lane number of fully informed agents."""
-        informed = (self.knowledge == self._mask[None, None, :]).all(axis=2)
-        return informed.sum(axis=1)
-
-    # -- dynamics --------------------------------------------------------------
-
-    def _exchange_and_check(self, lanes):
-        """Knowledge exchange + success bookkeeping for the given lanes."""
-        if lanes.size == 0:
-            return
-        size = self.grid.size
-        px = self.px[lanes]
-        py = self.py[lanes]
-        occupancy = self.occupancy[lanes]
-        know = self._know_padded[lanes]
-        rows = np.arange(lanes.size)[:, None]
-        gathered = know[:, 1:, :].copy()
-        for dx, dy in zip(self._dx, self._dy):
-            raw_x, raw_y = px + dx, py + dy
-            neighbor_flat = (raw_x % size) * size + raw_y % size
-            neighbor_ids = occupancy[rows, neighbor_flat]
-            neighbor_ids = np.maximum(neighbor_ids, 0)  # obstacles relay nothing
+        # -- precomputed kernels ------------------------------------------
+        # Flat lookup tables, indexed by [direction, cell].  Wrap and
+        # border logic are folded in once; two sentinel cells per lane
+        # keep the hot loop branch-free:
+        #   cell N      void: an exchange partner that relays nothing
+        #   cell N + 1  wall: a front cell that blocks and reads colour 0
+        cell = np.arange(n_cells, dtype=np.int64)
+        self._cell_x = cell // size
+        self._cell_y = cell % size
+        self._void = n_cells
+        self._wall = n_cells + 1
+        self._n_padded = n_cells + 2
+        neigh = np.empty((self._n_directions, n_cells), dtype=np.int64)
+        front = np.empty_like(neigh)
+        for d in range(self._n_directions):
+            raw_x = self._cell_x + dx[d]
+            raw_y = self._cell_y + dy[d]
+            wrapped = (raw_x % size) * size + raw_y % size
             if self._bordered:
                 exists = (
                     (raw_x >= 0) & (raw_x < size) & (raw_y >= 0) & (raw_y < size)
                 )
-                neighbor_ids = np.where(exists, neighbor_ids, 0)
-            gathered |= know[rows, neighbor_ids, :]
-        self._know_padded[lanes, 1:, :] = gathered
-        informed = (gathered == self._mask[None, None, :]).all(axis=2)
+                neigh[d] = np.where(exists, wrapped, self._void)
+                front[d] = np.where(exists, wrapped, self._wall)
+            else:
+                neigh[d] = wrapped
+                front[d] = wrapped
+        self._neigh_table = neigh
+        self._front_flat = front.reshape(-1)
+
+        # -- agent state, shape (B, k); positions kept flat ----------------
+        self._pos = np.empty((n_lanes, n_agents), dtype=np.int64)
+        self._direction = np.empty_like(self._pos)
+        self._state = np.empty_like(self._pos)
+        for lane, config in enumerate(configs):
+            for agent, (x, y) in enumerate(config.positions):
+                self._pos[lane, agent] = (x % size) * size + y % size
+            self._direction[lane] = np.asarray(config.directions, dtype=np.int64)
+            states = config.states
+            if states is None and state_scheme is not None:
+                states = state_scheme.states_for(n_agents, self.n_states)
+            if states is None:
+                states = [
+                    ident % min(2, self.n_states) for ident in range(n_agents)
+                ]
+            self._state[lane] = np.asarray(states, dtype=np.int64)
+        if (self._direction >= self._n_directions).any() or (self._direction < 0).any():
+            raise ValueError("a configuration direction is out of range for this grid")
+        if (self._state >= self.n_states).any() or (self._state < 0).any():
+            raise ValueError("an initial control state is out of range for this FSM")
+
+        # -- fields, shape (B, N + 2) with the two sentinel columns --------
+        starting = self.environment.starting_colors().reshape(-1).astype(np.int64)
+        self._colors_pad = np.zeros((n_lanes, self._n_padded), dtype=np.int64)
+        self._colors_pad[:, :n_cells] = starting
+        self._occ_pad = np.zeros((n_lanes, self._n_padded), dtype=np.int64)
+        for ox, oy in self.environment.obstacles:
+            self._occ_pad[:, ox * size + oy] = -1
+        self._occ_pad[:, self._wall] = n_agents + 1
+
+        self._row_pad = (
+            np.arange(n_lanes, dtype=np.int64) * self._n_padded
+        )[:, None]
+        self._row_void = self._row_pad + self._void
+        self._row_know = (
+            np.arange(n_lanes, dtype=np.int64) * (n_agents + 1)
+        )[:, None]
+        self._agent_ids = np.tile(
+            np.arange(n_agents, dtype=np.int64), (n_lanes, 1)
+        )
+
+        occ_flat = self._occ_pad.reshape(-1)
+        placement = self._pos + self._row_pad
+        if (occ_flat[placement] < 0).any():
+            raise ValueError("a configuration places an agent on an obstacle")
+        occ_flat[placement] = self._agent_ids + 1
+        occupied_counts = (self._occ_pad[:, :n_cells] > 0).sum(axis=1)
+        if (occupied_counts != n_agents).any():
+            raise ValueError("a configuration places two agents on one cell")
+
+        # knowledge, shape (B, k + 1, W); row 0 of the padded view is all-zero
+        self._mask = _full_mask(n_agents)
+        self._know_padded = np.zeros(
+            (n_lanes, n_agents + 1, self._mask.size), dtype=np.uint64
+        )
+        self._know_padded[:, 1:, :] = _pack_identity(n_lanes, n_agents)
+
+        # -- scratch buffers: allocated once, sliced to the active lanes --
+        n_words = self._mask.size
+        ints = lambda: np.empty((n_lanes, n_agents), dtype=np.int64)  # noqa: E731
+        bools = lambda: np.empty((n_lanes, n_agents), dtype=bool)     # noqa: E731
+        self._b_idx = ints()      # generic index scratch
+        self._b_front = ints()    # front cell per agent
+        self._b_here_g = ints()   # global padded-field index of the own cell
+        self._b_front_g = ints()  # global padded-field index of the front cell
+        self._b_val = ints()      # colour / move output / occupancy value
+        self._b_val2 = ints()     # front colour / conflict winner
+        self._b_x = ints()        # FSM input combination
+        self._b_tidx = ints()     # table index / turn increment
+        self._b_sbase = ints()    # species row offset into the flat tables
+        self._b_next = ints()
+        self._b_setc = ints()
+        self._b_turn = ints()
+        self._b_occ = ints()
+        self._m_req = bools()     # move requests
+        self._m_focc = bools()    # front occupied / blocked front
+        self._m_lost = bools()    # lost the conflict
+        self._m_blk = bools()     # blocked input bit
+        self._m_mov = bools()     # actually moving
+        self._m_not = bools()     # negation scratch
+        self._m_changed = bools()
+        self._m_informed = bools()
+        self._m_tmp = bools()
+        self._w_gather = np.empty((n_lanes, n_agents, n_words), dtype=np.uint64)
+        self._w_dir = np.empty_like(self._w_gather)
+        # conflict arena: never cleared wholesale -- each step scatter-resets
+        # exactly the (at most B * k) front cells it is about to contest
+        self._winner = np.full(
+            (n_lanes, self._n_padded), n_agents, dtype=np.int64
+        )
+
+        # -- lane compaction bookkeeping (original order is public) -------
+        self._lane_order = np.arange(n_lanes, dtype=np.int64)
+        self._n_active = n_lanes
+
+        self.counters = StepCounters()
+        self.t = 0
+        self.done = np.zeros(n_lanes, dtype=bool)
+        self.t_comm = np.full(n_lanes, -1, dtype=np.int64)
+        # the exchange right after placement is not counted
+        self._exchange_and_check(initial=True)
+
+    # -- views ---------------------------------------------------------------
+
+    def _by_lane(self, working):
+        """Scatter a working-row array back into original lane order."""
+        ordered = np.empty_like(working)
+        ordered[self._lane_order] = working
+        return ordered
+
+    @property
+    def px(self):
+        """Per-agent x coordinates, shape ``(B, k)``, original lane order."""
+        return self._by_lane(self._cell_x[self._pos])
+
+    @property
+    def py(self):
+        """Per-agent y coordinates, shape ``(B, k)``, original lane order."""
+        return self._by_lane(self._cell_y[self._pos])
+
+    @property
+    def direction(self):
+        """Per-agent headings, shape ``(B, k)``, original lane order."""
+        return self._by_lane(self._direction)
+
+    @property
+    def state(self):
+        """Per-agent control states, shape ``(B, k)``, original lane order."""
+        return self._by_lane(self._state)
+
+    @property
+    def colors(self):
+        """Colour fields, shape ``(B, M * M)``, original lane order."""
+        return self._by_lane(self._colors_pad[:, : self._n_cells])
+
+    @property
+    def occupancy(self):
+        """Occupancy fields, shape ``(B, M * M)``, original lane order."""
+        return self._by_lane(self._occ_pad[:, : self._n_cells])
+
+    @property
+    def knowledge(self):
+        """Packed knowledge words, shape ``(B, k, W)``, original lane order."""
+        return self._by_lane(self._know_padded[:, 1:, :])
+
+    @property
+    def n_active_lanes(self):
+        """Lanes still being stepped (the rest solved and were compacted)."""
+        return self._n_active
+
+    def informed_counts(self):
+        """Per-lane number of fully informed agents, original lane order."""
+        know = self._know_padded[:, 1:, :]
+        informed = self._m_informed
+        np.equal(know[:, :, 0], self._mask[0], out=informed)
+        for word in range(1, self._mask.size):
+            np.equal(know[:, :, word], self._mask[word], out=self._m_tmp)
+            np.logical_and(informed, self._m_tmp, out=informed)
+        return self._by_lane(informed.sum(axis=1))
+
+    # -- dynamics --------------------------------------------------------------
+
+    def _exchange_and_check(self, initial=False):
+        """Knowledge exchange + success bookkeeping for the active lanes."""
+        n = self._n_active
+        if n == 0:
+            return
+        self.counters.exchanges += 1
+        n_words = self._mask.size
+        pos = self._pos[:n]
+        nbr = self._b_idx[:n]
+        gidx = self._b_front_g[:n]
+        occ_flat = self._occ_pad.reshape(-1)
+        gather = self._w_gather[:n]
+        np.copyto(gather, self._know_padded[:n, 1:, :])
+        if n_words == 1:
+            # one-word fast path (any k <= 64): flat 1-D gathers throughout
+            know_flat = self._know_padded.reshape(-1)
+            gather_2d = gather[:, :, 0]
+            direction_words = self._w_dir[:n, :, 0]
+        else:
+            know_rows = self._know_padded.reshape(-1, n_words)
+            direction_words = self._w_dir[:n]
+        for d in range(self._n_directions):
+            np.take(self._neigh_table[d], pos, out=nbr)
+            np.add(nbr, self._row_pad[:n], out=gidx)
+            np.take(occ_flat, gidx, out=nbr)          # neighbour agent ids
+            np.maximum(nbr, 0, out=nbr)               # obstacles relay nothing
+            np.add(nbr, self._row_know[:n], out=gidx)
+            if n_words == 1:
+                np.take(know_flat, gidx, out=direction_words)
+                np.bitwise_or(gather_2d, direction_words, out=gather_2d)
+            else:
+                np.take(know_rows, gidx, axis=0, out=direction_words)
+                np.bitwise_or(gather, direction_words, out=gather)
+
+        know = self._know_padded[:n, 1:, :]
+        changed = self._m_changed[:n]
+        tmp = self._m_tmp[:n]
+        np.not_equal(gather[:, :, 0], know[:, :, 0], out=changed)
+        for word in range(1, self._mask.size):
+            np.not_equal(gather[:, :, word], know[:, :, word], out=tmp)
+            np.logical_or(changed, tmp, out=changed)
+        if not initial and not changed.any():
+            # knowledge is monotone, so an unchanged exchange cannot newly
+            # solve an (unsolved) active lane
+            self.counters.exchange_early_outs += 1
+            return
+        np.copyto(know, gather)
+
+        informed = self._m_informed[:n]
+        np.equal(gather[:, :, 0], self._mask[0], out=informed)
+        for word in range(1, self._mask.size):
+            np.equal(gather[:, :, word], self._mask[word], out=tmp)
+            np.logical_and(informed, tmp, out=informed)
         solved = informed.all(axis=1)
-        solved_lanes = lanes[solved]
-        self.done[solved_lanes] = True
-        self.t_comm[solved_lanes] = self.t
+        if solved.any():
+            self._retire(solved)
+
+    def _retire(self, solved):
+        """Record and compact the newly solved active lanes.
+
+        Compaction is swap-based: each solved row in the surviving head is
+        exchanged with an unsolved row from the tail, so the copy cost is
+        proportional to the number of lanes retiring, not the batch size.
+        """
+        n = self._n_active
+        finished = self._lane_order[:n][solved]
+        self.done[finished] = True
+        self.t_comm[finished] = self.t
+        n_gone = int(np.count_nonzero(solved))
+        new_n = n - n_gone
+        dst = np.nonzero(solved[:new_n])[0]
+        if dst.size:
+            src = np.nonzero(~solved[new_n:])[0] + new_n
+            for array in (
+                self._pos, self._direction, self._state, self._species,
+                self._lane_order, self._colors_pad, self._occ_pad,
+                self._know_padded,
+            ):
+                array[dst], array[src] = array[src], array[dst]
+        self._n_active = new_n
+        self.counters.compactions += 1
+        self.counters.retired_lanes += n_gone
 
     def step(self):
         """Advance every unfinished lane by one synchronous CA step."""
-        lanes = np.nonzero(~self.done)[0]
-        if lanes.size == 0:
+        n = self._n_active
+        if n == 0:
             return
-        size = self.grid.size
+        n_cells = self._n_cells
         n_states = self.n_states
-        rows = np.arange(lanes.size)[:, None]
-        agent_ids = np.arange(self.n_agents)[None, :]
+        n_agents = self.n_agents
+        table_size = self._move.shape[1]
 
-        px = self.px[lanes]
-        py = self.py[lanes]
-        direction = self.direction[lanes]
-        state = self.state[lanes]
-        colors = self.colors[lanes]
-        occupancy = self.occupancy[lanes]
-        lane_col = lanes[:, None]
-        species = self._species[lanes]
+        pos = self._pos[:n]
+        direction = self._direction[:n]
+        state = self._state[:n]
+        species = self._species[:n]
+        agent_ids = self._agent_ids[:n]
+        row_pad = self._row_pad[:n]
+        colors_flat = self._colors_pad.reshape(-1)
+        occ_flat = self._occ_pad.reshape(-1)
 
-        here = px * size + py
-        raw_fx = px + self._dx[direction]
-        raw_fy = py + self._dy[direction]
-        front = (raw_fx % size) * size + raw_fy % size
-        color = colors[rows, here]
-        frontcolor = colors[rows, front]
-        front_occupied = occupancy[rows, front] != 0
-        if self._bordered:
-            front_exists = (
-                (raw_fx >= 0) & (raw_fx < size) & (raw_fy >= 0) & (raw_fy < size)
-            )
-            # a border wall blocks and reads colour 0
-            frontcolor = np.where(front_exists, frontcolor, 0)
-            front_occupied = front_occupied | ~front_exists
+        # front cell via the precomputed kernel: front_flat[direction * N + pos]
+        idx = self._b_idx[:n]
+        front = self._b_front[:n]
+        np.multiply(direction, n_cells, out=idx)
+        np.add(idx, pos, out=idx)
+        np.take(self._front_flat, idx, out=front)
+
+        here_g = self._b_here_g[:n]
+        front_g = self._b_front_g[:n]
+        np.add(pos, row_pad, out=here_g)
+        np.add(front, row_pad, out=front_g)
+
+        color = self._b_val[:n]
+        frontcolor = self._b_val2[:n]
+        np.take(colors_flat, here_g, out=color)
+        np.take(colors_flat, front_g, out=frontcolor)
+        occ_front = self._b_occ[:n]
+        np.take(occ_flat, front_g, out=occ_front)
+        front_occupied = self._m_focc[:n]
+        np.not_equal(occ_front, 0, out=front_occupied)
 
         # phase 1: desire = move output assuming not blocked
         # (x = blocked + 2 * (color + n_colors * frontcolor); for the
         # paper's two colours this is the Fig. 3 bit packing)
-        x_free = 2 * (color + self.n_colors * frontcolor)
-        desire = self._move[species, x_free * n_states + state] == 1
-        requests = desire & ~front_occupied
+        x = self._b_x[:n]
+        np.multiply(frontcolor, self.n_colors, out=x)
+        np.add(x, color, out=x)
+        np.multiply(x, 2, out=x)
+        sbase = self._b_sbase[:n]
+        np.multiply(species, table_size, out=sbase)
+        tidx = self._b_tidx[:n]
+        np.multiply(x, n_states, out=tidx)
+        np.add(tidx, state, out=tidx)
+        np.add(tidx, sbase, out=tidx)
+        move_out = self._b_val[:n]  # colour already folded into x
+        np.take(self._move.reshape(-1), tidx, out=move_out)
+        requests = self._m_req[:n]
+        not_buf = self._m_not[:n]
+        np.equal(move_out, 1, out=requests)
+        np.logical_not(front_occupied, out=not_buf)
+        np.logical_and(requests, not_buf, out=requests)
 
         # conflict resolution: lowest agent ID wins a contested front cell
-        winner = np.full((lanes.size, self._n_cells), self.n_agents, dtype=np.int64)
-        req_rows = np.broadcast_to(rows, requests.shape)[requests]
-        req_agents = np.broadcast_to(agent_ids, requests.shape)[requests]
-        np.minimum.at(winner, (req_rows, front[requests]), req_agents)
-        lost = requests & (winner[rows, front] != agent_ids)
-        blocked = front_occupied | lost
+        winner_flat = self._winner.reshape(-1)
+        winner_flat[front_g] = n_agents  # reset only the contested cells
+        np.logical_not(requests, out=not_buf)
+        if n_agents <= 32:
+            # write requesters' ids in descending agent order; the last
+            # (lowest) id written to a contested cell wins.  Non-requesters
+            # are redirected to their lane's void cell, which nobody reads.
+            target = self._b_idx[:n]
+            np.copyto(target, front_g)
+            np.copyto(target, self._row_void[:n], where=not_buf)
+            for agent in range(n_agents - 1, -1, -1):
+                winner_flat[target[:, agent]] = agent
+        else:
+            candidate = self._b_idx[:n]
+            np.copyto(candidate, agent_ids)
+            np.copyto(candidate, n_agents, where=not_buf)
+            np.minimum.at(winner_flat, front_g, candidate)
+        won = self._b_val2[:n]  # front colour already folded into x
+        np.take(winner_flat, front_g, out=won)
+        lost = self._m_lost[:n]
+        np.not_equal(won, agent_ids, out=lost)
+        np.logical_and(lost, requests, out=lost)
+        blocked = self._m_blk[:n]
+        np.logical_or(front_occupied, lost, out=blocked)
 
-        # phase 2: the actual FSM row
-        x = blocked.astype(np.int64) | x_free
-        table_index = x * n_states + state
-        next_state = self._next_state[species, table_index]
-        set_color = self._set_color[species, table_index]
-        turn_code = self._turn[species, table_index]
-        movers = requests & ~lost  # == move output & not blocked
+        # phase 2: the actual FSM row (x_free is even, so | blocked == +)
+        np.add(x, blocked, out=x, casting="unsafe")
+        np.multiply(x, n_states, out=tidx)
+        np.add(tidx, state, out=tidx)
+        np.add(tidx, sbase, out=tidx)
+        next_state = self._b_next[:n]
+        set_color = self._b_setc[:n]
+        turn_code = self._b_turn[:n]
+        np.take(self._next_state.reshape(-1), tidx, out=next_state)
+        np.take(self._set_color.reshape(-1), tidx, out=set_color)
+        np.take(self._turn.reshape(-1), tidx, out=turn_code)
+        movers = self._m_mov[:n]
+        np.logical_not(lost, out=not_buf)
+        np.logical_and(requests, not_buf, out=movers)  # == move & not blocked
 
         # setcolor always rewrites the flag of the cell the agent stands on
-        self.colors[lane_col, here] = set_color
+        colors_flat[here_g] = set_color
 
         # simultaneous movement: winners are unique per target cell, and
         # no target coincides with any agent's (occupied) old cell
-        self.occupancy[lane_col, here] = np.where(
-            movers, 0, self.occupancy[lane_col, here]
-        )
-        move_rows = np.broadcast_to(rows, movers.shape)[movers]
-        move_agents = np.broadcast_to(agent_ids, movers.shape)[movers]
-        self.occupancy[lanes[move_rows], front[movers]] = move_agents + 1
-        self.px[lanes] = np.where(movers, front // size, px)
-        self.py[lanes] = np.where(movers, front % size, py)
+        occ_value = self._b_occ[:n]
+        np.add(agent_ids, 1, out=occ_value)
+        np.copyto(occ_value, 0, where=movers)
+        occ_flat[here_g] = occ_value
+        target = self._b_idx[:n]
+        np.copyto(target, here_g)
+        np.copyto(target, front_g, where=movers)
+        np.add(agent_ids, 1, out=occ_value)
+        occ_flat[target] = occ_value
+        np.copyto(pos, front, where=movers)
 
-        self.direction[lanes] = (
-            direction + self._turn_increments[turn_code]
-        ) % self._n_directions
-        self.state[lanes] = next_state
+        turn_inc = self._b_tidx[:n]
+        np.take(self._turn_increments, turn_code, out=turn_inc)
+        np.add(direction, turn_inc, out=direction)
+        np.remainder(direction, self._n_directions, out=direction)
+        np.copyto(state, next_state)
 
         self.t += 1
-        self._exchange_and_check(lanes)
+        self.counters.steps += 1
+        self.counters.lane_steps += n
+        self._exchange_and_check()
 
     def run(self, t_max=200):
         """Simulate until every lane solved the task or ``t_max`` is hit."""
-        while not self.done.all() and self.t < t_max:
+        while self._n_active and self.t < t_max:
             self.step()
         return BatchResult(
             success=self.done.copy(),

@@ -3,14 +3,28 @@
 Evaluation is simulation: an FSM's fitness is the paper's
 ``F = mean_i [ W (k - a_i) + t_i ]`` over every field of a suite
 (:mod:`repro.core.metrics`).  The heavy lifting happens in the batch
-simulator; a whole population can be evaluated in a single batch of
-``population x fields`` lanes.
+simulator; a whole population is evaluated as ``population x fields``
+lanes, split two ways for scale:
+
+* **lane blocks** -- lanes are chunked into blocks of at most
+  ``lane_block`` (a 20-FSM pool over the paper's 1003 fields would
+  otherwise materialise >20k lanes of ``(B, M * M)`` state at once);
+  chunking is bit-exact because lanes are independent.
+* **worker shards** (opt-in) -- with ``n_workers`` the FSMs are split
+  into contiguous shards evaluated by a pool of worker processes, one
+  :class:`BatchSimulator` chain per worker; outcomes are merged back in
+  input order, so results are deterministic and identical to the serial
+  path.
 """
 
+import multiprocessing
 from dataclasses import dataclass
 
 from repro.core.metrics import FITNESS_WEIGHT
 from repro.core.vectorized import BatchSimulator
+
+#: Default ceiling on simultaneous lanes per batch (FSMs x suite fields).
+DEFAULT_LANE_BLOCK = 4096
 
 
 @dataclass(frozen=True)
@@ -44,23 +58,11 @@ def evaluate_fsm(grid, fsm, suite, t_max=200):
     return _outcome_from_batch(batch)
 
 
-def evaluate_population(grid, fsms, suite, t_max=200):
-    """Evaluate many FSMs over one suite in a single batch.
-
-    Lanes are laid out individual-major: lanes ``[p * F, (p+1) * F)``
-    belong to individual ``p`` over the suite's ``F`` fields.  Returns
-    one :class:`EvaluationOutcome` per FSM.
-    """
-    fsms = list(fsms)
-    configs = list(suite)
-    n_fields = len(configs)
-    lane_fsms = [fsm for fsm in fsms for _ in range(n_fields)]
-    lane_configs = configs * len(fsms)
-    simulator = BatchSimulator(grid, lane_fsms, lane_configs)
-    batch = simulator.run(t_max=t_max)
-    outcomes = []
+def _slice_outcomes(batch, n_fsms, n_fields):
+    """Per-FSM outcomes from an individual-major batch result."""
     per_lane_fitness = batch.fitness(FITNESS_WEIGHT)
-    for index in range(len(fsms)):
+    outcomes = []
+    for index in range(n_fsms):
         lanes = slice(index * n_fields, (index + 1) * n_fields)
         success = batch.success[lanes]
         times = batch.t_comm[lanes][success]
@@ -75,19 +77,83 @@ def evaluate_population(grid, fsms, suite, t_max=200):
     return outcomes
 
 
+def _evaluate_chunked(grid, fsms, configs, t_max, lane_block):
+    """Serial evaluation in lane blocks; bit-exact vs one monolithic batch."""
+    n_fields = len(configs)
+    if lane_block:
+        fsms_per_chunk = max(1, lane_block // n_fields)
+    else:
+        fsms_per_chunk = len(fsms)
+    outcomes = []
+    for start in range(0, len(fsms), fsms_per_chunk):
+        chunk = fsms[start:start + fsms_per_chunk]
+        lane_fsms = [fsm for fsm in chunk for _ in range(n_fields)]
+        lane_configs = configs * len(chunk)
+        batch = BatchSimulator(grid, lane_fsms, lane_configs).run(t_max=t_max)
+        outcomes.extend(_slice_outcomes(batch, len(chunk), n_fields))
+    return outcomes
+
+
+def _shard_worker(payload):
+    """Worker entry point: evaluate one contiguous FSM shard serially."""
+    grid, fsms, configs, t_max, lane_block = payload
+    return _evaluate_chunked(grid, fsms, configs, t_max, lane_block)
+
+
+def _pool_context():
+    """Prefer fork (cheap, no re-import) where the platform offers it."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def evaluate_population(grid, fsms, suite, t_max=200,
+                        lane_block=DEFAULT_LANE_BLOCK, n_workers=None):
+    """Evaluate many FSMs over one suite, chunked and optionally sharded.
+
+    Lanes are laid out individual-major: lanes ``[p * F, (p+1) * F)``
+    belong to individual ``p`` over the suite's ``F`` fields.  Returns
+    one :class:`EvaluationOutcome` per FSM, in input order.
+
+    ``lane_block`` bounds the number of simultaneous lanes per batch
+    (``None`` or 0 evaluates everything monolithically); ``n_workers``
+    splits the FSMs over that many worker processes.  Both split points
+    fall on whole-FSM boundaries, so every path returns results
+    identical to the monolithic single-process evaluation.
+    """
+    fsms = list(fsms)
+    configs = list(suite)
+    n_workers = min(n_workers or 1, len(fsms))
+    if n_workers > 1:
+        shard_size = (len(fsms) + n_workers - 1) // n_workers
+        payloads = [
+            (grid, fsms[start:start + shard_size], configs, t_max, lane_block)
+            for start in range(0, len(fsms), shard_size)
+        ]
+        with _pool_context().Pool(processes=len(payloads)) as pool:
+            shard_outcomes = pool.map(_shard_worker, payloads)
+        return [outcome for shard in shard_outcomes for outcome in shard]
+    return _evaluate_chunked(grid, fsms, configs, t_max, lane_block)
+
+
 class SuiteEvaluator:
     """Callable evaluator with memoization by genome.
 
     Fitness is deterministic for a fixed suite, so re-evaluating an
     unchanged genome (survivors stay in the pool across generations) is
     wasted simulation; the cache makes each behaviour cost one batch run
-    ever.
+    ever.  ``lane_block`` and ``n_workers`` are forwarded to
+    :func:`evaluate_population`; neither affects results or the cache
+    keys, only how the simulation work is laid out.
     """
 
-    def __init__(self, grid, suite, t_max=200):
+    def __init__(self, grid, suite, t_max=200,
+                 lane_block=DEFAULT_LANE_BLOCK, n_workers=None):
         self.grid = grid
         self.suite = suite
         self.t_max = t_max
+        self.lane_block = lane_block
+        self.n_workers = n_workers
         self._cache = {}
         self.evaluations = 0
 
@@ -111,7 +177,10 @@ class SuiteEvaluator:
                 fresh.append(fsm)
                 fresh_indices.append(index)
         if fresh:
-            outcomes = evaluate_population(self.grid, fresh, self.suite, t_max=self.t_max)
+            outcomes = evaluate_population(
+                self.grid, fresh, self.suite, t_max=self.t_max,
+                lane_block=self.lane_block, n_workers=self.n_workers,
+            )
             for fsm, outcome in zip(fresh, outcomes):
                 self._cache[fsm.key()] = outcome
             self.evaluations += len(fresh)

@@ -1,0 +1,215 @@
+"""Timing harness behind ``repro-a2a bench``: pinned scenarios + JSON log.
+
+The harness measures three things on scenarios pinned to the paper's
+workloads (16 x 16 torus, ``k = 8``, the 1003-field evaluation suite):
+
+* **steps/sec** of the optimized :class:`BatchSimulator` hot loop;
+* the same number for the frozen pre-optimization stepper
+  (:class:`repro.perf.reference.LegacyBatchSimulator`), so every run
+  records a measured same-host speedup rather than a stale constant;
+* **generations/sec** of the full GA loop (mutation, evaluation,
+  selection) on a reduced pinned evolution run.
+
+``repro-a2a bench`` appends one record per invocation to
+``BENCH_core.json`` (schema below), giving the repository a perf
+trajectory that CI can smoke-test and reviewers can diff::
+
+    {
+      "schema_version": 1,
+      "benchmark": "repro-core",
+      "runs": [
+        {
+          "timestamp": "2026-01-01T00:00:00+00:00",
+          "quick": false,
+          "scenarios": {
+            "S16_k8": {
+              "kind": "S", "size": 16, "n_agents": 8, "n_lanes": 1003,
+              "t_max": 200, "steps": 200, "wall_seconds": ...,
+              "steps_per_sec": ..., "lane_steps_per_sec": ...,
+              "solved_lanes": ..., "counters": {...},
+              "baseline_steps_per_sec": ..., "baseline_wall_seconds": ...,
+              "speedup": ...
+            },
+            "T16_k8": {...}
+          },
+          "generations": {
+            "S": {"n_generations": ..., "wall_seconds": ...,
+                   "generations_per_sec": ..., "best_fitness": ...},
+            "T": {...}
+          }
+        }
+      ]
+    }
+"""
+
+import json
+import time
+from dataclasses import dataclass, replace
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core.published import published_fsm
+from repro.core.vectorized import BatchSimulator
+from repro.configs.suite import paper_suite
+from repro.grids import make_grid
+
+#: Default location of the benchmark log (repo root when run from there).
+DEFAULT_BENCH_PATH = "BENCH_core.json"
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned stepping workload."""
+
+    name: str
+    kind: str          # "S" or "T"
+    size: int          # torus side length M
+    n_agents: int      # k
+    n_fields: int      # random fields; the suite adds its special configs
+    seed: int
+    t_max: int
+
+    def build(self):
+        """The (grid, fsm, configs) triple of this scenario."""
+        grid = make_grid(self.kind, self.size)
+        fsm = published_fsm(self.kind)
+        configs = list(
+            paper_suite(grid, self.n_agents, n_random=self.n_fields,
+                        seed=self.seed)
+        )
+        return grid, fsm, configs
+
+
+#: The paper's evaluation workload: 16 x 16, k = 8, 1003 lanes.
+PINNED_STEP_SCENARIOS = (
+    BenchScenario(name="S16_k8", kind="S", size=16, n_agents=8,
+                  n_fields=1000, seed=2013, t_max=200),
+    BenchScenario(name="T16_k8", kind="T", size=16, n_agents=8,
+                  n_fields=1000, seed=2013, t_max=200),
+)
+
+
+def quick_scenario(scenario, n_fields=100):
+    """A reduced copy of a pinned scenario for smoke runs."""
+    return replace(scenario, n_fields=n_fields)
+
+
+def measure_steps(scenario, simulator_cls=BatchSimulator, repeats=3):
+    """Time ``run()`` on a scenario; best-of-``repeats`` wall clock."""
+    grid, fsm, configs = scenario.build()
+    best_wall, result, counters = None, None, None
+    for _ in range(max(1, repeats)):
+        simulator = simulator_cls(grid, fsm, configs)
+        start = time.perf_counter()
+        outcome = simulator.run(t_max=scenario.t_max)
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall, result = wall, outcome
+            counters = getattr(simulator, "counters", None)
+    steps = result.steps_executed
+    lane_steps = (
+        counters.lane_steps if counters is not None else len(configs) * steps
+    )
+    record = {
+        "kind": scenario.kind,
+        "size": scenario.size,
+        "n_agents": scenario.n_agents,
+        "n_lanes": len(configs),
+        "t_max": scenario.t_max,
+        "steps": steps,
+        "wall_seconds": best_wall,
+        "steps_per_sec": steps / best_wall if best_wall else float("inf"),
+        "lane_steps_per_sec": (
+            lane_steps / best_wall if best_wall else float("inf")
+        ),
+        "solved_lanes": int(result.success.sum()),
+    }
+    if counters is not None:
+        record["counters"] = counters.as_dict()
+    return record
+
+
+def measure_generations(kind, n_generations=6, n_fields=100, seed=2013,
+                        t_max=200):
+    """Time a pinned GA run; generations/sec of the whole loop."""
+    from repro.evolution.runner import EvolutionSettings, evolve
+
+    grid = make_grid(kind, 16)
+    suite = paper_suite(grid, 8, n_random=n_fields, seed=seed)
+    settings = EvolutionSettings(
+        n_generations=n_generations, t_max=t_max, seed=seed
+    )
+    result = evolve(grid, suite, settings)
+    wall = result.wall_seconds
+    return {
+        "kind": kind,
+        "n_generations": n_generations,
+        "n_fields": len(suite),
+        "wall_seconds": wall,
+        "generations_per_sec": n_generations / wall if wall else float("inf"),
+        "best_fitness": result.best.fitness,
+    }
+
+
+def run_bench(quick=False, include_baseline=True, n_fields=None,
+              n_generations=None, repeats=None):
+    """One full benchmark pass; returns the record to append to the log."""
+    from repro.perf.reference import LegacyBatchSimulator
+
+    if n_fields is None:
+        n_fields = 100 if quick else 1000
+    if n_generations is None:
+        n_generations = 3 if quick else 6
+    if repeats is None:
+        repeats = 1 if quick else 3
+    scenarios = {}
+    for pinned in PINNED_STEP_SCENARIOS:
+        scenario = replace(pinned, n_fields=n_fields)
+        record = measure_steps(scenario, repeats=repeats)
+        if include_baseline:
+            baseline = measure_steps(
+                scenario, simulator_cls=LegacyBatchSimulator, repeats=repeats
+            )
+            record["baseline_steps_per_sec"] = baseline["steps_per_sec"]
+            record["baseline_wall_seconds"] = baseline["wall_seconds"]
+            record["speedup"] = (
+                record["steps_per_sec"] / baseline["steps_per_sec"]
+            )
+        scenarios[scenario.name] = record
+    generations = {
+        kind: measure_generations(
+            kind, n_generations=n_generations,
+            n_fields=min(n_fields, 40) if quick else n_fields,
+        )
+        for kind in ("S", "T")
+    }
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": bool(quick),
+        "scenarios": scenarios,
+        "generations": generations,
+    }
+
+
+def append_bench_record(record, path=DEFAULT_BENCH_PATH):
+    """Append one run record to the trajectory log; returns the path."""
+    path = Path(path)
+    log = None
+    if path.exists():
+        try:
+            log = json.loads(path.read_text())
+        except (OSError, ValueError):
+            log = None
+        if not isinstance(log, dict) or "runs" not in log:
+            log = None
+    if log is None:
+        log = {
+            "schema_version": _SCHEMA_VERSION,
+            "benchmark": "repro-core",
+            "runs": [],
+        }
+    log["runs"].append(record)
+    path.write_text(json.dumps(log, indent=2) + "\n")
+    return path

@@ -1,0 +1,96 @@
+"""Chunked and sharded population evaluation: identical to monolithic."""
+
+import numpy as np
+import pytest
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.evolution.fitness import (
+    DEFAULT_LANE_BLOCK,
+    SuiteEvaluator,
+    evaluate_fsm,
+    evaluate_population,
+)
+from repro.grids import make_grid
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = make_grid("T", 8)
+    suite = paper_suite(grid, 5, n_random=12, seed=1)
+    fsms = [FSM.random(np.random.default_rng(seed)) for seed in range(7)]
+    return grid, suite, fsms
+
+
+class TestChunking:
+    def test_chunked_equals_monolithic(self, setup):
+        grid, suite, fsms = setup
+        monolithic = evaluate_population(
+            grid, fsms, suite, t_max=60, lane_block=None
+        )
+        for lane_block in (1, 7, 20, 45, 10_000):
+            chunked = evaluate_population(
+                grid, fsms, suite, t_max=60, lane_block=lane_block
+            )
+            assert chunked == monolithic
+
+    def test_default_block_bounds_lanes(self, setup):
+        grid, suite, fsms = setup
+        # the default path must agree with the explicit monolithic one
+        default = evaluate_population(grid, fsms, suite, t_max=60)
+        monolithic = evaluate_population(
+            grid, fsms, suite, t_max=60, lane_block=None
+        )
+        assert default == monolithic
+        assert DEFAULT_LANE_BLOCK > 0
+
+    def test_single_fsm_matches_evaluate_fsm(self, setup):
+        grid, suite, fsms = setup
+        single = evaluate_fsm(grid, fsms[0], suite, t_max=60)
+        population = evaluate_population(
+            grid, [fsms[0]], suite, t_max=60, lane_block=3
+        )
+        assert population == [single]
+
+
+class TestSharding:
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_sharded_equals_serial(self, setup, n_workers):
+        grid, suite, fsms = setup
+        serial = evaluate_population(grid, fsms, suite, t_max=60)
+        sharded = evaluate_population(
+            grid, fsms, suite, t_max=60, n_workers=n_workers
+        )
+        assert sharded == serial
+
+    def test_more_workers_than_fsms(self, setup):
+        grid, suite, fsms = setup
+        serial = evaluate_population(grid, fsms[:2], suite, t_max=60)
+        sharded = evaluate_population(
+            grid, fsms[:2], suite, t_max=60, n_workers=8
+        )
+        assert sharded == serial
+
+
+class TestSuiteEvaluatorSharding:
+    def test_worker_evaluator_matches_default(self, setup):
+        grid, suite, fsms = setup
+        plain = SuiteEvaluator(grid, suite, t_max=60)
+        sharded = SuiteEvaluator(
+            grid, suite, t_max=60, lane_block=20, n_workers=2
+        )
+        assert sharded.evaluate_many(fsms) == plain.evaluate_many(fsms)
+
+    def test_cache_survives_sharded_path(self, setup):
+        grid, suite, fsms = setup
+        evaluator = SuiteEvaluator(
+            grid, suite, t_max=60, lane_block=20, n_workers=2
+        )
+        first = evaluator.evaluate_many(fsms)
+        assert evaluator.evaluations == len(fsms)
+        second = evaluator.evaluate_many(fsms)
+        assert evaluator.evaluations == len(fsms)  # every genome cached
+        assert first == second
+        # single-FSM calls share the same cache
+        assert evaluator(fsms[0]) == first[0]
+        assert evaluator.evaluations == len(fsms)

@@ -1,0 +1,115 @@
+"""Perf counters, benchmark harness, and the ``bench`` CLI subcommand."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.configs.random_configs import random_configuration
+from repro.core.published import published_fsm
+from repro.core.vectorized import BatchSimulator
+from repro.grids import SquareGrid
+from repro.perf import StepCounters
+from repro.perf.harness import (
+    BenchScenario,
+    PINNED_STEP_SCENARIOS,
+    append_bench_record,
+    measure_steps,
+)
+from repro.perf.reference import LegacyBatchSimulator
+
+TINY = BenchScenario(
+    name="tiny_S", kind="S", size=6, n_agents=3, n_fields=4, seed=5, t_max=40
+)
+
+
+class TestCounters:
+    def test_counters_accumulate(self):
+        grid = SquareGrid(8)
+        fsm = published_fsm("S")
+        configs = [
+            random_configuration(grid, 4, np.random.default_rng(seed))
+            for seed in range(6)
+        ]
+        simulator = BatchSimulator(grid, fsm, configs)
+        assert isinstance(simulator.counters, StepCounters)
+        assert simulator.counters.steps == 0
+        result = simulator.run(t_max=150)
+        counters = simulator.counters
+        assert counters.steps == result.steps_executed
+        assert 0 < counters.lane_steps <= len(configs) * counters.steps
+        assert counters.exchanges >= counters.steps
+        assert counters.retired_lanes == int(result.success.sum())
+        as_dict = counters.as_dict()
+        assert as_dict["steps"] == counters.steps
+        assert set(as_dict) == {
+            "steps", "lane_steps", "exchanges", "exchange_early_outs",
+            "compactions", "retired_lanes",
+        }
+
+
+class TestMeasureSteps:
+    def test_record_shape(self):
+        record = measure_steps(TINY, repeats=1)
+        assert record["kind"] == "S"
+        assert record["n_lanes"] == len(TINY.build()[2])
+        assert record["steps"] > 0
+        assert record["wall_seconds"] > 0
+        assert record["steps_per_sec"] > 0
+        assert record["lane_steps_per_sec"] >= record["steps_per_sec"]
+        assert "counters" in record
+
+    def test_legacy_simulator_measurable(self):
+        record = measure_steps(
+            TINY, simulator_cls=LegacyBatchSimulator, repeats=1
+        )
+        assert record["steps_per_sec"] > 0
+        # the frozen baseline has no counters attribute
+        assert "counters" not in record
+
+    def test_pinned_scenarios_match_paper_workload(self):
+        for scenario in PINNED_STEP_SCENARIOS:
+            assert scenario.size == 16
+            assert scenario.n_agents == 8
+            assert scenario.n_fields == 1000
+        assert {s.kind for s in PINNED_STEP_SCENARIOS} == {"S", "T"}
+
+
+class TestBenchLog:
+    def test_append_creates_then_extends(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        append_bench_record({"timestamp": "t0", "quick": True}, path)
+        append_bench_record({"timestamp": "t1", "quick": True}, path)
+        log = json.loads(path.read_text())
+        assert log["schema_version"] == 1
+        assert log["benchmark"] == "repro-core"
+        assert [run["timestamp"] for run in log["runs"]] == ["t0", "t1"]
+
+    def test_corrupt_log_is_replaced(self, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        path.write_text("not json {")
+        append_bench_record({"timestamp": "t0"}, path)
+        log = json.loads(path.read_text())
+        assert log["runs"][0]["timestamp"] == "t0"
+
+
+@pytest.mark.slow
+class TestBenchCli:
+    def test_quick_bench_end_to_end(self, tmp_path):
+        path = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--fields", "8", "--generations", "1",
+            "--out", str(path),
+        ])
+        assert code == 0
+        log = json.loads(path.read_text())
+        run = log["runs"][-1]
+        assert run["quick"] is True
+        for name in ("S16_k8", "T16_k8"):
+            row = run["scenarios"][name]
+            assert row["steps_per_sec"] > 0
+            assert row["baseline_steps_per_sec"] > 0
+            assert row["speedup"] > 0
+        for kind in ("S", "T"):
+            assert run["generations"][kind]["generations_per_sec"] > 0

@@ -11,6 +11,8 @@ and figure of the paper can be regenerated from the shell::
     repro-a2a simulate --grid T --agents 8 --render
     repro-a2a evolve --grid T --agents 8 --generations 30
     repro-a2a ablation --which colors
+    repro-a2a serve --workers 4   # evaluation service over JSON lines
+    repro-a2a bench --check-against BENCH_core.json   # perf gate
 """
 
 import argparse
@@ -131,13 +133,25 @@ def _cmd_evolve(args):
 
 
 def _cmd_bench(args):
+    import json
+
     from repro.perf.harness import append_bench_record, run_bench
+    from repro.perf.regression import check_regression, format_check
+
+    committed_log = None
+    if args.check_against:
+        try:
+            committed_log = json.loads(open(args.check_against).read())
+        except (OSError, ValueError):
+            committed_log = None
 
     record = run_bench(
         quick=args.quick,
         include_baseline=not args.skip_baseline,
         n_fields=args.fields,
         n_generations=args.generations,
+        include_service=not args.skip_service,
+        service_workers=args.service_workers,
     )
     path = append_bench_record(record, args.out)
     for name, row in record["scenarios"].items():
@@ -157,8 +171,59 @@ def _cmd_bench(args):
             f"evolve {kind}: {row['generations_per_sec']:8.2f} generations/s  "
             f"({row['n_generations']} generations, {row['n_fields']} fields)"
         )
+    for name, row in record.get("service", {}).items():
+        print(
+            f"service {name}: serial {row['serial_requests_per_sec']:7.2f} "
+            f"req/s  batched {row['batched_requests_per_sec']:7.2f} req/s  "
+            f"speedup {row['speedup']:.2f}x  "
+            f"replay {row['replay_requests_per_sec']:9.1f} req/s"
+        )
     print(f"\nbenchmark record appended to {path}")
+    if args.check_against:
+        failures, notes = check_regression(
+            record, committed_log, threshold=args.regression_threshold
+        )
+        print(format_check(failures, notes))
+        if failures:
+            return 1
     return 0
+
+
+def _cmd_serve(args):
+    import json
+
+    from repro.service import EvaluationService
+    from repro.service.jsonl import ServeSession, format_response
+
+    service = EvaluationService(
+        n_workers=args.workers, lane_block=args.lane_block
+    )
+    session = ServeSession(service)
+    pending = []
+    submitted = 0
+    parse_errors = 0
+    with service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                pending.append(session.submit_line(line))
+                submitted += 1
+            except Exception as exc:
+                parse_errors += 1
+                print(json.dumps({"error": str(exc)}), flush=True)
+            # flush responses already complete, keeping submission order
+            while pending and pending[0][1].done():
+                print(format_response(*pending.pop(0)), flush=True)
+            if args.max_requests and submitted >= args.max_requests:
+                break
+        for item in pending:
+            print(format_response(*item), flush=True)
+        stats = service.stats.snapshot(cache=service.cache)
+    if args.stats:
+        print(json.dumps({"stats": stats}), file=sys.stderr)
+    return 1 if (parse_errors or stats["failed"]) else 0
 
 
 def _cmd_ablation(args):
@@ -282,7 +347,7 @@ def _cmd_reproduce_all(args):
         include_grid33=not args.skip_grid33,
         include_ablations=not args.skip_ablations,
     )
-    report = run_campaign(settings)
+    report = run_campaign(settings, n_workers=args.workers)
     print()
     print(format_campaign(report))
     if args.out:
@@ -408,6 +473,10 @@ def build_parser():
     sub.add_argument("--seed", type=int, default=2013)
     sub.add_argument("--skip-grid33", action="store_true")
     sub.add_argument("--skip-ablations", action="store_true")
+    sub.add_argument(
+        "--workers", type=int, default=None,
+        help="shard the campaign's evaluations over worker processes",
+    )
     sub.set_defaults(handler=_cmd_reproduce_all)
 
     sub = subparsers.add_parser(
@@ -433,7 +502,43 @@ def build_parser():
         "--generations", type=int, default=None,
         help="override the pinned GA generation count",
     )
+    sub.add_argument(
+        "--skip-service", action="store_true",
+        help="skip the evaluation-service throughput measurement",
+    )
+    sub.add_argument(
+        "--service-workers", type=int, default=None,
+        help="worker processes for the service measurement (default: 1)",
+    )
+    sub.add_argument(
+        "--check-against", default=None, metavar="PATH",
+        help="perf gate: fail when steps/sec drops vs the last record "
+             "from comparable hardware in this trajectory log",
+    )
+    sub.add_argument(
+        "--regression-threshold", type=float, default=0.2,
+        help="fractional steps/sec drop that fails the gate (default 0.2)",
+    )
     sub.set_defaults(handler=_cmd_bench)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="long-lived evaluation service: JSON-lines requests on stdin",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all cores; 1 = inline)",
+    )
+    sub.add_argument("--lane-block", type=int, default=4096)
+    sub.add_argument(
+        "--max-requests", type=int, default=None,
+        help="exit after this many requests (smoke tests)",
+    )
+    sub.add_argument(
+        "--stats", action="store_true",
+        help="print service counters to stderr at shutdown",
+    )
+    sub.set_defaults(handler=_cmd_serve)
 
     sub = subparsers.add_parser("ablation", help="colour/state/random-walk ablations")
     _add_grid_argument(sub)

@@ -17,7 +17,9 @@ lanes, split two ways for scale:
   path.
 """
 
+import hashlib
 import multiprocessing
+import threading
 from dataclasses import dataclass
 
 from repro.core.metrics import FITNESS_WEIGHT
@@ -108,7 +110,8 @@ def _pool_context():
 
 
 def evaluate_population(grid, fsms, suite, t_max=200,
-                        lane_block=DEFAULT_LANE_BLOCK, n_workers=None):
+                        lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
+                        pool=None):
     """Evaluate many FSMs over one suite, chunked and optionally sharded.
 
     Lanes are laid out individual-major: lanes ``[p * F, (p+1) * F)``
@@ -117,12 +120,17 @@ def evaluate_population(grid, fsms, suite, t_max=200,
 
     ``lane_block`` bounds the number of simultaneous lanes per batch
     (``None`` or 0 evaluates everything monolithically); ``n_workers``
-    splits the FSMs over that many worker processes.  Both split points
-    fall on whole-FSM boundaries, so every path returns results
-    identical to the monolithic single-process evaluation.
+    splits the FSMs over that many worker processes.  ``pool`` may be a
+    persistent :class:`repro.service.WorkerPool`, in which case its
+    workers are reused instead of forking a one-shot pool (``n_workers``
+    then defaults to the pool's size).  All split points fall on
+    whole-FSM boundaries, so every path returns results identical to
+    the monolithic single-process evaluation.
     """
     fsms = list(fsms)
     configs = list(suite)
+    if pool is not None and n_workers is None:
+        n_workers = pool.n_workers
     n_workers = min(n_workers or 1, len(fsms))
     if n_workers > 1:
         shard_size = (len(fsms) + n_workers - 1) // n_workers
@@ -130,58 +138,164 @@ def evaluate_population(grid, fsms, suite, t_max=200,
             (grid, fsms[start:start + shard_size], configs, t_max, lane_block)
             for start in range(0, len(fsms), shard_size)
         ]
-        with _pool_context().Pool(processes=len(payloads)) as pool:
-            shard_outcomes = pool.map(_shard_worker, payloads)
+        if pool is not None and not pool.inline:
+            shard_outcomes = pool.map_ordered(_shard_worker, payloads)
+        else:
+            with _pool_context().Pool(processes=len(payloads)) as one_shot:
+                shard_outcomes = one_shot.map(_shard_worker, payloads)
         return [outcome for shard in shard_outcomes for outcome in shard]
     return _evaluate_chunked(grid, fsms, configs, t_max, lane_block)
 
 
+def suite_fingerprint(suite):
+    """Content digest identifying a suite for evaluation-cache keys.
+
+    Hashes every configuration's positions, headings and initial control
+    states, so two suites share a fingerprint exactly when they would
+    make any FSM behave identically -- regardless of how the suite
+    object was built or what it is named.
+    """
+    digest = hashlib.sha256()
+    for config in suite:
+        digest.update(
+            repr((config.positions, config.directions, config.states)).encode()
+        )
+    return digest.hexdigest()
+
+
+def evaluation_cache_key(grid, suite_fp, t_max, fsm):
+    """The full cache identity of one evaluation result.
+
+    Covers every knob that can change an outcome: the grid type and
+    size, the suite contents (via :func:`suite_fingerprint`), the step
+    budget and the genome.  ``lane_block`` / ``n_workers`` are absent on
+    purpose -- they only re-layout the work, never the results.
+    """
+    return (grid.kind, grid.size, suite_fp, int(t_max), fsm.key())
+
+
+class EvaluationCache:
+    """A thread-safe evaluation memo shareable across evaluators/requests.
+
+    Keys are full :func:`evaluation_cache_key` tuples, so one cache can
+    safely back many :class:`SuiteEvaluator` instances and every request
+    of an :class:`repro.service.EvaluationService` without ever serving
+    a result computed under different knobs.  ``hits`` / ``misses``
+    count lookups.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        with self._lock:
+            outcome = self._store.get(key)
+            if outcome is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return outcome
+
+    def put(self, key, outcome):
+        with self._lock:
+            self._store[key] = outcome
+
+    def __len__(self):
+        return len(self._store)
+
+    def __contains__(self, key):
+        return key in self._store
+
+    def stats(self):
+        """Counters snapshot: ``{"entries", "hits", "misses"}``."""
+        with self._lock:
+            return {
+                "entries": len(self._store),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    # locks do not pickle; a cache crossing a process boundary (e.g.
+    # inside an EvolutionResult returned by a multi_run worker) re-arms
+    # its lock on arrival.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
 class SuiteEvaluator:
-    """Callable evaluator with memoization by genome.
+    """Callable evaluator with memoization by full evaluation identity.
 
     Fitness is deterministic for a fixed suite, so re-evaluating an
     unchanged genome (survivors stay in the pool across generations) is
     wasted simulation; the cache makes each behaviour cost one batch run
-    ever.  ``lane_block`` and ``n_workers`` are forwarded to
-    :func:`evaluate_population`; neither affects results or the cache
+    ever.  Cache keys are full :func:`evaluation_cache_key` tuples --
+    grid type and size, suite contents, ``t_max`` and genome -- so a
+    single :class:`EvaluationCache` passed as ``cache=`` can safely be
+    shared by evaluators over *different* suites or step budgets (the
+    service does exactly that) and can never serve a stale result.
+
+    ``lane_block``, ``n_workers`` and ``pool`` are forwarded to
+    :func:`evaluate_population`; none affects results or the cache
     keys, only how the simulation work is laid out.
     """
 
     def __init__(self, grid, suite, t_max=200,
-                 lane_block=DEFAULT_LANE_BLOCK, n_workers=None):
+                 lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
+                 pool=None, cache=None):
         self.grid = grid
         self.suite = suite
         self.t_max = t_max
         self.lane_block = lane_block
         self.n_workers = n_workers
-        self._cache = {}
+        self.pool = pool
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._suite_fp = suite_fingerprint(suite)
         self.evaluations = 0
 
+    def _key(self, fsm):
+        return evaluation_cache_key(self.grid, self._suite_fp, self.t_max, fsm)
+
     def __call__(self, fsm):
-        key = fsm.key()
-        cached = self._cache.get(key)
+        key = self._key(fsm)
+        cached = self.cache.get(key)
         if cached is None:
             cached = evaluate_fsm(self.grid, fsm, self.suite, t_max=self.t_max)
-            self._cache[key] = cached
+            self.cache.put(key, cached)
             self.evaluations += 1
         return cached
 
     def evaluate_many(self, fsms):
         """Evaluate a batch of FSMs, simulating only the unseen genomes."""
         fsms = list(fsms)
-        fresh, fresh_indices, seen_fresh = [], [], set()
-        for index, fsm in enumerate(fsms):
-            key = fsm.key()
-            if key not in self._cache and key not in seen_fresh:
-                seen_fresh.add(key)
+        resolved = {}
+        fresh, fresh_keys = [], []
+        for fsm in fsms:
+            key = self._key(fsm)
+            if key in resolved:
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            elif key not in fresh_keys:
                 fresh.append(fsm)
-                fresh_indices.append(index)
+                fresh_keys.append(key)
         if fresh:
             outcomes = evaluate_population(
                 self.grid, fresh, self.suite, t_max=self.t_max,
                 lane_block=self.lane_block, n_workers=self.n_workers,
+                pool=self.pool,
             )
-            for fsm, outcome in zip(fresh, outcomes):
-                self._cache[fsm.key()] = outcome
+            for key, outcome in zip(fresh_keys, outcomes):
+                self.cache.put(key, outcome)
+                resolved[key] = outcome
             self.evaluations += len(fresh)
-        return [self._cache[fsm.key()] for fsm in fsms]
+        return [resolved[self._key(fsm)] for fsm in fsms]

@@ -13,6 +13,7 @@ Per generation:
 """
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.core.fsm import FSM
 from repro.evolution.genome import MutationRates, mutate
@@ -57,6 +58,18 @@ def midline_exchange(individuals, width):
     return pool
 
 
+class _RatesMutation:
+    """Default mutation operator: the paper's ``mutate`` at the pool's
+    (possibly later reassigned) ``rates``.  A class, not a lambda, so
+    populations survive the pickling a ``multi_run`` worker does."""
+
+    def __init__(self, population):
+        self._population = population
+
+    def __call__(self, fsm, generator):
+        return mutate(fsm, generator, self._population.rates)
+
+
 class Population:
     """The evolving pool of ``N`` behaviours.
 
@@ -92,13 +105,13 @@ class Population:
         self.rates = rates
         self.generation = 0
         # pluggable genome machinery: defaults are the paper's 2-colour
-        # FSM alphabet; extensions (e.g. multicolour) swap both in
+        # FSM alphabet; extensions (e.g. multicolour) swap both in.
+        # The defaults must stay picklable -- multi_run ships whole
+        # populations back from worker processes -- so no lambdas here.
         if fsm_factory is None:
-            fsm_factory = lambda generator: FSM.random(generator, n_states=n_states)
+            fsm_factory = partial(FSM.random, n_states=n_states)
         if mutation_operator is None:
-            mutation_operator = lambda fsm, generator: mutate(
-                fsm, generator, self.rates
-            )
+            mutation_operator = _RatesMutation(self)
         self._fsm_factory = fsm_factory
         self._mutation_operator = mutation_operator
         fsms = [fsm.copy() for fsm in seed_fsms][:size]

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.evolution.fitness import SuiteEvaluator
+from repro.evolution.fitness import DEFAULT_LANE_BLOCK, SuiteEvaluator
 from repro.evolution.genome import MutationRates
 from repro.evolution.population import (
     PAPER_EXCHANGE_WIDTH,
@@ -102,15 +102,23 @@ def _record(population):
     )
 
 
-def evolve(grid, suite, settings=EvolutionSettings(), progress=None, seed_fsms=()):
+def evolve(grid, suite, settings=EvolutionSettings(), progress=None,
+           seed_fsms=(), lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
+           pool=None, cache=None):
     """One optimization run over ``suite`` on ``grid``.
 
     ``progress``, if given, is called with each :class:`GenerationRecord`
     as it is produced (generation 0 is the evaluated random pool).
+    ``lane_block`` / ``n_workers`` / ``pool`` / ``cache`` are forwarded
+    to the run's :class:`SuiteEvaluator`; they re-layout the evaluation
+    work (and let runs share simulations) without changing any result.
     """
     settings.validate()
     rng = np.random.default_rng(settings.seed)
-    evaluator = SuiteEvaluator(grid, suite, t_max=settings.t_max)
+    evaluator = SuiteEvaluator(
+        grid, suite, t_max=settings.t_max, lane_block=lane_block,
+        n_workers=n_workers, pool=pool, cache=cache,
+    )
     population = Population(
         evaluator,
         rng,
@@ -138,6 +146,12 @@ def evolve(grid, suite, settings=EvolutionSettings(), progress=None, seed_fsms=(
     )
 
 
+def _run_job(payload):
+    """Worker entry point: one complete serial ``evolve`` run."""
+    grid, suite, run_settings, lane_block = payload
+    return evolve(grid, suite, run_settings, lane_block=lane_block)
+
+
 def multi_run(
     grid,
     suite,
@@ -145,6 +159,9 @@ def multi_run(
     settings=EvolutionSettings(),
     top_per_run=3,
     progress=None,
+    lane_block=DEFAULT_LANE_BLOCK,
+    n_workers=None,
+    pool=None,
 ) -> Tuple[List["EvolutionResult"], List]:
     """The paper's multi-run protocol: independent runs, top-3 extraction.
 
@@ -152,13 +169,42 @@ def multi_run(
     ``top_per_run`` completely successful individuals from each --
     the paper's pool of twelve candidates.  Returns
     ``(results, candidates)``.
+
+    The runs are independent, so with ``n_workers > 1`` (or a persistent
+    ``pool`` from :class:`repro.service.WorkerPool`) whole runs are
+    dispatched to worker processes and the protocol uses all cores end
+    to end.  Each worker executes the unchanged serial ``evolve``, and
+    results come back in run order, so the sharded protocol is bit-exact
+    versus the serial loop.  ``progress`` is only forwarded on the
+    serial path (worker processes cannot call back into the parent).
     """
-    results = []
+    per_run_settings = [
+        replace(settings, seed=settings.seed + run_index)
+        for run_index in range(n_runs)
+    ]
+    own_pool = None
+    if pool is None and n_workers and n_workers > 1:
+        from repro.service.pool import WorkerPool
+
+        own_pool = pool = WorkerPool(n_workers)
+    try:
+        if pool is not None and not pool.inline and n_runs > 1:
+            payloads = [
+                (grid, suite, run_settings, lane_block)
+                for run_settings in per_run_settings
+            ]
+            results = pool.map_ordered(_run_job, payloads)
+        else:
+            results = [
+                evolve(grid, suite, run_settings, progress=progress,
+                       lane_block=lane_block)
+                for run_settings in per_run_settings
+            ]
+    finally:
+        if own_pool is not None:
+            own_pool.close()
     candidates = []
-    for run_index in range(n_runs):
-        run_settings = replace(settings, seed=settings.seed + run_index)
-        result = evolve(grid, suite, run_settings, progress=progress)
-        results.append(result)
+    for run_index, result in enumerate(results):
         for individual in result.top_successful(top_per_run):
             candidate = individual.fsm.copy(
                 name=f"{grid.kind}-run{run_index}-f{individual.fitness:.1f}"

@@ -69,9 +69,35 @@ class CampaignReport:
         return all(row["ratio"] < 1.0 for row in self.table1.values())
 
 
-def run_campaign(settings=None, log=print) -> CampaignReport:
-    """Run the full reproduction; ``log`` receives progress lines."""
+def run_campaign(settings=None, log=print, pool=None,
+                 n_workers=None) -> CampaignReport:
+    """Run the full reproduction; ``log`` receives progress lines.
+
+    With ``n_workers > 1`` (or a persistent ``pool`` from
+    :class:`repro.service.WorkerPool`) the campaign's independent
+    evaluations -- every Table 1 cell, each grid kind of the 33 x 33
+    test, the two traces and the four ablation sweeps -- are sharded
+    over worker processes, so the whole reproduction uses all cores end
+    to end.  Every job is the unchanged serial code, and results are
+    merged in the serial order, so the sharded report is bit-exact vs
+    the serial one (wall-clock aside).
+    """
+    from repro.service.pool import WorkerPool
+
     settings = settings or CampaignSettings()
+    own_pool = None
+    if pool is None and n_workers and n_workers > 1:
+        own_pool = pool = WorkerPool(n_workers)
+    try:
+        return _run_campaign(settings, log, pool)
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+
+
+def _run_campaign(settings, log, pool) -> CampaignReport:
+    from repro.service.pool import run_calls
+
     report = CampaignReport(settings=settings)
     started = time.perf_counter()
 
@@ -93,7 +119,8 @@ def run_campaign(settings=None, log=print) -> CampaignReport:
 
     log(f"[2/5] Table 1 / Fig. 5 ({settings.n_random} fields per suite)")
     rows = run_table1(
-        n_random=settings.n_random, seed=settings.seed, t_max=settings.t_max
+        n_random=settings.n_random, seed=settings.seed, t_max=settings.t_max,
+        pool=pool,
     )
     for count, row in rows.items():
         paper = PAPER_TABLE1.get(count, (None, None))
@@ -107,7 +134,9 @@ def run_campaign(settings=None, log=print) -> CampaignReport:
         }
 
     log("[3/5] Fig. 6 / Fig. 7 traces")
-    fig6, fig7 = run_fig6(), run_fig7()
+    fig6, fig7 = run_calls(
+        pool, [(run_fig6, (), None), (run_fig7, (), None)]
+    )
     report.traces = {
         "fig6_s_t_comm": fig6.t_comm,
         "fig6_paper": 114,
@@ -120,7 +149,7 @@ def run_campaign(settings=None, log=print) -> CampaignReport:
         log(f"[4/5] 33 x 33 generalisation ({settings.grid33_fields} fields)")
         grid33 = run_grid33(
             n_random=settings.grid33_fields, seed=settings.seed,
-            t_max=settings.grid33_t_max,
+            t_max=settings.grid33_t_max, pool=pool,
         )
         report.grid33 = {
             "s_time": round(grid33.mean_time["S"], 2),
@@ -135,14 +164,22 @@ def run_campaign(settings=None, log=print) -> CampaignReport:
 
     if settings.include_ablations:
         log(f"[5/5] ablations ({settings.ablation_fields} fields)")
+        ablation_calls = []
         for kind in ("S", "T"):
-            colors = run_color_ablation(
-                kind, n_random=settings.ablation_fields, t_max=settings.t_max * 2
-            )
-            states = run_initial_state_ablation(
-                kind, n_agents=2, n_random=settings.ablation_fields,
-                t_max=settings.t_max * 2,
-            )
+            ablation_calls.append((
+                run_color_ablation, (kind,),
+                {"n_random": settings.ablation_fields,
+                 "t_max": settings.t_max * 2},
+            ))
+            ablation_calls.append((
+                run_initial_state_ablation, (kind,),
+                {"n_agents": 2, "n_random": settings.ablation_fields,
+                 "t_max": settings.t_max * 2},
+            ))
+        ablation_results = run_calls(pool, ablation_calls)
+        for index, kind in enumerate(("S", "T")):
+            colors = ablation_results[2 * index]
+            states = ablation_results[2 * index + 1]
             report.ablations[kind] = {
                 "color_slowdown": round(colors[1].versus_baseline, 3),
                 "color_stripped_reliable": bool(colors[1].reliable),

@@ -35,17 +35,38 @@ class Grid33Result:
         return self.mean_time["T"] / self.mean_time["S"]
 
 
-def run_grid33(n_agents=16, size=33, n_random=1000, seed=2013, t_max=2000):
-    """Evaluate the published FSMs on the large grid."""
-    mean_time, reliable, n_fields = {}, {}, 0
-    for kind in ("S", "T"):
-        grid = make_grid(kind, size)
-        suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
-        outcome = evaluate_fsm(grid, published_fsm(kind), suite, t_max=t_max)
-        mean_time[kind] = outcome.mean_time
-        reliable[kind] = outcome.completely_successful
-        n_fields = outcome.n_fields
-    return Grid33Result(mean_time=mean_time, reliable=reliable, n_fields=n_fields)
+def _grid33_cell(payload):
+    """One grid kind's large-field evaluation, run serially."""
+    kind, size, n_agents, n_random, seed, t_max = payload
+    grid = make_grid(kind, size)
+    suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    return evaluate_fsm(grid, published_fsm(kind), suite, t_max=t_max)
+
+
+def run_grid33(n_agents=16, size=33, n_random=1000, seed=2013, t_max=2000,
+               pool=None):
+    """Evaluate the published FSMs on the large grid.
+
+    The two kinds are independent; a :class:`repro.service.WorkerPool`
+    as ``pool`` runs them on separate workers, bit-exact vs the serial
+    loop.
+    """
+    from repro.service.pool import map_jobs
+
+    payloads = [
+        (kind, size, n_agents, n_random, seed, t_max) for kind in ("S", "T")
+    ]
+    outcomes = dict(
+        zip(("S", "T"), map_jobs(pool, _grid33_cell, payloads))
+    )
+    mean_time = {kind: outcomes[kind].mean_time for kind in ("S", "T")}
+    reliable = {
+        kind: outcomes[kind].completely_successful for kind in ("S", "T")
+    }
+    return Grid33Result(
+        mean_time=mean_time, reliable=reliable,
+        n_fields=outcomes["T"].n_fields,
+    )
 
 
 def format_grid33(result):

@@ -51,6 +51,14 @@ class Table1Row:
         return self.paper_t / self.paper_s
 
 
+def _table1_cell(payload):
+    """One (agent count, grid kind) cell, evaluated serially."""
+    kind, size, n_agents, n_random, seed, t_max, fsm = payload
+    grid = make_grid(kind, size)
+    suite = paper_suite(grid, n_agents, n_random=n_random, seed=seed)
+    return evaluate_fsm(grid, fsm, suite, t_max=t_max)
+
+
 def run_table1(
     size=16,
     agent_counts=PAPER_AGENT_COUNTS,
@@ -58,33 +66,44 @@ def run_table1(
     seed=2013,
     t_max=1000,
     fsms=None,
+    pool=None,
 ) -> Dict[int, Table1Row]:
     """Measure Table 1 with the published (or supplied) best FSMs.
 
     ``fsms`` maps grid kind to the FSM to evaluate; default is the
     paper's Figs. 3-4 machines.  Random fields differ from the authors'
     (they are not published), so absolute times match only statistically.
+
+    The table's cells -- (agent count, grid kind) pairs -- are
+    independent evaluations; with a :class:`repro.service.WorkerPool`
+    as ``pool`` they are sharded over its workers, each executing the
+    unchanged serial cell job, so results are bit-exact vs the serial
+    loop.
     """
+    from repro.service.pool import map_jobs
+
     if fsms is None:
         fsms = {"S": published_fsm("S"), "T": published_fsm("T")}
-    grids = {kind: make_grid(kind, size) for kind in ("S", "T")}
+    counts = [count for count in agent_counts if count <= size * size]
+    payloads = [
+        (kind, size, n_agents, n_random, seed, t_max, fsms[kind])
+        for n_agents in counts
+        for kind in ("S", "T")
+    ]
+    cells = map_jobs(pool, _table1_cell, payloads)
+    outcomes = {
+        (payload[2], payload[0]): cell
+        for payload, cell in zip(payloads, cells)
+    }
     rows = {}
-    for n_agents in agent_counts:
-        if n_agents > size * size:
-            continue
-        outcomes = {}
-        for kind in ("S", "T"):
-            suite = paper_suite(grids[kind], n_agents, n_random=n_random, seed=seed)
-            outcomes[kind] = evaluate_fsm(
-                grids[kind], fsms[kind], suite, t_max=t_max
-            )
+    for n_agents in counts:
         paper = PAPER_TABLE1.get(n_agents) if size == 16 else None
         rows[n_agents] = Table1Row(
             n_agents=n_agents,
-            t_time=outcomes["T"].mean_time,
-            s_time=outcomes["S"].mean_time,
-            t_reliable=outcomes["T"].completely_successful,
-            s_reliable=outcomes["S"].completely_successful,
+            t_time=outcomes[(n_agents, "T")].mean_time,
+            s_time=outcomes[(n_agents, "S")].mean_time,
+            t_reliable=outcomes[(n_agents, "T")].completely_successful,
+            s_reliable=outcomes[(n_agents, "S")].completely_successful,
             paper_t=paper[0] if paper else None,
             paper_s=paper[1] if paper else None,
         )

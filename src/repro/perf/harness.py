@@ -36,17 +36,41 @@ trajectory that CI can smoke-test and reviewers can diff::
             "S": {"n_generations": ..., "wall_seconds": ...,
                    "generations_per_sec": ..., "best_fitness": ...},
             "T": {...}
+          },
+          "hardware": {"cpu_count": ..., "machine": ..., "system": ...,
+                        "python": ...},
+          "service": {
+            "S16_k8": {"n_requests": ..., "serial_requests_per_sec": ...,
+                        "batched_requests_per_sec": ..., "speedup": ...,
+                        "replay_requests_per_sec": ...,
+                        "service_stats": {...}},
+            "T16_k8": {...}
           }
         }
       ]
     }
+
+The ``service`` section measures the :class:`repro.service.
+EvaluationService`: a burst of single-FSM requests coalesced into one
+batch versus evaluating each request serially, plus the cache-hit
+replay of the same stream; outcomes are asserted bit-identical to the
+serial path before any speedup is recorded.  Service requests use the
+pinned grid and agent count with a ~100-field suite -- the width of one
+GA candidate evaluation, the traffic the service exists to coalesce.
+``hardware`` feeds the perf-regression gate
+(:mod:`repro.perf.regression`), which only compares runs from
+comparable machines.
 """
 
 import json
+import os
+import platform
 import time
 from dataclasses import dataclass, replace
 from datetime import datetime, timezone
 from pathlib import Path
+
+import numpy as np
 
 from repro.core.published import published_fsm
 from repro.core.vectorized import BatchSimulator
@@ -153,8 +177,109 @@ def measure_generations(kind, n_generations=6, n_fields=100, seed=2013,
     }
 
 
+def hardware_fingerprint():
+    """What the perf-regression gate needs to judge comparability."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+    }
+
+
+def service_request_stream(n_requests, seed=9000):
+    """Deterministic unique genomes standing in for GA evaluation traffic."""
+    from repro.core.fsm import FSM
+
+    return [
+        FSM.random(np.random.default_rng(seed + index), name=f"req{index}")
+        for index in range(n_requests)
+    ]
+
+
+def measure_service(scenario, n_requests=6, n_workers=None,
+                    lane_block=None):
+    """Batched-service vs one-at-a-time throughput on one pinned scenario.
+
+    Submits ``n_requests`` single-FSM requests (distinct deterministic
+    genomes -- the shape of GA evaluation traffic) against the serial
+    baseline of evaluating each request on its own.  The service
+    coalesces the burst into one sharded batch; outcomes are asserted
+    equal to the serial ones before any number is recorded, so the
+    measured speedup is for bit-identical results.  A third pass
+    resubmits the same stream to measure cache-hit replay.
+    """
+    from repro.evolution.fitness import DEFAULT_LANE_BLOCK, evaluate_fsm
+    from repro.service import EvaluationRequest, EvaluationService
+
+    if lane_block is None:
+        lane_block = DEFAULT_LANE_BLOCK
+    grid, _, configs = scenario.build()
+    fsms = service_request_stream(n_requests)
+
+    start = time.perf_counter()
+    serial_outcomes = [
+        evaluate_fsm(grid, fsm, configs, t_max=scenario.t_max)
+        for fsm in fsms
+    ]
+    serial_wall = time.perf_counter() - start
+
+    service = EvaluationService(
+        n_workers=n_workers or 1, lane_block=lane_block, autostart=False
+    )
+    with service:
+        start = time.perf_counter()
+        futures = [
+            service.submit(
+                EvaluationRequest(grid, [fsm], configs, t_max=scenario.t_max)
+            )
+            for fsm in fsms
+        ]
+        service.start()
+        batched_outcomes = [future.result()[0] for future in futures]
+        batched_wall = time.perf_counter() - start
+
+        if batched_outcomes != serial_outcomes:
+            raise AssertionError(
+                "service outcomes diverged from the serial path; refusing "
+                "to record a speedup for non-identical results"
+            )
+
+        start = time.perf_counter()
+        replays = [
+            service.submit(
+                EvaluationRequest(grid, [fsm], configs, t_max=scenario.t_max)
+            )
+            for fsm in fsms
+        ]
+        replay_outcomes = [future.result()[0] for future in replays]
+        replay_wall = time.perf_counter() - start
+        if replay_outcomes != serial_outcomes:
+            raise AssertionError("cache replay diverged from the serial path")
+        stats = service.stats.snapshot(cache=service.cache)
+
+    return {
+        "kind": scenario.kind,
+        "size": scenario.size,
+        "n_agents": scenario.n_agents,
+        "n_lanes": len(configs),
+        "t_max": scenario.t_max,
+        "n_requests": n_requests,
+        "n_workers": n_workers or 1,
+        "serial_wall_seconds": serial_wall,
+        "serial_requests_per_sec": n_requests / serial_wall,
+        "batched_wall_seconds": batched_wall,
+        "batched_requests_per_sec": n_requests / batched_wall,
+        "speedup": serial_wall / batched_wall,
+        "replay_wall_seconds": replay_wall,
+        "replay_requests_per_sec": n_requests / replay_wall,
+        "service_stats": stats,
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
-              n_generations=None, repeats=None):
+              n_generations=None, repeats=None, include_service=True,
+              service_workers=None):
     """One full benchmark pass; returns the record to append to the log."""
     from repro.perf.reference import LegacyBatchSimulator
 
@@ -185,11 +310,26 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         )
         for kind in ("S", "T")
     }
+    service = {}
+    if include_service:
+        n_requests = 3 if quick else 6
+        for pinned in PINNED_STEP_SCENARIOS:
+            # Requests are the width of one candidate evaluation (~100
+            # fields): that is the shape of GA traffic, and the regime
+            # where coalescing's amortization shows -- a full-width
+            # 1003-lane request already saturates the vectorized stepper
+            # on its own.
+            scenario = replace(pinned, n_fields=min(n_fields, 100))
+            service[scenario.name] = measure_service(
+                scenario, n_requests=n_requests, n_workers=service_workers
+            )
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": bool(quick),
+        "hardware": hardware_fingerprint(),
         "scenarios": scenarios,
         "generations": generations,
+        "service": service,
     }
 
 

@@ -1,0 +1,90 @@
+"""The perf-regression gate over the ``BENCH_core.json`` trajectory.
+
+The ROADMAP's gate: CI fails when a fresh ``repro-a2a bench`` record
+shows ``steps_per_sec`` dropping more than a threshold (default 20%)
+versus the **last committed record from comparable hardware**.  Two
+runs are comparable when their hardware fingerprints match (machine
+architecture, OS, CPU count -- see
+:func:`repro.perf.harness.hardware_fingerprint`) *and* the scenario
+measured the same workload (lane count and step budget).  Records with
+no comparable predecessor pass with a skip note, so the gate is safe to
+run on any machine -- it only ever bites where a like-for-like baseline
+exists.
+"""
+
+#: Fractional steps/sec drop that fails the gate.
+DEFAULT_THRESHOLD = 0.2
+
+_FINGERPRINT_KEYS = ("machine", "system", "cpu_count")
+
+
+def hardware_comparable(a, b):
+    """True when two fingerprint dicts describe comparable machines."""
+    if not a or not b:
+        return False
+    return all(a.get(key) == b.get(key) for key in _FINGERPRINT_KEYS)
+
+
+def _scenario_comparable(new, old):
+    return (
+        new.get("n_lanes") == old.get("n_lanes")
+        and new.get("t_max") == old.get("t_max")
+    )
+
+
+def find_baseline_run(record, log):
+    """The most recent run in ``log`` comparable to ``record``, if any."""
+    runs = (log or {}).get("runs", [])
+    for run in reversed(runs):
+        if run is record:
+            continue
+        if run.get("timestamp") == record.get("timestamp"):
+            continue  # the record itself, already appended to the log
+        if hardware_comparable(record.get("hardware"), run.get("hardware")):
+            return run
+    return None
+
+
+def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
+    """Gate ``record`` against the last comparable run of ``log``.
+
+    Returns ``(failures, notes)``: ``failures`` is a list of human-
+    readable strings, one per scenario whose ``steps_per_sec`` dropped
+    more than ``threshold``; ``notes`` describes every comparison made
+    or skipped.  An empty ``failures`` list means the gate passes.
+    """
+    failures, notes = [], []
+    baseline_run = find_baseline_run(record, log)
+    if baseline_run is None:
+        notes.append(
+            "no committed record from comparable hardware; gate skipped"
+        )
+        return failures, notes
+    baseline_scenarios = baseline_run.get("scenarios", {})
+    for name, row in record.get("scenarios", {}).items():
+        baseline = baseline_scenarios.get(name)
+        if baseline is None or not _scenario_comparable(row, baseline):
+            notes.append(f"{name}: no comparable baseline scenario; skipped")
+            continue
+        new_rate = row["steps_per_sec"]
+        old_rate = baseline["steps_per_sec"]
+        ratio = new_rate / old_rate if old_rate else float("inf")
+        line = (
+            f"{name}: {new_rate:.1f} vs baseline {old_rate:.1f} steps/s "
+            f"({ratio:.2f}x, {baseline_run.get('timestamp', '?')})"
+        )
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{line} -- dropped more than {threshold:.0%}"
+            )
+        else:
+            notes.append(line)
+    return failures, notes
+
+
+def format_check(failures, notes):
+    """One printable block for the CLI / CI log."""
+    lines = [f"perf gate: {'FAIL' if failures else 'ok'}"]
+    lines.extend(f"  REGRESSION {failure}" for failure in failures)
+    lines.extend(f"  {note}" for note in notes)
+    return "\n".join(lines)

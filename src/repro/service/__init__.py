@@ -1,0 +1,44 @@
+"""Long-lived evaluation serving: worker pool, batching service, client.
+
+The serving layer the ROADMAP asks for, in three pieces:
+
+* :mod:`repro.service.pool` -- :class:`WorkerPool`, a persistent process
+  pool with an inline single-process fallback, shared by population
+  sharding, the multi-run protocol, the campaign and the service.
+* :mod:`repro.service.service` -- :class:`EvaluationService`, a request
+  queue plus dispatcher thread that coalesces compatible FSM-evaluation
+  requests into one sharded :func:`repro.evolution.fitness.
+  evaluate_population` call, backed by a process-wide
+  :class:`repro.evolution.fitness.EvaluationCache` with hit/miss
+  counters; :class:`ServiceClient` is the synchronous in-process view.
+* :mod:`repro.service.jsonl` -- the JSON-lines request/response codec
+  behind ``repro-a2a serve``.
+
+Every path through the service is bit-exact versus the serial
+``evaluate_population`` on the same inputs: batching only changes how
+lanes are laid out, never what any lane computes.
+"""
+
+from repro.service.pool import (
+    WorkerCrashError,
+    WorkerJobError,
+    WorkerPool,
+)
+from repro.service.service import (
+    EvaluationRequest,
+    EvaluationService,
+    ServiceClient,
+    ServiceError,
+    ServiceStats,
+)
+
+__all__ = [
+    "WorkerPool",
+    "WorkerJobError",
+    "WorkerCrashError",
+    "EvaluationRequest",
+    "EvaluationService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceStats",
+]

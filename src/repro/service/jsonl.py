@@ -1,0 +1,122 @@
+"""JSON-lines codec behind ``repro-a2a serve``.
+
+One request per input line::
+
+    {"id": "r1", "grid": "T", "size": 16, "agents": 8, "fields": 100,
+     "seed": 2013, "t_max": 200, "fsm": "published"}
+
+``fsm`` is ``"published"`` (default), ``"evolved"``, a
+``{"genome": [[next_state, set_color, move, turn], ...]}`` table, or a
+list of those for a multi-FSM request.  One response per request, in
+submission order::
+
+    {"id": "r1", "outcomes": [{"fitness": ..., "mean_time": ...,
+     "n_fields": ..., "n_successful_fields": ...,
+     "completely_successful": ...}]}
+
+Grids and suites are cached per spec inside a :class:`ServeSession`, so
+a burst of lines naming the same workload coalesces into one batch in
+the service.
+"""
+
+import json
+import math
+
+from repro.configs.suite import paper_suite
+from repro.core.fsm import FSM
+from repro.core.evolved import evolved_fsm
+from repro.core.published import published_fsm
+from repro.grids import make_grid
+from repro.service.service import EvaluationRequest, ServiceError
+
+
+def build_fsm(spec):
+    """An FSM from its wire spec (name string or genome table)."""
+    if spec == "published" or spec is None:
+        return None  # resolved per grid kind by the caller
+    if spec == "evolved":
+        return None
+    if isinstance(spec, dict) and "genome" in spec:
+        return FSM.from_genome(spec["genome"], name=spec.get("name"))
+    raise ValueError(f"unknown fsm spec: {spec!r}")
+
+
+def _resolve_fsm(spec, kind):
+    if spec == "published" or spec is None:
+        return published_fsm(kind)
+    if spec == "evolved":
+        return evolved_fsm(kind)
+    return build_fsm(spec)
+
+
+class ServeSession:
+    """Decode request lines into service submissions, caching workloads."""
+
+    def __init__(self, service):
+        self.service = service
+        self._grids = {}
+        self._suites = {}
+
+    def _grid(self, kind, size):
+        key = (kind, size)
+        if key not in self._grids:
+            self._grids[key] = make_grid(kind, size)
+        return self._grids[key]
+
+    def _suite(self, grid, n_agents, n_fields, seed):
+        key = (grid.kind, grid.size, n_agents, n_fields, seed)
+        if key not in self._suites:
+            self._suites[key] = paper_suite(
+                grid, n_agents, n_random=n_fields, seed=seed
+            )
+        return self._suites[key]
+
+    def submit_line(self, line):
+        """Parse one request line and submit it; ``(request_id, future)``."""
+        spec = json.loads(line)
+        if not isinstance(spec, dict):
+            raise ValueError("request line must be a JSON object")
+        kind = spec.get("grid", "T")
+        if kind not in ("S", "T"):
+            raise ValueError(f"grid must be 'S' or 'T', got {kind!r}")
+        grid = self._grid(kind, int(spec.get("size", 16)))
+        suite = self._suite(
+            grid,
+            int(spec.get("agents", 8)),
+            int(spec.get("fields", 100)),
+            int(spec.get("seed", 2013)),
+        )
+        fsm_spec = spec.get("fsm", "published")
+        specs = fsm_spec if isinstance(fsm_spec, list) else [fsm_spec]
+        fsms = [_resolve_fsm(one, kind) for one in specs]
+        request = EvaluationRequest(
+            grid, fsms, suite, t_max=int(spec.get("t_max", 200))
+        )
+        return spec.get("id"), self.service.submit(request)
+
+
+def outcome_to_dict(outcome):
+    """The wire form of one :class:`EvaluationOutcome`."""
+    # mean_time is inf when no field was solved; null keeps the line JSON
+    return {
+        "fitness": outcome.fitness,
+        "mean_time": outcome.mean_time if math.isfinite(outcome.mean_time)
+        else None,
+        "n_fields": outcome.n_fields,
+        "n_successful_fields": outcome.n_successful_fields,
+        "completely_successful": outcome.completely_successful,
+    }
+
+
+def format_response(request_id, future, timeout=None):
+    """Resolve one submission into its JSON response line."""
+    try:
+        outcomes = future.result(timeout)
+    except ServiceError as exc:
+        return json.dumps({"id": request_id, "error": str(exc)})
+    return json.dumps(
+        {
+            "id": request_id,
+            "outcomes": [outcome_to_dict(outcome) for outcome in outcomes],
+        }
+    )

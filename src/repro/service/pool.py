@@ -1,0 +1,152 @@
+"""A persistent worker-process pool with a serial inline fallback.
+
+:func:`repro.evolution.fitness.evaluate_population` grows a one-shot
+``multiprocessing.Pool`` per call; a long-lived service (and the
+multi-run / campaign protocols) would pay that fork-and-teardown tax on
+every batch.  :class:`WorkerPool` keeps one ``ProcessPoolExecutor``
+alive across calls and is shared by everything that shards work:
+
+* ``n_workers <= 1`` runs jobs **inline** in the calling process -- no
+  subprocess, bit-identical results, and the configuration every test
+  can fall back to;
+* a job that *raises* inside a worker surfaces as
+  :class:`WorkerJobError` carrying the original exception, and the pool
+  stays usable -- the queue is drainable, not hung;
+* a worker that *dies* (segfault, ``os._exit``) surfaces as
+  :class:`WorkerCrashError`; the broken executor is discarded and a
+  fresh one is built lazily on the next call, so later jobs still run.
+
+Results always come back in submission order, which is what keeps every
+sharded caller bit-exact versus its serial path.
+"""
+
+import multiprocessing
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+
+class WorkerJobError(RuntimeError):
+    """A job raised inside a worker; the original error is ``__cause__``."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died mid-batch; the pool has been rebuilt."""
+
+
+def _invoke(call):
+    """Worker entry point for :meth:`WorkerPool.map_calls`."""
+    fn, args, kwargs = call
+    return fn(*args, **(kwargs or {}))
+
+
+def _pool_context():
+    """Prefer fork (cheap, no re-import) where the platform offers it."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A reusable pool of worker processes (or an inline stand-in).
+
+    ``n_workers=None`` sizes the pool to the machine; ``n_workers<=1``
+    never forks and simply runs jobs in the calling process.
+    """
+
+    def __init__(self, n_workers=None):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        self.n_workers = max(1, int(n_workers))
+        self._executor = None
+
+    @property
+    def inline(self):
+        """True when jobs run in the calling process (no subprocesses)."""
+        return self.n_workers <= 1
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=_pool_context()
+            )
+        return self._executor
+
+    def _discard_executor(self):
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def map_ordered(self, fn, payloads):
+        """``[fn(p) for p in payloads]``, sharded; submission order kept."""
+        payloads = list(payloads)
+        if self.inline:
+            results = []
+            for payload in payloads:
+                try:
+                    results.append(fn(payload))
+                except Exception as exc:
+                    raise WorkerJobError(
+                        f"worker job failed: {exc!r}"
+                    ) from exc
+            return results
+        executor = self._ensure_executor()
+        futures = [executor.submit(fn, payload) for payload in payloads]
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BrokenExecutor as exc:
+                for pending in futures:
+                    pending.cancel()
+                self._discard_executor()
+                raise WorkerCrashError(
+                    "a worker process died mid-batch; the pool was rebuilt "
+                    "and remains usable"
+                ) from exc
+            except Exception as exc:
+                for pending in futures:
+                    pending.cancel()
+                raise WorkerJobError(f"worker job failed: {exc!r}") from exc
+        return results
+
+    def map_calls(self, calls):
+        """Run ``(fn, args, kwargs)`` triples; results in submission order."""
+        return self.map_ordered(_invoke, calls)
+
+    # executors do not pickle; a pool reference crossing a process
+    # boundary arrives inline-capable and re-forks lazily if ever used.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+    def close(self):
+        """Shut the workers down; the pool can be lazily revived later."""
+        self._discard_executor()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+def map_jobs(pool, fn, payloads):
+    """``[fn(p) ...]`` through ``pool`` when one is given, else inline.
+
+    The single code path the sharded experiments use: the serial and
+    sharded runs execute the exact same job functions on the exact same
+    payloads, differing only in *where* each job runs -- which is what
+    makes sharding bit-exact by construction.
+    """
+    if pool is not None and not pool.inline:
+        return pool.map_ordered(fn, payloads)
+    return [fn(payload) for payload in payloads]
+
+
+def run_calls(pool, calls):
+    """Like :func:`map_jobs` for ``(fn, args, kwargs)`` triples."""
+    if pool is not None and not pool.inline:
+        return pool.map_calls(calls)
+    return [fn(*args, **(kwargs or {})) for fn, args, kwargs in calls]

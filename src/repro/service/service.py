@@ -1,0 +1,279 @@
+"""The long-lived evaluation service: queue, batcher, shared cache.
+
+:class:`EvaluationService` is the serving rung of the ROADMAP's north
+star: a request queue drained by a dispatcher thread that **coalesces
+compatible requests** -- same grid type and size, same suite contents,
+same ``t_max`` -- into one sharded
+:func:`repro.evolution.fitness.evaluate_population` call over the
+persistent :class:`repro.service.WorkerPool`, with a process-wide
+:class:`repro.evolution.fitness.EvaluationCache` consulted first so a
+genome is never simulated twice anywhere in the process.
+
+Correctness invariants (all asserted by ``tests/test_service.py``):
+
+* **bit-exactness** -- batching only concatenates independent lanes;
+  every request's outcomes equal ``evaluate_population`` run serially
+  on that request alone;
+* **full cache keys** -- the shared cache keys on grid type/size, suite
+  contents, ``t_max`` and genome, so cross-request sharing can never
+  serve a stale result;
+* **drainability** -- a request that fails (its FSM raises, a worker
+  dies) fails *its own* future with :class:`ServiceError`; the
+  dispatcher survives and later requests still complete.
+"""
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.evolution.fitness import (
+    DEFAULT_LANE_BLOCK,
+    EvaluationCache,
+    evaluate_population,
+    evaluation_cache_key,
+    suite_fingerprint,
+)
+from repro.service.pool import WorkerPool
+
+_STOP = object()
+
+
+class ServiceError(RuntimeError):
+    """A request failed inside the service; the cause is ``__cause__``."""
+
+
+class EvaluationRequest:
+    """One FSM-evaluation job: ``fsms`` over ``suite`` on ``grid``.
+
+    The ``batch_key`` -- grid type and size, suite contents digest,
+    ``t_max`` -- decides which requests may be coalesced into one
+    sharded batch: exactly those whose lanes could have appeared
+    together in one ``evaluate_population`` call.
+    """
+
+    def __init__(self, grid, fsms, suite, t_max=200):
+        self.grid = grid
+        self.fsms = list(fsms)
+        self.suite = suite
+        self.t_max = int(t_max)
+        self.suite_fp = suite_fingerprint(suite)
+        self.batch_key = (grid.kind, grid.size, self.suite_fp, self.t_max)
+
+    def cache_keys(self):
+        """Full evaluation-cache keys of this request's FSMs, in order."""
+        return [
+            evaluation_cache_key(self.grid, self.suite_fp, self.t_max, fsm)
+            for fsm in self.fsms
+        ]
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one service instance."""
+
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0     # requests that shared another's batch
+    simulated_fsms: int = 0         # genomes actually sent to the simulator
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self, cache=None):
+        """Plain-dict view, with cache counters folded in when given."""
+        with self.lock:
+            stats = {
+                "requests": self.requests,
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "coalesced_requests": self.coalesced_requests,
+                "simulated_fsms": self.simulated_fsms,
+            }
+        if cache is not None:
+            stats["cache"] = cache.stats()
+        return stats
+
+
+class EvaluationService:
+    """Queue + dispatcher + batcher over a persistent worker pool.
+
+    ``n_workers`` sizes the service's own :class:`WorkerPool` (pass
+    ``pool=`` to share an existing one); ``cache=`` likewise accepts an
+    external :class:`EvaluationCache`.  With ``autostart=False`` the
+    dispatcher thread is not started until :meth:`start` -- submitting
+    first and starting afterwards guarantees the queued requests are
+    coalesced, which the batching tests rely on.
+    """
+
+    def __init__(self, n_workers=None, lane_block=DEFAULT_LANE_BLOCK,
+                 pool=None, cache=None, autostart=True):
+        self.lane_block = lane_block
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._own_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(n_workers or 1)
+        self.stats = ServiceStats()
+        self._queue = queue.SimpleQueue()
+        self._thread = None
+        self._closed = False
+        if autostart:
+            self.start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        """Start the dispatcher thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="evaluation-service",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self):
+        """Drain outstanding requests, then stop the dispatcher."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self._own_pool:
+            self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, request):
+        """Enqueue a request; returns a future of ``[EvaluationOutcome]``.
+
+        The future resolves to one outcome per ``request.fsms`` entry, in
+        request order, or raises :class:`ServiceError`.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        future = Future()
+        with self.stats.lock:
+            self.stats.requests += 1
+        self._queue.put((request, future))
+        return future
+
+    def evaluate(self, grid, fsms, suite, t_max=200, timeout=None):
+        """Synchronous convenience: submit one request and wait for it."""
+        return self.submit(
+            EvaluationRequest(grid, fsms, suite, t_max=t_max)
+        ).result(timeout)
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def _dispatch_loop(self):
+        stopping = False
+        while not stopping:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            # Drain everything already queued: these are the requests
+            # that can be coalesced this round.
+            while True:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stopping = True
+                    break
+                batch.append(extra)
+            groups = {}
+            for request, future in batch:
+                groups.setdefault(request.batch_key, []).append(
+                    (request, future)
+                )
+            for group in groups.values():
+                self._process_group(group)
+
+    def _process_group(self, group):
+        """Evaluate one coalesced batch; resolve every member's future.
+
+        A failing batch of several requests is retried one request at a
+        time, so a single poisoned request fails alone while its
+        batch-mates (and everything queued behind them) still complete.
+        """
+        with self.stats.lock:
+            self.stats.batches += 1
+            self.stats.coalesced_requests += len(group) - 1
+        try:
+            self._evaluate_group(group)
+        except Exception as exc:
+            if len(group) > 1:
+                for member in group:
+                    self._process_group([member])
+                return
+            error = ServiceError(f"evaluation batch failed: {exc!r}")
+            error.__cause__ = exc
+            with self.stats.lock:
+                self.stats.failed += 1
+            group[0][1].set_exception(error)
+
+    def _evaluate_group(self, group):
+        resolved = {}       # cache key -> outcome, hits + this batch
+        fresh_fsms, fresh_keys = [], []
+        for request, _ in group:
+            for fsm, key in zip(request.fsms, request.cache_keys()):
+                if key in resolved or key in fresh_keys:
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    resolved[key] = cached
+                else:
+                    fresh_fsms.append(fsm)
+                    fresh_keys.append(key)
+        if fresh_fsms:
+            first = group[0][0]
+            outcomes = evaluate_population(
+                first.grid, fresh_fsms, first.suite, t_max=first.t_max,
+                lane_block=self.lane_block,
+                pool=None if self.pool.inline else self.pool,
+            )
+            for key, outcome in zip(fresh_keys, outcomes):
+                self.cache.put(key, outcome)
+                resolved[key] = outcome
+            with self.stats.lock:
+                self.stats.simulated_fsms += len(fresh_fsms)
+        for request, future in group:
+            future.set_result([resolved[key] for key in request.cache_keys()])
+            with self.stats.lock:
+                self.stats.completed += 1
+
+
+class ServiceClient:
+    """Synchronous in-process client view of an :class:`EvaluationService`.
+
+    The shape tests (and embedders) want: build requests from plain
+    arguments, block for results, and read the service's counters.
+    """
+
+    def __init__(self, service):
+        self.service = service
+
+    def evaluate(self, grid, fsms, suite, t_max=200, timeout=None):
+        """One outcome per FSM of ``fsms``, in order."""
+        return self.service.evaluate(grid, fsms, suite, t_max=t_max,
+                                     timeout=timeout)
+
+    def evaluate_fsm(self, grid, fsm, suite, t_max=200, timeout=None):
+        """Single-FSM convenience returning the bare outcome."""
+        return self.evaluate(grid, [fsm], suite, t_max=t_max,
+                             timeout=timeout)[0]
+
+    def stats(self):
+        return self.service.stats.snapshot(cache=self.service.cache)

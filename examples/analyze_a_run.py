@@ -12,63 +12,49 @@ import sys
 
 import numpy as np
 
-import repro
-from repro.analysis import (
-    color_loop_count,
-    colored_fraction,
-    count_meetings,
-    is_minimal,
-    motility,
-    progress_timeline,
-    reachable_states,
-    street_concentration,
-    table_usage,
-    time_to_fraction,
-    visited_gini,
-)
-from repro.experiments.traces import two_agent_configuration
+from repro import api
 
 
 def main():
     kind = (sys.argv[1] if len(sys.argv) > 1 else "T").upper()
-    grid = repro.make_grid(kind, 16)
-    fsm = repro.published_fsm(kind)
-    config = two_agent_configuration(grid)
+    grid = api.make_grid(kind, 16)
+    fsm = api.published_fsm(kind)
+    config = api.two_agent_configuration(grid)
 
-    recorder = repro.TraceRecorder()
-    simulation = repro.Simulation(grid, fsm, config, recorder=recorder)
+    recorder = api.TraceRecorder()
+    simulation = api.Simulation(grid, fsm, config, recorder=recorder)
     result = simulation.run(t_max=1000)
     print(f"=== One {kind}-grid run: solved in {result.t_comm} steps ===\n")
 
     print("-- knowledge spread --")
-    timeline = progress_timeline(recorder)
+    timeline = api.progress_timeline(recorder)
     for fraction in (0.5, 0.75, 1.0):
         print(f"  {int(100 * fraction):3d}% of bits present at t = "
-              f"{time_to_fraction(timeline, fraction)}")
-    print(f"  meetings along the way: {count_meetings(recorder, grid)}")
+              f"{api.time_to_fraction(timeline, fraction)}")
+    print(f"  meetings along the way: {api.count_meetings(recorder, grid)}")
 
     final = recorder.final
     print("\n-- colour/visited structures --")
-    print(f"  colour flags set: {colored_fraction(final.colors):.1%} of cells")
-    print(f"  street concentration: {street_concentration(final.colors):.3f}")
-    print(f"  colour loops (honeycombs): {color_loop_count(final.colors, grid)}")
-    print(f"  travel inequality (Gini): {visited_gini(final.visited):.3f}")
+    print(f"  colour flags set: {api.colored_fraction(final.colors):.1%} of cells")
+    print(f"  street concentration: {api.street_concentration(final.colors):.3f}")
+    print(f"  colour loops (honeycombs): {api.color_loop_count(final.colors, grid)}")
+    print(f"  travel inequality (Gini): {api.visited_gini(final.visited):.3f}")
 
     print("\n-- motility --")
-    stats = motility(grid, recorder)
+    stats = api.motility(grid, recorder)
     print(f"  moved on {stats.move_fraction:.1%} of steps, "
           f"turned on {stats.turn_rate:.1%}")
     print(f"  diffusion exponent: {stats.diffusion_exponent:.2f} "
           "(1 = random walk, 2 = straight line)")
 
     print("\n-- the controlling machine --")
-    print(f"  reachable control states: {sorted(reachable_states(fsm))}")
-    print(f"  minimal (no bisimilar states): {is_minimal(fsm)}")
+    print(f"  reachable control states: {sorted(api.reachable_states(fsm))}")
+    print(f"  minimal (no bisimilar states): {api.is_minimal(fsm)}")
     configs = [
-        repro.random_configuration(grid, 4, np.random.default_rng(seed))
+        api.random_configuration(grid, 4, np.random.default_rng(seed))
         for seed in range(10)
     ]
-    _, live = table_usage(grid, fsm, configs)
+    _, live = api.table_usage(grid, fsm, configs)
     print(f"  live genome on 10 random fields: {live:.1%} of table rows")
 
 

@@ -12,9 +12,7 @@ Run:  python examples/density_sweep.py [n_fields]
 
 import sys
 
-import repro
-from repro.experiments.report import ascii_bars
-from repro.experiments.table1 import format_table1, run_table1
+from repro import api
 
 
 def main():
@@ -23,12 +21,12 @@ def main():
 
     print(f"Density sweep on 16 x 16 ({n_fields} random fields per suite); "
           "paper points are k = 2, 4, 8, 16, 32, 256\n")
-    rows = run_table1(agent_counts=counts, n_random=n_fields, t_max=1500)
-    print(format_table1(rows))
+    rows = api.run_table1(agent_counts=counts, n_random=n_fields, t_max=1500)
+    print(api.format_table1(rows))
     print()
 
     ordered = sorted(rows)
-    print(ascii_bars(
+    print(api.ascii_bars(
         [f"k={count}" for count in ordered],
         {
             "T": [rows[count].t_time for count in ordered],

@@ -12,17 +12,16 @@ Run:  python examples/evolve_agents.py [generations] [fields]
 
 import sys
 
-import repro
-from repro.evolution.selection import rank_candidates
+from repro import api
 
 
 def main():
     generations = int(sys.argv[1]) if len(sys.argv) > 1 else 40
     n_fields = int(sys.argv[2]) if len(sys.argv) > 2 else 60
 
-    grid = repro.make_grid("T", 16)
-    suite = repro.paper_suite(grid, n_agents=8, n_random=n_fields)
-    settings = repro.EvolutionSettings(
+    grid = api.make_grid("T", 16)
+    suite = api.paper_suite(grid, n_agents=8, n_random=n_fields)
+    settings = api.EvolutionSettings(
         n_generations=generations, t_max=200, seed=11
     )
 
@@ -38,7 +37,7 @@ def main():
                 f"{record.n_successful} completely successful"
             )
 
-    result = repro.evolve(grid, suite, settings, progress=progress)
+    result = api.evolve(grid, suite=suite, settings=settings, progress=progress)
 
     best = result.best
     print(f"\nBest evolved agent: fitness {best.fitness:.2f} "
@@ -51,7 +50,7 @@ def main():
         print("\nNo completely successful machine yet -- run more generations.")
         return
     print(f"\nScreening {len(candidates)} candidate(s) across densities...")
-    reliable, reports = rank_candidates(
+    reliable, reports = api.rank_candidates(
         grid, candidates, agent_counts=(2, 8, 32), n_random=100, t_max=400
     )
     for report in reports:

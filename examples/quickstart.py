@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py [n_fields]
 
 import sys
 
-import repro
+from repro import api
 
 
 def main():
@@ -23,10 +23,10 @@ def main():
 
     mean_times = {}
     for kind in ("T", "S"):
-        grid = repro.make_grid(kind, 16)
-        fsm = repro.published_fsm(kind)
-        suite = repro.paper_suite(grid, n_agents, n_random=n_fields)
-        batch = repro.BatchSimulator(grid, fsm, list(suite)).run(t_max=1000)
+        grid = api.make_grid(kind, 16)
+        fsm = api.published_fsm(kind)
+        suite = api.paper_suite(grid, n_agents, n_random=n_fields)
+        batch = api.BatchSimulator(grid, fsm, list(suite)).run(t_max=1000)
         mean_times[kind] = batch.mean_time()
         reliable = "reliable" if batch.completely_successful else "UNRELIABLE"
         print(
@@ -41,11 +41,11 @@ def main():
 
     # a single run, step by step, with the reference simulator
     print("\nOne T-grid run in detail:")
-    grid = repro.make_grid("T", 16)
-    config = repro.random_configuration(
+    grid = api.make_grid("T", 16)
+    config = api.random_configuration(
         grid, 4, __import__("numpy").random.default_rng(0)
     )
-    simulation = repro.Simulation(grid, repro.published_fsm("T"), config)
+    simulation = api.Simulation(grid, api.published_fsm("T"), config)
     while not simulation.all_informed():
         simulation.step()
         if simulation.t % 10 == 0 or simulation.all_informed():

@@ -11,16 +11,13 @@ Run:  python examples/spread_curves.py [n_fields]
 
 import sys
 
-from repro.experiments.progress_curves import (
-    format_progress_curves,
-    run_progress_curves,
-)
+from repro import api
 
 
 def main():
     n_fields = int(sys.argv[1]) if len(sys.argv) > 1 else 150
-    curves = run_progress_curves(n_agents=16, n_random=n_fields)
-    print(format_progress_curves(curves))
+    curves = api.run_progress_curves(n_agents=16, n_random=n_fields)
+    print(api.format_progress_curves(curves))
     t_curve, s_curve = curves
     print("milestone ratios (T/S):")
     for milestone in (0.25, 0.5, 0.75, 0.9, 1.0):

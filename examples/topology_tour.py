@@ -11,32 +11,29 @@ Run:  python examples/topology_tour.py [n]
 
 import sys
 
-import repro
-from repro.baselines.gossip import packed_gossip_time
-from repro.experiments.fig2 import fig2_distance_maps, format_topology_table
-from repro.grids.analysis import antipodal_cells
+from repro import api
 
 
 def main():
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 3
 
-    print(fig2_distance_maps(n=n))
+    print(api.fig2_distance_maps(n=n))
     print()
 
     for kind in ("S", "T"):
-        grid = repro.make_grid(kind, 2**n)
-        antipodals = antipodal_cells(grid)
+        grid = api.make_grid(kind, 2**n)
+        antipodals = api.antipodal_cells(grid)
         print(
             f"{kind}-grid antipodals of the centre cell: {antipodals} "
-            f"(packed-grid gossip floor: {packed_gossip_time(grid)} steps)"
+            f"(packed-grid gossip floor: {api.packed_gossip_time(grid)} steps)"
         )
 
     print()
-    print(format_topology_table())
+    print(api.format_topology_table())
     print()
     print("Communication-time ratios in Table 1 track the diameter ratio "
-          f"{repro.diameter_ratio(8):.3f}, not the mean-distance ratio "
-          f"{repro.mean_distance_ratio(8):.3f} (paper Sect. 5).")
+          f"{api.diameter_ratio(8):.3f}, not the mean-distance ratio "
+          f"{api.mean_distance_ratio(8):.3f} (paper Sect. 5).")
 
 
 if __name__ == "__main__":

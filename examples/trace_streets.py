@@ -11,22 +11,22 @@ Run:  python examples/trace_streets.py [S|T|both]
 
 import sys
 
-from repro.experiments.traces import format_trace, run_fig6, run_fig7
+from repro import api
 
 
 def main():
     which = (sys.argv[1] if len(sys.argv) > 1 else "both").upper()
 
     if which in ("S", "BOTH"):
-        experiment = run_fig6()
-        print(format_trace(experiment, paper_t_comm=114))
+        experiment = api.run_fig6()
+        print(api.format_trace(experiment, paper_t_comm=114))
         print(
             "Look for the colour rows/columns above: those are the "
             "'communication streets' of the paper's Fig. 6.\n"
         )
     if which in ("T", "BOTH"):
-        experiment = run_fig7()
-        print(format_trace(experiment, paper_t_comm=44))
+        experiment = api.run_fig7()
+        print(api.format_trace(experiment, paper_t_comm=44))
         print(
             "The colour panel shows the honeycomb-like cells of the "
             "paper's Fig. 7 -- and the T-agents met much sooner."

@@ -15,23 +15,13 @@ Run:  python examples/worlds_and_swarms.py
 
 import numpy as np
 
-import repro
-from repro.experiments.environments import (
-    format_environment_rows,
-    run_environment_comparison,
-)
-from repro.extensions import (
-    HeterogeneousSimulation,
-    MulticolorFSM,
-    MulticolorSimulation,
-    TimeShuffledSimulation,
-)
+from repro import api
 
 
 def environments_demo():
     print("=== 1. One agent, four worlds " + "=" * 30)
-    rows = run_environment_comparison("T", n_random=100, t_max=3000)
-    print(format_environment_rows(
+    rows = api.run_environment_comparison("T", n_random=100, t_max=3000)
+    print(api.format_environment_rows(
         "Published T-agent (evolved for the cyclic world):", rows
     ))
     print()
@@ -39,19 +29,19 @@ def environments_demo():
 
 def species_demo():
     print("=== 2. Heterogeneous swarm " + "=" * 33)
-    grid = repro.make_grid("T", 16)
+    grid = api.make_grid("T", 16)
     rng = np.random.default_rng(3)
     species = [
-        repro.published_fsm("T") if ident % 2 == 0 else repro.published_fsm("S")
+        api.published_fsm("T") if ident % 2 == 0 else api.published_fsm("S")
         for ident in range(8)
     ]
     times = {"uniform": [], "mixed": []}
     for seed in range(25):
-        config = repro.random_configuration(grid, 8, np.random.default_rng(seed))
-        uniform = repro.Simulation(
-            grid, repro.published_fsm("T"), config
+        config = api.random_configuration(grid, 8, np.random.default_rng(seed))
+        uniform = api.Simulation(
+            grid, api.published_fsm("T"), config
         ).run(t_max=2000)
-        mixed = HeterogeneousSimulation(grid, species, config).run(t_max=2000)
+        mixed = api.HeterogeneousSimulation(grid, species, config).run(t_max=2000)
         if uniform.success:
             times["uniform"].append(uniform.t_comm)
         if mixed.success:
@@ -66,14 +56,13 @@ def species_demo():
 
 def timeshuffle_demo():
     print("=== 3. Time-shuffling " + "=" * 38)
-    grid = repro.make_grid("S", 16)
-    from repro.baselines.trivial import always_straight_fsm
-
+    grid = api.make_grid("S", 16)
+    
     solved, times = 0, []
     for seed in range(25):
-        config = repro.random_configuration(grid, 8, np.random.default_rng(seed))
-        result = TimeShuffledSimulation(
-            grid, repro.published_fsm("S"), always_straight_fsm(), config
+        config = api.random_configuration(grid, 8, np.random.default_rng(seed))
+        result = api.TimeShuffledSimulation(
+            grid, api.published_fsm("S"), api.always_straight_fsm(), config
         ).run(t_max=3000)
         solved += result.success
         if result.success:
@@ -86,11 +75,11 @@ def timeshuffle_demo():
 
 def multicolor_demo():
     print("=== 4. Four colours " + "=" * 40)
-    grid = repro.make_grid("T", 16)
+    grid = api.make_grid("T", 16)
     rng = np.random.default_rng(0)
-    fsm = MulticolorFSM.random(rng, n_states=4, n_colors=4)
-    config = repro.random_configuration(grid, 8, rng)
-    simulation = MulticolorSimulation(grid, fsm, config)
+    fsm = api.MulticolorFSM.random(rng, n_states=4, n_colors=4)
+    config = api.random_configuration(grid, 8, rng)
+    simulation = api.MulticolorSimulation(grid, fsm, config)
     result = simulation.run(t_max=400)
     palette = sorted(set(int(c) for c in simulation.colors.ravel()))
     print(f"random 4-colour agents: {'solved in %d steps' % result.t_comm if result.success else 'timed out'};"

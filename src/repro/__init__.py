@@ -73,8 +73,18 @@ from repro.evolution import (
     screen_reliability,
     rank_candidates,
 )
+from repro.results import (
+    CampaignCell,
+    EvaluationResult,
+    Grid33Result,
+    Table1Cell,
+)
 
 __version__ = "1.0.0"
+
+# the facade imports back from this module, so it must come after every
+# name above is bound.
+from repro import api  # noqa: E402
 
 __all__ = [
     "Grid",
@@ -123,5 +133,10 @@ __all__ = [
     "multi_run",
     "screen_reliability",
     "rank_candidates",
+    "EvaluationResult",
+    "Table1Cell",
+    "Grid33Result",
+    "CampaignCell",
+    "api",
     "__version__",
 ]

@@ -12,6 +12,7 @@ and figure of the paper can be regenerated from the shell::
     repro-a2a evolve --grid T --agents 8 --generations 30
     repro-a2a ablation --which colors
     repro-a2a serve --workers 4   # evaluation service over JSON lines
+    repro-a2a serve --tcp 127.0.0.1:7013 --cache eval_cache.jsonl --stats
     repro-a2a bench --check-against BENCH_core.json   # perf gate
 """
 
@@ -21,10 +22,43 @@ import sys
 import numpy as np
 
 
+def _grid_kind(value):
+    """Argparse type for ``--grid``: canonicalises deprecated spellings."""
+    from repro._compat import normalize_grid_kind
+
+    try:
+        return normalize_grid_kind(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_grid_argument(parser, default="T"):
     parser.add_argument(
-        "--grid", choices=("S", "T"), default=default,
+        "--grid", type=_grid_kind, choices=("S", "T"), default=default,
         help="grid kind: S (square) or T (triangulate)",
+    )
+
+
+def _alias_action(canonical_dest, canonical_flag):
+    """A hidden argparse action mapping a deprecated flag onto its
+    canonical destination, warning per use."""
+
+    class _DeprecatedAlias(argparse.Action):
+        def __call__(self, parser, namespace, values, option_string=None):
+            from repro._compat import warn_deprecated
+
+            warn_deprecated(option_string, canonical_flag)
+            setattr(namespace, canonical_dest, values)
+
+    return _DeprecatedAlias
+
+
+def _add_deprecated_alias(parser, flag, canonical_dest, canonical_flag,
+                          value_type=int):
+    parser.add_argument(
+        flag, type=value_type,
+        action=_alias_action(canonical_dest, canonical_flag),
+        default=argparse.SUPPRESS, help=argparse.SUPPRESS,
     )
 
 
@@ -178,6 +212,19 @@ def _cmd_bench(args):
             f"speedup {row['speedup']:.2f}x  "
             f"replay {row['replay_requests_per_sec']:9.1f} req/s"
         )
+    for name, row in record.get("transport", {}).items():
+        print(
+            f"transport {name}: {row['requests_per_sec']:7.2f} req/s over "
+            f"TCP ({row['n_clients']} clients)  in-process "
+            f"{row['in_process_requests_per_sec']:7.2f} req/s  "
+            f"relative {row['relative_to_in_process']:.2f}x"
+        )
+    for name, row in record.get("adaptive", {}).items():
+        print(
+            f"adaptive {name}: {row['adaptive_requests_per_sec']:7.2f} "
+            f"req/s  fixed {row['fixed_requests_per_sec']:7.2f} req/s  "
+            f"ratio {row['adaptive_over_fixed']:.2f}x"
+        )
     print(f"\nbenchmark record appended to {path}")
     if args.check_against:
         failures, notes = check_regression(
@@ -189,15 +236,23 @@ def _cmd_bench(args):
     return 0
 
 
+def _build_service(args):
+    from repro.service import EvaluationService, PersistentEvaluationCache
+
+    cache = PersistentEvaluationCache(args.cache) if args.cache else None
+    return EvaluationService(
+        n_workers=args.workers, lane_block=args.lane_block, cache=cache
+    )
+
+
 def _cmd_serve(args):
     import json
 
-    from repro.service import EvaluationService
     from repro.service.jsonl import ServeSession, format_response
 
-    service = EvaluationService(
-        n_workers=args.workers, lane_block=args.lane_block
-    )
+    service = _build_service(args)
+    if args.tcp:
+        return _serve_tcp(args, service)
     session = ServeSession(service)
     pending = []
     submitted = 0
@@ -220,10 +275,45 @@ def _cmd_serve(args):
                 break
         for item in pending:
             print(format_response(*item), flush=True)
-        stats = service.stats.snapshot(cache=service.cache)
+        stats = service.snapshot()
     if args.stats:
         print(json.dumps({"stats": stats}), file=sys.stderr)
     return 1 if (parse_errors or stats["failed"]) else 0
+
+
+def _serve_tcp(args, service):
+    import asyncio
+    import json
+    import signal
+
+    from repro.service.transport import AsyncEvaluationServer, parse_address
+
+    host, port = parse_address(args.tcp)
+
+    async def run():
+        server = AsyncEvaluationServer(
+            service, host=host, port=port,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            idle_timeout=args.idle_timeout,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        bound = server.address
+        print(f"listening on {bound[0]}:{bound[1]}", flush=True)
+        await server.serve_until_shutdown()
+        return server.snapshot()
+
+    with service:
+        snapshot = asyncio.run(run())
+    if args.stats:
+        print(json.dumps({"stats": snapshot}), file=sys.stderr)
+    return 0
 
 
 def _cmd_ablation(args):
@@ -380,6 +470,7 @@ def build_parser():
     sub.add_argument("--fields", type=int, default=1000, help="random fields per suite")
     sub.add_argument("--seed", type=int, default=2013)
     sub.add_argument("--t-max", type=int, default=1000)
+    _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
     sub.add_argument(
         "--agents", type=int, nargs="*", default=None,
         help="agent counts (default: the paper's 2 4 8 16 32 256)",
@@ -394,6 +485,7 @@ def build_parser():
     sub.add_argument("--fields", type=int, default=1000)
     sub.add_argument("--seed", type=int, default=2013)
     sub.add_argument("--t-max", type=int, default=2000)
+    _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
     sub.set_defaults(handler=_cmd_grid33)
 
     sub = subparsers.add_parser("simulate", help="run one configuration")
@@ -402,6 +494,7 @@ def build_parser():
     sub.add_argument("--agents", type=int, default=8)
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--t-max", type=int, default=1000)
+    _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
     sub.add_argument("--render", action="store_true", help="print the final panels")
     sub.set_defaults(handler=_cmd_simulate)
 
@@ -414,6 +507,7 @@ def build_parser():
     sub.add_argument("--pool-size", type=int, default=20)
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--t-max", type=int, default=200)
+    _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
     sub.set_defaults(handler=_cmd_evolve)
 
     sub = subparsers.add_parser(
@@ -444,6 +538,7 @@ def build_parser():
     sub.add_argument("--sizes", type=int, nargs="*", default=[8, 12, 16, 24, 32])
     sub.add_argument("--fields", type=int, default=150)
     sub.add_argument("--t-max", type=int, default=4000)
+    _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
     sub.set_defaults(handler=_cmd_scaling)
 
     sub = subparsers.add_parser(
@@ -461,6 +556,7 @@ def build_parser():
     _add_grid_argument(sub, default="S")
     sub.add_argument("--fields", type=int, default=200)
     sub.add_argument("--t-max", type=int, default=2000)
+    _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
     sub.set_defaults(handler=_cmd_environments)
 
     sub = subparsers.add_parser(
@@ -523,12 +619,14 @@ def build_parser():
 
     sub = subparsers.add_parser(
         "serve",
-        help="long-lived evaluation service: JSON-lines requests on stdin",
+        help="long-lived evaluation service: JSON lines on stdin, or a "
+             "TCP server with --tcp",
     )
     sub.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: all cores; 1 = inline)",
     )
+    _add_deprecated_alias(sub, "--n-workers", "workers", "--workers")
     sub.add_argument("--lane-block", type=int, default=4096)
     sub.add_argument(
         "--max-requests", type=int, default=None,
@@ -536,7 +634,31 @@ def build_parser():
     )
     sub.add_argument(
         "--stats", action="store_true",
-        help="print service counters to stderr at shutdown",
+        help="print service/transport counters (incl. adaptive batching "
+             "widths) to stderr at shutdown",
+    )
+    sub.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="serve the framed TCP protocol on this address instead of "
+             "stdin (port 0 binds an ephemeral port)",
+    )
+    sub.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="persist the evaluation cache to this append-only JSONL "
+             "store, shared across server runs",
+    )
+    sub.add_argument(
+        "--max-pending", type=int, default=32,
+        help="per-connection in-flight request budget before the server "
+             "stops reading (TCP backpressure; default 32)",
+    )
+    sub.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="seconds before an in-flight TCP request is cancelled",
+    )
+    sub.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="seconds of silence before an idle TCP connection is closed",
     )
     sub.set_defaults(handler=_cmd_serve)
 

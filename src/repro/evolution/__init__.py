@@ -16,7 +16,7 @@ every run are screened across agent counts 2..256 and ranked
 
 from repro.evolution.genome import MutationRates, mutate
 from repro.evolution.fitness import (
-    EvaluationOutcome,
+    EvaluationResult,
     evaluate_fsm,
     evaluate_population,
     SuiteEvaluator,
@@ -31,10 +31,23 @@ from repro.evolution.runner import (
 )
 from repro.evolution.selection import ReliabilityReport, screen_reliability, rank_candidates
 
+
+def __getattr__(name):
+    if name == "EvaluationOutcome":
+        from repro._compat import warn_deprecated
+
+        warn_deprecated(
+            "repro.evolution.EvaluationOutcome",
+            "repro.results.EvaluationResult",
+        )
+        return EvaluationResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "MutationRates",
     "mutate",
-    "EvaluationOutcome",
+    "EvaluationResult",
     "evaluate_fsm",
     "evaluate_population",
     "SuiteEvaluator",

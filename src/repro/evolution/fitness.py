@@ -20,32 +20,29 @@ lanes, split two ways for scale:
 import hashlib
 import multiprocessing
 import threading
-from dataclasses import dataclass
 
+from repro._compat import renamed_kwargs, warn_deprecated
 from repro.core.metrics import FITNESS_WEIGHT
 from repro.core.vectorized import BatchSimulator
+from repro.results import EvaluationResult
 
 #: Default ceiling on simultaneous lanes per batch (FSMs x suite fields).
 DEFAULT_LANE_BLOCK = 4096
 
 
-@dataclass(frozen=True)
-class EvaluationOutcome:
-    """One FSM's evaluation over one suite."""
-
-    fitness: float
-    mean_time: float
-    n_fields: int
-    n_successful_fields: int
-
-    @property
-    def completely_successful(self):
-        """Solved every field of the suite (the reliability criterion)."""
-        return self.n_successful_fields == self.n_fields
+def __getattr__(name):
+    # the old result-shape name resolves to the shared dataclass but warns
+    if name == "EvaluationOutcome":
+        warn_deprecated(
+            "repro.evolution.fitness.EvaluationOutcome",
+            "repro.results.EvaluationResult",
+        )
+        return EvaluationResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _outcome_from_batch(batch):
-    return EvaluationOutcome(
+    return EvaluationResult(
         fitness=batch.mean_fitness(),
         mean_time=batch.mean_time(),
         n_fields=batch.n_lanes,
@@ -53,6 +50,7 @@ def _outcome_from_batch(batch):
     )
 
 
+@renamed_kwargs(tmax="t_max")
 def evaluate_fsm(grid, fsm, suite, t_max=200):
     """Evaluate one FSM over every configuration of ``suite``."""
     simulator = BatchSimulator(grid, fsm, list(suite))
@@ -69,7 +67,7 @@ def _slice_outcomes(batch, n_fsms, n_fields):
         success = batch.success[lanes]
         times = batch.t_comm[lanes][success]
         outcomes.append(
-            EvaluationOutcome(
+            EvaluationResult(
                 fitness=float(per_lane_fitness[lanes].mean()),
                 mean_time=float(times.mean()) if times.size else float("inf"),
                 n_fields=n_fields,
@@ -109,6 +107,7 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+@renamed_kwargs(tmax="t_max", workers="n_workers")
 def evaluate_population(grid, fsms, suite, t_max=200,
                         lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
                         pool=None):
@@ -116,7 +115,7 @@ def evaluate_population(grid, fsms, suite, t_max=200,
 
     Lanes are laid out individual-major: lanes ``[p * F, (p+1) * F)``
     belong to individual ``p`` over the suite's ``F`` fields.  Returns
-    one :class:`EvaluationOutcome` per FSM, in input order.
+    one :class:`repro.results.EvaluationResult` per FSM, in input order.
 
     ``lane_block`` bounds the number of simultaneous lanes per batch
     (``None`` or 0 evaluates everything monolithically); ``n_workers``

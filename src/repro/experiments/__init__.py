@@ -13,7 +13,6 @@ from repro.experiments.fig2 import (
     fig2_distance_maps,
 )
 from repro.experiments.table1 import (
-    Table1Row,
     PAPER_TABLE1,
     run_table1,
     format_table1,
@@ -95,6 +94,14 @@ from repro.experiments.campaign import (
     run_campaign,
     format_campaign,
 )
+
+def __getattr__(name):
+    if name == "Table1Row":   # deprecated alias: warn on use, not import
+        from repro.experiments import table1
+
+        return table1.Table1Row
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "TextTable",

@@ -10,6 +10,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro._compat import renamed_kwargs
+from repro.results import CampaignCell
 from repro.experiments.ablations import (
     run_color_ablation,
     run_initial_state_ablation,
@@ -56,7 +58,11 @@ class CampaignReport:
                 "t_max": self.settings.t_max,
             },
             "topology": self.topology,
-            "table1": self.table1,
+            "table1": {
+                count: cell.to_json() if isinstance(cell, CampaignCell)
+                else cell
+                for count, cell in self.table1.items()
+            },
             "traces": self.traces,
             "grid33": self.grid33,
             "ablations": self.ablations,
@@ -66,9 +72,15 @@ class CampaignReport:
     @property
     def headline_ok(self):
         """The paper's headline holds: T beats S at every density."""
-        return all(row["ratio"] < 1.0 for row in self.table1.values())
+        # rows are CampaignCells; plain dicts (old callers) still work
+        return all(
+            (row.ratio if isinstance(row, CampaignCell) else row["ratio"])
+            < 1.0
+            for row in self.table1.values()
+        )
 
 
+@renamed_kwargs(workers="n_workers")
 def run_campaign(settings=None, log=print, pool=None,
                  n_workers=None) -> CampaignReport:
     """Run the full reproduction; ``log`` receives progress lines.
@@ -124,14 +136,14 @@ def _run_campaign(settings, log, pool) -> CampaignReport:
     )
     for count, row in rows.items():
         paper = PAPER_TABLE1.get(count, (None, None))
-        report.table1[str(count)] = {
-            "t_time": round(row.t_time, 3),
-            "s_time": round(row.s_time, 3),
-            "ratio": round(row.ratio, 4),
-            "paper_t": paper[0],
-            "paper_s": paper[1],
-            "reliable": bool(row.t_reliable and row.s_reliable),
-        }
+        report.table1[str(count)] = CampaignCell(
+            t_time=round(row.t_time, 3),
+            s_time=round(row.s_time, 3),
+            ratio=round(row.ratio, 4),
+            paper_t=paper[0],
+            paper_s=paper[1],
+            reliable=bool(row.t_reliable and row.s_reliable),
+        )
 
     log("[3/5] Fig. 6 / Fig. 7 traces")
     fig6, fig7 = run_calls(
@@ -210,13 +222,13 @@ def format_campaign(report) -> str:
     ]
     for count, cell in sorted(report.table1.items(), key=lambda kv: int(kv[0])):
         paper = (
-            f" (paper {cell['paper_t']}/{cell['paper_s']})"
-            if cell["paper_t"] is not None
+            f" (paper {cell.paper_t}/{cell.paper_s})"
+            if cell.paper_t is not None
             else ""
         )
         lines.append(
-            f"  k={count:>3}: T {cell['t_time']:.2f}  S {cell['s_time']:.2f}  "
-            f"ratio {cell['ratio']:.3f}{paper}"
+            f"  k={count:>3}: T {cell.t_time:.2f}  S {cell.s_time:.2f}  "
+            f"ratio {cell.ratio:.3f}{paper}"
         )
     if report.grid33:
         lines.append(

@@ -138,7 +138,7 @@ class _EnvironmentSuiteEvaluator:
         self._cache = {}
 
     def _evaluate_batch(self, fsms):
-        from repro.evolution.fitness import EvaluationOutcome
+        from repro.results import EvaluationResult
 
         lane_fsms = [fsm for fsm in fsms for _ in self.configs]
         lane_configs = self.configs * len(fsms)
@@ -153,7 +153,7 @@ class _EnvironmentSuiteEvaluator:
             success = batch.success[lanes]
             times = batch.t_comm[lanes][success]
             outcomes.append(
-                EvaluationOutcome(
+                EvaluationResult(
                     fitness=float(fitness[lanes].mean()),
                     mean_time=float(times.mean()) if times.size else float("inf"),
                     n_fields=n_fields,

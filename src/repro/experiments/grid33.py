@@ -7,32 +7,19 @@ work [9] reached 195 on the S-grid with a bigger, specialised machine;
 this paper's agents trade speed for reliability and generality.)
 """
 
-from dataclasses import dataclass
-
+from repro._compat import renamed_kwargs
 from repro.configs.suite import paper_suite
 from repro.core.published import published_fsm
 from repro.evolution.fitness import evaluate_fsm
 from repro.experiments.report import Comparison, format_comparisons
 from repro.grids import make_grid
+from repro.results import Grid33Result
 
 #: Paper Sect. 5: mean steps on 33 x 33 with 16 agents.
 PAPER_GRID33 = {"S": 229.0, "T": 181.0}
 
 #: Prior work [9] on the same field (two 8-state FSMs, actively evolved for it).
 PAPER_GRID33_PRIOR_WORK = 195.0
-
-
-@dataclass(frozen=True)
-class Grid33Result:
-    """Measured 33 x 33 outcomes per grid kind."""
-
-    mean_time: dict       # kind -> mean steps
-    reliable: dict        # kind -> completely successful
-    n_fields: int
-
-    @property
-    def ratio(self):
-        return self.mean_time["T"] / self.mean_time["S"]
 
 
 def _grid33_cell(payload):
@@ -43,6 +30,7 @@ def _grid33_cell(payload):
     return evaluate_fsm(grid, published_fsm(kind), suite, t_max=t_max)
 
 
+@renamed_kwargs(tmax="t_max")
 def run_grid33(n_agents=16, size=33, n_random=1000, seed=2013, t_max=2000,
                pool=None):
     """Evaluate the published FSMs on the large grid.

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.configs.suite import paper_suite
 from repro.core.vectorized import BatchSimulator
-from repro.evolution.fitness import EvaluationOutcome
+from repro.results import EvaluationResult
 from repro.evolution.population import Population
 from repro.experiments.report import TextTable
 from repro.extensions.multicolor import MulticolorFSM, mutate_multicolor
@@ -46,7 +46,7 @@ class MulticolorSuiteEvaluator:
             success = batch.success[lanes]
             times = batch.t_comm[lanes][success]
             outcomes.append(
-                EvaluationOutcome(
+                EvaluationResult(
                     fitness=float(fitness[lanes].mean()),
                     mean_time=float(times.mean()) if times.size else float("inf"),
                     n_fields=n_fields,

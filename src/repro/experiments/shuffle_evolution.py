@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.configs.suite import paper_suite
 from repro.core.fsm import FSM
-from repro.evolution.fitness import EvaluationOutcome
+from repro.results import EvaluationResult
 from repro.evolution.genome import MutationRates, mutate
 from repro.evolution.population import Population
 from repro.experiments.report import TextTable
@@ -87,7 +87,7 @@ class PairSuiteEvaluator:
             success = batch.success[lanes]
             times = batch.t_comm[lanes][success]
             outcomes.append(
-                EvaluationOutcome(
+                EvaluationResult(
                     fitness=float(fitness[lanes].mean()),
                     mean_time=float(times.mean()) if times.size else float("inf"),
                     n_fields=n_fields,

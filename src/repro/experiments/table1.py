@@ -8,14 +8,15 @@ Expected shape: ratio between 0.60 and 0.71 (tracking the diameter ratio
 ``diameter - 1`` exactly (9 and 15).
 """
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
+from repro._compat import renamed_kwargs, warn_deprecated
 from repro.configs.suite import PAPER_AGENT_COUNTS, paper_suite
 from repro.core.published import published_fsm
 from repro.evolution.fitness import evaluate_fsm
 from repro.experiments.report import TextTable
 from repro.grids import make_grid
+from repro.results import Table1Cell
 
 #: The paper's Table 1 (16 x 16, 1003 fields): agent count -> (T, S) times.
 PAPER_TABLE1 = {
@@ -28,27 +29,15 @@ PAPER_TABLE1 = {
 }
 
 
-@dataclass(frozen=True)
-class Table1Row:
-    """One measured column of Table 1."""
-
-    n_agents: int
-    t_time: float
-    s_time: float
-    t_reliable: bool
-    s_reliable: bool
-    paper_t: Optional[float]
-    paper_s: Optional[float]
-
-    @property
-    def ratio(self):
-        return self.t_time / self.s_time
-
-    @property
-    def paper_ratio(self):
-        if self.paper_t is None or self.paper_s is None:
-            return None
-        return self.paper_t / self.paper_s
+def __getattr__(name):
+    # the row class moved to repro.results as Table1Cell
+    if name == "Table1Row":
+        warn_deprecated(
+            "repro.experiments.table1.Table1Row",
+            "repro.results.Table1Cell",
+        )
+        return Table1Cell
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _table1_cell(payload):
@@ -59,6 +48,7 @@ def _table1_cell(payload):
     return evaluate_fsm(grid, fsm, suite, t_max=t_max)
 
 
+@renamed_kwargs(tmax="t_max")
 def run_table1(
     size=16,
     agent_counts=PAPER_AGENT_COUNTS,
@@ -67,7 +57,7 @@ def run_table1(
     t_max=1000,
     fsms=None,
     pool=None,
-) -> Dict[int, Table1Row]:
+) -> Dict[int, Table1Cell]:
     """Measure Table 1 with the published (or supplied) best FSMs.
 
     ``fsms`` maps grid kind to the FSM to evaluate; default is the
@@ -98,7 +88,7 @@ def run_table1(
     rows = {}
     for n_agents in counts:
         paper = PAPER_TABLE1.get(n_agents) if size == 16 else None
-        rows[n_agents] = Table1Row(
+        rows[n_agents] = Table1Cell(
             n_agents=n_agents,
             t_time=outcomes[(n_agents, "T")].mean_time,
             s_time=outcomes[(n_agents, "S")].mean_time,

@@ -57,6 +57,11 @@ replay of the same stream; outcomes are asserted bit-identical to the
 serial path before any speedup is recorded.  Service requests use the
 pinned grid and agent count with a ~100-field suite -- the width of one
 GA candidate evaluation, the traffic the service exists to coalesce.
+Two further sections extend the record: ``transport`` (TCP round-trip
+throughput of :class:`repro.service.AsyncEvaluationServer` from
+concurrent clients versus the in-process path, bit-exact) and
+``adaptive`` (the :class:`repro.service.AdaptiveBatchPolicy` versus a
+pinned fixed coalescing width on the mixed-width request stream).
 ``hardware`` feeds the perf-regression gate
 (:mod:`repro.perf.regression`), which only compares runs from
 comparable machines.
@@ -277,6 +282,225 @@ def measure_service(scenario, n_requests=6, n_workers=None,
     }
 
 
+def measure_transport(scenario, n_requests=8, n_clients=4):
+    """TCP round-trip throughput vs the in-process path, bit-exact.
+
+    Runs one :class:`repro.service.AsyncEvaluationServer` on an
+    ephemeral port, drives the same deterministic request stream once
+    in-process and once over TCP from ``n_clients`` threaded clients,
+    asserts the outcomes identical, and records both rates.  Each pass
+    uses a fresh service (fresh cache), so both pay the same simulation
+    cost and the difference is transport overhead.
+    """
+    import asyncio
+    import threading
+
+    from repro.service import (
+        AsyncEvaluationServer,
+        EvaluationService,
+        TCPServiceClient,
+    )
+    from repro.service.jsonl import ServeSession
+
+    grid_kind = scenario.kind
+    fsms = service_request_stream(n_requests)
+    specs = [
+        {
+            "grid": grid_kind,
+            "size": scenario.size,
+            "agents": scenario.n_agents,
+            "fields": scenario.n_fields,
+            "seed": scenario.seed,
+            "t_max": scenario.t_max,
+            "fsm": {"genome": fsm.genome().tolist(), "name": fsm.name},
+        }
+        for fsm in fsms
+    ]
+
+    with EvaluationService(n_workers=1) as inproc:
+        session = ServeSession(inproc)
+        start = time.perf_counter()
+        futures = [session.submit_spec(spec)[1] for spec in specs]
+        inproc_outcomes = [future.result()[0] for future in futures]
+        inproc_wall = time.perf_counter() - start
+
+    service = EvaluationService(n_workers=1)
+    ready = threading.Event()
+    bound = {}
+
+    async def serve():
+        server = AsyncEvaluationServer(service)
+        await server.start()
+        bound["address"] = server.address
+        bound["server"] = server
+        ready.set()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(target=lambda: asyncio.run(serve()),
+                              daemon=True)
+    with service:
+        thread.start()
+        if not ready.wait(10):
+            raise RuntimeError("transport bench server failed to start")
+        per_client = [specs[i::n_clients] for i in range(n_clients)]
+        tcp_outcomes = [None] * n_requests
+
+        def drive(client_index):
+            with TCPServiceClient(bound["address"]) as client:
+                ids = [client.submit(spec)
+                       for spec in per_client[client_index]]
+                for offset, request_id in enumerate(ids):
+                    response = client.result(request_id)
+                    tcp_outcomes[client_index + offset * n_clients] = \
+                        response["outcomes"][0]
+
+        start = time.perf_counter()
+        drivers = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(n_clients)
+        ]
+        for driver in drivers:
+            driver.start()
+        for driver in drivers:
+            driver.join()
+        tcp_wall = time.perf_counter() - start
+        with TCPServiceClient(bound["address"]) as closer:
+            closer.shutdown()
+        thread.join(10)
+
+    from repro.service.jsonl import outcome_from_dict
+
+    decoded = [outcome_from_dict(payload) for payload in tcp_outcomes]
+    if decoded != inproc_outcomes:
+        raise AssertionError(
+            "TCP outcomes diverged from the in-process path; refusing to "
+            "record transport throughput for non-identical results"
+        )
+    tcp_rate = n_requests / tcp_wall
+    inproc_rate = n_requests / inproc_wall
+    return {
+        "kind": scenario.kind,
+        "size": scenario.size,
+        "n_agents": scenario.n_agents,
+        "n_fields": scenario.n_fields,
+        "t_max": scenario.t_max,
+        "n_requests": n_requests,
+        "n_clients": n_clients,
+        "wall_seconds": tcp_wall,
+        "requests_per_sec": tcp_rate,
+        "in_process_requests_per_sec": inproc_rate,
+        "relative_to_in_process": tcp_rate / inproc_rate,
+    }
+
+
+#: The pinned mixed-width stream: alternating grid kinds and step budgets,
+#: so fixed-width coalescing packs incompatible requests into one round.
+ADAPTIVE_MIXED_SCENARIO = {
+    "size": 16,
+    "n_agents": 8,
+    "n_fields": 50,
+    "seed": 2013,
+    "kinds": ("S", "T"),
+    "t_maxes": (150, 200),
+    "n_requests": 8,
+}
+
+
+def measure_adaptive(spec=None, repeats=3):
+    """Adaptive vs fixed-width coalescing on the pinned mixed stream.
+
+    Submits a burst alternating over grid kinds and ``t_max`` values --
+    traffic that can never share one batch -- through a service with the
+    default :class:`repro.service.AdaptiveBatchPolicy` and through one
+    whose policy is pinned to a fixed width, asserting both bit-exact
+    against the serial path.  Each policy is timed best-of-``repeats``
+    after a shared untimed warm-up pass, so neither side pays the
+    first-run cost (page cache, numpy buffer pools).  Records both rates
+    and their ratio (``>= 1`` means adaptive is at parity or better).
+    """
+    from repro.evolution.fitness import evaluate_fsm
+    from repro.service import (
+        AdaptiveBatchPolicy,
+        EvaluationRequest,
+        EvaluationService,
+    )
+
+    spec = dict(ADAPTIVE_MIXED_SCENARIO, **(spec or {}))
+    grids = {kind: make_grid(kind, spec["size"]) for kind in spec["kinds"]}
+    suites = {
+        kind: list(paper_suite(grids[kind], spec["n_agents"],
+                               n_random=spec["n_fields"], seed=spec["seed"]))
+        for kind in spec["kinds"]
+    }
+    fsms = service_request_stream(spec["n_requests"])
+    workload = [
+        (
+            spec["kinds"][index % len(spec["kinds"])],
+            spec["t_maxes"][index % len(spec["t_maxes"])],
+            fsm,
+        )
+        for index, fsm in enumerate(fsms)
+    ]
+    serial = [
+        evaluate_fsm(grids[kind], fsm, suites[kind], t_max=t_max)
+        for kind, t_max, fsm in workload
+    ]
+
+    def run_policy(policy):
+        service = EvaluationService(
+            n_workers=1, autostart=False, batch_policy=policy
+        )
+        with service:
+            start = time.perf_counter()
+            futures = [
+                service.submit(EvaluationRequest(
+                    grids[kind], [fsm], suites[kind], t_max=t_max
+                ))
+                for kind, t_max, fsm in workload
+            ]
+            service.start()
+            outcomes = [future.result()[0] for future in futures]
+            wall = time.perf_counter() - start
+            if outcomes != serial:
+                raise AssertionError(
+                    "mixed-width outcomes diverged from the serial path"
+                )
+            snapshot = service.snapshot()
+        return wall, snapshot
+
+    fixed_width = AdaptiveBatchPolicy().width
+    make_fixed = lambda: AdaptiveBatchPolicy(  # noqa: E731
+        min_lanes=fixed_width, initial_lanes=fixed_width,
+        max_lanes=fixed_width,
+    )
+    run_policy(AdaptiveBatchPolicy())   # shared warm-up, untimed
+    # interleave the timed passes so clock drift (turbo decay, thermal)
+    # hits both policies alike, and keep the best of each
+    adaptive_walls, fixed_walls = [], []
+    adaptive_stats = fixed_stats = None
+    for _ in range(max(1, repeats)):
+        wall, adaptive_stats = run_policy(AdaptiveBatchPolicy())
+        adaptive_walls.append(wall)
+        wall, fixed_stats = run_policy(make_fixed())
+        fixed_walls.append(wall)
+    adaptive_wall = min(adaptive_walls)
+    fixed_wall = min(fixed_walls)
+    n_requests = spec["n_requests"]
+    return {
+        "n_requests": n_requests,
+        "kinds": list(spec["kinds"]),
+        "t_maxes": list(spec["t_maxes"]),
+        "n_fields": spec["n_fields"],
+        "adaptive_wall_seconds": adaptive_wall,
+        "adaptive_requests_per_sec": n_requests / adaptive_wall,
+        "fixed_wall_seconds": fixed_wall,
+        "fixed_requests_per_sec": n_requests / fixed_wall,
+        "adaptive_over_fixed": fixed_wall / adaptive_wall,
+        "adaptive_batching": adaptive_stats["adaptive"],
+        "fixed_batching": fixed_stats["adaptive"],
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
               service_workers=None):
@@ -323,6 +547,21 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             service[scenario.name] = measure_service(
                 scenario, n_requests=n_requests, n_workers=service_workers
             )
+    transport = {}
+    adaptive = {}
+    if include_service:
+        # one transport scenario bounds bench time; the T-grid workload
+        # is the paper's headline one.
+        pinned = PINNED_STEP_SCENARIOS[1]
+        scenario = replace(pinned, n_fields=min(n_fields, 100))
+        transport[scenario.name] = measure_transport(
+            scenario,
+            n_requests=4 if quick else 8,
+            n_clients=2 if quick else 4,
+        )
+        adaptive["mixed"] = measure_adaptive(
+            {"n_requests": 4, "n_fields": 25} if quick else None
+        )
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": bool(quick),
@@ -330,6 +569,8 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "scenarios": scenarios,
         "generations": generations,
         "service": service,
+        "transport": transport,
+        "adaptive": adaptive,
     }
 
 

@@ -79,7 +79,44 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
             )
         else:
             notes.append(line)
+    _check_transport(record, baseline_run, threshold, failures, notes)
     return failures, notes
+
+
+def _transport_comparable(new, old):
+    return (
+        new.get("n_requests") == old.get("n_requests")
+        and new.get("n_clients") == old.get("n_clients")
+        and new.get("n_fields") == old.get("n_fields")
+        and new.get("t_max") == old.get("t_max")
+    )
+
+
+def _check_transport(record, baseline_run, threshold, failures, notes):
+    """Gate TCP requests/sec the same way steps/sec is gated.
+
+    Baselines committed before the transport existed lack the section;
+    those comparisons are skipped (with a note), never failed.
+    """
+    baseline_transport = baseline_run.get("transport") or {}
+    for name, row in (record.get("transport") or {}).items():
+        baseline = baseline_transport.get(name)
+        if baseline is None or not _transport_comparable(row, baseline):
+            notes.append(
+                f"transport {name}: no comparable baseline; skipped"
+            )
+            continue
+        new_rate = row["requests_per_sec"]
+        old_rate = baseline["requests_per_sec"]
+        ratio = new_rate / old_rate if old_rate else float("inf")
+        line = (
+            f"transport {name}: {new_rate:.2f} vs baseline "
+            f"{old_rate:.2f} req/s ({ratio:.2f}x)"
+        )
+        if ratio < 1.0 - threshold:
+            failures.append(f"{line} -- dropped more than {threshold:.0%}")
+        else:
+            notes.append(line)
 
 
 def format_check(failures, notes):

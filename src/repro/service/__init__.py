@@ -1,6 +1,6 @@
-"""Long-lived evaluation serving: worker pool, batching service, client.
+"""Long-lived evaluation serving: worker pool, batching service, transport.
 
-The serving layer the ROADMAP asks for, in three pieces:
+The serving layer the ROADMAP asks for, in five pieces:
 
 * :mod:`repro.service.pool` -- :class:`WorkerPool`, a persistent process
   pool with an inline single-process fallback, shared by population
@@ -8,37 +8,65 @@ The serving layer the ROADMAP asks for, in three pieces:
 * :mod:`repro.service.service` -- :class:`EvaluationService`, a request
   queue plus dispatcher thread that coalesces compatible FSM-evaluation
   requests into one sharded :func:`repro.evolution.fitness.
-  evaluate_population` call, backed by a process-wide
+  evaluate_population` call, with an :class:`AdaptiveBatchPolicy`
+  steering the coalescing width (grow under queue pressure, shrink when
+  workload widths mix), backed by a process-wide
   :class:`repro.evolution.fitness.EvaluationCache` with hit/miss
   counters; :class:`ServiceClient` is the synchronous in-process view.
+* :mod:`repro.service.cache_store` --
+  :class:`PersistentEvaluationCache`, the evaluation cache mirrored into
+  an append-only JSONL store so results survive the process and are
+  shared across processes.
 * :mod:`repro.service.jsonl` -- the JSON-lines request/response codec
-  behind ``repro-a2a serve``.
+  behind ``repro-a2a serve`` (stdin mode), reused by the TCP transport.
+* :mod:`repro.service.transport` -- :class:`AsyncEvaluationServer`, the
+  asyncio TCP front (``repro-a2a serve --tcp``) with per-connection
+  backpressure, request timeouts, idle reaping and graceful shutdown;
+  :class:`TCPServiceClient` / :class:`AsyncServiceClient` speak its
+  length-prefixed JSON protocol.
 
 Every path through the service is bit-exact versus the serial
 ``evaluate_population`` on the same inputs: batching only changes how
 lanes are laid out, never what any lane computes.
 """
 
+from repro.service.cache_store import CacheStore, PersistentEvaluationCache
 from repro.service.pool import (
     WorkerCrashError,
     WorkerJobError,
     WorkerPool,
 )
 from repro.service.service import (
+    AdaptiveBatchPolicy,
     EvaluationRequest,
     EvaluationService,
     ServiceClient,
     ServiceError,
     ServiceStats,
 )
+from repro.service.transport import (
+    AsyncEvaluationServer,
+    AsyncServiceClient,
+    TCPServiceClient,
+    TransportError,
+    TransportStats,
+)
 
 __all__ = [
     "WorkerPool",
     "WorkerJobError",
     "WorkerCrashError",
+    "AdaptiveBatchPolicy",
     "EvaluationRequest",
     "EvaluationService",
     "ServiceClient",
     "ServiceError",
     "ServiceStats",
+    "CacheStore",
+    "PersistentEvaluationCache",
+    "AsyncEvaluationServer",
+    "AsyncServiceClient",
+    "TCPServiceClient",
+    "TransportError",
+    "TransportStats",
 ]

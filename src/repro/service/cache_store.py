@@ -1,0 +1,186 @@
+"""Cross-process persistence for the evaluation cache.
+
+The in-memory :class:`repro.evolution.fitness.EvaluationCache` dies with
+its process; a long-lived serving deployment wants yesterday's
+simulations back.  :class:`PersistentEvaluationCache` keeps the exact
+same interface and keys but mirrors every ``put`` into an append-only
+JSONL store and lazily loads the store on first use.
+
+Design constraints, in order:
+
+* **full keys** -- each record carries the complete
+  :func:`repro.evolution.fitness.evaluation_cache_key` identity
+  (grid kind/size, suite fingerprint, ``t_max``, genome bytes), so a
+  store can never serve a result computed under different knobs;
+* **safe under concurrent writers** -- records are whole lines written
+  in one ``O_APPEND`` write each; two processes appending the same key
+  simply store the same outcome twice (evaluation is deterministic, so
+  last-writer-wins is harmless);
+* **corruption recovery** -- a torn final line (a writer died
+  mid-append) is detected on load; the loader keeps the valid prefix,
+  truncates the file back to it, and continues -- one bad tail never
+  costs the store.
+"""
+
+import json
+import os
+import threading
+
+from repro.evolution.fitness import EvaluationCache
+from repro.results import EvaluationResult
+
+#: Store format marker, first field of every record.
+STORE_VERSION = 1
+
+
+def encode_key(key):
+    """JSON form of an evaluation-cache key tuple."""
+    kind, size, suite_fp, t_max, genome = key
+    return [kind, size, suite_fp, t_max, genome.hex()]
+
+
+def decode_key(payload):
+    """The key tuple back from its JSON form."""
+    kind, size, suite_fp, t_max, genome_hex = payload
+    return (kind, int(size), suite_fp, int(t_max), bytes.fromhex(genome_hex))
+
+
+def encode_record(key, outcome):
+    """One self-contained store line (no trailing newline)."""
+    return json.dumps(
+        {"v": STORE_VERSION, "k": encode_key(key), "o": outcome.to_json()},
+        separators=(",", ":"),
+    )
+
+
+def decode_record(line):
+    """``(key, outcome)`` from one store line; raises on any corruption."""
+    payload = json.loads(line)
+    if payload.get("v") != STORE_VERSION:
+        raise ValueError(f"unknown store version {payload.get('v')!r}")
+    return decode_key(payload["k"]), EvaluationResult.from_json(payload["o"])
+
+
+class CacheStore:
+    """The append-only JSONL file behind a persistent cache."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._fd = None
+        self.recovered_records = 0
+        self.dropped_bytes = 0
+
+    def load(self):
+        """All valid records, truncating a torn tail if one is found."""
+        records = []
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return records
+        valid_end = 0
+        for line in raw.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    records.append(decode_record(stripped))
+                except (ValueError, KeyError, IndexError, TypeError):
+                    break  # torn/corrupt line: keep the prefix, drop the rest
+            valid_end += len(line)
+        if valid_end < len(raw):
+            self.dropped_bytes += len(raw) - valid_end
+            self._truncate(valid_end)
+        self.recovered_records = len(records)
+        return records
+
+    def _truncate(self, valid_end):
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_end)
+        except OSError:
+            pass  # read-only store: serve the valid prefix, leave the file
+
+    def append(self, key, outcome):
+        """Durably append one record; one write call keeps lines whole."""
+        line = (encode_record(key, outcome) + "\n").encode()
+        with self._lock:
+            if self._fd is None:
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+                )
+            os.write(self._fd, line)
+
+    def close(self):
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class PersistentEvaluationCache(EvaluationCache):
+    """An :class:`EvaluationCache` mirrored into a :class:`CacheStore`.
+
+    Drop-in for every ``cache=`` parameter in the package.  The store is
+    loaded lazily on the first lookup/insert, so building one is free;
+    ``warm()`` forces the load (and reports how many records arrived).
+    """
+
+    def __init__(self, path):
+        super().__init__()
+        self.store = CacheStore(path)
+        self._loaded = False
+        self._load_lock = threading.Lock()
+
+    def warm(self):
+        """Load the store now; returns the number of records loaded."""
+        with self._load_lock:
+            if not self._loaded:
+                for key, outcome in self.store.load():
+                    super().put(key, outcome)
+                self._loaded = True
+        return len(self)
+
+    def get(self, key):
+        self.warm()
+        return super().get(key)
+
+    def put(self, key, outcome):
+        self.warm()
+        with self._lock:
+            known = self._store.get(key)
+        super().put(key, outcome)
+        if known != outcome:   # don't re-append what the store gave us
+            self.store.append(key, outcome)
+
+    def stats(self):
+        counters = super().stats()
+        counters["persistent"] = {
+            "path": self.store.path,
+            "loaded": self._loaded,
+            "recovered_records": self.store.recovered_records,
+            "dropped_bytes": self.store.dropped_bytes,
+        }
+        return counters
+
+    def close(self):
+        self.store.close()
+
+    # the underlying EvaluationCache already drops its lock when crossing
+    # process boundaries; the store's descriptor must not cross either.
+    def __getstate__(self):
+        state = super().__getstate__()
+        del state["_load_lock"]
+        state["store"] = CacheStore(self.store.path)
+        return state
+
+    def __setstate__(self, state):
+        super().__setstate__(state)
+        self._load_lock = threading.Lock()

@@ -20,8 +20,9 @@ the service.
 """
 
 import json
-import math
 
+from repro._compat import normalize_grid_kind
+from repro.results import EvaluationResult
 from repro.configs.suite import paper_suite
 from repro.core.fsm import FSM
 from repro.core.evolved import evolved_fsm
@@ -71,14 +72,11 @@ class ServeSession:
             )
         return self._suites[key]
 
-    def submit_line(self, line):
-        """Parse one request line and submit it; ``(request_id, future)``."""
-        spec = json.loads(line)
+    def build_request(self, spec):
+        """An :class:`EvaluationRequest` from one decoded wire spec."""
         if not isinstance(spec, dict):
-            raise ValueError("request line must be a JSON object")
-        kind = spec.get("grid", "T")
-        if kind not in ("S", "T"):
-            raise ValueError(f"grid must be 'S' or 'T', got {kind!r}")
+            raise ValueError("request must be a JSON object")
+        kind = normalize_grid_kind(spec.get("grid", "T"), warn=False)
         grid = self._grid(kind, int(spec.get("size", 16)))
         suite = self._suite(
             grid,
@@ -89,23 +87,27 @@ class ServeSession:
         fsm_spec = spec.get("fsm", "published")
         specs = fsm_spec if isinstance(fsm_spec, list) else [fsm_spec]
         fsms = [_resolve_fsm(one, kind) for one in specs]
-        request = EvaluationRequest(
+        return EvaluationRequest(
             grid, fsms, suite, t_max=int(spec.get("t_max", 200))
         )
-        return spec.get("id"), self.service.submit(request)
+
+    def submit_spec(self, spec):
+        """Submit one decoded request; ``(request_id, future)``."""
+        return spec.get("id"), self.service.submit(self.build_request(spec))
+
+    def submit_line(self, line):
+        """Parse one request line and submit it; ``(request_id, future)``."""
+        return self.submit_spec(json.loads(line))
 
 
 def outcome_to_dict(outcome):
-    """The wire form of one :class:`EvaluationOutcome`."""
-    # mean_time is inf when no field was solved; null keeps the line JSON
-    return {
-        "fitness": outcome.fitness,
-        "mean_time": outcome.mean_time if math.isfinite(outcome.mean_time)
-        else None,
-        "n_fields": outcome.n_fields,
-        "n_successful_fields": outcome.n_successful_fields,
-        "completely_successful": outcome.completely_successful,
-    }
+    """The wire form of one :class:`repro.results.EvaluationResult`."""
+    return outcome.to_json()
+
+
+def outcome_from_dict(payload):
+    """An :class:`repro.results.EvaluationResult` back from its wire form."""
+    return EvaluationResult.from_json(payload)
 
 
 def format_response(request_id, future, timeout=None):

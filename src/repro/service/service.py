@@ -24,6 +24,7 @@ Correctness invariants (all asserted by ``tests/test_service.py``):
 
 import queue
 import threading
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -59,6 +60,11 @@ class EvaluationRequest:
         self.t_max = int(t_max)
         self.suite_fp = suite_fingerprint(suite)
         self.batch_key = (grid.kind, grid.size, self.suite_fp, self.t_max)
+        try:
+            n_fields = len(suite)
+        except TypeError:
+            n_fields = len(list(suite))
+        self.n_lanes = len(self.fsms) * n_fields
 
     def cache_keys(self):
         """Full evaluation-cache keys of this request's FSMs, in order."""
@@ -68,6 +74,70 @@ class EvaluationRequest:
         ]
 
 
+class AdaptiveBatchPolicy:
+    """Feedback control of the dispatcher's coalescing width, in lanes.
+
+    Each dispatch round drains queued requests until their combined lane
+    count (``sum(len(fsms) * len(suite))``) reaches the current
+    ``width``; the rest stay queued for the next round.  After every
+    round the width adapts:
+
+    * **grow** (double, up to ``max_lanes``) when the round hit the cap
+      with more requests still waiting -- queue pressure means bigger
+      batches amortize better;
+    * **shrink** (halve, down to ``min_lanes``) when the drained
+      requests split into multiple batch groups -- mixed grid / suite /
+      ``t_max`` widths coalesce poorly, and a smaller round keeps one
+      wide stray request from serializing everything behind it.
+
+    The policy only re-partitions work across rounds; every request
+    still evaluates exactly as it would serially, so adaptivity cannot
+    change results.  Chosen widths are exposed via ``snapshot()`` (the
+    CLI's ``--stats``).
+    """
+
+    def __init__(self, min_lanes=256, initial_lanes=DEFAULT_LANE_BLOCK,
+                 max_lanes=4 * DEFAULT_LANE_BLOCK, history=32):
+        if not min_lanes <= initial_lanes <= max_lanes:
+            raise ValueError("need min_lanes <= initial_lanes <= max_lanes")
+        self.min_lanes = int(min_lanes)
+        self.max_lanes = int(max_lanes)
+        self.width = int(initial_lanes)
+        self.grows = 0
+        self.shrinks = 0
+        self.rounds = 0
+        self.recent_widths = deque(maxlen=history)
+        self.recent_batch_lanes = deque(maxlen=history)
+
+    def observe(self, batch_lanes, n_groups, pressure):
+        """Record one dispatch round and adapt the width for the next."""
+        self.rounds += 1
+        self.recent_widths.append(self.width)
+        self.recent_batch_lanes.append(batch_lanes)
+        if pressure:
+            grown = min(self.width * 2, self.max_lanes)
+            if grown > self.width:
+                self.grows += 1
+            self.width = grown
+        elif n_groups > 1:
+            shrunk = max(self.width // 2, self.min_lanes)
+            if shrunk < self.width:
+                self.shrinks += 1
+            self.width = shrunk
+
+    def snapshot(self):
+        return {
+            "width": self.width,
+            "min_lanes": self.min_lanes,
+            "max_lanes": self.max_lanes,
+            "rounds": self.rounds,
+            "grows": self.grows,
+            "shrinks": self.shrinks,
+            "recent_widths": list(self.recent_widths),
+            "recent_batch_lanes": list(self.recent_batch_lanes),
+        }
+
+
 @dataclass
 class ServiceStats:
     """Lifetime counters of one service instance."""
@@ -75,24 +145,28 @@ class ServiceStats:
     requests: int = 0
     completed: int = 0
     failed: int = 0
+    cancelled: int = 0              # futures cancelled before dispatch
     batches: int = 0
     coalesced_requests: int = 0     # requests that shared another's batch
     simulated_fsms: int = 0         # genomes actually sent to the simulator
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def snapshot(self, cache=None):
-        """Plain-dict view, with cache counters folded in when given."""
+    def snapshot(self, cache=None, batcher=None):
+        """Plain-dict view, with cache/batcher counters folded in."""
         with self.lock:
             stats = {
                 "requests": self.requests,
                 "completed": self.completed,
                 "failed": self.failed,
+                "cancelled": self.cancelled,
                 "batches": self.batches,
                 "coalesced_requests": self.coalesced_requests,
                 "simulated_fsms": self.simulated_fsms,
             }
         if cache is not None:
             stats["cache"] = cache.stats()
+        if batcher is not None:
+            stats["adaptive"] = batcher.snapshot()
         return stats
 
 
@@ -108,12 +182,15 @@ class EvaluationService:
     """
 
     def __init__(self, n_workers=None, lane_block=DEFAULT_LANE_BLOCK,
-                 pool=None, cache=None, autostart=True):
+                 pool=None, cache=None, autostart=True, batch_policy=None):
         self.lane_block = lane_block
         self.cache = cache if cache is not None else EvaluationCache()
         self._own_pool = pool is None
         self.pool = pool if pool is not None else WorkerPool(n_workers or 1)
         self.stats = ServiceStats()
+        self.batcher = (
+            batch_policy if batch_policy is not None else AdaptiveBatchPolicy()
+        )
         self._queue = queue.SimpleQueue()
         self._thread = None
         self._closed = False
@@ -173,6 +250,10 @@ class EvaluationService:
             EvaluationRequest(grid, fsms, suite, t_max=t_max)
         ).result(timeout)
 
+    def snapshot(self):
+        """All counters: requests, cache hits/misses, adaptive widths."""
+        return self.stats.snapshot(cache=self.cache, batcher=self.batcher)
+
     # -- dispatcher ---------------------------------------------------------
 
     def _dispatch_loop(self):
@@ -182,9 +263,11 @@ class EvaluationService:
             if item is _STOP:
                 break
             batch = [item]
-            # Drain everything already queued: these are the requests
-            # that can be coalesced this round.
-            while True:
+            lanes = item[0].n_lanes
+            # Drain what is already queued -- the requests that can be
+            # coalesced this round -- up to the adaptive lane width.
+            # Whatever stays queued is simply the next round's batch.
+            while lanes < self.batcher.width:
                 try:
                     extra = self._queue.get_nowait()
                 except queue.Empty:
@@ -193,11 +276,26 @@ class EvaluationService:
                     stopping = True
                     break
                 batch.append(extra)
+                lanes += extra[0].n_lanes
+            pressure = (
+                not stopping
+                and lanes >= self.batcher.width
+                and not self._queue.empty()
+            )
             groups = {}
             for request, future in batch:
+                # a request cancelled while queued (TCP timeout, client
+                # gone) is dropped here -- its simulation never runs
+                if not future.set_running_or_notify_cancel():
+                    with self.stats.lock:
+                        self.stats.cancelled += 1
+                    continue
                 groups.setdefault(request.batch_key, []).append(
                     (request, future)
                 )
+            self.batcher.observe(
+                batch_lanes=lanes, n_groups=len(groups), pressure=pressure
+            )
             for group in groups.values():
                 self._process_group(group)
 
@@ -276,4 +374,4 @@ class ServiceClient:
                              timeout=timeout)[0]
 
     def stats(self):
-        return self.service.stats.snapshot(cache=self.service.cache)
+        return self.service.snapshot()

@@ -1,0 +1,582 @@
+"""Async TCP transport for the evaluation service.
+
+``repro-a2a serve --tcp HOST:PORT`` fronts one
+:class:`repro.service.EvaluationService` with an asyncio server so many
+concurrent clients share a single dispatcher, worker pool and cache.
+The wire protocol is length-prefixed JSON: every message is a 4-byte
+big-endian byte count followed by one UTF-8 JSON object -- the same
+request/response vocabulary as the stdin JSONL mode (see
+:mod:`repro.service.jsonl`), plus three control ops (``ping``,
+``stats``, ``shutdown``) and structured error frames::
+
+    {"id": "r1", "error": {"code": "timeout", "message": "..."}}
+
+Flow control is deliberate, not emergent:
+
+* **backpressure** -- each connection holds at most ``max_pending``
+  requests in flight; the server stops *reading* the socket when the
+  budget is spent, so TCP flow control backs the client up, and reading
+  resumes as responses drain;
+* **timeouts** -- a request that exceeds ``request_timeout`` is
+  cancelled; if it is still queued in the dispatcher the cancellation
+  reaches it and no simulation ever runs for it;
+* **disconnects** -- a client that vanishes mid-request gets its
+  in-flight work cancelled without disturbing other connections;
+* **idle reaping** -- connections with no traffic and no in-flight work
+  for ``idle_timeout`` seconds are closed;
+* **graceful shutdown** -- :meth:`AsyncEvaluationServer.aclose` stops
+  accepting, stops reading, drains every in-flight request, then closes.
+"""
+
+import asyncio
+import contextlib
+import itertools
+import json
+import socket
+import struct
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+
+from repro.service.jsonl import ServeSession, outcome_from_dict, outcome_to_dict
+from repro.service.service import ServiceError
+
+#: Frame header: one unsigned 32-bit big-endian body byte count.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Refuse frames larger than this (a genome table is a few KiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Error-frame codes, in the order a request can hit them.
+ERR_BAD_FRAME = "bad_frame"             # framing/JSON violation
+ERR_BAD_REQUEST = "bad_request"         # well-framed but invalid spec
+ERR_SHUTTING_DOWN = "shutting_down"     # arrived after shutdown began
+ERR_TIMEOUT = "timeout"                 # exceeded request_timeout
+ERR_EVALUATION_FAILED = "evaluation_failed"  # the simulation itself failed
+
+
+class FrameError(ValueError):
+    """A violation of the length-prefix framing (cannot resync)."""
+
+
+class _IdleTimeout(Exception):
+    """Internal: the idle reaper fired on a quiet connection."""
+
+
+class _StopReading(Exception):
+    """Internal: graceful shutdown asked the read loop to stop."""
+
+
+def encode_frame(payload):
+    """One wire frame (header + body) for a JSON-ready object."""
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds "
+                         f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader):
+    """One frame body from an asyncio reader; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise FrameError("connection closed inside a frame header")
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed inside a frame body") from None
+
+
+def _recv_exact(sock, n_bytes):
+    chunks = []
+    while n_bytes:
+        chunk = sock.recv(n_bytes)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n_bytes -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock, payload):
+    """Blocking counterpart of :func:`encode_frame` for plain sockets."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock):
+    """One decoded frame from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exact(sock, FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FrameError("connection closed inside a frame body")
+    return json.loads(body)
+
+
+@dataclass
+class TransportStats:
+    """Counters the server keeps per lifetime, shown by ``--stats``."""
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    bad_frames: int = 0
+    bad_requests: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    cancelled_on_disconnect: int = 0
+    idle_reaped: int = 0
+    backpressure_engaged: int = 0
+    backpressure_released: int = 0
+
+    def snapshot(self):
+        return asdict(self)
+
+
+class _Connection:
+    """Per-client state: flow-control budget and in-flight tasks."""
+
+    def __init__(self, reader, writer, max_pending):
+        self.reader = reader
+        self.writer = writer
+        self.sem = asyncio.Semaphore(max_pending)
+        self.write_lock = asyncio.Lock()
+        self.tasks = set()
+        self.handler = None
+        self.closing = False
+
+
+class AsyncEvaluationServer:
+    """The asyncio TCP front of one :class:`EvaluationService`.
+
+    ``port=0`` binds an ephemeral port; read the bound address from
+    :attr:`address` after :meth:`start`.  The server shares one
+    :class:`ServeSession` across connections, so identical workloads
+    from different clients coalesce into the same dispatcher batches.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0, max_pending=32,
+                 request_timeout=None, idle_timeout=None):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.service = service
+        self.session = ServeSession(service)
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self.idle_timeout = idle_timeout
+        self.stats = TransportStats()
+        self._server = None
+        self._connections = set()
+        self._closing = False
+        self._stop_reading = asyncio.Event()
+        self._shutdown_requested = asyncio.Event()
+        # spec decoding builds grids/suites (CPU work with a shared
+        # cache): one worker thread keeps it off the event loop *and*
+        # serialised.
+        self._decode_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="transport-decode"
+        )
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        return self
+
+    async def serve_until_shutdown(self):
+        """Serve until a client sends the ``shutdown`` op, then drain."""
+        await self._shutdown_requested.wait()
+        await self.aclose()
+
+    def request_shutdown(self):
+        """Flag graceful shutdown (safe to call from the event loop)."""
+        self._shutdown_requested.set()
+
+    async def aclose(self):
+        """Graceful shutdown: stop accepting/reading, drain, close."""
+        self._closing = True
+        self._stop_reading.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        handlers = [
+            conn.handler for conn in list(self._connections)
+            if conn.handler is not None
+        ]
+        if handlers:   # each handler drains its own in-flight requests
+            await asyncio.gather(*handlers, return_exceptions=True)
+        self._decode_executor.shutdown(wait=False)
+        self._shutdown_requested.set()
+
+    def snapshot(self):
+        """Transport counters plus the fronted service's own snapshot."""
+        return {
+            "transport": self.stats.snapshot(),
+            "service": self.service.snapshot(),
+        }
+
+    async def _handle_connection(self, reader, writer):
+        conn = _Connection(reader, writer, self.max_pending)
+        conn.handler = asyncio.current_task()
+        self._connections.add(conn)
+        self.stats.connections_opened += 1
+        peer_gone = False
+        try:
+            while not (conn.closing or self._closing):
+                if conn.sem.locked():
+                    self.stats.backpressure_engaged += 1
+                    await conn.sem.acquire()   # resumes as responses drain
+                    self.stats.backpressure_released += 1
+                else:
+                    await conn.sem.acquire()
+                try:
+                    body = await self._read_next(conn)
+                except _IdleTimeout:
+                    conn.sem.release()
+                    self.stats.idle_reaped += 1
+                    break
+                except _StopReading:
+                    conn.sem.release()
+                    break
+                except (FrameError, ConnectionError, OSError) as exc:
+                    conn.sem.release()
+                    if isinstance(exc, FrameError):
+                        self.stats.bad_frames += 1
+                        await self._send_error(
+                            conn, None, ERR_BAD_FRAME, str(exc)
+                        )
+                    else:
+                        peer_gone = True
+                    break   # framing is lost either way
+                if body is None:   # clean EOF: the client went away
+                    conn.sem.release()
+                    peer_gone = True
+                    break
+                try:
+                    spec = json.loads(body)
+                    if not isinstance(spec, dict):
+                        raise ValueError("frame body must be a JSON object")
+                except ValueError as exc:
+                    conn.sem.release()
+                    self.stats.bad_frames += 1
+                    # framing is intact, so keep the connection
+                    await self._send_error(
+                        conn, None, ERR_BAD_FRAME,
+                        f"frame body is not a JSON object: {exc}",
+                    )
+                    continue
+                task = asyncio.ensure_future(self._handle_request(conn, spec))
+                conn.tasks.add(task)
+                task.add_done_callback(
+                    lambda done, conn=conn: (
+                        conn.tasks.discard(done), conn.sem.release()
+                    )
+                )
+        finally:
+            if peer_gone:
+                for task in list(conn.tasks):
+                    if task.cancel():
+                        self.stats.cancelled_on_disconnect += 1
+            if conn.tasks:   # graceful paths drain; disconnects reap
+                await asyncio.gather(*conn.tasks, return_exceptions=True)
+            conn.closing = True
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+            self._connections.discard(conn)
+            self.stats.connections_closed += 1
+
+    async def _read_next(self, conn):
+        """The next frame body, honouring shutdown and the idle reaper."""
+        read = asyncio.ensure_future(read_frame(conn.reader))
+        stop = asyncio.ensure_future(self._stop_reading.wait())
+        idle = (
+            self.idle_timeout
+            if self.idle_timeout and not conn.tasks
+            else None
+        )
+        try:
+            done, _ = await asyncio.wait(
+                {read, stop}, timeout=idle,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if read in done:
+                return read.result()
+            if stop in done:
+                raise _StopReading
+            raise _IdleTimeout
+        finally:
+            for waiter in (read, stop):
+                if waiter.done():
+                    if not waiter.cancelled():
+                        waiter.exception()   # mark retrieved
+                else:
+                    waiter.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await waiter
+
+    async def _handle_request(self, conn, spec):
+        request_id = spec.get("id")
+        op = spec.get("op")
+        try:
+            if op == "ping":
+                await self._send(conn, {"id": request_id, "pong": True})
+                return
+            if op == "stats":
+                await self._send(
+                    conn, {"id": request_id, "stats": self.snapshot()}
+                )
+                return
+            if op == "shutdown":
+                await self._send(conn, {"id": request_id, "ok": True})
+                self.request_shutdown()
+                return
+            if op is not None:
+                await self._send_error(
+                    conn, request_id, ERR_BAD_REQUEST, f"unknown op {op!r}"
+                )
+                return
+            if self._closing:
+                await self._send_error(
+                    conn, request_id, ERR_SHUTTING_DOWN,
+                    "server is shutting down",
+                )
+                return
+            loop = asyncio.get_running_loop()
+            try:
+                request_id, future = await loop.run_in_executor(
+                    self._decode_executor, self.session.submit_spec, spec
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                self.stats.bad_requests += 1
+                await self._send_error(
+                    conn, request_id, ERR_BAD_REQUEST, str(exc)
+                )
+                return
+            self.stats.requests += 1
+            wrapped = asyncio.wrap_future(future)
+            try:
+                if self.request_timeout:
+                    outcomes = await asyncio.wait_for(
+                        wrapped, self.request_timeout
+                    )
+                else:
+                    outcomes = await wrapped
+            except asyncio.TimeoutError:
+                # wait_for cancelled `wrapped`; if the request was still
+                # queued the dispatcher never simulates it.
+                self.stats.timeouts += 1
+                await self._send_error(
+                    conn, request_id, ERR_TIMEOUT,
+                    f"request exceeded {self.request_timeout}s",
+                )
+                return
+            except ServiceError as exc:
+                self.stats.failures += 1
+                await self._send_error(
+                    conn, request_id, ERR_EVALUATION_FAILED, str(exc)
+                )
+                return
+            await self._send(conn, {
+                "id": request_id,
+                "outcomes": [outcome_to_dict(o) for o in outcomes],
+            })
+            self.stats.responses += 1
+        except asyncio.CancelledError:
+            raise   # disconnect reaping; wrap_future propagates the cancel
+        except (ConnectionError, OSError):
+            conn.closing = True
+
+    async def _send(self, conn, payload):
+        frame = encode_frame(payload)
+        async with conn.write_lock:
+            conn.writer.write(frame)
+            await conn.writer.drain()
+
+    async def _send_error(self, conn, request_id, code, message):
+        self.stats.errors += 1
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(conn, {
+                "id": request_id,
+                "error": {"code": code, "message": message},
+            })
+
+
+class TransportError(ServiceError):
+    """A client-visible error frame, carrying its protocol ``code``."""
+
+    def __init__(self, code, message):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+def _raise_on_error(response):
+    error = response.get("error")
+    if error is None:
+        return response
+    if isinstance(error, dict):
+        raise TransportError(
+            error.get("code", "error"), error.get("message", "")
+        )
+    raise TransportError("error", str(error))
+
+
+class TCPServiceClient:
+    """Blocking, pipelining client for :class:`AsyncEvaluationServer`.
+
+    Mirrors the :class:`repro.service.ServiceClient` call shape --
+    ``evaluate(...)`` returns a list of
+    :class:`repro.results.EvaluationResult` -- but speaks the framed
+    protocol.  Requests may be pipelined (``submit`` many, then
+    ``result`` each); responses are correlated by id, so out-of-order
+    completion on the server is fine.  Not thread-safe: use one client
+    per thread.
+    """
+
+    def __init__(self, host, port=None, timeout=120.0):
+        if port is None:
+            host, port = host   # accept a single (host, port) address
+        self._sock = socket.create_connection((host, int(port)), timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._responses = {}
+        self._ids = itertools.count()
+
+    def close(self):
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def submit(self, spec):
+        """Send one request frame; returns its (possibly assigned) id."""
+        spec = dict(spec)
+        if "id" not in spec:
+            spec["id"] = f"c{next(self._ids)}"
+        send_frame(self._sock, spec)
+        return spec["id"]
+
+    def result(self, request_id):
+        """The response frame for one id, reading until it arrives."""
+        while request_id not in self._responses:
+            response = recv_frame(self._sock)
+            if response is None:
+                raise ConnectionError(
+                    "server closed the connection before responding"
+                )
+            self._responses[response.get("id")] = response
+        return self._responses.pop(request_id)
+
+    def request(self, spec):
+        """Round-trip one spec; raises :class:`TransportError` on error."""
+        return _raise_on_error(self.result(self.submit(spec)))
+
+    def evaluate(self, **spec):
+        """Evaluate one spec; a list of ``EvaluationResult`` per FSM."""
+        response = self.request(spec)
+        return [outcome_from_dict(o) for o in response["outcomes"]]
+
+    def ping(self):
+        return self.request({"op": "ping"}).get("pong", False)
+
+    def stats(self):
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self):
+        """Ask the server to drain and exit (graceful shutdown)."""
+        return self.request({"op": "shutdown"}).get("ok", False)
+
+
+class AsyncServiceClient:
+    """Asyncio client with one shared reader task; safe for concurrent
+    ``request`` calls from many coroutines on the same loop."""
+
+    def __init__(self, reader, writer):
+        self._reader = reader
+        self._writer = writer
+        self._waiters = {}
+        self._ids = itertools.count()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host, port=None):
+        if port is None:
+            host, port = host
+        reader, writer = await asyncio.open_connection(host, int(port))
+        return cls(reader, writer)
+
+    async def _read_loop(self):
+        try:
+            while True:
+                body = await read_frame(self._reader)
+                if body is None:
+                    break
+                response = json.loads(body)
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except (FrameError, ConnectionError, OSError) as exc:
+            self._fail_waiters(exc)
+        else:
+            self._fail_waiters(
+                ConnectionError("server closed the connection")
+            )
+
+    def _fail_waiters(self, exc):
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+        self._waiters.clear()
+
+    async def request(self, spec):
+        spec = dict(spec)
+        if "id" not in spec:
+            spec["id"] = f"a{next(self._ids)}"
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[spec["id"]] = waiter
+        self._writer.write(encode_frame(spec))
+        await self._writer.drain()
+        return _raise_on_error(await waiter)
+
+    async def evaluate(self, **spec):
+        response = await self.request(spec)
+        return [outcome_from_dict(o) for o in response["outcomes"]]
+
+    async def aclose(self):
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        self._fail_waiters(ConnectionError("client closed"))
+        with contextlib.suppress(ConnectionError, OSError):
+            self._writer.close()
+            await self._writer.wait_closed()
+
+
+def parse_address(text):
+    """``(host, port)`` from a ``HOST:PORT`` CLI string."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port)

@@ -27,14 +27,18 @@ from repro.evolution.fitness import (
 )
 from repro.grids import make_grid
 from repro.service import (
+    AdaptiveBatchPolicy,
+    CacheStore,
     EvaluationRequest,
     EvaluationService,
+    PersistentEvaluationCache,
     ServiceClient,
     ServiceError,
     WorkerCrashError,
     WorkerJobError,
     WorkerPool,
 )
+from repro.service.cache_store import decode_key, encode_key
 
 
 # -- worker-pool job fixtures (top-level: workers pickle by reference) ------
@@ -385,3 +389,243 @@ class TestServeCli:
         assert main(["serve", "--workers", "1"]) == 1
         out = capsys.readouterr().out
         assert "error" in out
+
+
+class TestAdaptiveBatchPolicy:
+    """Unit behavior of the width controller, no service involved."""
+
+    def test_grows_double_under_pressure_capped(self):
+        policy = AdaptiveBatchPolicy(
+            min_lanes=4, initial_lanes=4, max_lanes=16
+        )
+        policy.observe(batch_lanes=4, n_groups=1, pressure=True)
+        assert policy.width == 8
+        policy.observe(batch_lanes=8, n_groups=1, pressure=True)
+        policy.observe(batch_lanes=16, n_groups=1, pressure=True)
+        assert policy.width == 16   # capped at max_lanes
+        assert policy.grows == 2    # the capped round did not count
+
+    def test_shrinks_halve_on_mixed_groups_floored(self):
+        policy = AdaptiveBatchPolicy(
+            min_lanes=4, initial_lanes=16, max_lanes=16
+        )
+        policy.observe(batch_lanes=8, n_groups=2, pressure=False)
+        assert policy.width == 8
+        policy.observe(batch_lanes=8, n_groups=3, pressure=False)
+        policy.observe(batch_lanes=4, n_groups=2, pressure=False)
+        assert policy.width == 4    # floored at min_lanes
+        assert policy.shrinks == 2
+
+    def test_steady_state_leaves_width_alone(self):
+        policy = AdaptiveBatchPolicy(
+            min_lanes=4, initial_lanes=8, max_lanes=16
+        )
+        policy.observe(batch_lanes=6, n_groups=1, pressure=False)
+        assert policy.width == 8
+        assert (policy.grows, policy.shrinks, policy.rounds) == (0, 0, 1)
+
+    def test_rejects_inconsistent_bounds(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(min_lanes=8, initial_lanes=4, max_lanes=16)
+
+    def test_snapshot_reports_history(self):
+        policy = AdaptiveBatchPolicy(
+            min_lanes=4, initial_lanes=4, max_lanes=16
+        )
+        policy.observe(batch_lanes=4, n_groups=1, pressure=True)
+        snap = policy.snapshot()
+        assert snap["width"] == 8
+        assert snap["grows"] == 1
+        assert snap["rounds"] == 1
+        assert snap["recent_widths"] == [4]
+        assert snap["recent_batch_lanes"] == [4]
+
+
+class TestAdaptiveService:
+    """The policy inside a live dispatcher: adapts, never changes results."""
+
+    def test_width_grows_under_queue_pressure(self, setup):
+        grid, suite, fsms = setup
+        lanes = len(suite)   # one single-FSM request = len(suite) lanes
+        policy = AdaptiveBatchPolicy(
+            min_lanes=lanes, initial_lanes=lanes, max_lanes=4 * lanes
+        )
+        serial = [
+            evaluate_population(grid, [fsm], suite, t_max=60)[0]
+            for fsm in fsms
+        ]
+        with EvaluationService(
+            n_workers=1, autostart=False, batch_policy=policy
+        ) as service:
+            futures = [
+                service.submit(EvaluationRequest(grid, [fsm], suite, t_max=60))
+                for fsm in fsms
+            ]
+            service.start()
+            assert [f.result(60)[0] for f in futures] == serial
+        assert policy.grows >= 1
+        assert policy.width > lanes
+        assert service.snapshot()["adaptive"]["width"] == policy.width
+
+    def test_width_shrinks_on_mixed_batch_keys(self, setup):
+        grid, suite, fsms = setup
+        lanes = len(suite)
+        policy = AdaptiveBatchPolicy(
+            min_lanes=lanes, initial_lanes=8 * lanes, max_lanes=8 * lanes
+        )
+        with EvaluationService(
+            n_workers=1, autostart=False, batch_policy=policy
+        ) as service:
+            futures = [
+                service.submit(
+                    EvaluationRequest(grid, [fsms[0]], suite, t_max=t_max)
+                )
+                for t_max in (50, 60)   # distinct keys: two batch groups
+            ]
+            service.start()
+            for future in futures:
+                future.result(60)
+        assert policy.shrinks >= 1
+        assert policy.width < 8 * lanes
+
+    def test_tiny_fixed_width_stays_bit_exact(self, setup):
+        grid, suite, fsms = setup
+        lanes = len(suite)
+        policy = AdaptiveBatchPolicy(
+            min_lanes=lanes, initial_lanes=lanes, max_lanes=lanes
+        )
+        serial = evaluate_population(grid, fsms, suite, t_max=60)
+        with EvaluationService(
+            n_workers=1, autostart=False, batch_policy=policy
+        ) as service:
+            futures = [
+                service.submit(EvaluationRequest(grid, [fsm], suite, t_max=60))
+                for fsm in fsms
+            ]
+            service.start()
+            assert [f.result(60)[0] for f in futures] == serial
+        assert policy.rounds >= len(fsms)   # one request per round at most
+
+
+class TestPersistentCache:
+    """The JSONL store: survives processes, writers, and torn tails."""
+
+    def _keys(self, grid, suite, fsms, t_max=60):
+        fingerprint = suite_fingerprint(suite)
+        return [
+            evaluation_cache_key(grid, fingerprint, t_max, fsm)
+            for fsm in fsms
+        ]
+
+    def test_round_trip_across_instances(self, setup, tmp_path):
+        grid, suite, fsms = setup
+        path = tmp_path / "store.jsonl"
+        serial = evaluate_population(grid, fsms, suite, t_max=60)
+
+        with EvaluationService(
+            n_workers=1, cache=PersistentEvaluationCache(path)
+        ) as service:
+            assert service.evaluate(grid, fsms, suite, t_max=60) == serial
+            assert service.stats.simulated_fsms == len(fsms)
+
+        # a "new process": a fresh cache instance over the same file
+        revived = PersistentEvaluationCache(path)
+        assert revived.warm() == len(fsms)
+        with EvaluationService(n_workers=1, cache=revived) as service:
+            assert service.evaluate(grid, fsms, suite, t_max=60) == serial
+            assert service.stats.simulated_fsms == 0   # all store hits
+
+    def test_torn_tail_is_truncated_and_store_continues(
+        self, setup, tmp_path
+    ):
+        grid, suite, fsms = setup
+        path = tmp_path / "store.jsonl"
+        outcomes = evaluate_population(grid, fsms[:2], suite, t_max=60)
+        keys = self._keys(grid, suite, fsms[:2])
+        with CacheStore(path) as store:
+            for key, outcome in zip(keys, outcomes):
+                store.append(key, outcome)
+        intact_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'{"v":1,"k":["T",8')   # a writer died mid-append
+
+        revived = PersistentEvaluationCache(path)
+        assert revived.warm() == 2
+        assert revived.store.recovered_records == 2
+        assert revived.store.dropped_bytes > 0
+        assert path.stat().st_size == intact_size   # tail truncated away
+        assert revived.get(keys[0]) == outcomes[0]
+
+        # the truncated store keeps accepting appends
+        extra_key = self._keys(grid, suite, [fsms[2]])[0]
+        extra = evaluate_population(grid, [fsms[2]], suite, t_max=60)[0]
+        revived.put(extra_key, extra)
+        revived.close()
+        third = PersistentEvaluationCache(path)
+        assert third.warm() == 3
+        assert third.get(extra_key) == extra
+
+    def test_concurrent_writers_all_records_survive(self, setup, tmp_path):
+        grid, suite, fsms = setup
+        path = tmp_path / "store.jsonl"
+        outcomes = evaluate_population(grid, fsms, suite, t_max=60)
+        keys = self._keys(grid, suite, fsms)
+        caches = [PersistentEvaluationCache(path) for _ in range(2)]
+
+        def writer(cache, pairs):
+            for key, outcome in pairs:
+                cache.put(key, outcome)
+
+        pairs = list(zip(keys, outcomes))
+        threads = [
+            threading.Thread(target=writer, args=(cache, pairs[i::2]))
+            for i, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for cache in caches:
+            cache.close()
+
+        merged = PersistentEvaluationCache(path)
+        assert merged.warm() == len(fsms)
+        for key, outcome in pairs:
+            assert merged.get(key) == outcome
+
+    def test_put_does_not_reappend_store_served_values(
+        self, setup, tmp_path
+    ):
+        grid, suite, fsms = setup
+        path = tmp_path / "store.jsonl"
+        key = self._keys(grid, suite, fsms[:1])[0]
+        outcome = evaluate_population(grid, fsms[:1], suite, t_max=60)[0]
+
+        cache = PersistentEvaluationCache(path)
+        cache.put(key, outcome)
+        cache.put(key, outcome)   # idempotent: the store already has it
+        cache.close()
+        with open(path) as handle:
+            assert len(handle.read().splitlines()) == 1
+
+        again = PersistentEvaluationCache(path)
+        again.warm()
+        again.put(key, outcome)   # store-served value: still no re-append
+        again.close()
+        with open(path) as handle:
+            assert len(handle.read().splitlines()) == 1
+
+    def test_key_codec_round_trips(self, setup):
+        grid, suite, fsms = setup
+        key = self._keys(grid, suite, fsms[:1])[0]
+        assert decode_key(json.loads(json.dumps(encode_key(key)))) == key
+
+    def test_stats_expose_persistence(self, setup, tmp_path):
+        grid, suite, fsms = setup
+        path = tmp_path / "store.jsonl"
+        cache = PersistentEvaluationCache(path)
+        assert cache.stats()["persistent"]["loaded"] is False
+        cache.warm()
+        counters = cache.stats()["persistent"]
+        assert counters["loaded"] is True
+        assert counters["path"] == str(path)

@@ -133,6 +133,21 @@ from repro.extensions import (  # noqa: F401
     TimeShuffledSimulation,
 )
 from repro.grids.analysis import antipodal_cells  # noqa: F401
+from repro.resilience import (  # noqa: F401
+    Checkpointer,
+    CheckpointError,
+    CircuitBreaker,
+    CircuitOpenError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    install_faults,
+    load_checkpoint,
+    save_checkpoint,
+    uninstall_faults,
+)
 from repro.results import (  # noqa: F401
     CampaignCell,
     EvaluationResult,
@@ -144,12 +159,16 @@ from repro.service import (  # noqa: F401
     AsyncEvaluationServer,
     AsyncServiceClient,
     EvaluationService,
+    IdempotencyRegistry,
     PersistentEvaluationCache,
     ServiceClient,
     ServiceError,
     TCPServiceClient,
     TransportError,
+    WorkerCrashError,
+    WorkerHangError,
     WorkerPool,
+    is_retryable_error,
 )
 from repro.service.jsonl import ServeSession, build_fsm  # noqa: F401
 from repro.service.transport import parse_address
@@ -304,6 +323,10 @@ class InProcessConnection:
     def stats(self):
         return {"service": self.service.snapshot()}
 
+    def health(self):
+        """Service liveness: pool watchdog counters, queue depth, cache."""
+        return self._session.health()
+
     def close(self):
         if self._own:
             self.service.close()
@@ -318,7 +341,7 @@ class InProcessConnection:
 
 @renamed_kwargs(workers="n_workers")
 def connect(address=None, n_workers=None, cache_path=None, timeout=120.0,
-            service=None):
+            service=None, retry_policy=None, breaker=None):
     """A service connection: in-process by default, TCP with an address.
 
     * ``connect()`` -- builds a private :class:`EvaluationService` (over
@@ -331,14 +354,19 @@ def connect(address=None, n_workers=None, cache_path=None, timeout=120.0,
       :class:`TCPServiceClient` onto a ``repro-a2a serve --tcp`` server.
 
     All three return objects with the same ``evaluate`` / ``stats`` /
-    ``ping`` / ``close`` surface (and all are context managers).
+    ``ping`` / ``health`` / ``close`` surface (and all are context
+    managers).  ``retry_policy`` (a :class:`RetryPolicy`) and
+    ``breaker`` (a :class:`CircuitBreaker`) harden the TCP connection:
+    transient failures are retried with backoff under idempotency keys,
+    and repeated failures trip the breaker (see ``docs/RESILIENCE.md``).
     """
     if address is not None:
         if service is not None:
             raise TypeError("pass address= or service=, not both")
         target = parse_address(address) if isinstance(address, str) \
             else address
-        return TCPServiceClient(target, timeout=timeout)
+        return TCPServiceClient(target, timeout=timeout,
+                                retry_policy=retry_policy, breaker=breaker)
     if service is not None:
         return InProcessConnection(service, own_service=False)
     cache = PersistentEvaluationCache(cache_path) if cache_path else None

@@ -17,6 +17,7 @@ and figure of the paper can be regenerated from the shell::
 """
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -155,7 +156,12 @@ def _cmd_evolve(args):
             f"successful {record.n_successful}/{args.pool_size}"
         )
 
-    result = evolve(grid, suite, settings, progress=progress)
+    result = evolve(
+        grid, suite, settings, progress=progress,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+    )
     best = result.best
     print(
         f"\nbest fitness {best.fitness:.2f} "
@@ -225,6 +231,14 @@ def _cmd_bench(args):
             f"req/s  fixed {row['fixed_requests_per_sec']:7.2f} req/s  "
             f"ratio {row['adaptive_over_fixed']:.2f}x"
         )
+    for name, row in record.get("chaos", {}).items():
+        print(
+            f"chaos {name}: pool {row['pool']['jobs_per_sec']:7.2f} jobs/s "
+            f"({row['pool']['relative_to_clean']:.2f}x clean, "
+            f"{row['pool']['crash_recoveries']} recoveries)  transport "
+            f"{row['transport']['requests_per_sec']:7.2f} req/s "
+            f"({row['transport']['relative_to_clean']:.2f}x clean)"
+        )
     print(f"\nbenchmark record appended to {path}")
     if args.check_against:
         failures, notes = check_regression(
@@ -237,12 +251,40 @@ def _cmd_bench(args):
 
 
 def _build_service(args):
+    """The serve subcommand's service; raises :class:`_ServeSetupError`
+    with a user-facing message on bad ``--cache`` / ``--fault-plan``."""
+    from repro.resilience.faults import FaultPlan, FaultPlanError, install
     from repro.service import EvaluationService, PersistentEvaluationCache
 
-    cache = PersistentEvaluationCache(args.cache) if args.cache else None
+    if args.fault_plan:
+        try:
+            install(FaultPlan.load(args.fault_plan),
+                    log_path=os.environ.get("REPRO_FAULT_LOG"))
+        except (OSError, FaultPlanError) as exc:
+            raise _ServeSetupError(
+                f"cannot load fault plan {args.fault_plan!r}: {exc}"
+            ) from exc
+    cache = None
+    if args.cache:
+        cache = PersistentEvaluationCache(
+            args.cache, max_bytes=args.cache_max_bytes
+        )
+        try:
+            # surface unreadable/unwritable paths now, not mid-request
+            cache.warm()
+            cache.store.open()
+        except OSError as exc:
+            raise _ServeSetupError(
+                f"cannot open cache store {args.cache!r}: {exc}"
+            ) from exc
     return EvaluationService(
-        n_workers=args.workers, lane_block=args.lane_block, cache=cache
+        n_workers=args.workers, lane_block=args.lane_block, cache=cache,
+        job_timeout=args.job_timeout, max_restarts=args.max_restarts,
     )
+
+
+class _ServeSetupError(RuntimeError):
+    """A serve flag that cannot be honoured; message is user-facing."""
 
 
 def _cmd_serve(args):
@@ -250,7 +292,11 @@ def _cmd_serve(args):
 
     from repro.service.jsonl import ServeSession, format_response
 
-    service = _build_service(args)
+    try:
+        service = _build_service(args)
+    except _ServeSetupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.tcp:
         return _serve_tcp(args, service)
     session = ServeSession(service)
@@ -263,7 +309,12 @@ def _cmd_serve(args):
             if not line:
                 continue
             try:
-                pending.append(session.submit_line(line))
+                spec = json.loads(line)
+                op_response = session.handle_op(spec)
+                if op_response is not None:
+                    print(json.dumps(op_response), flush=True)
+                    continue
+                pending.append(session.submit_spec(spec))
                 submitted += 1
             except Exception as exc:
                 parse_errors += 1
@@ -297,7 +348,13 @@ def _serve_tcp(args, service):
             request_timeout=args.request_timeout,
             idle_timeout=args.idle_timeout,
         )
-        await server.start()
+        try:
+            await server.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr
+            )
+            return None
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             try:
@@ -311,6 +368,8 @@ def _serve_tcp(args, service):
 
     with service:
         snapshot = asyncio.run(run())
+    if snapshot is None:   # bind failure, already reported
+        return 2
     if args.stats:
         print(json.dumps({"stats": snapshot}), file=sys.stderr)
     return 0
@@ -437,7 +496,10 @@ def _cmd_reproduce_all(args):
         include_grid33=not args.skip_grid33,
         include_ablations=not args.skip_ablations,
     )
-    report = run_campaign(settings, n_workers=args.workers)
+    report = run_campaign(
+        settings, n_workers=args.workers,
+        checkpoint_path=args.checkpoint, resume_from=args.resume,
+    )
     print()
     print(format_campaign(report))
     if args.out:
@@ -508,6 +570,18 @@ def build_parser():
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--t-max", type=int, default=200)
     _add_deprecated_alias(sub, "--tmax", "t_max", "--t-max")
+    sub.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot the run atomically to PATH so it can be resumed",
+    )
+    sub.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="generations between snapshots (default 1)",
+    )
+    sub.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a run from a --checkpoint snapshot (bit-exact)",
+    )
     sub.set_defaults(handler=_cmd_evolve)
 
     sub = subparsers.add_parser(
@@ -572,6 +646,15 @@ def build_parser():
     sub.add_argument(
         "--workers", type=int, default=None,
         help="shard the campaign's evaluations over worker processes",
+    )
+    sub.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot the campaign after each stage so it can be resumed",
+    )
+    sub.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a campaign from a --checkpoint snapshot, skipping "
+             "completed stages",
     )
     sub.set_defaults(handler=_cmd_reproduce_all)
 
@@ -659,6 +742,26 @@ def build_parser():
     sub.add_argument(
         "--idle-timeout", type=float, default=None,
         help="seconds of silence before an idle TCP connection is closed",
+    )
+    sub.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="compact the --cache store (dedupe superseded records) when "
+             "it is loaded over this size",
+    )
+    sub.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="worker watchdog: a job exceeding this marks its workers "
+             "hung; they are killed, restarted and the job requeued",
+    )
+    sub.add_argument(
+        "--max-restarts", type=int, default=2,
+        help="watchdog restarts per batch before the failure surfaces "
+             "(default 2)",
+    )
+    sub.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="chaos testing: arm a saved repro.resilience FaultPlan "
+             "(seeded worker crashes, dropped sockets, torn cache writes)",
     )
     sub.set_defaults(handler=_cmd_serve)
 

@@ -15,6 +15,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+)
 from repro.evolution.fitness import DEFAULT_LANE_BLOCK, SuiteEvaluator
 from repro.evolution.genome import MutationRates
 from repro.evolution.population import (
@@ -104,7 +109,8 @@ def _record(population):
 
 def evolve(grid, suite, settings=EvolutionSettings(), progress=None,
            seed_fsms=(), lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
-           pool=None, cache=None):
+           pool=None, cache=None, checkpoint_path=None, checkpoint_every=1,
+           resume_from=None):
     """One optimization run over ``suite`` on ``grid``.
 
     ``progress``, if given, is called with each :class:`GenerationRecord`
@@ -112,38 +118,87 @@ def evolve(grid, suite, settings=EvolutionSettings(), progress=None,
     ``lane_block`` / ``n_workers`` / ``pool`` / ``cache`` are forwarded
     to the run's :class:`SuiteEvaluator`; they re-layout the evaluation
     work (and let runs share simulations) without changing any result.
+
+    ``checkpoint_path`` snapshots the run atomically every
+    ``checkpoint_every`` generations (and once more on completion);
+    ``resume_from`` picks a run back up from such a snapshot.  The
+    snapshot carries the population (with its RNG state and evaluation
+    memo) and the history so far, so a resumed run is **bit-exact**
+    versus the run that was never interrupted -- the ``--resume``
+    contract, asserted by ``tests/test_checkpoint.py``.  The snapshot's
+    settings must equal ``settings``; layout knobs (``lane_block``,
+    ``n_workers``, ``pool``) are rethreaded from the arguments since
+    executors never survive pickling.
     """
     settings.validate()
-    rng = np.random.default_rng(settings.seed)
-    evaluator = SuiteEvaluator(
-        grid, suite, t_max=settings.t_max, lane_block=lane_block,
-        n_workers=n_workers, pool=pool, cache=cache,
-    )
-    population = Population(
-        evaluator,
-        rng,
-        size=settings.pool_size,
-        exchange_width=settings.exchange_width,
-        rates=settings.rates,
-        n_states=settings.n_states,
-        seed_fsms=seed_fsms,
-    )
-    started = time.perf_counter()
-    history = [_record(population)]
-    if progress is not None:
-        progress(history[0])
-    for _ in range(settings.n_generations):
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = Checkpointer(
+            checkpoint_path, "evolve", every=checkpoint_every
+        )
+    prior_wall = 0.0
+    if resume_from is not None:
+        state = load_checkpoint(resume_from, kind="evolve")
+        if state["settings"] != settings:
+            raise CheckpointError(
+                "checkpoint settings do not match this run: "
+                f"{state['settings']} != {settings}"
+            )
+        population = state["population"]
+        history = list(state["history"])
+        prior_wall = state["wall_seconds"]
+        evaluator = population.evaluator
+        evaluator.lane_block = lane_block
+        evaluator.n_workers = n_workers
+        evaluator.pool = pool
+        if cache is not None:
+            evaluator.cache = cache
+        started = time.perf_counter()
+    else:
+        rng = np.random.default_rng(settings.seed)
+        evaluator = SuiteEvaluator(
+            grid, suite, t_max=settings.t_max, lane_block=lane_block,
+            n_workers=n_workers, pool=pool, cache=cache,
+        )
+        population = Population(
+            evaluator,
+            rng,
+            size=settings.pool_size,
+            exchange_width=settings.exchange_width,
+            rates=settings.rates,
+            n_states=settings.n_states,
+            seed_fsms=seed_fsms,
+        )
+        started = time.perf_counter()
+        history = [_record(population)]
+        if progress is not None:
+            progress(history[0])
+
+    def snapshot_state():
+        return {
+            "settings": settings,
+            "population": population,
+            "history": list(history),
+            "wall_seconds": prior_wall + time.perf_counter() - started,
+        }
+
+    for _ in range(settings.n_generations - population.generation):
         population.advance()
         record = _record(population)
         history.append(record)
         if progress is not None:
             progress(record)
-    return EvolutionResult(
+        if checkpointer is not None:
+            checkpointer.maybe(population.generation, snapshot_state)
+    result = EvolutionResult(
         settings=settings,
         history=history,
         population=population,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=prior_wall + time.perf_counter() - started,
     )
+    if checkpointer is not None:
+        checkpointer.final(snapshot_state)
+    return result
 
 
 def _run_job(payload):

@@ -11,6 +11,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro._compat import renamed_kwargs
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+)
 from repro.results import CampaignCell
 from repro.experiments.ablations import (
     run_color_ablation,
@@ -82,7 +87,8 @@ class CampaignReport:
 
 @renamed_kwargs(workers="n_workers")
 def run_campaign(settings=None, log=print, pool=None,
-                 n_workers=None) -> CampaignReport:
+                 n_workers=None, checkpoint_path=None,
+                 resume_from=None) -> CampaignReport:
     """Run the full reproduction; ``log`` receives progress lines.
 
     With ``n_workers > 1`` (or a persistent ``pool`` from
@@ -93,6 +99,12 @@ def run_campaign(settings=None, log=print, pool=None,
     to end.  Every job is the unchanged serial code, and results are
     merged in the serial order, so the sharded report is bit-exact vs
     the serial one (wall-clock aside).
+
+    ``checkpoint_path`` snapshots the report atomically after every
+    completed stage; ``resume_from`` restarts from such a snapshot,
+    skipping completed stages and re-running only the interrupted one.
+    Stages are deterministic, so a resumed campaign's report is
+    bit-exact versus an uninterrupted run (wall-clock aside).
     """
     from repro.service.pool import WorkerPool
 
@@ -101,63 +113,109 @@ def run_campaign(settings=None, log=print, pool=None,
     if pool is None and n_workers and n_workers > 1:
         own_pool = pool = WorkerPool(n_workers)
     try:
-        return _run_campaign(settings, log, pool)
+        return _run_campaign(settings, log, pool,
+                             checkpoint_path=checkpoint_path,
+                             resume_from=resume_from)
     finally:
         if own_pool is not None:
             own_pool.close()
 
 
-def _run_campaign(settings, log, pool) -> CampaignReport:
+def _run_campaign(settings, log, pool, checkpoint_path=None,
+                  resume_from=None) -> CampaignReport:
     from repro.service.pool import run_calls
 
     report = CampaignReport(settings=settings)
+    done = set()
+    prior_wall = 0.0
+    if resume_from is not None:
+        state = load_checkpoint(resume_from, kind="campaign")
+        if state["settings"] != settings:
+            raise CheckpointError(
+                "checkpoint settings do not match this campaign: "
+                f"{state['settings']} != {settings}"
+            )
+        report = state["report"]
+        done = set(state["done"])
+        prior_wall = state["wall_seconds"]
     started = time.perf_counter()
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = Checkpointer(checkpoint_path, "campaign")
 
-    log("[1/5] topology (Eq. 1-3 / Fig. 2)")
-    for row in topology_table(exponents=(2, 3, 4, 5)):
-        report.topology.append(
-            {
-                "n": row["n"],
-                "D_S": row["S"].diameter,
-                "D_T": row["T"].diameter,
-                "mean_S": round(row["S"].mean_distance, 4),
-                "mean_T": round(row["T"].mean_distance, 4),
-                "diameter_ratio": round(row["diameter_ratio"], 4),
-                "formula_consistent": bool(
-                    row["S"].formula_consistent and row["T"].formula_consistent
+    def complete(stage):
+        """Mark a stage finished and snapshot the report so far."""
+        done.add(stage)
+        if checkpointer is not None:
+            checkpointer.final(lambda: {
+                "settings": settings,
+                "report": report,
+                "done": set(done),
+                "wall_seconds": (
+                    prior_wall + time.perf_counter() - started
                 ),
-            }
+            })
+
+    if "topology" in done:
+        log("[1/5] topology: already complete (resumed)")
+    else:
+        log("[1/5] topology (Eq. 1-3 / Fig. 2)")
+        for row in topology_table(exponents=(2, 3, 4, 5)):
+            report.topology.append(
+                {
+                    "n": row["n"],
+                    "D_S": row["S"].diameter,
+                    "D_T": row["T"].diameter,
+                    "mean_S": round(row["S"].mean_distance, 4),
+                    "mean_T": round(row["T"].mean_distance, 4),
+                    "diameter_ratio": round(row["diameter_ratio"], 4),
+                    "formula_consistent": bool(
+                        row["S"].formula_consistent
+                        and row["T"].formula_consistent
+                    ),
+                }
+            )
+        complete("topology")
+
+    if "table1" in done:
+        log("[2/5] Table 1 / Fig. 5: already complete (resumed)")
+    else:
+        log(f"[2/5] Table 1 / Fig. 5 ({settings.n_random} fields per suite)")
+        rows = run_table1(
+            n_random=settings.n_random, seed=settings.seed,
+            t_max=settings.t_max, pool=pool,
         )
+        for count, row in rows.items():
+            paper = PAPER_TABLE1.get(count, (None, None))
+            report.table1[str(count)] = CampaignCell(
+                t_time=round(row.t_time, 3),
+                s_time=round(row.s_time, 3),
+                ratio=round(row.ratio, 4),
+                paper_t=paper[0],
+                paper_s=paper[1],
+                reliable=bool(row.t_reliable and row.s_reliable),
+            )
+        complete("table1")
 
-    log(f"[2/5] Table 1 / Fig. 5 ({settings.n_random} fields per suite)")
-    rows = run_table1(
-        n_random=settings.n_random, seed=settings.seed, t_max=settings.t_max,
-        pool=pool,
-    )
-    for count, row in rows.items():
-        paper = PAPER_TABLE1.get(count, (None, None))
-        report.table1[str(count)] = CampaignCell(
-            t_time=round(row.t_time, 3),
-            s_time=round(row.s_time, 3),
-            ratio=round(row.ratio, 4),
-            paper_t=paper[0],
-            paper_s=paper[1],
-            reliable=bool(row.t_reliable and row.s_reliable),
+    if "traces" in done:
+        log("[3/5] Fig. 6 / Fig. 7 traces: already complete (resumed)")
+    else:
+        log("[3/5] Fig. 6 / Fig. 7 traces")
+        fig6, fig7 = run_calls(
+            pool, [(run_fig6, (), None), (run_fig7, (), None)]
         )
+        report.traces = {
+            "fig6_s_t_comm": fig6.t_comm,
+            "fig6_paper": 114,
+            "fig7_t_t_comm": fig7.t_comm,
+            "fig7_paper": 44,
+            "t_faster": fig7.t_comm < fig6.t_comm,
+        }
+        complete("traces")
 
-    log("[3/5] Fig. 6 / Fig. 7 traces")
-    fig6, fig7 = run_calls(
-        pool, [(run_fig6, (), None), (run_fig7, (), None)]
-    )
-    report.traces = {
-        "fig6_s_t_comm": fig6.t_comm,
-        "fig6_paper": 114,
-        "fig7_t_t_comm": fig7.t_comm,
-        "fig7_paper": 44,
-        "t_faster": fig7.t_comm < fig6.t_comm,
-    }
-
-    if settings.include_grid33:
+    if "grid33" in done:
+        log("[4/5] 33 x 33 generalisation: already complete (resumed)")
+    elif settings.include_grid33:
         log(f"[4/5] 33 x 33 generalisation ({settings.grid33_fields} fields)")
         grid33 = run_grid33(
             n_random=settings.grid33_fields, seed=settings.seed,
@@ -171,10 +229,14 @@ def _run_campaign(settings, log, pool) -> CampaignReport:
             "paper_t": PAPER_GRID33["T"],
             "reliable": bool(grid33.reliable["S"] and grid33.reliable["T"]),
         }
+        complete("grid33")
     else:
         log("[4/5] 33 x 33 generalisation: skipped")
+        complete("grid33")
 
-    if settings.include_ablations:
+    if "ablations" in done:
+        log("[5/5] ablations: already complete (resumed)")
+    elif settings.include_ablations:
         log(f"[5/5] ablations ({settings.ablation_fields} fields)")
         ablation_calls = []
         for kind in ("S", "T"):
@@ -206,10 +268,12 @@ def _run_campaign(settings, log, pool) -> CampaignReport:
                     ).reliable
                 ),
             }
+        complete("ablations")
     else:
         log("[5/5] ablations: skipped")
+        complete("ablations")
 
-    report.wall_seconds = time.perf_counter() - started
+    report.wall_seconds = prior_wall + time.perf_counter() - started
     return report
 
 

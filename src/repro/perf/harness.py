@@ -57,11 +57,15 @@ replay of the same stream; outcomes are asserted bit-identical to the
 serial path before any speedup is recorded.  Service requests use the
 pinned grid and agent count with a ~100-field suite -- the width of one
 GA candidate evaluation, the traffic the service exists to coalesce.
-Two further sections extend the record: ``transport`` (TCP round-trip
+Three further sections extend the record: ``transport`` (TCP round-trip
 throughput of :class:`repro.service.AsyncEvaluationServer` from
-concurrent clients versus the in-process path, bit-exact) and
-``adaptive`` (the :class:`repro.service.AdaptiveBatchPolicy` versus a
-pinned fixed coalescing width on the mixed-width request stream).
+concurrent clients versus the in-process path, bit-exact), ``adaptive``
+(the :class:`repro.service.AdaptiveBatchPolicy` versus a pinned fixed
+coalescing width on the mixed-width request stream) and ``chaos``
+(:func:`measure_chaos`: throughput under the pinned fault plan --
+worker crashes recovered by the pool watchdog, socket faults recovered
+by hardened retrying clients -- with results asserted bit-exact versus
+the fault-free pass before any rate is recorded).
 ``hardware`` feeds the perf-regression gate
 (:mod:`repro.perf.regression`), which only compares runs from
 comparable machines.
@@ -501,6 +505,194 @@ def measure_adaptive(spec=None, repeats=3):
     }
 
 
+def _chaos_pool_job(payload):
+    """Worker entry point: one small pinned published-FSM evaluation."""
+    from repro.evolution.fitness import evaluate_fsm
+
+    kind, size, n_agents, n_fields, seed, t_max = payload
+    grid = make_grid(kind, size)
+    suite = list(paper_suite(grid, n_agents, n_random=n_fields, seed=seed))
+    return evaluate_fsm(grid, published_fsm(kind), suite, t_max=t_max)
+
+
+def measure_chaos(scenario=None, n_jobs=6, n_requests=8, n_clients=4):
+    """Throughput under the pinned fault plan, bit-exact vs fault-free.
+
+    Two legs, each timed against a fault-free pass over identical work
+    in the same process, so the recorded ratio is pure recovery
+    overhead:
+
+    * **pool** -- ``n_jobs`` pinned evaluations through a two-process
+      :class:`repro.service.WorkerPool` while the plan kills a worker
+      mid-job twice; the watchdog restarts the executor and requeues the
+      lost jobs, and the results are asserted equal to the clean pass
+      before any rate is recorded.
+    * **transport** -- the TCP scenario driven by hardened retrying
+      :class:`repro.service.TCPServiceClient`\\ s while the server drops
+      one socket, garbles one frame and tears one frame; outcomes are
+      asserted bit-exact versus the clean TCP pass (and retried requests
+      are deduplicated by idempotency key, so nothing is simulated
+      twice).
+    """
+    import asyncio
+    import threading
+
+    from repro.resilience import (
+        FaultPlan,
+        FaultSpec,
+        RetryPolicy,
+        faults_installed,
+    )
+    from repro.resilience.faults import (
+        CRASH,
+        DISCONNECT,
+        GARBAGE_FRAME,
+        PARTIAL_FRAME,
+        SITE_POOL_JOB,
+        SITE_TRANSPORT_SEND,
+    )
+    from repro.service import (
+        AsyncEvaluationServer,
+        EvaluationService,
+        TCPServiceClient,
+        WorkerPool,
+    )
+
+    if scenario is None:
+        scenario = replace(PINNED_STEP_SCENARIOS[1], n_fields=25)
+
+    # -- pool leg: crash the executor twice mid-stream ---------------------
+    payloads = [
+        (scenario.kind, 8, 4, 6, scenario.seed + index, 80)
+        for index in range(n_jobs)
+    ]
+    with WorkerPool(2, job_timeout=60.0) as clean_pool:
+        start = time.perf_counter()
+        clean_results = clean_pool.map_ordered(_chaos_pool_job, payloads)
+        clean_pool_wall = time.perf_counter() - start
+    pool_plan = FaultPlan([
+        FaultSpec(SITE_POOL_JOB, CRASH, at=2),
+        FaultSpec(SITE_POOL_JOB, CRASH, at=4),
+    ])
+    with WorkerPool(2, job_timeout=60.0) as chaos_pool:
+        with faults_installed(pool_plan) as injector:
+            start = time.perf_counter()
+            chaos_results = chaos_pool.map_ordered(
+                _chaos_pool_job, payloads
+            )
+            chaos_pool_wall = time.perf_counter() - start
+            pool_fired = len(injector.fired)
+        crash_recoveries = chaos_pool.crash_recoveries
+    if chaos_results != clean_results:
+        raise AssertionError(
+            "pool results diverged under injected crashes; refusing to "
+            "record chaos throughput for non-identical results"
+        )
+
+    # -- transport leg: socket chaos against hardened clients --------------
+    fsms = service_request_stream(n_requests)
+    specs = [
+        {
+            "grid": scenario.kind,
+            "size": scenario.size,
+            "agents": scenario.n_agents,
+            "fields": scenario.n_fields,
+            "seed": scenario.seed,
+            "t_max": scenario.t_max,
+            "fsm": {"genome": fsm.genome().tolist(), "name": fsm.name},
+        }
+        for fsm in fsms
+    ]
+
+    def run_tcp(plan):
+        service = EvaluationService(n_workers=1)
+        ready = threading.Event()
+        bound = {}
+
+        async def serve():
+            server = AsyncEvaluationServer(service)
+            await server.start()
+            bound["address"] = server.address
+            ready.set()
+            await server.serve_until_shutdown()
+
+        thread = threading.Thread(target=lambda: asyncio.run(serve()),
+                                  daemon=True)
+        per_client = [specs[i::n_clients] for i in range(n_clients)]
+        outcomes = [None] * n_requests
+
+        def drive(client_index):
+            policy = RetryPolicy(seed=client_index, base_delay=0.01,
+                                 max_delay=0.5)
+            with TCPServiceClient(bound["address"],
+                                  retry_policy=policy) as client:
+                for offset, spec in enumerate(per_client[client_index]):
+                    response = client.request(dict(spec))
+                    outcomes[client_index + offset * n_clients] = \
+                        response["outcomes"][0]
+
+        with service:
+            thread.start()
+            if not ready.wait(10):
+                raise RuntimeError("chaos bench server failed to start")
+            drivers = [
+                threading.Thread(target=drive, args=(index,))
+                for index in range(n_clients)
+            ]
+            fired = 0
+            with faults_installed(plan) as injector:
+                start = time.perf_counter()
+                for driver in drivers:
+                    driver.start()
+                for driver in drivers:
+                    driver.join()
+                wall = time.perf_counter() - start
+                fired = len(injector.fired)
+            with TCPServiceClient(bound["address"]) as closer:
+                closer.shutdown()
+            thread.join(10)
+        return outcomes, wall, fired
+
+    clean_outcomes, clean_tcp_wall, _ = run_tcp(FaultPlan([]))
+    transport_plan = FaultPlan([
+        FaultSpec(SITE_TRANSPORT_SEND, DISCONNECT, at=1),
+        FaultSpec(SITE_TRANSPORT_SEND, GARBAGE_FRAME, at=2),
+        FaultSpec(SITE_TRANSPORT_SEND, PARTIAL_FRAME, at=3),
+    ])
+    chaos_outcomes, chaos_tcp_wall, tcp_fired = run_tcp(transport_plan)
+    if chaos_outcomes != clean_outcomes:
+        raise AssertionError(
+            "TCP outcomes diverged under injected socket faults; refusing "
+            "to record chaos throughput for non-identical results"
+        )
+
+    return {
+        "pool": {
+            "kind": scenario.kind,
+            "n_jobs": n_jobs,
+            "n_workers": 2,
+            "wall_seconds": chaos_pool_wall,
+            "jobs_per_sec": n_jobs / chaos_pool_wall,
+            "clean_jobs_per_sec": n_jobs / clean_pool_wall,
+            "relative_to_clean": clean_pool_wall / chaos_pool_wall,
+            "crash_recoveries": crash_recoveries,
+            "faults_fired": pool_fired,
+        },
+        "transport": {
+            "kind": scenario.kind,
+            "n_requests": n_requests,
+            "n_clients": n_clients,
+            "n_fields": scenario.n_fields,
+            "t_max": scenario.t_max,
+            "wall_seconds": chaos_tcp_wall,
+            "requests_per_sec": n_requests / chaos_tcp_wall,
+            "clean_requests_per_sec": n_requests / clean_tcp_wall,
+            "relative_to_clean": clean_tcp_wall / chaos_tcp_wall,
+            "faults_fired": tcp_fired,
+        },
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
               service_workers=None):
@@ -549,6 +741,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             )
     transport = {}
     adaptive = {}
+    chaos = {}
     if include_service:
         # one transport scenario bounds bench time; the T-grid workload
         # is the paper's headline one.
@@ -562,6 +755,13 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         adaptive["mixed"] = measure_adaptive(
             {"n_requests": 4, "n_fields": 25} if quick else None
         )
+        chaos_scenario = replace(pinned, n_fields=15 if quick else 25)
+        chaos[chaos_scenario.name] = measure_chaos(
+            chaos_scenario,
+            n_jobs=4 if quick else 6,
+            n_requests=4 if quick else 8,
+            n_clients=2 if quick else 4,
+        )
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": bool(quick),
@@ -571,6 +771,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "service": service,
         "transport": transport,
         "adaptive": adaptive,
+        "chaos": chaos,
     }
 
 

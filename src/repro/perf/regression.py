@@ -80,6 +80,7 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
         else:
             notes.append(line)
     _check_transport(record, baseline_run, threshold, failures, notes)
+    _check_chaos(record, baseline_run, threshold, failures, notes)
     return failures, notes
 
 
@@ -117,6 +118,51 @@ def _check_transport(record, baseline_run, threshold, failures, notes):
             failures.append(f"{line} -- dropped more than {threshold:.0%}")
         else:
             notes.append(line)
+
+
+def _chaos_comparable(new, old):
+    return (
+        new.get("pool", {}).get("n_jobs")
+        == old.get("pool", {}).get("n_jobs")
+        and new.get("transport", {}).get("n_requests")
+        == old.get("transport", {}).get("n_requests")
+        and new.get("transport", {}).get("n_fields")
+        == old.get("transport", {}).get("n_fields")
+    )
+
+
+def _check_chaos(record, baseline_run, threshold, failures, notes):
+    """Gate chaos-mode throughput the same way steps/sec is gated.
+
+    Each chaos scenario carries two rates: recovered ``jobs_per_sec``
+    through the crashed worker pool and ``requests_per_sec`` through the
+    faulted TCP path.  A drop in either means fault recovery got more
+    expensive -- a regression in the resilience layer even when the
+    clean paths hold steady.  Baselines committed before the chaos
+    section existed are skipped with a note, never failed.
+    """
+    baseline_chaos = baseline_run.get("chaos") or {}
+    for name, row in (record.get("chaos") or {}).items():
+        baseline = baseline_chaos.get(name)
+        if baseline is None or not _chaos_comparable(row, baseline):
+            notes.append(f"chaos {name}: no comparable baseline; skipped")
+            continue
+        for leg, unit in (("pool", "jobs/s"), ("transport", "req/s")):
+            rate_key = "jobs_per_sec" if leg == "pool" else \
+                "requests_per_sec"
+            new_rate = row[leg][rate_key]
+            old_rate = baseline[leg][rate_key]
+            ratio = new_rate / old_rate if old_rate else float("inf")
+            line = (
+                f"chaos {name} [{leg}]: {new_rate:.2f} vs baseline "
+                f"{old_rate:.2f} {unit} ({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{line} -- dropped more than {threshold:.0%}"
+                )
+            else:
+                notes.append(line)
 
 
 def format_check(failures, notes):

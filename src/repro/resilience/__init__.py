@@ -1,0 +1,68 @@
+"""Fault injection, hardened clients, and checkpoint/resume.
+
+The reliability rung of the ROADMAP: the serving stack must keep
+returning *bit-exact* answers when workers die, sockets drop and cache
+files tear -- and the only way to trust that is to fail it on purpose,
+deterministically, and assert recovery.  Three pieces:
+
+* :mod:`repro.resilience.faults` -- :class:`FaultPlan` /
+  :class:`FaultInjector`, a seeded, serializable fault schedule
+  (worker crash/hang/slow, socket disconnect, partial/garbage frame,
+  torn cache write, transient dispatcher error) armed process-wide via
+  :func:`install_faults`, ``repro-a2a serve --fault-plan`` or the
+  ``REPRO_FAULT_PLAN`` environment variable; disarmed, every hook is
+  one branch.
+* :mod:`repro.resilience.retry` -- :class:`RetryPolicy` (exponential
+  backoff, seeded jitter, attempt and sleep-budget caps) and
+  :class:`CircuitBreaker` (trips on consecutive failures, half-opens on
+  a probe), used by every service client; retried requests carry
+  idempotency keys so the server never simulates one twice.
+* :mod:`repro.resilience.checkpoint` -- atomic write-temp-then-rename
+  snapshots behind ``evolve``/``run_campaign`` checkpointing and the
+  CLI's ``--resume``; a SIGKILL costs at most one checkpoint interval
+  and the resumed run is bit-exact versus an uninterrupted one.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    active_injector,
+    install as install_faults,
+    installed as faults_installed,
+    maybe_fault,
+    uninstall as uninstall_faults,
+)
+from repro.resilience.retry import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryBudgetExceeded,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultPlanError",
+    "install_faults",
+    "uninstall_faults",
+    "faults_installed",
+    "active_injector",
+    "maybe_fault",
+    "RetryPolicy",
+    "RetryBudgetExceeded",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Checkpointer",
+    "CheckpointError",
+]

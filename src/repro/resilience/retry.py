@@ -1,0 +1,248 @@
+"""Client-side hardening: retry policies and circuit breakers.
+
+A transient failure -- a dropped socket, a torn frame, a worker dying
+mid-batch -- should cost a client one backoff, not the request.  Two
+primitives make that a policy instead of ad-hoc loops:
+
+* :class:`RetryPolicy` -- exponential backoff with deterministic,
+  seedable jitter, capped both per attempt (``max_attempts``) and in
+  total sleep (``budget``).  Policies are frozen dataclasses: the same
+  policy replays the same delay schedule, which keeps chaos tests
+  reproducible.
+* :class:`CircuitBreaker` -- trips open after ``failure_threshold``
+  consecutive failures so a dead server is not hammered; after
+  ``reset_timeout`` it *half-opens*, letting exactly one probe through,
+  and closes again only when that probe succeeds.
+
+Retried evaluations are deduplicated server-side via per-request
+idempotency keys (see :class:`repro.service.jsonl.IdempotencyRegistry`)
+and the evaluation cache, so a retry is never simulated twice.
+"""
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """All attempts (or the sleep budget) were spent; cause attached."""
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the call was refused without being sent."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and hard caps.
+
+    Attempt ``n`` (0-based) sleeps
+    ``min(base_delay * multiplier**n, max_delay)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.  With
+    ``seed`` set the jitter stream is deterministic.  ``budget`` caps
+    the *total* seconds slept across one :meth:`run`; once spent, the
+    last failure is raised as :class:`RetryBudgetExceeded`.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    budget: float = 30.0
+    seed: int = None
+
+    def validate(self):
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        return self
+
+    def delays(self):
+        """The deterministic delay schedule, one entry per retry."""
+        rng = random.Random(self.seed)
+        delays = []
+        for attempt in range(self.max_attempts - 1):
+            delay = min(
+                self.base_delay * self.multiplier ** attempt, self.max_delay
+            )
+            scale = 1.0 + rng.uniform(-self.jitter, self.jitter)
+            delays.append(delay * scale)
+        return delays
+
+    def run(self, fn, retryable=(Exception,), on_retry=None,
+            sleep=time.sleep, should_retry=None):
+        """Call ``fn()`` under this policy.
+
+        Only ``retryable`` exceptions are retried; anything else
+        propagates immediately.  ``should_retry(exc)`` refines the
+        class check when retryability depends on the *instance* (a
+        transport error's protocol code, say) -- returning ``False``
+        re-raises at once.  ``on_retry(attempt, exc, delay)`` is
+        called before each backoff sleep.  Raises
+        :class:`RetryBudgetExceeded` (with the last failure as
+        ``__cause__``) when attempts or the sleep budget run out.
+        """
+        self.validate()
+        slept = 0.0
+        delays = self.delays()
+        last = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retryable as exc:
+                if should_retry is not None and not should_retry(exc):
+                    raise
+                last = exc
+                if attempt == self.max_attempts - 1:
+                    break
+                delay = delays[attempt]
+                if slept + delay > self.budget:
+                    raise RetryBudgetExceeded(
+                        f"retry sleep budget of {self.budget}s exceeded "
+                        f"after {attempt + 1} attempts"
+                    ) from exc
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                sleep(delay)
+                slept += delay
+        raise RetryBudgetExceeded(
+            f"all {self.max_attempts} attempts failed"
+        ) from last
+
+    async def arun(self, fn, retryable=(Exception,), on_retry=None,
+                   should_retry=None):
+        """Async :meth:`run`: awaits ``fn()`` and ``asyncio.sleep``."""
+        import asyncio
+
+        self.validate()
+        slept = 0.0
+        delays = self.delays()
+        last = None
+        for attempt in range(self.max_attempts):
+            try:
+                return await fn()
+            except retryable as exc:
+                if should_retry is not None and not should_retry(exc):
+                    raise
+                last = exc
+                if attempt == self.max_attempts - 1:
+                    break
+                delay = delays[attempt]
+                if slept + delay > self.budget:
+                    raise RetryBudgetExceeded(
+                        f"retry sleep budget of {self.budget}s exceeded "
+                        f"after {attempt + 1} attempts"
+                    ) from exc
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                await asyncio.sleep(delay)
+                slept += delay
+        raise RetryBudgetExceeded(
+            f"all {self.max_attempts} attempts failed"
+        ) from last
+
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    Closed is the happy path.  ``failure_threshold`` consecutive
+    failures open the breaker; while open, :meth:`allow` raises
+    :class:`CircuitOpenError` without touching the server.  Once
+    ``reset_timeout`` seconds pass, the next :meth:`allow` transitions
+    to half-open and admits exactly one probe: success closes the
+    breaker, failure re-opens it (and restarts the timeout).  Safe to
+    share across threads.
+    """
+
+    def __init__(self, failure_threshold=5, reset_timeout=1.0,
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self.trips = 0
+        self.refusals = 0
+        self.probes = 0
+
+    @property
+    def state(self):
+        with self._lock:
+            return self._state
+
+    def allow(self):
+        """Admit or refuse one call; raises :class:`CircuitOpenError`."""
+        with self._lock:
+            if self._state == CLOSED:
+                return
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self._state = HALF_OPEN
+                    self.probes += 1
+                    return  # the single probe
+                self.refusals += 1
+                raise CircuitOpenError(
+                    f"circuit open after {self._consecutive_failures} "
+                    f"consecutive failures; retry after "
+                    f"{self.reset_timeout}s"
+                )
+            # HALF_OPEN: one probe is already in flight
+            self.refusals += 1
+            raise CircuitOpenError("circuit half-open; probe in flight")
+
+    def record_success(self):
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    def record_failure(self):
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def call(self, fn):
+        """Run ``fn()`` through the breaker, recording the outcome."""
+        self.allow()
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+                "trips": self.trips,
+                "refusals": self.refusals,
+                "probes": self.probes,
+            }

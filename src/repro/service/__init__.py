@@ -27,12 +27,21 @@ The serving layer the ROADMAP asks for, in five pieces:
 
 Every path through the service is bit-exact versus the serial
 ``evaluate_population`` on the same inputs: batching only changes how
-lanes are laid out, never what any lane computes.
+lanes are laid out, never what any lane computes -- and (per
+``docs/RESILIENCE.md``) that invariant is preserved under injected
+worker crashes, hangs, dropped sockets and torn cache writes: the
+:class:`WorkerPool` watchdog restarts dead or hung workers and requeues
+their jobs, retried client requests are deduplicated by idempotency key
+(:class:`repro.service.jsonl.IdempotencyRegistry`), and the ``health``
+op on both transports reports pool liveness, queue depth and cache
+state.
 """
 
 from repro.service.cache_store import CacheStore, PersistentEvaluationCache
+from repro.service.jsonl import IdempotencyRegistry, ServeSession
 from repro.service.pool import (
     WorkerCrashError,
+    WorkerHangError,
     WorkerJobError,
     WorkerPool,
 )
@@ -50,12 +59,17 @@ from repro.service.transport import (
     TCPServiceClient,
     TransportError,
     TransportStats,
+    is_retryable_error,
 )
 
 __all__ = [
     "WorkerPool",
     "WorkerJobError",
     "WorkerCrashError",
+    "WorkerHangError",
+    "IdempotencyRegistry",
+    "ServeSession",
+    "is_retryable_error",
     "AdaptiveBatchPolicy",
     "EvaluationRequest",
     "EvaluationService",

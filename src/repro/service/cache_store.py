@@ -19,7 +19,18 @@ Design constraints, in order:
 * **corruption recovery** -- a torn final line (a writer died
   mid-append) is detected on load; the loader keeps the valid prefix,
   truncates the file back to it, and continues -- one bad tail never
-  costs the store.
+  costs the store;
+* **bounded growth** -- duplicate appends (two processes racing on one
+  key, or a store carried across many runs) are reclaimed by
+  :meth:`CacheStore.compact`, an atomic write-temp-then-rename rewrite
+  keeping the last record per key; ``max_bytes`` on
+  :class:`PersistentEvaluationCache` (the CLI's ``--cache-max-bytes``)
+  triggers it automatically when the store is loaded over budget.
+
+The ``cache.append`` fault-injection site (see
+:mod:`repro.resilience.faults`) simulates a writer dying mid-append by
+writing half a record; the very recovery path above is what the chaos
+battery then asserts.
 """
 
 import json
@@ -27,6 +38,7 @@ import os
 import threading
 
 from repro.evolution.fitness import EvaluationCache
+from repro.resilience.faults import SITE_CACHE_APPEND, maybe_fault
 from repro.results import EvaluationResult
 
 #: Store format marker, first field of every record.
@@ -70,6 +82,24 @@ class CacheStore:
         self._fd = None
         self.recovered_records = 0
         self.dropped_bytes = 0
+        self.torn_writes = 0
+        self.compactions = 0
+        self.compacted_bytes = 0
+
+    def open(self):
+        """Open the append descriptor now, surfacing path errors early.
+
+        Appends normally open lazily, which turns an unwritable path
+        into a failure deep inside the first evaluation; the CLI calls
+        this up front so ``--cache /bad/path`` dies with a clear
+        message instead.  Raises :class:`OSError`.
+        """
+        with self._lock:
+            if self._fd is None:
+                self._fd = os.open(
+                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+                )
+        return self
 
     def load(self):
         """All valid records, truncating a torn tail if one is found."""
@@ -104,12 +134,59 @@ class CacheStore:
     def append(self, key, outcome):
         """Durably append one record; one write call keeps lines whole."""
         line = (encode_record(key, outcome) + "\n").encode()
+        fault = maybe_fault(SITE_CACHE_APPEND)
         with self._lock:
             if self._fd is None:
                 self._fd = os.open(
                     self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
                 )
+            if fault is not None:
+                # torn write: the writer "dies" halfway through the line;
+                # the next load sees a torn tail and recovers the prefix
+                os.write(self._fd, line[: max(1, len(line) // 2)])
+                self.torn_writes += 1
+                return
             os.write(self._fd, line)
+
+    def size_bytes(self):
+        """Current on-disk size of the store (0 when absent)."""
+        try:
+            return os.stat(self.path).st_size
+        except OSError:
+            return 0
+
+    def compact(self):
+        """Atomically rewrite the store keeping the last record per key.
+
+        Duplicate lines accumulate whenever concurrent writers race on
+        one key or one store backs many runs; evaluation is
+        deterministic, so every duplicate is pure dead weight.  The
+        rewrite goes to ``path + ".compact.tmp"`` in the same directory,
+        is fsynced, then ``os.replace``d over the store -- readers see
+        either the old file or the deduplicated one, never a hybrid,
+        and a torn tail (recovered by the embedded :meth:`load`) is
+        dropped along the way.  Returns the number of superseded lines
+        reclaimed.
+        """
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+            records = self.load()
+            old_size = self.size_bytes()
+            latest = {}
+            for key, outcome in records:
+                latest[key] = outcome   # insertion order, last write wins
+            tmp_path = f"{self.path}.compact.tmp"
+            with open(tmp_path, "wb") as handle:
+                for key, outcome in latest.items():
+                    handle.write((encode_record(key, outcome) + "\n").encode())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+            self.compactions += 1
+            self.compacted_bytes += max(0, old_size - self.size_bytes())
+            return len(records) - len(latest)
 
     def close(self):
         with self._lock:
@@ -133,16 +210,26 @@ class PersistentEvaluationCache(EvaluationCache):
     ``warm()`` forces the load (and reports how many records arrived).
     """
 
-    def __init__(self, path):
+    def __init__(self, path, max_bytes=None):
         super().__init__()
         self.store = CacheStore(path)
+        self.max_bytes = max_bytes
         self._loaded = False
         self._load_lock = threading.Lock()
 
     def warm(self):
-        """Load the store now; returns the number of records loaded."""
+        """Load the store now; returns the number of records loaded.
+
+        With ``max_bytes`` set, a store loaded over budget is compacted
+        in place (atomic rewrite, one line per key) before use.
+        """
         with self._load_lock:
             if not self._loaded:
+                if (
+                    self.max_bytes is not None
+                    and self.store.size_bytes() > self.max_bytes
+                ):
+                    self.store.compact()
                 for key, outcome in self.store.load():
                     super().put(key, outcome)
                 self._loaded = True
@@ -167,6 +254,11 @@ class PersistentEvaluationCache(EvaluationCache):
             "loaded": self._loaded,
             "recovered_records": self.store.recovered_records,
             "dropped_bytes": self.store.dropped_bytes,
+            "size_bytes": self.store.size_bytes(),
+            "max_bytes": self.max_bytes,
+            "torn_writes": self.store.torn_writes,
+            "compactions": self.store.compactions,
+            "compacted_bytes": self.store.compacted_bytes,
         }
         return counters
 

@@ -17,9 +17,23 @@ submission order::
 Grids and suites are cached per spec inside a :class:`ServeSession`, so
 a burst of lines naming the same workload coalesces into one batch in
 the service.
+
+Two serving-robustness hooks also live here, shared by the stdio loop
+and the TCP transport:
+
+* an optional ``"idem"`` field names a request's **idempotency key**:
+  resubmitting the same key (a client retrying after a dropped
+  connection) attaches to the first submission's future instead of
+  enqueueing the work again, so a retried evaluation is never simulated
+  twice even before the evaluation cache is consulted;
+* control lines ``{"op": "ping"|"stats"|"health"}`` are answered by
+  :meth:`ServeSession.handle_op` without touching the queue -- a wedged
+  dispatcher cannot stop ``health`` from reporting exactly that.
 """
 
 import json
+import threading
+from concurrent.futures import CancelledError, Future, InvalidStateError
 
 from repro._compat import normalize_grid_kind
 from repro.results import EvaluationResult
@@ -50,11 +64,80 @@ def _resolve_fsm(spec, kind):
     return build_fsm(spec)
 
 
+def copy_future(original):
+    """A detached future mirroring ``original``'s eventual outcome.
+
+    Every consumer of a shared (idempotent) submission gets its own
+    copy: cancelling a copy -- a client timing out, a TCP connection
+    dying -- can never cancel the original that other consumers (and
+    the dispatcher) still hold.
+    """
+    copy = Future()
+
+    def transfer(done):
+        if not copy.set_running_or_notify_cancel():
+            return  # this consumer cancelled its view; others stand
+        try:
+            if done.cancelled():
+                copy.set_exception(CancelledError())
+            elif done.exception() is not None:
+                copy.set_exception(done.exception())
+            else:
+                copy.set_result(done.result())
+        except InvalidStateError:
+            pass
+
+    original.add_done_callback(transfer)
+    return copy
+
+
+class IdempotencyRegistry:
+    """Dedupe submissions by client-chosen key.
+
+    The first submission under a key runs; every submission under the
+    same key (including the first) receives a :func:`copy_future` of
+    the original, so retries share one evaluation and cancellation
+    never propagates between consumers.  Oldest entries are evicted
+    past ``max_entries`` -- an idempotency window, not a ledger.
+    """
+
+    def __init__(self, max_entries=4096):
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._futures = {}
+        self.hits = 0
+        self.misses = 0
+
+    def resolve(self, key, submit):
+        """The future for ``key``, submitting via ``submit()`` once."""
+        with self._lock:
+            original = self._futures.get(key)
+            if original is None:
+                self.misses += 1
+                original = submit()
+                self._futures[key] = original
+                while len(self._futures) > self.max_entries:
+                    self._futures.pop(next(iter(self._futures)))
+            else:
+                self.hits += 1
+        return copy_future(original)
+
+    def stats(self):
+        with self._lock:
+            return {
+                "entries": len(self._futures),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
 class ServeSession:
     """Decode request lines into service submissions, caching workloads."""
 
     def __init__(self, service):
         self.service = service
+        self.idempotency = IdempotencyRegistry()
         self._grids = {}
         self._suites = {}
 
@@ -92,12 +175,51 @@ class ServeSession:
         )
 
     def submit_spec(self, spec):
-        """Submit one decoded request; ``(request_id, future)``."""
-        return spec.get("id"), self.service.submit(self.build_request(spec))
+        """Submit one decoded request; ``(request_id, future)``.
+
+        A spec carrying ``"idem"`` goes through the idempotency
+        registry: duplicates of an earlier key attach to the first
+        submission instead of re-enqueueing the work.
+        """
+        request_id = spec.get("id") if isinstance(spec, dict) else None
+        idem = spec.get("idem") if isinstance(spec, dict) else None
+        if idem is None:
+            return request_id, self.service.submit(self.build_request(spec))
+        future = self.idempotency.resolve(
+            idem, lambda: self.service.submit(self.build_request(spec))
+        )
+        return request_id, future
 
     def submit_line(self, line):
         """Parse one request line and submit it; ``(request_id, future)``."""
         return self.submit_spec(json.loads(line))
+
+    def health(self):
+        """The service's health payload plus idempotency counters."""
+        payload = self.service.health()
+        payload["idempotency"] = self.idempotency.stats()
+        return payload
+
+    def handle_op(self, spec):
+        """Answer a control line, or ``None`` for evaluation requests.
+
+        Ops never enter the request queue, so they stay answerable even
+        when the dispatcher is saturated (or wedged -- which is exactly
+        what ``health`` exists to report).
+        """
+        if not isinstance(spec, dict) or "op" not in spec:
+            return None
+        op = spec["op"]
+        base = {"op": op}
+        if spec.get("id") is not None:
+            base["id"] = spec["id"]
+        if op == "ping":
+            return {**base, "ok": True}
+        if op == "stats":
+            return {**base, "stats": self.service.snapshot()}
+        if op == "health":
+            return {**base, "health": self.health()}
+        raise ValueError(f"unknown op {op!r}")
 
 
 def outcome_to_dict(outcome):

@@ -35,6 +35,7 @@ from repro.evolution.fitness import (
     evaluation_cache_key,
     suite_fingerprint,
 )
+from repro.resilience.faults import SITE_DISPATCH, maybe_fault
 from repro.service.pool import WorkerPool
 
 _STOP = object()
@@ -182,11 +183,15 @@ class EvaluationService:
     """
 
     def __init__(self, n_workers=None, lane_block=DEFAULT_LANE_BLOCK,
-                 pool=None, cache=None, autostart=True, batch_policy=None):
+                 pool=None, cache=None, autostart=True, batch_policy=None,
+                 job_timeout=None, max_restarts=2):
         self.lane_block = lane_block
         self.cache = cache if cache is not None else EvaluationCache()
         self._own_pool = pool is None
-        self.pool = pool if pool is not None else WorkerPool(n_workers or 1)
+        self.pool = pool if pool is not None else WorkerPool(
+            n_workers or 1, job_timeout=job_timeout,
+            max_restarts=max_restarts,
+        )
         self.stats = ServiceStats()
         self.batcher = (
             batch_policy if batch_policy is not None else AdaptiveBatchPolicy()
@@ -253,6 +258,32 @@ class EvaluationService:
     def snapshot(self):
         """All counters: requests, cache hits/misses, adaptive widths."""
         return self.stats.snapshot(cache=self.cache, batcher=self.batcher)
+
+    def health(self):
+        """Liveness view: dispatcher, queue depth, pool watchdog, cache.
+
+        This is what the ``health`` op on both transports returns; it is
+        deliberately cheap (counters and flags, no simulation) so
+        monitors can poll it while the service is under load.
+        """
+        with self.stats.lock:
+            in_flight = self.stats.requests - (
+                self.stats.completed + self.stats.failed
+                + self.stats.cancelled
+            )
+        return {
+            "ok": not self._closed and (
+                self._thread is not None and self._thread.is_alive()
+            ),
+            "closed": self._closed,
+            "dispatcher_alive": (
+                self._thread is not None and self._thread.is_alive()
+            ),
+            "queue_depth": self._queue.qsize(),
+            "in_flight": in_flight,
+            "pool": self.pool.health(),
+            "cache": self.cache.stats(),
+        }
 
     # -- dispatcher ---------------------------------------------------------
 
@@ -323,6 +354,13 @@ class EvaluationService:
             group[0][1].set_exception(error)
 
     def _evaluate_group(self, group):
+        fault = maybe_fault(SITE_DISPATCH)
+        if fault is not None:
+            # a transient dispatcher failure: nothing was simulated or
+            # cached, so a client retry re-enters this path cleanly
+            raise RuntimeError(
+                f"injected transient dispatch fault ({fault.kind})"
+            )
         resolved = {}       # cache key -> outcome, hits + this batch
         fresh_fsms, fresh_keys = [], []
         for request, _ in group:
@@ -358,15 +396,34 @@ class ServiceClient:
 
     The shape tests (and embedders) want: build requests from plain
     arguments, block for results, and read the service's counters.
+
+    ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`) retries
+    transient :class:`ServiceError` failures with backoff -- the shared
+    evaluation cache makes retries free of double simulation.
+    ``breaker`` (a :class:`repro.resilience.CircuitBreaker`) refuses
+    calls fast once the service fails repeatedly;
+    :class:`repro.resilience.CircuitOpenError` is never retried.
     """
 
-    def __init__(self, service):
+    def __init__(self, service, retry_policy=None, breaker=None):
         self.service = service
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+
+    def _call(self, fn):
+        guarded = fn if self.breaker is None else (
+            lambda: self.breaker.call(fn)
+        )
+        if self.retry_policy is None:
+            return guarded()
+        return self.retry_policy.run(guarded, retryable=(ServiceError,))
 
     def evaluate(self, grid, fsms, suite, t_max=200, timeout=None):
         """One outcome per FSM of ``fsms``, in order."""
-        return self.service.evaluate(grid, fsms, suite, t_max=t_max,
-                                     timeout=timeout)
+        return self._call(
+            lambda: self.service.evaluate(grid, fsms, suite, t_max=t_max,
+                                          timeout=timeout)
+        )
 
     def evaluate_fsm(self, grid, fsm, suite, t_max=200, timeout=None):
         """Single-FSM convenience returning the bare outcome."""
@@ -375,3 +432,6 @@ class ServiceClient:
 
     def stats(self):
         return self.service.snapshot()
+
+    def health(self):
+        return self.service.health()

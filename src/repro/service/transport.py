@@ -34,9 +34,16 @@ import itertools
 import json
 import socket
 import struct
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 
+from repro.resilience.faults import (
+    DISCONNECT,
+    GARBAGE_FRAME,
+    SITE_TRANSPORT_SEND,
+    maybe_fault,
+)
 from repro.service.jsonl import ServeSession, outcome_from_dict, outcome_to_dict
 from repro.service.service import ServiceError
 
@@ -142,6 +149,34 @@ class TransportStats:
 
     def snapshot(self):
         return asdict(self)
+
+
+def _dup_socket(writer):
+    """A duplicate of ``writer``'s raw socket, or ``None``."""
+    sock = writer.get_extra_info("socket")
+    if sock is None:
+        return None
+    try:
+        return sock.dup()
+    except OSError:
+        return None
+
+
+def _force_eof(dup):
+    """Force FIN out through a :func:`_dup_socket` duplicate.
+
+    Worker processes forked after a connection was accepted inherit its
+    descriptor, so a plain ``close()`` leaves the kernel reference count
+    above zero and the peer never sees EOF -- it blocks until its socket
+    timeout.  ``shutdown()`` acts on the socket itself, not the
+    descriptor, so the FIN goes out regardless of who else holds a copy.
+    """
+    if dup is None:
+        return
+    with contextlib.suppress(OSError):
+        dup.shutdown(socket.SHUT_RDWR)
+    with contextlib.suppress(OSError):
+        dup.close()
 
 
 class _Connection:
@@ -299,8 +334,12 @@ class AsyncEvaluationServer:
                 await asyncio.gather(*conn.tasks, return_exceptions=True)
             conn.closing = True
             with contextlib.suppress(ConnectionError, OSError):
-                writer.close()
-                await writer.wait_closed()
+                eof_guard = _dup_socket(writer)
+                try:
+                    writer.close()
+                    await writer.wait_closed()
+                finally:
+                    _force_eof(eof_guard)
             self._connections.discard(conn)
             self.stats.connections_closed += 1
 
@@ -343,6 +382,13 @@ class AsyncEvaluationServer:
             if op == "stats":
                 await self._send(
                     conn, {"id": request_id, "stats": self.snapshot()}
+                )
+                return
+            if op == "health":
+                health = self.session.health()
+                health["transport"] = self.stats.snapshot()
+                await self._send(
+                    conn, {"id": request_id, "health": health}
                 )
                 return
             if op == "shutdown":
@@ -406,10 +452,38 @@ class AsyncEvaluationServer:
             conn.closing = True
 
     async def _send(self, conn, payload):
+        fault = maybe_fault(SITE_TRANSPORT_SEND)
+        if fault is not None:
+            await self._send_fault(conn, fault, payload)
+            return
         frame = encode_frame(payload)
         async with conn.write_lock:
             conn.writer.write(frame)
             await conn.writer.drain()
+
+    async def _send_fault(self, conn, fault, payload):
+        """Deliver a scheduled ``transport.send`` fault instead of ``payload``.
+
+        ``disconnect`` drops the connection without responding;
+        ``partial_frame`` writes half the real frame and then drops;
+        ``garbage_frame`` delivers a well-framed non-JSON body and keeps
+        the connection.  In every case the response itself is lost --
+        recovering it is the client's (retry + idempotency) job.
+        """
+        async with conn.write_lock:
+            with contextlib.suppress(ConnectionError, OSError):
+                if fault.kind == GARBAGE_FRAME:
+                    body = b"\x00garbage\x00"
+                    conn.writer.write(FRAME_HEADER.pack(len(body)) + body)
+                    await conn.writer.drain()
+                    return  # connection survives; the client resyncs
+                if fault.kind != DISCONNECT:   # partial_frame
+                    frame = encode_frame(payload)
+                    conn.writer.write(frame[: max(1, len(frame) // 2)])
+                    await conn.writer.drain()
+                conn.closing = True
+                _force_eof(_dup_socket(conn.writer))
+                conn.writer.close()
 
     async def _send_error(self, conn, request_id, code, message):
         self.stats.errors += 1
@@ -426,6 +500,30 @@ class TransportError(ServiceError):
     def __init__(self, code, message):
         super().__init__(f"[{code}] {message}")
         self.code = code
+
+
+#: Error codes a hardened client may retry: transient by construction
+#: (a timeout, a draining server) or recoverable via the evaluation
+#: cache / idempotency registry.  ``bad_frame``/``bad_request`` are the
+#: client's own bug and retrying them would loop forever.
+RETRYABLE_ERROR_CODES = frozenset(
+    {ERR_TIMEOUT, ERR_SHUTTING_DOWN, ERR_EVALUATION_FAILED}
+)
+
+
+def is_retryable_error(exc):
+    """Whether a client-side failure is safe and useful to retry.
+
+    Connection losses, framing violations and garbage frames are
+    retryable (the request is resent under its idempotency key, so the
+    server never simulates it twice).  Protocol errors are retryable
+    only for the transient codes in :data:`RETRYABLE_ERROR_CODES`; a
+    :class:`repro.resilience.CircuitOpenError` (or any other
+    exception) is not.
+    """
+    if isinstance(exc, TransportError):
+        return exc.code in RETRYABLE_ERROR_CODES
+    return isinstance(exc, (ConnectionError, OSError, FrameError, ValueError))
 
 
 def _raise_on_error(response):
@@ -449,19 +547,45 @@ class TCPServiceClient:
     ``result`` each); responses are correlated by id, so out-of-order
     completion on the server is fine.  Not thread-safe: use one client
     per thread.
+
+    ``retry_policy`` / ``breaker`` (see :mod:`repro.resilience`) harden
+    :meth:`request` and everything built on it: a retried attempt
+    reconnects if the connection was lost and carries an idempotency
+    key, so the server resumes the original submission instead of
+    simulating again.  The breaker wraps each attempt; once open, calls
+    fail fast with :class:`repro.resilience.CircuitOpenError`, which is
+    never retried.
     """
 
-    def __init__(self, host, port=None, timeout=120.0):
+    def __init__(self, host, port=None, timeout=120.0, retry_policy=None,
+                 breaker=None):
         if port is None:
             host, port = host   # accept a single (host, port) address
-        self._sock = socket.create_connection((host, int(port)), timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._address = (host, int(port))
+        self._timeout = timeout
+        self.retry_policy = retry_policy
+        self.breaker = breaker
         self._responses = {}
         self._ids = itertools.count()
+        self._sock = self._connect()
+
+    def _connect(self):
+        sock = socket.create_connection(self._address, self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _drop(self):
+        """Forget a broken connection; correlation state dies with it."""
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._sock = None
+        self._responses.clear()
 
     def close(self):
-        with contextlib.suppress(OSError):
-            self._sock.close()
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
 
     def __enter__(self):
         return self
@@ -490,8 +614,46 @@ class TCPServiceClient:
         return self._responses.pop(request_id)
 
     def request(self, spec):
-        """Round-trip one spec; raises :class:`TransportError` on error."""
-        return _raise_on_error(self.result(self.submit(spec)))
+        """Round-trip one spec; raises :class:`TransportError` on error.
+
+        With a retry policy and/or breaker attached, attempts reconnect
+        after connection loss and evaluation specs automatically carry
+        ``idem`` (a fresh globally-unique key -- per-connection ids
+        collide across clients), so a response lost on the wire is
+        re-fetched without re-simulation.
+        """
+        spec = dict(spec)
+        if "id" not in spec:
+            spec["id"] = f"c{next(self._ids)}"
+        if self.retry_policy is None and self.breaker is None:
+            return _raise_on_error(self.result(self.submit(spec)))
+        if "idem" not in spec and "op" not in spec:
+            spec["idem"] = uuid.uuid4().hex
+
+        def attempt():
+            if self.breaker is not None:
+                self.breaker.allow()
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                result = _raise_on_error(self.result(self.submit(spec)))
+            except Exception as exc:
+                if isinstance(exc, (ConnectionError, OSError, FrameError)):
+                    self._drop()
+                elif isinstance(exc, ValueError):   # undecodable frame
+                    self._drop()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.run(
+            attempt, retryable=(Exception,), should_retry=is_retryable_error
+        )
 
     def evaluate(self, **spec):
         """Evaluate one spec; a list of ``EvaluationResult`` per FSM."""
@@ -504,6 +666,10 @@ class TCPServiceClient:
     def stats(self):
         return self.request({"op": "stats"})["stats"]
 
+    def health(self):
+        """The server's liveness payload (pool watchdog, queue, cache)."""
+        return self.request({"op": "health"})["health"]
+
     def shutdown(self):
         """Ask the server to drain and exit (graceful shutdown)."""
         return self.request({"op": "shutdown"}).get("ok", False)
@@ -511,21 +677,49 @@ class TCPServiceClient:
 
 class AsyncServiceClient:
     """Asyncio client with one shared reader task; safe for concurrent
-    ``request`` calls from many coroutines on the same loop."""
+    ``request`` calls from many coroutines on the same loop.
 
-    def __init__(self, reader, writer):
+    Like :class:`TCPServiceClient`, ``retry_policy`` / ``breaker``
+    harden :meth:`request`: failed attempts reconnect (when the client
+    was built via :meth:`connect`, which knows the address) and carry
+    idempotency keys.  Reconnection only happens between attempts, so
+    concurrent requests on the old connection fail (and retry) rather
+    than silently migrating.
+    """
+
+    def __init__(self, reader, writer, retry_policy=None, breaker=None,
+                 address=None):
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self._address = address
+        self._ids = itertools.count()
+        self._broken = False
+        self._start_io(reader, writer)
+
+    def _start_io(self, reader, writer):
         self._reader = reader
         self._writer = writer
         self._waiters = {}
-        self._ids = itertools.count()
+        self._broken = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host, port=None):
+    async def connect(cls, host, port=None, retry_policy=None, breaker=None):
         if port is None:
             host, port = host
-        reader, writer = await asyncio.open_connection(host, int(port))
-        return cls(reader, writer)
+        address = (host, int(port))
+        reader, writer = await asyncio.open_connection(*address)
+        return cls(reader, writer, retry_policy=retry_policy,
+                   breaker=breaker, address=address)
+
+    async def _reconnect(self):
+        if self._address is None:
+            raise ConnectionError(
+                "connection lost and no address to reconnect to"
+            )
+        await self._teardown_io()
+        reader, writer = await asyncio.open_connection(*self._address)
+        self._start_io(reader, writer)
 
     async def _read_loop(self):
         try:
@@ -537,7 +731,7 @@ class AsyncServiceClient:
                 waiter = self._waiters.pop(response.get("id"), None)
                 if waiter is not None and not waiter.done():
                     waiter.set_result(response)
-        except (FrameError, ConnectionError, OSError) as exc:
+        except (FrameError, ConnectionError, OSError, ValueError) as exc:
             self._fail_waiters(exc)
         else:
             self._fail_waiters(
@@ -545,26 +739,58 @@ class AsyncServiceClient:
             )
 
     def _fail_waiters(self, exc):
+        self._broken = True
         for waiter in self._waiters.values():
             if not waiter.done():
                 waiter.set_exception(exc)
         self._waiters.clear()
 
-    async def request(self, spec):
-        spec = dict(spec)
-        if "id" not in spec:
-            spec["id"] = f"a{next(self._ids)}"
+    async def _request_once(self, spec):
         waiter = asyncio.get_running_loop().create_future()
         self._waiters[spec["id"]] = waiter
         self._writer.write(encode_frame(spec))
         await self._writer.drain()
         return _raise_on_error(await waiter)
 
+    async def request(self, spec):
+        spec = dict(spec)
+        if "id" not in spec:
+            spec["id"] = f"a{next(self._ids)}"
+        if self.retry_policy is None and self.breaker is None:
+            return await self._request_once(spec)
+        if "idem" not in spec and "op" not in spec:
+            spec["idem"] = uuid.uuid4().hex
+
+        async def attempt():
+            if self.breaker is not None:
+                self.breaker.allow()
+            try:
+                if self._broken:
+                    await self._reconnect()
+                result = await self._request_once(spec)
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+        if self.retry_policy is None:
+            return await attempt()
+        return await self.retry_policy.arun(
+            attempt, retryable=(Exception,), should_retry=is_retryable_error
+        )
+
     async def evaluate(self, **spec):
         response = await self.request(spec)
         return [outcome_from_dict(o) for o in response["outcomes"]]
 
-    async def aclose(self):
+    async def health(self):
+        """The server's liveness payload (pool watchdog, queue, cache)."""
+        return (await self.request({"op": "health"}))["health"]
+
+    async def _teardown_io(self):
         self._reader_task.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await self._reader_task
@@ -572,6 +798,9 @@ class AsyncServiceClient:
         with contextlib.suppress(ConnectionError, OSError):
             self._writer.close()
             await self._writer.wait_closed()
+
+    async def aclose(self):
+        await self._teardown_io()
 
 
 def parse_address(text):

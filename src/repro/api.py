@@ -134,6 +134,7 @@ from repro.extensions import (  # noqa: F401
 )
 from repro.grids.analysis import antipodal_cells  # noqa: F401
 from repro.resilience import (  # noqa: F401
+    ChaosResult,
     Checkpointer,
     CheckpointError,
     CircuitBreaker,
@@ -141,11 +142,16 @@ from repro.resilience import (  # noqa: F401
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    JournalError,
+    RequestJournal,
     RetryBudgetExceeded,
     RetryPolicy,
+    chaos_sweep,
     install_faults,
     load_checkpoint,
+    run_chaos_plan,
     save_checkpoint,
+    shrink_plan,
     uninstall_faults,
 )
 from repro.results import (  # noqa: F401
@@ -163,6 +169,8 @@ from repro.service import (  # noqa: F401
     PersistentEvaluationCache,
     ServiceClient,
     ServiceError,
+    Supervisor,
+    SupervisorError,
     TCPServiceClient,
     TransportError,
     WorkerCrashError,

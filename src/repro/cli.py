@@ -239,6 +239,13 @@ def _cmd_bench(args):
             f"{row['transport']['requests_per_sec']:7.2f} req/s "
             f"({row['transport']['relative_to_clean']:.2f}x clean)"
         )
+    for name, row in record.get("durability", {}).items():
+        print(
+            f"durability {name}: {row['requests_per_sec']:7.2f} req/s "
+            f"through kill -9 ({row['relative_to_clean']:.2f}x clean, "
+            f"{row['n_clients']} clients, {row['restarts']} restart(s), "
+            f"{row['replayed']} replayed)"
+        )
     print(f"\nbenchmark record appended to {path}")
     if args.check_against:
         failures, notes = check_regression(
@@ -287,6 +294,22 @@ class _ServeSetupError(RuntimeError):
     """A serve flag that cannot be honoured; message is user-facing."""
 
 
+def _build_journal(args):
+    """The serve subcommand's write-ahead journal (or ``None``)."""
+    from repro.resilience.durability import RequestJournal
+
+    if not getattr(args, "journal", None):
+        return None
+    journal = RequestJournal(args.journal, fsync=not args.journal_no_fsync)
+    try:
+        journal.open()   # surface unwritable paths now, not mid-request
+    except OSError as exc:
+        raise _ServeSetupError(
+            f"cannot open request journal {args.journal!r}: {exc}"
+        ) from exc
+    return journal
+
+
 def _cmd_serve(args):
     import json
 
@@ -294,16 +317,23 @@ def _cmd_serve(args):
 
     try:
         service = _build_service(args)
+        journal = _build_journal(args)
     except _ServeSetupError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.tcp:
-        return _serve_tcp(args, service)
-    session = ServeSession(service)
+        return _serve_tcp(args, service, journal)
+    session = ServeSession(service, journal=journal)
     pending = []
     submitted = 0
     parse_errors = 0
     with service:
+        replayed = session.replay_journal()
+        if replayed:
+            print(
+                f"journal: replayed {replayed} uncommitted request(s)",
+                file=sys.stderr, flush=True,
+            )
         for line in sys.stdin:
             line = line.strip()
             if not line:
@@ -326,13 +356,15 @@ def _cmd_serve(args):
                 break
         for item in pending:
             print(format_response(*item), flush=True)
-        stats = service.snapshot()
+        stats = session.stats()
+    if journal is not None:
+        journal.close()
     if args.stats:
         print(json.dumps({"stats": stats}), file=sys.stderr)
     return 1 if (parse_errors or stats["failed"]) else 0
 
 
-def _serve_tcp(args, service):
+def _serve_tcp(args, service, journal=None):
     import asyncio
     import json
     import signal
@@ -347,6 +379,7 @@ def _serve_tcp(args, service):
             max_pending=args.max_pending,
             request_timeout=args.request_timeout,
             idle_timeout=args.idle_timeout,
+            journal=journal,
         )
         try:
             await server.start()
@@ -368,10 +401,72 @@ def _serve_tcp(args, service):
 
     with service:
         snapshot = asyncio.run(run())
+    if journal is not None:
+        journal.close()
     if snapshot is None:   # bind failure, already reported
         return 2
     if args.stats:
         print(json.dumps({"stats": snapshot}), file=sys.stderr)
+    return 0
+
+
+def _cmd_supervise(args):
+    import signal
+
+    from repro.service.supervisor import Supervisor, SupervisorError
+
+    child = list(args.child)
+    if child and child[0] == "--":
+        child = child[1:]
+    try:
+        supervisor = Supervisor(
+            child,
+            max_restarts=args.max_restarts,
+            backoff_base=args.backoff_base,
+            backoff_max=args.backoff_max,
+            health_interval=args.health_interval,
+            health_timeout=args.health_timeout,
+            health_failures=args.health_failures,
+        )
+    except SupervisorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def on_signal(signum, frame):
+        supervisor._stop.set()
+        supervisor._terminate_child()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, on_signal)
+        except (ValueError, OSError):   # not the main thread (tests)
+            pass
+    return supervisor.run()
+
+
+def _cmd_chaos(args):
+    from repro.resilience.chaos import chaos_sweep
+
+    seeds = range(args.seed_start, args.seed_start + args.seeds)
+    results = chaos_sweep(
+        seeds, n_faults=args.faults, n_clients=args.clients,
+        out_dir=args.out, shrink=not args.no_shrink,
+    )
+    failures = [result for result in results if not result.ok]
+    fired = sum(len(result.fired) for result in results)
+    print(
+        f"chaos: {len(results) - len(failures)}/{len(results)} seeds "
+        f"bit-exact ({fired} faults fired)"
+    )
+    if failures:
+        where = f" in {args.out}" if args.out else ""
+        print(
+            "chaos: failing seeds "
+            f"{[result.seed for result in failures]}; replayable plan "
+            f"artifacts{where}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -763,7 +858,85 @@ def build_parser():
         help="chaos testing: arm a saved repro.resilience FaultPlan "
              "(seeded worker crashes, dropped sockets, torn cache writes)",
     )
+    sub.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write-ahead request journal: accepted requests are fsync'd "
+             "to this JSONL file before dispatch and replayed (uncommitted "
+             "suffix only) on restart; pair with --cache so committed work "
+             "is re-served without re-simulation",
+    )
+    sub.add_argument(
+        "--journal-no-fsync", action="store_true",
+        help="skip the per-accept fsync (faster, loses the write-ahead "
+             "guarantee across power failure; process crashes still replay)",
+    )
     sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "supervise",
+        help="run `serve --tcp` as a supervised child: restart on crash "
+             "or hang with exponential backoff, exit nonzero when the "
+             "restart budget is exhausted",
+    )
+    sub.add_argument(
+        "--max-restarts", type=int, default=5,
+        help="restart budget before giving up (default 5)",
+    )
+    sub.add_argument("--backoff-base", type=float, default=0.5,
+                     help="first restart delay in seconds (default 0.5)")
+    sub.add_argument("--backoff-max", type=float, default=10.0,
+                     help="restart delay ceiling in seconds (default 10)")
+    sub.add_argument(
+        "--health-interval", type=float, default=1.0,
+        help="seconds between health probes (default 1)",
+    )
+    sub.add_argument(
+        "--health-timeout", type=float, default=5.0,
+        help="per-probe timeout before it counts as a failure (default 5)",
+    )
+    sub.add_argument(
+        "--health-failures", type=int, default=3,
+        help="consecutive failed probes before the child is declared hung "
+             "and killed (default 3)",
+    )
+    sub.add_argument(
+        "child", nargs=argparse.REMAINDER, metavar="-- serve --tcp ...",
+        help="the child's serve arguments, after a `--` separator",
+    )
+    sub.set_defaults(handler=_cmd_supervise)
+
+    sub = subparsers.add_parser(
+        "chaos",
+        help="randomized chaos search: sweep seeded fault plans against a "
+             "pinned workload, assert bit-exactness, shrink failures to "
+             "minimal replayable plans",
+    )
+    sub.add_argument(
+        "--seeds", type=int, default=10,
+        help="number of random fault plans to sweep (default 10)",
+    )
+    sub.add_argument(
+        "--seed-start", type=int, default=0,
+        help="first seed (plans are FaultPlan.random(seed); default 0)",
+    )
+    sub.add_argument(
+        "--faults", type=int, default=4,
+        help="faults per randomized plan (default 4)",
+    )
+    sub.add_argument(
+        "--clients", type=int, default=3,
+        help="concurrent hardened clients driving each run (default 3)",
+    )
+    sub.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write per-seed fault logs plus, on failure, the original "
+             "and shrunk plan JSON artifacts into this directory",
+    )
+    sub.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip ddmin minimisation of failing plans",
+    )
+    sub.set_defaults(handler=_cmd_chaos)
 
     sub = subparsers.add_parser("ablation", help="colour/state/random-walk ablations")
     _add_grid_argument(sub)

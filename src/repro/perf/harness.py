@@ -57,15 +57,18 @@ replay of the same stream; outcomes are asserted bit-identical to the
 serial path before any speedup is recorded.  Service requests use the
 pinned grid and agent count with a ~100-field suite -- the width of one
 GA candidate evaluation, the traffic the service exists to coalesce.
-Three further sections extend the record: ``transport`` (TCP round-trip
+Four further sections extend the record: ``transport`` (TCP round-trip
 throughput of :class:`repro.service.AsyncEvaluationServer` from
 concurrent clients versus the in-process path, bit-exact), ``adaptive``
 (the :class:`repro.service.AdaptiveBatchPolicy` versus a pinned fixed
-coalescing width on the mixed-width request stream) and ``chaos``
+coalescing width on the mixed-width request stream), ``chaos``
 (:func:`measure_chaos`: throughput under the pinned fault plan --
 worker crashes recovered by the pool watchdog, socket faults recovered
 by hardened retrying clients -- with results asserted bit-exact versus
-the fault-free pass before any rate is recorded).
+the fault-free pass before any rate is recorded) and ``durability``
+(:func:`measure_durability`: a supervised ``serve --tcp`` child killed
+with SIGKILL mid-batch, recovered via restart + write-ahead-journal
+replay + persistent cache, bit-exact versus the fault-free pass).
 ``hardware`` feeds the perf-regression gate
 (:mod:`repro.perf.regression`), which only compares runs from
 comparable machines.
@@ -693,6 +696,149 @@ def measure_chaos(scenario=None, n_jobs=6, n_requests=8, n_clients=4):
     }
 
 
+def measure_durability(scenario=None, n_requests=8, n_clients=4,
+                       kill_after=1):
+    """Throughput through a ``kill -9`` mid-batch, bit-exact vs clean.
+
+    Runs the real deployment stack: a ``serve --tcp`` child under the
+    :class:`repro.service.Supervisor` with a write-ahead request journal
+    and a persistent cache, driven by ``n_clients`` hardened
+    :class:`repro.service.TCPServiceClient` threads issuing requests
+    under explicit idempotency keys.  Once ``kill_after`` responses have
+    landed, the child is killed with SIGKILL; the supervisor restarts it
+    on the same port, the reborn server replays the journal's
+    uncommitted suffix and re-serves committed work from the cache, and
+    the clients reconnect and re-issue their in-flight requests.  Every
+    outcome is asserted bit-exact against an in-process fault-free pass
+    before any rate is recorded, and the journal's replay counter is
+    captured so the record proves recovery actually happened.  A second
+    (clean, kill-free) pass over the same stack prices the interruption:
+    ``relative_to_clean`` is recovery overhead, nothing else.
+    """
+    import tempfile
+    import threading
+
+    from repro.evolution.fitness import evaluate_fsm
+    from repro.resilience.retry import RetryPolicy
+    from repro.service.supervisor import Supervisor
+    from repro.service.transport import TCPServiceClient
+
+    if scenario is None:
+        scenario = replace(PINNED_STEP_SCENARIOS[1], n_fields=15)
+    fsms = service_request_stream(n_requests)
+    specs = [
+        {
+            "grid": scenario.kind,
+            "size": scenario.size,
+            "agents": scenario.n_agents,
+            "fields": scenario.n_fields,
+            "seed": scenario.seed,
+            "t_max": scenario.t_max,
+            "idem": f"bench-durability-{index}",
+            "fsm": {"genome": fsm.genome().tolist(), "name": fsm.name},
+        }
+        for index, fsm in enumerate(fsms)
+    ]
+    grid, _, configs = scenario.build()
+    expected = [
+        evaluate_fsm(grid, fsm, configs, t_max=scenario.t_max)
+        for fsm in fsms
+    ]
+
+    def run_pass(tmp, kill):
+        serve_args = [
+            "serve", "--tcp", "127.0.0.1:0", "--workers", "1",
+            "--cache", os.path.join(tmp, "cache.jsonl"),
+            "--journal", os.path.join(tmp, "journal.jsonl"),
+        ]
+        supervisor = Supervisor(
+            serve_args, max_restarts=5, backoff_base=0.1, backoff_max=1.0,
+            health_interval=0.25, log=lambda line: None,
+        )
+        outcomes = [None] * n_requests
+        errors = []
+        responded = threading.Event()
+        per_client = [
+            list(range(index, n_requests, n_clients))
+            for index in range(n_clients)
+        ]
+
+        def drive(client_index):
+            policy = RetryPolicy(
+                seed=client_index, max_attempts=12, base_delay=0.05,
+                max_delay=0.5, budget=60.0,
+            )
+            try:
+                with TCPServiceClient(
+                    supervisor.address, timeout=60.0, retry_policy=policy
+                ) as client:
+                    for spec_index in per_client[client_index]:
+                        outcomes[spec_index] = client.evaluate(
+                            **specs[spec_index]
+                        )
+                        responded.set()
+            except Exception as exc:
+                errors.append(f"client {client_index}: {exc!r}")
+
+        with supervisor.start():
+            if kill:
+                def assassin():
+                    responded.wait(timeout=60.0)
+                    supervisor.kill_server()
+
+                threading.Thread(target=assassin, daemon=True).start()
+            start = time.perf_counter()
+            drivers = [
+                threading.Thread(target=drive, args=(index,))
+                for index in range(n_clients)
+            ]
+            for driver in drivers:
+                driver.start()
+            for driver in drivers:
+                driver.join()
+            wall = time.perf_counter() - start
+            if errors:
+                raise AssertionError(
+                    f"durability clients failed: {errors[:3]}"
+                )
+            with TCPServiceClient(
+                supervisor.address, timeout=10.0,
+                retry_policy=RetryPolicy(seed=99, base_delay=0.05),
+            ) as probe:
+                stats = probe.stats()
+            restarts = supervisor.restarts
+        for got, want in zip(outcomes, expected):
+            if got != [want]:
+                raise AssertionError(
+                    "durability outcomes diverged from the fault-free "
+                    "pass; refusing to record throughput for "
+                    "non-identical results"
+                )
+        return wall, stats, restarts
+
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        clean_wall, _, _ = run_pass(tmp, kill=False)
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        killed_wall, stats, restarts = run_pass(tmp, kill=True)
+
+    journal_stats = stats.get("service", stats).get("journal", {})
+    return {
+        "kind": scenario.kind,
+        "n_requests": n_requests,
+        "n_clients": n_clients,
+        "n_fields": scenario.n_fields,
+        "t_max": scenario.t_max,
+        "wall_seconds": killed_wall,
+        "requests_per_sec": n_requests / killed_wall,
+        "clean_requests_per_sec": n_requests / clean_wall,
+        "relative_to_clean": clean_wall / killed_wall,
+        "restarts": restarts,
+        "replayed": journal_stats.get("replayed", 0),
+        "recovered_accepts": journal_stats.get("recovered_accepts", 0),
+        "recovered_commits": journal_stats.get("recovered_commits", 0),
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
               service_workers=None):
@@ -762,6 +908,16 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             n_requests=4 if quick else 8,
             n_clients=2 if quick else 4,
         )
+    durability = {}
+    if include_service:
+        durability_scenario = replace(
+            PINNED_STEP_SCENARIOS[1], n_fields=10 if quick else 15
+        )
+        durability[durability_scenario.name] = measure_durability(
+            durability_scenario,
+            n_requests=6 if quick else 8,
+            n_clients=3 if quick else 4,
+        )
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": bool(quick),
@@ -772,6 +928,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "transport": transport,
         "adaptive": adaptive,
         "chaos": chaos,
+        "durability": durability,
     }
 
 

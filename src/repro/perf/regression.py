@@ -81,6 +81,7 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
             notes.append(line)
     _check_transport(record, baseline_run, threshold, failures, notes)
     _check_chaos(record, baseline_run, threshold, failures, notes)
+    _check_durability(record, baseline_run, threshold, failures, notes)
     return failures, notes
 
 
@@ -163,6 +164,45 @@ def _check_chaos(record, baseline_run, threshold, failures, notes):
                 )
             else:
                 notes.append(line)
+
+
+def _durability_comparable(new, old):
+    return (
+        new.get("n_requests") == old.get("n_requests")
+        and new.get("n_clients") == old.get("n_clients")
+        and new.get("n_fields") == old.get("n_fields")
+        and new.get("t_max") == old.get("t_max")
+    )
+
+
+def _check_durability(record, baseline_run, threshold, failures, notes):
+    """Gate kill-9-recovery throughput the same way steps/sec is gated.
+
+    The durability scenario's ``requests_per_sec`` prices a supervised
+    restart plus journal replay inside a fixed client workload; a drop
+    means crash recovery got slower (longer restart, more re-simulated
+    work, or slower replay).  Baselines committed before the section
+    existed are skipped with a note, never failed.
+    """
+    baseline_durability = baseline_run.get("durability") or {}
+    for name, row in (record.get("durability") or {}).items():
+        baseline = baseline_durability.get(name)
+        if baseline is None or not _durability_comparable(row, baseline):
+            notes.append(
+                f"durability {name}: no comparable baseline; skipped"
+            )
+            continue
+        new_rate = row["requests_per_sec"]
+        old_rate = baseline["requests_per_sec"]
+        ratio = new_rate / old_rate if old_rate else float("inf")
+        line = (
+            f"durability {name}: {new_rate:.2f} vs baseline "
+            f"{old_rate:.2f} req/s through kill -9 ({ratio:.2f}x)"
+        )
+        if ratio < 1.0 - threshold:
+            failures.append(f"{line} -- dropped more than {threshold:.0%}")
+        else:
+            notes.append(line)
 
 
 def format_check(failures, notes):

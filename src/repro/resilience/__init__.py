@@ -21,14 +21,33 @@ deterministically, and assert recovery.  Three pieces:
   snapshots behind ``evolve``/``run_campaign`` checkpointing and the
   CLI's ``--resume``; a SIGKILL costs at most one checkpoint interval
   and the resumed run is bit-exact versus an uninterrupted one.
+* :mod:`repro.resilience.durability` -- :class:`RequestJournal`, the
+  write-ahead request journal behind ``repro-a2a serve --journal``:
+  accepted requests are fsync'd before dispatch and marked committed
+  when their results land in the persistent cache, so a restarted
+  server replays only the uncommitted suffix and never simulates
+  committed work twice.
+* :mod:`repro.resilience.chaos` -- the randomized chaos search behind
+  ``repro-a2a chaos``: :func:`run_chaos_plan` drives a pinned workload
+  through a seeded :meth:`FaultPlan.random` schedule asserting
+  bit-exactness, :func:`chaos_sweep` fans out over seeds, and
+  :func:`shrink_plan` ddmin-minimises any failure into a replayable
+  plan artifact.
 """
 
+from repro.resilience.chaos import (
+    ChaosResult,
+    chaos_sweep,
+    run_plan as run_chaos_plan,
+    shrink_plan,
+)
 from repro.resilience.checkpoint import (
     CheckpointError,
     Checkpointer,
     load_checkpoint,
     save_checkpoint,
 )
+from repro.resilience.durability import JournalError, RequestJournal
 from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
@@ -65,4 +84,10 @@ __all__ = [
     "load_checkpoint",
     "Checkpointer",
     "CheckpointError",
+    "RequestJournal",
+    "JournalError",
+    "ChaosResult",
+    "chaos_sweep",
+    "run_chaos_plan",
+    "shrink_plan",
 ]

@@ -1,0 +1,297 @@
+"""Randomized chaos search: sweep seeded fault plans, shrink failures.
+
+``repro-a2a chaos --seeds N`` is the randomized arm of the chaos
+battery.  The pinned-plan CI job proves recovery from a *known* fault
+schedule; this module proves it for schedules nobody thought of, by
+drawing :meth:`repro.resilience.FaultPlan.random` plans over every
+injection site (worker crash/hang/slow, dispatcher error, server- and
+client-side socket faults, torn cache writes) and asserting that a
+fixed workload still returns **bit-exact** results through each one.
+
+Each seed runs the same pinned workload: an :class:`EvaluationService`
+with two worker processes (pool faults need real subprocesses -- an
+inline pool never forks, and a crash fault would take the test process
+with it) and a small ``lane_block`` (so one batch splits into several
+pool jobs and ``pool.job`` sees multiple hits), fronted by a real
+asyncio TCP server, a persistent cache store, and several hardened
+:class:`TCPServiceClient` threads re-requesting overlapping specs.
+Expected outcomes are computed once, fault-free and in-process.
+
+When a seed fails, :func:`shrink_plan` greedily re-runs the workload
+with one fault removed at a time until no single removal still fails --
+a ddmin-style minimal reproducing plan, saved as a replayable JSON
+artifact next to the fired-fault log.  Failures replay exactly:
+``FaultPlan.random(seed)`` is deterministic, and fault firing is
+counted per site hit, not wall clock.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.faults import FaultPlan, installed as faults_installed
+from repro.resilience.retry import RetryPolicy
+
+#: Pinned workload knobs: small enough for a 25-seed sweep in CI
+#: minutes, rich enough to hit every site (several dispatch rounds,
+#: multiple pool jobs per batch, one cache append per genome).
+WORKLOAD = {
+    "kind": "T", "size": 8, "agents": 4, "fields": 3, "seed": 5,
+    "t_max": 60, "n_fsms": 4,
+}
+
+
+@dataclass
+class ChaosWorkload:
+    """The pinned specs and their fault-free expected outcomes."""
+
+    specs: list
+    expected: list   # expected[i] is the outcome list for specs[i]
+
+
+@dataclass
+class ChaosResult:
+    """One seed's verdict."""
+
+    plan: FaultPlan
+    ok: bool
+    mismatches: int = 0
+    errors: list = field(default_factory=list)
+    fired: list = field(default_factory=list)
+    pending: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def seed(self):
+        return self.plan.seed
+
+    def summary(self):
+        if self.ok:
+            return (
+                f"ok ({len(self.fired)} faults fired, "
+                f"{self.pending} pending, {self.wall_seconds:.1f}s)"
+            )
+        causes = "; ".join(self.errors[:2]) or f"{self.mismatches} mismatches"
+        return f"FAIL ({len(self.fired)} faults fired: {causes})"
+
+
+def pinned_workload():
+    """Build the pinned specs + fault-free reference outcomes."""
+    from numpy.random import default_rng
+
+    from repro.configs.suite import paper_suite
+    from repro.core.fsm import FSM
+    from repro.evolution.fitness import evaluate_population
+    from repro.grids import make_grid
+
+    grid = make_grid(WORKLOAD["kind"], WORKLOAD["size"])
+    suite = paper_suite(
+        grid, WORKLOAD["agents"], n_random=WORKLOAD["fields"],
+        seed=WORKLOAD["seed"],
+    )
+    fsms = [
+        FSM.random(default_rng(900 + i)) for i in range(WORKLOAD["n_fsms"])
+    ]
+    specs = [
+        {
+            "grid": WORKLOAD["kind"], "size": WORKLOAD["size"],
+            "agents": WORKLOAD["agents"], "fields": WORKLOAD["fields"],
+            "seed": WORKLOAD["seed"], "t_max": WORKLOAD["t_max"],
+            "fsm": {"genome": fsm.genome().tolist()},
+        }
+        for fsm in fsms
+    ]
+    outcomes = evaluate_population(
+        grid, fsms, suite, t_max=WORKLOAD["t_max"]
+    )
+    expected = [[outcome] for outcome in outcomes]
+    return ChaosWorkload(specs=specs, expected=expected)
+
+
+class _ServerThread:
+    """A real asyncio TCP server for the chaos workload, on a thread."""
+
+    def __init__(self, service):
+        self.service = service
+        self.address = None
+        self._loop = None
+        self._stopped = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        import asyncio
+
+        from repro.service.transport import AsyncEvaluationServer
+
+        async def main():
+            self._stopped = asyncio.Event()
+            server = AsyncEvaluationServer(self.service)
+            await server.start()
+            self.address = server.address
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self._stopped.wait()
+            await server.aclose()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("chaos server did not start")
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stopped.set)
+        self._thread.join(timeout=30.0)
+        return False
+
+
+def run_plan(plan, workload=None, log_path=None, n_clients=3,
+             request_timeout=60.0):
+    """Run the pinned workload under ``plan``; a :class:`ChaosResult`.
+
+    Every client requests every spec, hardened with a seeded
+    :class:`RetryPolicy`; results must be bit-exact against the
+    fault-free reference.  The injector is installed process-wide for
+    the duration (server thread, dispatcher, pool submission and client
+    threads all share it), then disarmed -- faults never fired are
+    reported as ``pending``, not errors.
+    """
+    from repro.service.cache_store import PersistentEvaluationCache
+    from repro.service.service import EvaluationService
+    from repro.service.transport import TCPServiceClient
+
+    if workload is None:
+        workload = pinned_workload()
+    started = time.perf_counter()
+    errors, mismatches = [], [0]
+    errors_lock = threading.Lock()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        cache = PersistentEvaluationCache(os.path.join(tmp, "cache.jsonl"))
+        service = EvaluationService(
+            n_workers=2, lane_block=8, cache=cache,
+            job_timeout=15.0, max_restarts=8,
+        )
+        with service, _ServerThread(service) as server:
+            with faults_installed(plan, log_path=log_path) as injector:
+
+                def drive(index):
+                    policy = RetryPolicy(
+                        seed=index, max_attempts=10, base_delay=0.02,
+                        max_delay=0.5, budget=60.0,
+                    )
+                    try:
+                        with TCPServiceClient(
+                            server.address, timeout=request_timeout,
+                            retry_policy=policy,
+                        ) as client:
+                            for spec, want in zip(
+                                workload.specs, workload.expected
+                            ):
+                                got = client.evaluate(**spec)
+                                if got != want:
+                                    with errors_lock:
+                                        mismatches[0] += 1
+                    except Exception as exc:
+                        with errors_lock:
+                            errors.append(f"client {index}: {exc!r}")
+
+                threads = [
+                    threading.Thread(target=drive, args=(index,))
+                    for index in range(n_clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                fired = list(injector.fired)
+                pending = len(injector.pending())
+        cache.close()
+    return ChaosResult(
+        plan=plan, ok=not errors and not mismatches[0],
+        mismatches=mismatches[0], errors=errors, fired=fired,
+        pending=pending, wall_seconds=time.perf_counter() - started,
+    )
+
+
+def shrink_plan(plan, still_fails):
+    """Greedy ddmin: the smallest sub-plan ``still_fails`` accepts.
+
+    Tries dropping each fault in turn; any drop that still fails
+    restarts the scan.  Concurrency can make a failure flaky under
+    re-execution, so the caller should re-verify the result (and fall
+    back to the unshrunk plan when verification disagrees).
+    """
+    faults = list(plan.faults)
+    changed = True
+    while changed and len(faults) > 1:
+        changed = False
+        for index in range(len(faults)):
+            candidate = FaultPlan(
+                [f for j, f in enumerate(faults) if j != index],
+                seed=plan.seed, name=f"{plan.name}-shrinking",
+            )
+            if still_fails(candidate):
+                faults = list(candidate.faults)
+                changed = True
+                break
+    return FaultPlan(faults, seed=plan.seed, name=f"{plan.name}-min")
+
+
+def chaos_sweep(seeds, n_faults=4, n_clients=3, out_dir=None, shrink=True,
+                log=print):
+    """Sweep ``seeds``; returns ``[ChaosResult]`` (plus artifacts).
+
+    For each failing seed the original plan, a shrunk minimal plan and
+    the fired-fault JSONL log land in ``out_dir`` -- everything needed
+    to replay the failure with ``serve --fault-plan``.
+    """
+    workload = pinned_workload()
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    results = []
+    for seed in seeds:
+        plan = FaultPlan.random(seed, n_faults=n_faults)
+        log_path = (
+            os.path.join(out_dir, f"seed{seed}_faults.jsonl")
+            if out_dir else None
+        )
+        result = run_plan(
+            plan, workload=workload, log_path=log_path, n_clients=n_clients
+        )
+        log(f"chaos seed {seed}: {result.summary()}")
+        if not result.ok and out_dir:
+            plan.save(os.path.join(out_dir, f"seed{seed}_plan.json"))
+        if not result.ok and shrink:
+            minimal = shrink_plan(
+                plan,
+                lambda p: not run_plan(
+                    p, workload=workload, n_clients=n_clients
+                ).ok,
+            )
+            # a concurrency-flaky shrink must still reproduce; otherwise
+            # ship the full plan rather than a misleading subset
+            if len(minimal) < len(plan) and not run_plan(
+                minimal, workload=workload, n_clients=n_clients
+            ).ok:
+                log(
+                    f"chaos seed {seed}: shrunk to {len(minimal)} fault(s): "
+                    + json.dumps([f.to_json() for f in minimal])
+                )
+            else:
+                minimal = FaultPlan(
+                    plan.faults, seed=plan.seed, name=f"{plan.name}-min"
+                )
+                log(f"chaos seed {seed}: shrink did not converge; "
+                    "keeping the full plan")
+            if out_dir:
+                minimal.save(
+                    os.path.join(out_dir, f"seed{seed}_min_plan.json")
+                )
+        results.append(result)
+    return results

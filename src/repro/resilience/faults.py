@@ -15,6 +15,9 @@ serving stack::
     service.dispatch -- one coalesced batch entering the dispatcher
     transport.send   -- an outcome response frame about to be written
     cache.append     -- one CacheStore record append
+    client.connect   -- a TCP client (re)connecting to the server
+    client.send      -- a client request frame about to be written
+    client.recv      -- a client about to read one response frame
 
 Each hook is a single ``maybe_fault(site)`` call that reads one module
 global; with no injector installed (the production default) the hook is
@@ -45,12 +48,18 @@ SITE_POOL_JOB = "pool.job"
 SITE_DISPATCH = "service.dispatch"
 SITE_TRANSPORT_SEND = "transport.send"
 SITE_CACHE_APPEND = "cache.append"
+SITE_CLIENT_CONNECT = "client.connect"
+SITE_CLIENT_SEND = "client.send"
+SITE_CLIENT_RECV = "client.recv"
 
 KNOWN_SITES = (
     SITE_POOL_JOB,
     SITE_DISPATCH,
     SITE_TRANSPORT_SEND,
     SITE_CACHE_APPEND,
+    SITE_CLIENT_CONNECT,
+    SITE_CLIENT_SEND,
+    SITE_CLIENT_RECV,
 )
 
 #: Fault kinds.
@@ -69,6 +78,9 @@ SITE_KINDS = {
     SITE_DISPATCH: (DISPATCH_ERROR,),
     SITE_TRANSPORT_SEND: (DISCONNECT, PARTIAL_FRAME, GARBAGE_FRAME),
     SITE_CACHE_APPEND: (TORN_WRITE,),
+    SITE_CLIENT_CONNECT: (DISCONNECT,),
+    SITE_CLIENT_SEND: (DISCONNECT,),
+    SITE_CLIENT_RECV: (DISCONNECT, GARBAGE_FRAME),
 }
 
 PLAN_VERSION = 1

@@ -24,6 +24,11 @@ The serving layer the ROADMAP asks for, in five pieces:
   backpressure, request timeouts, idle reaping and graceful shutdown;
   :class:`TCPServiceClient` / :class:`AsyncServiceClient` speak its
   length-prefixed JSON protocol.
+* :mod:`repro.service.supervisor` -- :class:`Supervisor`, the
+  ``repro-a2a supervise`` process monitor: restarts a ``serve --tcp``
+  child on crash or health-probe hang with exponential backoff, pins
+  the first ephemeral bind so restarts reuse the address, and exits
+  nonzero with a one-line diagnosis when the restart budget runs out.
 
 Every path through the service is bit-exact versus the serial
 ``evaluate_population`` on the same inputs: batching only changes how
@@ -52,6 +57,11 @@ from repro.service.service import (
     ServiceClient,
     ServiceError,
     ServiceStats,
+)
+from repro.service.supervisor import (
+    EXIT_BUDGET_EXHAUSTED,
+    Supervisor,
+    SupervisorError,
 )
 from repro.service.transport import (
     AsyncEvaluationServer,
@@ -83,4 +93,7 @@ __all__ = [
     "TCPServiceClient",
     "TransportError",
     "TransportStats",
+    "Supervisor",
+    "SupervisorError",
+    "EXIT_BUDGET_EXHAUSTED",
 ]

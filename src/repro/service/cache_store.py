@@ -15,7 +15,11 @@ Design constraints, in order:
 * **safe under concurrent writers** -- records are whole lines written
   in one ``O_APPEND`` write each; two processes appending the same key
   simply store the same outcome twice (evaluation is deterministic, so
-  last-writer-wins is harmless);
+  last-writer-wins is harmless).  Appends also hold a shared ``flock``
+  and re-check the path's inode, so a concurrent :meth:`CacheStore.
+  compact` (which holds the exclusive lock while it rewrites and
+  ``os.replace``s the file) can never strand a live writer on the
+  replaced inode -- the writer reopens the new file and continues;
 * **corruption recovery** -- a torn final line (a writer died
   mid-append) is detected on load; the loader keeps the valid prefix,
   truncates the file back to it, and continues -- one bad tail never
@@ -36,6 +40,11 @@ battery then asserts.
 import json
 import os
 import threading
+
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.evolution.fitness import EvaluationCache
 from repro.resilience.faults import SITE_CACHE_APPEND, maybe_fault
@@ -85,6 +94,14 @@ class CacheStore:
         self.torn_writes = 0
         self.compactions = 0
         self.compacted_bytes = 0
+        self.append_reopens = 0
+
+    def _open_fd_locked(self):
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+        return self._fd
 
     def open(self):
         """Open the append descriptor now, surfacing path errors early.
@@ -95,10 +112,7 @@ class CacheStore:
         message instead.  Raises :class:`OSError`.
         """
         with self._lock:
-            if self._fd is None:
-                self._fd = os.open(
-                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-                )
+            self._open_fd_locked()
         return self
 
     def load(self):
@@ -131,22 +145,51 @@ class CacheStore:
         except OSError:
             pass  # read-only store: serve the valid prefix, leave the file
 
+    def _write_to_live_inode_locked(self, data):
+        """Append ``data`` to the file *currently* at ``self.path``.
+
+        A concurrent :meth:`compact` (same process or another one)
+        ``os.replace``s the path with a rewritten file; an ``O_APPEND``
+        descriptor opened earlier keeps pointing at the *old* inode, so
+        writes through it would silently vanish.  Holding a shared
+        ``flock`` on the descriptor excludes a compaction (which takes
+        an exclusive lock) for the duration of the check-and-write, and
+        an inode mismatch against the path means a compaction already
+        happened -- reopen the new file and retry.
+        """
+        fd = self._open_fd_locked()
+        if fcntl is None:             # pragma: no cover - non-POSIX
+            os.write(fd, data)
+            return
+        while True:
+            fcntl.flock(fd, fcntl.LOCK_SH)
+            try:
+                try:
+                    current = os.stat(self.path).st_ino
+                except FileNotFoundError:
+                    current = None    # store deleted: recreate below
+                if current == os.fstat(fd).st_ino:
+                    os.write(fd, data)
+                    return
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+            self._fd = None
+            fd = self._open_fd_locked()
+            self.append_reopens += 1
+
     def append(self, key, outcome):
         """Durably append one record; one write call keeps lines whole."""
         line = (encode_record(key, outcome) + "\n").encode()
         fault = maybe_fault(SITE_CACHE_APPEND)
         with self._lock:
-            if self._fd is None:
-                self._fd = os.open(
-                    self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
-                )
             if fault is not None:
                 # torn write: the writer "dies" halfway through the line;
                 # the next load sees a torn tail and recovers the prefix
-                os.write(self._fd, line[: max(1, len(line) // 2)])
+                self._write_to_live_inode_locked(line[: max(1, len(line) // 2)])
                 self.torn_writes += 1
                 return
-            os.write(self._fd, line)
+            self._write_to_live_inode_locked(line)
 
     def size_bytes(self):
         """Current on-disk size of the store (0 when absent)."""
@@ -172,21 +215,37 @@ class CacheStore:
             if self._fd is not None:
                 os.close(self._fd)
                 self._fd = None
-            records = self.load()
-            old_size = self.size_bytes()
-            latest = {}
-            for key, outcome in records:
-                latest[key] = outcome   # insertion order, last write wins
-            tmp_path = f"{self.path}.compact.tmp"
-            with open(tmp_path, "wb") as handle:
-                for key, outcome in latest.items():
-                    handle.write((encode_record(key, outcome) + "\n").encode())
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self.path)
-            self.compactions += 1
-            self.compacted_bytes += max(0, old_size - self.size_bytes())
-            return len(records) - len(latest)
+            # Exclusive flock on the store excludes every appender's
+            # shared-locked check-and-write: no record written before the
+            # rewrite can be missed, and none written after it can land
+            # on the doomed inode (appenders re-check the path's inode
+            # under their lock and reopen the rewritten file).
+            lock_fd = None
+            if fcntl is not None:
+                lock_fd = os.open(self.path, os.O_WRONLY | os.O_CREAT, 0o644)
+                fcntl.flock(lock_fd, fcntl.LOCK_EX)
+            try:
+                records = self.load()
+                old_size = self.size_bytes()
+                latest = {}
+                for key, outcome in records:
+                    latest[key] = outcome   # insertion order, last write wins
+                tmp_path = f"{self.path}.compact.tmp"
+                with open(tmp_path, "wb") as handle:
+                    for key, outcome in latest.items():
+                        handle.write(
+                            (encode_record(key, outcome) + "\n").encode()
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.path)
+                self.compactions += 1
+                self.compacted_bytes += max(0, old_size - self.size_bytes())
+                return len(records) - len(latest)
+            finally:
+                if lock_fd is not None:
+                    fcntl.flock(lock_fd, fcntl.LOCK_UN)
+                    os.close(lock_fd)
 
     def close(self):
         with self._lock:
@@ -259,6 +318,7 @@ class PersistentEvaluationCache(EvaluationCache):
             "torn_writes": self.store.torn_writes,
             "compactions": self.store.compactions,
             "compacted_bytes": self.store.compacted_bytes,
+            "append_reopens": self.store.append_reopens,
         }
         return counters
 

@@ -33,6 +33,7 @@ and the TCP transport:
 
 import json
 import threading
+import uuid
 from concurrent.futures import CancelledError, Future, InvalidStateError
 
 from repro._compat import normalize_grid_kind
@@ -107,11 +108,24 @@ class IdempotencyRegistry:
         self._futures = {}
         self.hits = 0
         self.misses = 0
+        self.resubmitted = 0
 
     def resolve(self, key, submit):
-        """The future for ``key``, submitting via ``submit()`` once."""
+        """The future for ``key``, submitting via ``submit()`` once.
+
+        Only *successful* (or still-running) work is pinned: a key whose
+        original future failed or was cancelled is resubmitted, because
+        idempotency exists to prevent double simulation of completed
+        work, not to make one transient failure permanent for every
+        retry that follows it.
+        """
         with self._lock:
             original = self._futures.get(key)
+            if original is not None and original.done() and (
+                original.cancelled() or original.exception() is not None
+            ):
+                self.resubmitted += 1
+                original = None
             if original is None:
                 self.misses += 1
                 original = submit()
@@ -129,14 +143,25 @@ class IdempotencyRegistry:
                 "max_entries": self.max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
+                "resubmitted": self.resubmitted,
             }
 
 
 class ServeSession:
-    """Decode request lines into service submissions, caching workloads."""
+    """Decode request lines into service submissions, caching workloads.
 
-    def __init__(self, service):
+    ``journal`` (a :class:`repro.resilience.durability.RequestJournal`)
+    arms write-ahead logging: every evaluation spec is journalled --
+    durably, before dispatch -- under an idempotency key (the client's,
+    or a fresh one for bare clients), and marked committed when its
+    results land in the cache.  :meth:`replay_journal` resubmits the
+    uncommitted suffix after a crash; clients re-issuing their original
+    keys attach to the replayed futures.
+    """
+
+    def __init__(self, service, journal=None):
         self.service = service
+        self.journal = journal
         self.idempotency = IdempotencyRegistry()
         self._grids = {}
         self._suites = {}
@@ -174,15 +199,47 @@ class ServeSession:
             grid, fsms, suite, t_max=int(spec.get("t_max", 200))
         )
 
+    def _journaled_submit(self, idem, spec, record=True):
+        """Submit under the write-ahead journal: accept, dispatch, commit.
+
+        ``record=False`` is the replay path -- the accept line already
+        exists, so only the commit callback is re-armed.
+        """
+
+        def submit():
+            request = self.build_request(spec)   # validate before journaling
+            if record:
+                self.journal.accept(idem, spec)
+            future = self.service.submit(request)
+
+            def mark_committed(done):
+                if done.cancelled() or done.exception() is not None:
+                    return   # uncommitted: the next restart replays it
+                try:
+                    self.journal.commit(idem)
+                except OSError:
+                    pass   # a lost commit costs one replay, never a result
+
+            future.add_done_callback(mark_committed)
+            return future
+
+        return self.idempotency.resolve(idem, submit)
+
     def submit_spec(self, spec):
         """Submit one decoded request; ``(request_id, future)``.
 
         A spec carrying ``"idem"`` goes through the idempotency
         registry: duplicates of an earlier key attach to the first
-        submission instead of re-enqueueing the work.
+        submission instead of re-enqueueing the work.  With a journal
+        armed, every spec is write-ahead logged (bare specs get a fresh
+        key -- the journal needs an identity to correlate its commit).
         """
         request_id = spec.get("id") if isinstance(spec, dict) else None
         idem = spec.get("idem") if isinstance(spec, dict) else None
+        if self.journal is not None and isinstance(spec, dict):
+            if idem is None:
+                idem = uuid.uuid4().hex
+            return request_id, self._journaled_submit(idem, spec)
         if idem is None:
             return request_id, self.service.submit(self.build_request(spec))
         future = self.idempotency.resolve(
@@ -190,14 +247,52 @@ class ServeSession:
         )
         return request_id, future
 
+    def replay_journal(self):
+        """Resubmit the journal's uncommitted suffix; returns the count.
+
+        Committed work is *not* resubmitted -- on a warm persistent
+        cache a client re-fetching it costs a lookup, not a simulation.
+        Replayed submissions run under their original idempotency keys,
+        so a client retrying its in-flight request attaches to the
+        replay instead of re-enqueueing.  Corrupt entries are skipped:
+        one poisoned line must not block recovery of the rest.
+        """
+        if self.journal is None:
+            return 0
+        replayed = 0
+        for idem, spec in self.journal.replay_entries():
+            try:
+                self._journaled_submit(idem, spec, record=False)
+            except (ValueError, KeyError, TypeError, ServiceError):
+                continue
+            replayed += 1
+        self.journal.replayed += replayed
+        return replayed
+
     def submit_line(self, line):
         """Parse one request line and submit it; ``(request_id, future)``."""
         return self.submit_spec(json.loads(line))
 
     def health(self):
-        """The service's health payload plus idempotency counters."""
+        """The service's health payload plus idempotency/journal counters."""
         payload = self.service.health()
         payload["idempotency"] = self.idempotency.stats()
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats()
+        return payload
+
+    def stats(self):
+        """The service snapshot plus idempotency/journal counters.
+
+        This (not the bare service snapshot) is what the ``stats`` op
+        returns on both transports, so monitors and the bench chaos
+        section can assert on watchdog restarts and journal replays
+        without a separate ``health`` round-trip.
+        """
+        payload = self.service.snapshot()
+        payload["idempotency"] = self.idempotency.stats()
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats()
         return payload
 
     def handle_op(self, spec):
@@ -216,7 +311,7 @@ class ServeSession:
         if op == "ping":
             return {**base, "ok": True}
         if op == "stats":
-            return {**base, "stats": self.service.snapshot()}
+            return {**base, "stats": self.stats()}
         if op == "health":
             return {**base, "health": self.health()}
         raise ValueError(f"unknown op {op!r}")

@@ -256,8 +256,15 @@ class EvaluationService:
         ).result(timeout)
 
     def snapshot(self):
-        """All counters: requests, cache hits/misses, adaptive widths."""
-        return self.stats.snapshot(cache=self.cache, batcher=self.batcher)
+        """All counters: requests, cache, adaptive widths, pool watchdog.
+
+        The pool's watchdog counters (restarts, crash/hang recoveries,
+        requeued jobs) appear here as well as in :meth:`health`, so the
+        ``stats`` op alone is enough to assert on recovery behaviour.
+        """
+        stats = self.stats.snapshot(cache=self.cache, batcher=self.batcher)
+        stats["pool"] = self.pool.health()
+        return stats
 
     def health(self):
         """Liveness view: dispatcher, queue depth, pool watchdog, cache.

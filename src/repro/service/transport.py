@@ -41,6 +41,9 @@ from dataclasses import asdict, dataclass
 from repro.resilience.faults import (
     DISCONNECT,
     GARBAGE_FRAME,
+    SITE_CLIENT_CONNECT,
+    SITE_CLIENT_RECV,
+    SITE_CLIENT_SEND,
     SITE_TRANSPORT_SEND,
     maybe_fault,
 )
@@ -202,11 +205,11 @@ class AsyncEvaluationServer:
     """
 
     def __init__(self, service, host="127.0.0.1", port=0, max_pending=32,
-                 request_timeout=None, idle_timeout=None):
+                 request_timeout=None, idle_timeout=None, journal=None):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         self.service = service
-        self.session = ServeSession(service)
+        self.session = ServeSession(service, journal=journal)
         self.host = host
         self.port = port
         self.max_pending = max_pending
@@ -231,6 +234,14 @@ class AsyncEvaluationServer:
         return self._server.sockets[0].getsockname()[:2]
 
     async def start(self):
+        # replay the journal's uncommitted suffix before accepting:
+        # clients reconnecting with their original idempotency keys then
+        # attach to the replayed futures instead of re-enqueueing.
+        if self.session.journal is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._decode_executor, self.session.replay_journal
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -262,10 +273,15 @@ class AsyncEvaluationServer:
         self._shutdown_requested.set()
 
     def snapshot(self):
-        """Transport counters plus the fronted service's own snapshot."""
+        """Transport counters plus the session's service snapshot.
+
+        The session view folds in idempotency, pool-watchdog and
+        journal counters, so the ``stats`` op alone is enough for a
+        monitor (or the bench) to assert on recovery behaviour.
+        """
         return {
             "transport": self.stats.snapshot(),
-            "service": self.service.snapshot(),
+            "service": self.session.stats(),
         }
 
     async def _handle_connection(self, reader, writer):
@@ -567,9 +583,20 @@ class TCPServiceClient:
         self.breaker = breaker
         self._responses = {}
         self._ids = itertools.count()
-        self._sock = self._connect()
+        if retry_policy is None and breaker is None:
+            self._sock = self._connect()
+        else:
+            # hardened clients tolerate a server that is briefly down
+            # (supervised restart window): connect lazily under retry.
+            try:
+                self._sock = self._connect()
+            except (ConnectionError, OSError):
+                self._sock = None
 
     def _connect(self):
+        fault = maybe_fault(SITE_CLIENT_CONNECT)
+        if fault is not None:
+            raise ConnectionError("injected client.connect fault")
         sock = socket.create_connection(self._address, self._timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return sock
@@ -599,12 +626,22 @@ class TCPServiceClient:
         spec = dict(spec)
         if "id" not in spec:
             spec["id"] = f"c{next(self._ids)}"
+        fault = maybe_fault(SITE_CLIENT_SEND)
+        if fault is not None:
+            # the frame is never written: the server saw nothing, so a
+            # retry under the same idempotency key is a clean first send
+            raise ConnectionError("injected client.send fault")
         send_frame(self._sock, spec)
         return spec["id"]
 
     def result(self, request_id):
         """The response frame for one id, reading until it arrives."""
         while request_id not in self._responses:
+            fault = maybe_fault(SITE_CLIENT_RECV)
+            if fault is not None:
+                if fault.kind == GARBAGE_FRAME:
+                    raise ValueError("injected client.recv garbage frame")
+                raise ConnectionError("injected client.recv disconnect")
             response = recv_frame(self._sock)
             if response is None:
                 raise ConnectionError(
@@ -694,6 +731,7 @@ class AsyncServiceClient:
         self._address = address
         self._ids = itertools.count()
         self._broken = False
+        self._reconnect_lock = asyncio.Lock()
         self._start_io(reader, writer)
 
     def _start_io(self, reader, writer):
@@ -703,11 +741,18 @@ class AsyncServiceClient:
         self._broken = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
+    @staticmethod
+    def _maybe_connect_fault():
+        fault = maybe_fault(SITE_CLIENT_CONNECT)
+        if fault is not None:
+            raise ConnectionError("injected client.connect fault")
+
     @classmethod
     async def connect(cls, host, port=None, retry_policy=None, breaker=None):
         if port is None:
             host, port = host
         address = (host, int(port))
+        cls._maybe_connect_fault()
         reader, writer = await asyncio.open_connection(*address)
         return cls(reader, writer, retry_policy=retry_policy,
                    breaker=breaker, address=address)
@@ -718,8 +763,19 @@ class AsyncServiceClient:
                 "connection lost and no address to reconnect to"
             )
         await self._teardown_io()
+        self._maybe_connect_fault()
         reader, writer = await asyncio.open_connection(*self._address)
         self._start_io(reader, writer)
+
+    async def _ensure_connected(self):
+        # one failure fails many concurrent requests at once; without the
+        # lock their retries race _reconnect and a second _start_io
+        # orphans the first's waiter table, hanging its request forever
+        if not self._broken:
+            return
+        async with self._reconnect_lock:
+            if self._broken:
+                await self._reconnect()
 
     async def _read_loop(self):
         try:
@@ -727,6 +783,15 @@ class AsyncServiceClient:
                 body = await read_frame(self._reader)
                 if body is None:
                     break
+                fault = maybe_fault(SITE_CLIENT_RECV)
+                if fault is not None:
+                    # fails every waiter; hardened requests reconnect and
+                    # re-issue under their original idempotency keys
+                    if fault.kind == GARBAGE_FRAME:
+                        raise ValueError(
+                            "injected client.recv garbage frame"
+                        )
+                    raise ConnectionError("injected client.recv disconnect")
                 response = json.loads(body)
                 waiter = self._waiters.pop(response.get("id"), None)
                 if waiter is not None and not waiter.done():
@@ -746,6 +811,11 @@ class AsyncServiceClient:
         self._waiters.clear()
 
     async def _request_once(self, spec):
+        fault = maybe_fault(SITE_CLIENT_SEND)
+        if fault is not None:
+            # before the waiter registers and before any bytes go out:
+            # the server saw nothing, a retry is a clean first send
+            raise ConnectionError("injected client.send fault")
         waiter = asyncio.get_running_loop().create_future()
         self._waiters[spec["id"]] = waiter
         self._writer.write(encode_frame(spec))
@@ -765,8 +835,7 @@ class AsyncServiceClient:
             if self.breaker is not None:
                 self.breaker.allow()
             try:
-                if self._broken:
-                    await self._reconnect()
+                await self._ensure_connected()
                 result = await self._request_once(spec)
             except Exception:
                 if self.breaker is not None:

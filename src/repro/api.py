@@ -212,19 +212,24 @@ def _workload(grid, size, agents, fields, seed):
 
 @renamed_kwargs(tmax="t_max", workers="n_workers")
 def evaluate(grid="T", size=16, agents=8, fields=100, seed=2013, t_max=200,
-             fsm="published", n_workers=None, pool=None, cache=None):
+             fsm="published", n_workers=None, pool=None, cache=None,
+             backend=None):
     """Evaluate FSMs on a paper-style workload, one call.
 
     Returns one :class:`repro.results.EvaluationResult` -- or a list of
     them, in order, when ``fsm`` is a list.  ``cache`` may be any
     :class:`EvaluationCache` (including a
     :class:`PersistentEvaluationCache`); hits skip simulation entirely.
+    ``backend`` picks the simulator step backend
+    (:mod:`repro.core.backends`); results are bit-identical across
+    backends, so cache entries are shared between them.
     """
     kind, built, suite = _workload(grid, size, agents, fields, seed)
     fsms, was_list = _as_fsms(fsm, kind)
     if cache is None:
         outcomes = evaluate_population(
-            built, fsms, suite, t_max=t_max, n_workers=n_workers, pool=pool
+            built, fsms, suite, t_max=t_max, n_workers=n_workers, pool=pool,
+            backend=backend,
         )
     else:
         fingerprint = suite_fingerprint(suite)
@@ -237,7 +242,7 @@ def evaluate(grid="T", size=16, agents=8, fields=100, seed=2013, t_max=200,
         if missing:
             fresh = evaluate_population(
                 built, [fsms[i] for i in missing], suite, t_max=t_max,
-                n_workers=n_workers, pool=pool,
+                n_workers=n_workers, pool=pool, backend=backend,
             )
             for i, outcome in zip(missing, fresh):
                 cache.put(keys[i], outcome)
@@ -248,7 +253,7 @@ def evaluate(grid="T", size=16, agents=8, fields=100, seed=2013, t_max=200,
 @renamed_kwargs(tmax="t_max", workers="n_workers")
 def evolve(grid="T", size=16, agents=8, fields=50, seed=2013,
            settings=None, progress=None, n_workers=None, pool=None,
-           cache=None, suite=None, **overrides):
+           cache=None, suite=None, backend=None, **overrides):
     """Run the paper's mutation-only evolution on a workload spec.
 
     ``settings`` is an :class:`EvolutionSettings`; keyword ``overrides``
@@ -271,7 +276,7 @@ def evolve(grid="T", size=16, agents=8, fields=50, seed=2013,
         raise TypeError("pass either settings= or keyword overrides, not both")
     return _evolve(
         built, suite, settings, progress=progress, n_workers=n_workers,
-        pool=pool, cache=cache,
+        pool=pool, cache=cache, backend=backend,
     )
 
 

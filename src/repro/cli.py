@@ -161,6 +161,7 @@ def _cmd_evolve(args):
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
+        backend=args.backend,
     )
     best = result.best
     print(
@@ -192,6 +193,8 @@ def _cmd_bench(args):
         n_generations=args.generations,
         include_service=not args.skip_service,
         service_workers=args.service_workers,
+        backend=args.backend,
+        include_bigworld=not args.skip_bigworld,
     )
     path = append_bench_record(record, args.out)
     for name, row in record["scenarios"].items():
@@ -211,6 +214,26 @@ def _cmd_bench(args):
             f"evolve {kind}: {row['generations_per_sec']:8.2f} generations/s  "
             f"({row['n_generations']} generations, {row['n_fields']} fields)"
         )
+    for name, row in record.get("bigworld", {}).items():
+        if name == "streamed":
+            print(
+                f"bigworld streamed {row['size']}x{row['size']}/"
+                f"k={row['n_agents']}: {row['fields_per_sec']:7.2f} "
+                f"fields/s  ({row['max_lanes_in_flight']} lanes in "
+                f"flight peak, {row['n_blocks']} blocks, "
+                f"backend {row['backend']})"
+            )
+            continue
+        for backend, backend_row in row.get("backends", {}).items():
+            line = (
+                f"bigworld {name} [{backend}]: "
+                f"{backend_row['steps_per_sec']:10.1f} steps/s  "
+                f"{backend_row['lane_steps_per_sec']:12.1f} lane-steps/s  "
+                f"({row['n_lanes']} lanes)"
+            )
+            if "speedup_vs_numpy" in backend_row:
+                line += f"  speedup {backend_row['speedup_vs_numpy']:.2f}x"
+            print(line)
     for name, row in record.get("service", {}).items():
         print(
             f"service {name}: serial {row['serial_requests_per_sec']:7.2f} "
@@ -677,6 +700,12 @@ def build_parser():
         "--resume", default=None, metavar="PATH",
         help="resume a run from a --checkpoint snapshot (bit-exact)",
     )
+    sub.add_argument(
+        "--backend", default=None,
+        choices=["numpy", "numba", "pykernel"],
+        help="simulator step backend; results are bit-identical across "
+             "backends (numba falls back to numpy when not installed)",
+    )
     sub.set_defaults(handler=_cmd_evolve)
 
     sub = subparsers.add_parser(
@@ -783,6 +812,17 @@ def build_parser():
     sub.add_argument(
         "--service-workers", type=int, default=None,
         help="worker processes for the service measurement (default: 1)",
+    )
+    sub.add_argument(
+        "--backend", default=None,
+        choices=["numpy", "numba", "pykernel"],
+        help="step backend for the pinned scenarios (default: numpy, or "
+             "REPRO_BACKEND); numba falls back to numpy with a warning "
+             "when not installed",
+    )
+    sub.add_argument(
+        "--skip-bigworld", action="store_true",
+        help="skip the big-world (33x33/64x64) backend measurements",
     )
     sub.add_argument(
         "--check-against", default=None, metavar="PATH",

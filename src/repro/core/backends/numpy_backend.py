@@ -1,0 +1,207 @@
+"""The default vectorized step backend: the numpy fast path, verbatim.
+
+This is the optimized inner loop exactly as it lived inside
+:class:`repro.core.vectorized.BatchSimulator` before the backend
+refactor -- precomputed neighbour kernels, zero-allocation stepping over
+preallocated scratch buffers, the one-word knowledge fast path --
+relocated behind :class:`repro.core.backends.StepBackend` without
+changing a single arithmetic operation.  The fast-path test suite pins
+it bit-exact against both the scalar reference simulation and the
+frozen legacy stepper.
+
+The only addition is the optional float32 colour field: when the
+simulator stores colours as ``float32`` (halving the per-lane field
+footprint on big worlds), gathers go through a float scratch row and
+are cast back to the int64 working scratch.  Colours are small exact
+integers, so the cast is lossless and the results stay bit-exact.
+"""
+
+import numpy as np
+
+from repro.core.backends import StepBackend
+
+
+class NumpyStepBackend(StepBackend):
+    """Vectorized ``take``/gather stepping over the shared scratch buffers."""
+
+    name = "numpy"
+
+    def step_active(self, sim, n):
+        n_cells = sim._n_cells
+        n_states = sim.n_states
+        n_agents = sim.n_agents
+        table_size = sim._move.shape[1]
+
+        pos = sim._pos[:n]
+        direction = sim._direction[:n]
+        state = sim._state[:n]
+        species = sim._species[:n]
+        agent_ids = sim._agent_ids[:n]
+        row_pad = sim._row_pad[:n]
+        colors_flat = sim._colors_pad.reshape(-1)
+        occ_flat = sim._occ_pad.reshape(-1)
+
+        # front cell via the precomputed kernel: front_flat[direction * N + pos]
+        idx = sim._b_idx[:n]
+        front = sim._b_front[:n]
+        np.multiply(direction, n_cells, out=idx)
+        np.add(idx, pos, out=idx)
+        np.take(sim._front_flat, idx, out=front)
+
+        here_g = sim._b_here_g[:n]
+        front_g = sim._b_front_g[:n]
+        np.add(pos, row_pad, out=here_g)
+        np.add(front, row_pad, out=front_g)
+
+        color = sim._b_val[:n]
+        frontcolor = sim._b_val2[:n]
+        if colors_flat.dtype == np.int64:
+            np.take(colors_flat, here_g, out=color)
+            np.take(colors_flat, front_g, out=frontcolor)
+        else:
+            # float32 colour fields: gather into the float scratch, then
+            # cast into the int64 working scratch (values are exact)
+            fcolor = sim._b_fcolor[:n]
+            np.take(colors_flat, here_g, out=fcolor)
+            np.copyto(color, fcolor, casting="unsafe")
+            np.take(colors_flat, front_g, out=fcolor)
+            np.copyto(frontcolor, fcolor, casting="unsafe")
+        occ_front = sim._b_occ[:n]
+        np.take(occ_flat, front_g, out=occ_front)
+        front_occupied = sim._m_focc[:n]
+        np.not_equal(occ_front, 0, out=front_occupied)
+
+        # phase 1: desire = move output assuming not blocked
+        # (x = blocked + 2 * (color + n_colors * frontcolor); for the
+        # paper's two colours this is the Fig. 3 bit packing)
+        x = sim._b_x[:n]
+        np.multiply(frontcolor, sim.n_colors, out=x)
+        np.add(x, color, out=x)
+        np.multiply(x, 2, out=x)
+        sbase = sim._b_sbase[:n]
+        np.multiply(species, table_size, out=sbase)
+        tidx = sim._b_tidx[:n]
+        np.multiply(x, n_states, out=tidx)
+        np.add(tidx, state, out=tidx)
+        np.add(tidx, sbase, out=tidx)
+        move_out = sim._b_val[:n]  # colour already folded into x
+        np.take(sim._move.reshape(-1), tidx, out=move_out)
+        requests = sim._m_req[:n]
+        not_buf = sim._m_not[:n]
+        np.equal(move_out, 1, out=requests)
+        np.logical_not(front_occupied, out=not_buf)
+        np.logical_and(requests, not_buf, out=requests)
+
+        # conflict resolution: lowest agent ID wins a contested front cell
+        winner_flat = sim._winner.reshape(-1)
+        winner_flat[front_g] = n_agents  # reset only the contested cells
+        np.logical_not(requests, out=not_buf)
+        if n_agents <= 32:
+            # write requesters' ids in descending agent order; the last
+            # (lowest) id written to a contested cell wins.  Non-requesters
+            # are redirected to their lane's void cell, which nobody reads.
+            target = sim._b_idx[:n]
+            np.copyto(target, front_g)
+            np.copyto(target, sim._row_void[:n], where=not_buf)
+            for agent in range(n_agents - 1, -1, -1):
+                winner_flat[target[:, agent]] = agent
+        else:
+            candidate = sim._b_idx[:n]
+            np.copyto(candidate, agent_ids)
+            np.copyto(candidate, n_agents, where=not_buf)
+            np.minimum.at(winner_flat, front_g, candidate)
+        won = sim._b_val2[:n]  # front colour already folded into x
+        np.take(winner_flat, front_g, out=won)
+        lost = sim._m_lost[:n]
+        np.not_equal(won, agent_ids, out=lost)
+        np.logical_and(lost, requests, out=lost)
+        blocked = sim._m_blk[:n]
+        np.logical_or(front_occupied, lost, out=blocked)
+
+        # phase 2: the actual FSM row (x_free is even, so | blocked == +)
+        np.add(x, blocked, out=x, casting="unsafe")
+        np.multiply(x, n_states, out=tidx)
+        np.add(tidx, state, out=tidx)
+        np.add(tidx, sbase, out=tidx)
+        next_state = sim._b_next[:n]
+        set_color = sim._b_setc[:n]
+        turn_code = sim._b_turn[:n]
+        np.take(sim._next_state.reshape(-1), tidx, out=next_state)
+        np.take(sim._set_color.reshape(-1), tidx, out=set_color)
+        np.take(sim._turn.reshape(-1), tidx, out=turn_code)
+        movers = sim._m_mov[:n]
+        np.logical_not(lost, out=not_buf)
+        np.logical_and(requests, not_buf, out=movers)  # == move & not blocked
+
+        # setcolor always rewrites the flag of the cell the agent stands on
+        colors_flat[here_g] = set_color
+
+        # simultaneous movement: winners are unique per target cell, and
+        # no target coincides with any agent's (occupied) old cell
+        occ_value = sim._b_occ[:n]
+        np.add(agent_ids, 1, out=occ_value)
+        np.copyto(occ_value, 0, where=movers)
+        occ_flat[here_g] = occ_value
+        target = sim._b_idx[:n]
+        np.copyto(target, here_g)
+        np.copyto(target, front_g, where=movers)
+        np.add(agent_ids, 1, out=occ_value)
+        occ_flat[target] = occ_value
+        np.copyto(pos, front, where=movers)
+
+        turn_inc = sim._b_tidx[:n]
+        np.take(sim._turn_increments, turn_code, out=turn_inc)
+        np.add(direction, turn_inc, out=direction)
+        np.remainder(direction, sim._n_directions, out=direction)
+        np.copyto(state, next_state)
+
+    def exchange_active(self, sim, n):
+        n_words = sim._mask.size
+        pos = sim._pos[:n]
+        nbr = sim._b_idx[:n]
+        gidx = sim._b_front_g[:n]
+        occ_flat = sim._occ_pad.reshape(-1)
+        gather = sim._w_gather[:n]
+        np.copyto(gather, sim._know_padded[:n, 1:, :])
+        if n_words == 1:
+            # one-word fast path (any k <= 64): flat 1-D gathers throughout
+            know_flat = sim._know_padded.reshape(-1)
+            gather_2d = gather[:, :, 0]
+            direction_words = sim._w_dir[:n, :, 0]
+        else:
+            know_rows = sim._know_padded.reshape(-1, n_words)
+            direction_words = sim._w_dir[:n]
+        for d in range(sim._n_directions):
+            np.take(sim._neigh_table[d], pos, out=nbr)
+            np.add(nbr, sim._row_pad[:n], out=gidx)
+            np.take(occ_flat, gidx, out=nbr)          # neighbour agent ids
+            np.maximum(nbr, 0, out=nbr)               # obstacles relay nothing
+            np.add(nbr, sim._row_know[:n], out=gidx)
+            if n_words == 1:
+                np.take(know_flat, gidx, out=direction_words)
+                np.bitwise_or(gather_2d, direction_words, out=gather_2d)
+            else:
+                np.take(know_rows, gidx, axis=0, out=direction_words)
+                np.bitwise_or(gather, direction_words, out=gather)
+
+        know = sim._know_padded[:n, 1:, :]
+        changed = sim._m_changed[:n]
+        tmp = sim._m_tmp[:n]
+        np.not_equal(gather[:, :, 0], know[:, :, 0], out=changed)
+        for word in range(1, n_words):
+            np.not_equal(gather[:, :, word], know[:, :, word], out=tmp)
+            np.logical_or(changed, tmp, out=changed)
+        if not changed.any():
+            return False
+        np.copyto(know, gather)
+        return True
+
+    def solved_active(self, sim, n):
+        know = sim._know_padded[:n, 1:, :]
+        informed = sim._m_informed[:n]
+        tmp = sim._m_tmp[:n]
+        np.equal(know[:, :, 0], sim._mask[0], out=informed)
+        for word in range(1, sim._mask.size):
+            np.equal(know[:, :, word], sim._mask[word], out=tmp)
+            np.logical_and(informed, tmp, out=informed)
+        return informed.all(axis=1)

@@ -12,6 +12,14 @@ Semantics are identical to :class:`repro.core.simulation.Simulation`
 control states, knowledge and communication times).  Knowledge vectors
 are bit-packed into ``uint64`` words, so any agent count works.
 
+The per-step inner loop (move / exchange / informed-check) is pluggable:
+it lives behind the :class:`repro.core.backends.StepBackend` interface,
+with the vectorized numpy path as the default and an optional compiled
+numba kernel (``backend="numba"`` or ``REPRO_BACKEND=numba``) for big
+worlds; see :mod:`repro.core.backends`.  The simulator shell here owns
+all state, scratch buffers, lane compaction and counters, so every
+backend is bit-exact by construction and differs only in throughput.
+
 The stepper is built for throughput:
 
 * **Precomputed neighbour kernels** -- per-cell x per-direction flat
@@ -41,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends import resolve_backend
 from repro.core.environment import Environment
 from repro.core.metrics import FITNESS_WEIGHT
 from repro.core.simulation import SimulationResult
@@ -149,6 +158,15 @@ class BatchSimulator:
         behaviour per *agent slot*, the same in every lane -- the paper's
         "different species" symmetry-breaking option (Sect. 4, item 3).
         Mutually exclusive with a per-lane ``fsms`` list.
+    backend:
+        Step backend name or instance (see :mod:`repro.core.backends`);
+        ``None`` follows ``REPRO_BACKEND`` and defaults to ``"numpy"``.
+        Every backend is bit-exact; only throughput differs.
+    color_dtype:
+        Storage dtype of the colour fields (default ``int64``).  Pass
+        ``numpy.float32`` to halve the field footprint on big worlds;
+        colours are small exact integers, so results are unchanged and
+        the public ``colors`` view still reads as ``int64``.
 
     Lanes are compacted as they finish, so the row order of the internal
     working arrays is *not* the lane order; the public views (``px``,
@@ -158,10 +176,14 @@ class BatchSimulator:
     """
 
     def __init__(self, grid, fsms=None, configs=(), state_scheme=None,
-                 environment=None, agent_fsms=None):
+                 environment=None, agent_fsms=None, backend=None,
+                 color_dtype=None):
         configs = list(configs)
         if not configs:
             raise ValueError("need at least one configuration lane")
+        self._backend = resolve_backend(backend)
+        self._color_dtype = np.dtype(np.int64 if color_dtype is None
+                                     else color_dtype)
         self.grid = grid
         self.environment = environment or Environment.cyclic(grid)
         self.n_lanes = len(configs)
@@ -220,7 +242,7 @@ class BatchSimulator:
 
         dx, dy = grid.direction_deltas()
         self._dx, self._dy = dx, dy
-        self._turn_increments = grid.turn_table()
+        self._turn_increments = np.asarray(grid.turn_table(), dtype=np.int64)
         self._n_directions = grid.n_directions
         self._bordered = self.environment.bordered
 
@@ -279,7 +301,9 @@ class BatchSimulator:
 
         # -- fields, shape (B, N + 2) with the two sentinel columns --------
         starting = self.environment.starting_colors().reshape(-1).astype(np.int64)
-        self._colors_pad = np.zeros((n_lanes, self._n_padded), dtype=np.int64)
+        self._colors_pad = np.zeros(
+            (n_lanes, self._n_padded), dtype=self._color_dtype
+        )
         self._colors_pad[:, :n_cells] = starting
         self._occ_pad = np.zeros((n_lanes, self._n_padded), dtype=np.int64)
         for ox, oy in self.environment.obstacles:
@@ -339,6 +363,12 @@ class BatchSimulator:
         self._m_changed = bools()
         self._m_informed = bools()
         self._m_tmp = bools()
+        self._b_solved = np.empty(n_lanes, dtype=bool)
+        if self._color_dtype != np.int64:
+            # colour gathers land here before the lossless int64 cast
+            self._b_fcolor = np.empty(
+                (n_lanes, n_agents), dtype=self._color_dtype
+            )
         self._w_gather = np.empty((n_lanes, n_agents, n_words), dtype=np.uint64)
         self._w_dir = np.empty_like(self._w_gather)
         # conflict arena: never cleared wholesale -- each step scatter-resets
@@ -355,6 +385,7 @@ class BatchSimulator:
         self.t = 0
         self.done = np.zeros(n_lanes, dtype=bool)
         self.t_comm = np.full(n_lanes, -1, dtype=np.int64)
+        self._backend.bind(self)
         # the exchange right after placement is not counted
         self._exchange_and_check(initial=True)
 
@@ -387,9 +418,20 @@ class BatchSimulator:
         return self._by_lane(self._state)
 
     @property
+    def backend_name(self):
+        """Name of the step backend actually running this simulator."""
+        return self._backend.name
+
+    @property
     def colors(self):
-        """Colour fields, shape ``(B, M * M)``, original lane order."""
-        return self._by_lane(self._colors_pad[:, : self._n_cells])
+        """Colour fields, shape ``(B, M * M)``, original lane order.
+
+        Always ``int64``, whatever the storage ``color_dtype``.
+        """
+        colors = self._colors_pad[:, : self._n_cells]
+        if colors.dtype != np.int64:
+            colors = colors.astype(np.int64)
+        return self._by_lane(colors)
 
     @property
     def occupancy(self):
@@ -424,54 +466,13 @@ class BatchSimulator:
         if n == 0:
             return
         self.counters.exchanges += 1
-        n_words = self._mask.size
-        pos = self._pos[:n]
-        nbr = self._b_idx[:n]
-        gidx = self._b_front_g[:n]
-        occ_flat = self._occ_pad.reshape(-1)
-        gather = self._w_gather[:n]
-        np.copyto(gather, self._know_padded[:n, 1:, :])
-        if n_words == 1:
-            # one-word fast path (any k <= 64): flat 1-D gathers throughout
-            know_flat = self._know_padded.reshape(-1)
-            gather_2d = gather[:, :, 0]
-            direction_words = self._w_dir[:n, :, 0]
-        else:
-            know_rows = self._know_padded.reshape(-1, n_words)
-            direction_words = self._w_dir[:n]
-        for d in range(self._n_directions):
-            np.take(self._neigh_table[d], pos, out=nbr)
-            np.add(nbr, self._row_pad[:n], out=gidx)
-            np.take(occ_flat, gidx, out=nbr)          # neighbour agent ids
-            np.maximum(nbr, 0, out=nbr)               # obstacles relay nothing
-            np.add(nbr, self._row_know[:n], out=gidx)
-            if n_words == 1:
-                np.take(know_flat, gidx, out=direction_words)
-                np.bitwise_or(gather_2d, direction_words, out=gather_2d)
-            else:
-                np.take(know_rows, gidx, axis=0, out=direction_words)
-                np.bitwise_or(gather, direction_words, out=gather)
-
-        know = self._know_padded[:n, 1:, :]
-        changed = self._m_changed[:n]
-        tmp = self._m_tmp[:n]
-        np.not_equal(gather[:, :, 0], know[:, :, 0], out=changed)
-        for word in range(1, self._mask.size):
-            np.not_equal(gather[:, :, word], know[:, :, word], out=tmp)
-            np.logical_or(changed, tmp, out=changed)
-        if not initial and not changed.any():
+        changed = self._backend.exchange_active(self, n)
+        if not initial and not changed:
             # knowledge is monotone, so an unchanged exchange cannot newly
             # solve an (unsolved) active lane
             self.counters.exchange_early_outs += 1
             return
-        np.copyto(know, gather)
-
-        informed = self._m_informed[:n]
-        np.equal(gather[:, :, 0], self._mask[0], out=informed)
-        for word in range(1, self._mask.size):
-            np.equal(gather[:, :, word], self._mask[word], out=tmp)
-            np.logical_and(informed, tmp, out=informed)
-        solved = informed.all(axis=1)
+        solved = self._backend.solved_active(self, n)
         if solved.any():
             self._retire(solved)
 
@@ -506,125 +507,7 @@ class BatchSimulator:
         n = self._n_active
         if n == 0:
             return
-        n_cells = self._n_cells
-        n_states = self.n_states
-        n_agents = self.n_agents
-        table_size = self._move.shape[1]
-
-        pos = self._pos[:n]
-        direction = self._direction[:n]
-        state = self._state[:n]
-        species = self._species[:n]
-        agent_ids = self._agent_ids[:n]
-        row_pad = self._row_pad[:n]
-        colors_flat = self._colors_pad.reshape(-1)
-        occ_flat = self._occ_pad.reshape(-1)
-
-        # front cell via the precomputed kernel: front_flat[direction * N + pos]
-        idx = self._b_idx[:n]
-        front = self._b_front[:n]
-        np.multiply(direction, n_cells, out=idx)
-        np.add(idx, pos, out=idx)
-        np.take(self._front_flat, idx, out=front)
-
-        here_g = self._b_here_g[:n]
-        front_g = self._b_front_g[:n]
-        np.add(pos, row_pad, out=here_g)
-        np.add(front, row_pad, out=front_g)
-
-        color = self._b_val[:n]
-        frontcolor = self._b_val2[:n]
-        np.take(colors_flat, here_g, out=color)
-        np.take(colors_flat, front_g, out=frontcolor)
-        occ_front = self._b_occ[:n]
-        np.take(occ_flat, front_g, out=occ_front)
-        front_occupied = self._m_focc[:n]
-        np.not_equal(occ_front, 0, out=front_occupied)
-
-        # phase 1: desire = move output assuming not blocked
-        # (x = blocked + 2 * (color + n_colors * frontcolor); for the
-        # paper's two colours this is the Fig. 3 bit packing)
-        x = self._b_x[:n]
-        np.multiply(frontcolor, self.n_colors, out=x)
-        np.add(x, color, out=x)
-        np.multiply(x, 2, out=x)
-        sbase = self._b_sbase[:n]
-        np.multiply(species, table_size, out=sbase)
-        tidx = self._b_tidx[:n]
-        np.multiply(x, n_states, out=tidx)
-        np.add(tidx, state, out=tidx)
-        np.add(tidx, sbase, out=tidx)
-        move_out = self._b_val[:n]  # colour already folded into x
-        np.take(self._move.reshape(-1), tidx, out=move_out)
-        requests = self._m_req[:n]
-        not_buf = self._m_not[:n]
-        np.equal(move_out, 1, out=requests)
-        np.logical_not(front_occupied, out=not_buf)
-        np.logical_and(requests, not_buf, out=requests)
-
-        # conflict resolution: lowest agent ID wins a contested front cell
-        winner_flat = self._winner.reshape(-1)
-        winner_flat[front_g] = n_agents  # reset only the contested cells
-        np.logical_not(requests, out=not_buf)
-        if n_agents <= 32:
-            # write requesters' ids in descending agent order; the last
-            # (lowest) id written to a contested cell wins.  Non-requesters
-            # are redirected to their lane's void cell, which nobody reads.
-            target = self._b_idx[:n]
-            np.copyto(target, front_g)
-            np.copyto(target, self._row_void[:n], where=not_buf)
-            for agent in range(n_agents - 1, -1, -1):
-                winner_flat[target[:, agent]] = agent
-        else:
-            candidate = self._b_idx[:n]
-            np.copyto(candidate, agent_ids)
-            np.copyto(candidate, n_agents, where=not_buf)
-            np.minimum.at(winner_flat, front_g, candidate)
-        won = self._b_val2[:n]  # front colour already folded into x
-        np.take(winner_flat, front_g, out=won)
-        lost = self._m_lost[:n]
-        np.not_equal(won, agent_ids, out=lost)
-        np.logical_and(lost, requests, out=lost)
-        blocked = self._m_blk[:n]
-        np.logical_or(front_occupied, lost, out=blocked)
-
-        # phase 2: the actual FSM row (x_free is even, so | blocked == +)
-        np.add(x, blocked, out=x, casting="unsafe")
-        np.multiply(x, n_states, out=tidx)
-        np.add(tidx, state, out=tidx)
-        np.add(tidx, sbase, out=tidx)
-        next_state = self._b_next[:n]
-        set_color = self._b_setc[:n]
-        turn_code = self._b_turn[:n]
-        np.take(self._next_state.reshape(-1), tidx, out=next_state)
-        np.take(self._set_color.reshape(-1), tidx, out=set_color)
-        np.take(self._turn.reshape(-1), tidx, out=turn_code)
-        movers = self._m_mov[:n]
-        np.logical_not(lost, out=not_buf)
-        np.logical_and(requests, not_buf, out=movers)  # == move & not blocked
-
-        # setcolor always rewrites the flag of the cell the agent stands on
-        colors_flat[here_g] = set_color
-
-        # simultaneous movement: winners are unique per target cell, and
-        # no target coincides with any agent's (occupied) old cell
-        occ_value = self._b_occ[:n]
-        np.add(agent_ids, 1, out=occ_value)
-        np.copyto(occ_value, 0, where=movers)
-        occ_flat[here_g] = occ_value
-        target = self._b_idx[:n]
-        np.copyto(target, here_g)
-        np.copyto(target, front_g, where=movers)
-        np.add(agent_ids, 1, out=occ_value)
-        occ_flat[target] = occ_value
-        np.copyto(pos, front, where=movers)
-
-        turn_inc = self._b_tidx[:n]
-        np.take(self._turn_increments, turn_code, out=turn_inc)
-        np.add(direction, turn_inc, out=direction)
-        np.remainder(direction, self._n_directions, out=direction)
-        np.copyto(state, next_state)
-
+        self._backend.step_active(self, n)
         self.t += 1
         self.counters.steps += 1
         self.counters.lane_steps += n

@@ -15,11 +15,24 @@ lanes, split two ways for scale:
   :class:`BatchSimulator` chain per worker; outcomes are merged back in
   input order, so results are deterministic and identical to the serial
   path.
+* **streamed suites** -- a suite passed as a generator (anything
+  without ``len``) is consumed incrementally in field blocks sized so
+  that at most ``lane_block`` lanes are ever alive, with per-FSM sums
+  accumulated across blocks.  Peak memory is bounded by the block, not
+  the suite, which is what makes 64x64 / k=1024 workloads viable; the
+  paper fitness is integer-valued per lane, so the accumulated means
+  are bit-identical to the materialised path.
+
+Every entry point takes a ``backend=`` selecting the simulator's step
+backend (:mod:`repro.core.backends`); backends are bit-exact, so cache
+keys deliberately ignore the choice.
 """
 
 import hashlib
 import multiprocessing
 import threading
+
+import numpy as np
 
 from repro._compat import renamed_kwargs, warn_deprecated
 from repro.core.metrics import FITNESS_WEIGHT
@@ -51,9 +64,9 @@ def _outcome_from_batch(batch):
 
 
 @renamed_kwargs(tmax="t_max")
-def evaluate_fsm(grid, fsm, suite, t_max=200):
+def evaluate_fsm(grid, fsm, suite, t_max=200, backend=None):
     """Evaluate one FSM over every configuration of ``suite``."""
-    simulator = BatchSimulator(grid, fsm, list(suite))
+    simulator = BatchSimulator(grid, fsm, list(suite), backend=backend)
     batch = simulator.run(t_max=t_max)
     return _outcome_from_batch(batch)
 
@@ -77,7 +90,7 @@ def _slice_outcomes(batch, n_fsms, n_fields):
     return outcomes
 
 
-def _evaluate_chunked(grid, fsms, configs, t_max, lane_block):
+def _evaluate_chunked(grid, fsms, configs, t_max, lane_block, backend=None):
     """Serial evaluation in lane blocks; bit-exact vs one monolithic batch."""
     n_fields = len(configs)
     if lane_block:
@@ -89,15 +102,84 @@ def _evaluate_chunked(grid, fsms, configs, t_max, lane_block):
         chunk = fsms[start:start + fsms_per_chunk]
         lane_fsms = [fsm for fsm in chunk for _ in range(n_fields)]
         lane_configs = configs * len(chunk)
-        batch = BatchSimulator(grid, lane_fsms, lane_configs).run(t_max=t_max)
+        batch = BatchSimulator(
+            grid, lane_fsms, lane_configs, backend=backend
+        ).run(t_max=t_max)
         outcomes.extend(_slice_outcomes(batch, len(chunk), n_fields))
     return outcomes
 
 
+def _evaluate_streamed(grid, fsms, fields, t_max, lane_block, backend=None,
+                       stream_stats=None):
+    """Incremental evaluation of a lazily produced suite.
+
+    ``fields`` is any iterable of configurations; it is consumed in
+    blocks of ``max(1, lane_block // n_fsms)`` fields, so at most
+    ``lane_block`` lanes (one per FSM per block field) are alive at a
+    time regardless of how long the suite runs.  Per-lane outcomes do
+    not depend on batch composition and the paper fitness is
+    integer-valued per lane (``FITNESS_WEIGHT`` is an int), so the
+    accumulated float64 sums are exact and the resulting means are
+    bit-identical to materialising the whole suite.
+    """
+    n_fsms = len(fsms)
+    block_fields = max(1, (lane_block or DEFAULT_LANE_BLOCK) // n_fsms)
+    fitness_sum = np.zeros(n_fsms)
+    time_sum = np.zeros(n_fsms)
+    n_success = np.zeros(n_fsms, dtype=np.int64)
+    n_fields = 0
+    max_lanes = 0
+    n_blocks = 0
+    iterator = iter(fields)
+    while True:
+        block = []
+        for config in iterator:
+            block.append(config)
+            if len(block) == block_fields:
+                break
+        if not block:
+            break
+        lane_fsms = [fsm for fsm in fsms for _ in range(len(block))]
+        lane_configs = block * n_fsms
+        batch = BatchSimulator(
+            grid, lane_fsms, lane_configs, backend=backend
+        ).run(t_max=t_max)
+        per_lane = batch.fitness(FITNESS_WEIGHT)
+        for index in range(n_fsms):
+            lanes = slice(index * len(block), (index + 1) * len(block))
+            success = batch.success[lanes]
+            fitness_sum[index] += per_lane[lanes].sum()
+            time_sum[index] += batch.t_comm[lanes][success].sum()
+            n_success[index] += int(success.sum())
+        n_fields += len(block)
+        max_lanes = max(max_lanes, len(lane_configs))
+        n_blocks += 1
+    if n_fields == 0:
+        raise ValueError("a streamed suite produced no configurations")
+    if stream_stats is not None:
+        stream_stats.update(
+            n_fields=n_fields, n_blocks=n_blocks,
+            max_lanes_in_flight=max_lanes, block_fields=block_fields,
+        )
+    return [
+        EvaluationResult(
+            fitness=float(fitness_sum[index] / n_fields),
+            mean_time=(
+                float(time_sum[index] / n_success[index])
+                if n_success[index] else float("inf")
+            ),
+            n_fields=n_fields,
+            n_successful_fields=int(n_success[index]),
+        )
+        for index in range(n_fsms)
+    ]
+
+
 def _shard_worker(payload):
     """Worker entry point: evaluate one contiguous FSM shard serially."""
-    grid, fsms, configs, t_max, lane_block = payload
-    return _evaluate_chunked(grid, fsms, configs, t_max, lane_block)
+    grid, fsms, configs, t_max, lane_block, backend = payload
+    return _evaluate_chunked(grid, fsms, configs, t_max, lane_block,
+                             backend=backend)
 
 
 def _pool_context():
@@ -110,7 +192,7 @@ def _pool_context():
 @renamed_kwargs(tmax="t_max", workers="n_workers")
 def evaluate_population(grid, fsms, suite, t_max=200,
                         lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
-                        pool=None):
+                        pool=None, backend=None, stream_stats=None):
     """Evaluate many FSMs over one suite, chunked and optionally sharded.
 
     Lanes are laid out individual-major: lanes ``[p * F, (p+1) * F)``
@@ -125,16 +207,42 @@ def evaluate_population(grid, fsms, suite, t_max=200,
     then defaults to the pool's size).  All split points fall on
     whole-FSM boundaries, so every path returns results identical to
     the monolithic single-process evaluation.
+
+    A ``suite`` without ``len`` (a generator of configurations) is
+    *streamed*: consumed block by block with at most ``lane_block``
+    lanes in memory at once and never materialised -- the way to run
+    big-world workloads (64x64, k up to 1024).  Streaming is serial;
+    with ``n_workers > 1`` the suite is materialised first so it can be
+    shipped to the shards.  ``stream_stats``, if a dict, receives
+    ``n_fields`` / ``n_blocks`` / ``max_lanes_in_flight`` /
+    ``block_fields`` after a streamed run.
+
+    ``backend`` picks the simulator step backend
+    (:mod:`repro.core.backends`); every backend returns bit-identical
+    results.
     """
     fsms = list(fsms)
-    configs = list(suite)
+    streamable = not hasattr(suite, "__len__")
     if pool is not None and n_workers is None:
         n_workers = pool.n_workers
     n_workers = min(n_workers or 1, len(fsms))
+    if streamable and n_workers <= 1:
+        return _evaluate_streamed(
+            grid, fsms, suite, t_max, lane_block, backend=backend,
+            stream_stats=stream_stats,
+        )
+    configs = list(suite)
     if n_workers > 1:
+        # ship the backend by name: compiled backend instances hold
+        # jit dispatchers that do not pickle
+        backend_name = (
+            backend if backend is None or isinstance(backend, str)
+            else backend.name
+        )
         shard_size = (len(fsms) + n_workers - 1) // n_workers
         payloads = [
-            (grid, fsms[start:start + shard_size], configs, t_max, lane_block)
+            (grid, fsms[start:start + shard_size], configs, t_max,
+             lane_block, backend_name)
             for start in range(0, len(fsms), shard_size)
         ]
         if pool is not None and not pool.inline:
@@ -143,7 +251,8 @@ def evaluate_population(grid, fsms, suite, t_max=200,
             with _pool_context().Pool(processes=len(payloads)) as one_shot:
                 shard_outcomes = one_shot.map(_shard_worker, payloads)
         return [outcome for shard in shard_outcomes for outcome in shard]
-    return _evaluate_chunked(grid, fsms, configs, t_max, lane_block)
+    return _evaluate_chunked(grid, fsms, configs, t_max, lane_block,
+                             backend=backend)
 
 
 def suite_fingerprint(suite):
@@ -242,20 +351,26 @@ class SuiteEvaluator:
     shared by evaluators over *different* suites or step budgets (the
     service does exactly that) and can never serve a stale result.
 
-    ``lane_block``, ``n_workers`` and ``pool`` are forwarded to
-    :func:`evaluate_population`; none affects results or the cache
-    keys, only how the simulation work is laid out.
+    ``lane_block``, ``n_workers``, ``pool`` and ``backend`` are
+    forwarded to :func:`evaluate_population`; none affects results or
+    the cache keys, only how the simulation work is laid out (backends
+    are bit-exact by construction).
     """
+
+    # class-level default so evaluators unpickled from checkpoints
+    # written before the backend option keep working
+    backend = None
 
     def __init__(self, grid, suite, t_max=200,
                  lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
-                 pool=None, cache=None):
+                 pool=None, cache=None, backend=None):
         self.grid = grid
         self.suite = suite
         self.t_max = t_max
         self.lane_block = lane_block
         self.n_workers = n_workers
         self.pool = pool
+        self.backend = backend
         self.cache = cache if cache is not None else EvaluationCache()
         self._suite_fp = suite_fingerprint(suite)
         self.evaluations = 0
@@ -267,7 +382,8 @@ class SuiteEvaluator:
         key = self._key(fsm)
         cached = self.cache.get(key)
         if cached is None:
-            cached = evaluate_fsm(self.grid, fsm, self.suite, t_max=self.t_max)
+            cached = evaluate_fsm(self.grid, fsm, self.suite,
+                                  t_max=self.t_max, backend=self.backend)
             self.cache.put(key, cached)
             self.evaluations += 1
         return cached
@@ -291,7 +407,7 @@ class SuiteEvaluator:
             outcomes = evaluate_population(
                 self.grid, fresh, self.suite, t_max=self.t_max,
                 lane_block=self.lane_block, n_workers=self.n_workers,
-                pool=self.pool,
+                pool=self.pool, backend=self.backend,
             )
             for key, outcome in zip(fresh_keys, outcomes):
                 self.cache.put(key, outcome)

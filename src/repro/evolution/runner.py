@@ -110,14 +110,16 @@ def _record(population):
 def evolve(grid, suite, settings=EvolutionSettings(), progress=None,
            seed_fsms=(), lane_block=DEFAULT_LANE_BLOCK, n_workers=None,
            pool=None, cache=None, checkpoint_path=None, checkpoint_every=1,
-           resume_from=None):
+           resume_from=None, backend=None):
     """One optimization run over ``suite`` on ``grid``.
 
     ``progress``, if given, is called with each :class:`GenerationRecord`
     as it is produced (generation 0 is the evaluated random pool).
-    ``lane_block`` / ``n_workers`` / ``pool`` / ``cache`` are forwarded
-    to the run's :class:`SuiteEvaluator`; they re-layout the evaluation
-    work (and let runs share simulations) without changing any result.
+    ``lane_block`` / ``n_workers`` / ``pool`` / ``cache`` / ``backend``
+    are forwarded to the run's :class:`SuiteEvaluator`; they re-layout
+    the evaluation work (and let runs share simulations) without
+    changing any result -- step backends are bit-exact, so an evolution
+    run on ``backend="numba"`` reproduces the numpy run exactly.
 
     ``checkpoint_path`` snapshots the run atomically every
     ``checkpoint_every`` generations (and once more on completion);
@@ -151,6 +153,7 @@ def evolve(grid, suite, settings=EvolutionSettings(), progress=None,
         evaluator.lane_block = lane_block
         evaluator.n_workers = n_workers
         evaluator.pool = pool
+        evaluator.backend = backend
         if cache is not None:
             evaluator.cache = cache
         started = time.perf_counter()
@@ -158,7 +161,7 @@ def evolve(grid, suite, settings=EvolutionSettings(), progress=None,
         rng = np.random.default_rng(settings.seed)
         evaluator = SuiteEvaluator(
             grid, suite, t_max=settings.t_max, lane_block=lane_block,
-            n_workers=n_workers, pool=pool, cache=cache,
+            n_workers=n_workers, pool=pool, cache=cache, backend=backend,
         )
         population = Population(
             evaluator,

@@ -15,6 +15,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.configs.suite import paper_suite
+from repro.core.bits import popcount
 from repro.core.published import published_fsm
 from repro.core.vectorized import BatchSimulator
 from repro.experiments.report import ascii_bars
@@ -24,10 +25,7 @@ from repro.grids import make_grid
 def knowledge_bits_fraction(simulator):
     """Mean fraction of the ``k * k`` knowledge bits present, over lanes."""
     words = simulator.knowledge  # (B, k, W) uint64
-    # popcount via the classic 8-bit lookup on the raw bytes
-    as_bytes = words.view(np.uint8)
-    table = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
-    bit_counts = table[as_bytes].sum(axis=(1, 2), dtype=np.int64)
+    bit_counts = popcount(words).sum(axis=(1, 2), dtype=np.int64)
     k = simulator.n_agents
     return float(bit_counts.mean()) / (k * k)
 

@@ -69,7 +69,14 @@ the fault-free pass before any rate is recorded) and ``durability``
 (:func:`measure_durability`: a supervised ``serve --tcp`` child killed
 with SIGKILL mid-batch, recovered via restart + write-ahead-journal
 replay + persistent cache, bit-exact versus the fault-free pass).
-``hardware`` feeds the perf-regression gate
+Two newer sections round the record out: ``software`` (the active step
+backend plus numpy/numba versions, so the gate never diffs a numpy run
+against a numba run) and ``bigworld`` (:func:`measure_bigworld`:
+per-backend steps/sec on the pinned 33x33 / k=64 and 64x64 / k=256
+scenarios, asserted bit-exact across backends before any speedup is
+recorded, plus a streamed 64x64 / k=1024 suite fed through
+``evaluate_population`` as a generator with its peak lanes-in-flight
+recorded).  ``hardware`` feeds the perf-regression gate
 (:mod:`repro.perf.regression`), which only compares runs from
 comparable machines.
 """
@@ -84,6 +91,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.backends import (
+    backend_versions,
+    numba_available,
+    resolve_backend,
+)
 from repro.core.published import published_fsm
 from repro.core.vectorized import BatchSimulator
 from repro.configs.suite import paper_suite
@@ -126,18 +138,47 @@ PINNED_STEP_SCENARIOS = (
                   n_fields=1000, seed=2013, t_max=200),
 )
 
+#: Big-world workloads: the paper's Table-1 regime pushed to 33 x 33 and
+#: 64 x 64 with large k -- where python overhead hurts most and the
+#: compiled backend pays off.  Few fields: each lane is itself big.
+BIGWORLD_SCENARIOS = (
+    BenchScenario(name="T33_k64", kind="T", size=33, n_agents=64,
+                  n_fields=7, seed=2013, t_max=200),
+    BenchScenario(name="T64_k256", kind="T", size=64, n_agents=256,
+                  n_fields=3, seed=2013, t_max=200),
+)
+
+#: The streamed-suite stress point: 64 x 64 with k = 1024 lanes fed
+#: through ``evaluate_population`` as a generator, never materialised.
+STREAMED_BIGWORLD = {
+    "kind": "T", "size": 64, "n_agents": 1024, "n_fields": 6,
+    "seed": 2013, "t_max": 40, "lane_block": 2,
+}
+
 
 def quick_scenario(scenario, n_fields=100):
     """A reduced copy of a pinned scenario for smoke runs."""
     return replace(scenario, n_fields=n_fields)
 
 
-def measure_steps(scenario, simulator_cls=BatchSimulator, repeats=3):
-    """Time ``run()`` on a scenario; best-of-``repeats`` wall clock."""
+def measure_steps(scenario, simulator_cls=BatchSimulator, repeats=3,
+                  backend=None):
+    """Time ``run()`` on a scenario; best-of-``repeats`` wall clock.
+
+    ``backend`` selects the step backend when ``simulator_cls`` is the
+    :class:`BatchSimulator` (the frozen legacy class takes none); the
+    record's ``backend`` key always names what actually ran, so the
+    regression gate never compares different engines.
+    """
     grid, fsm, configs = scenario.build()
     best_wall, result, counters = None, None, None
+    backend_name = "legacy"
     for _ in range(max(1, repeats)):
-        simulator = simulator_cls(grid, fsm, configs)
+        if backend is None:
+            simulator = simulator_cls(grid, fsm, configs)
+        else:
+            simulator = simulator_cls(grid, fsm, configs, backend=backend)
+        backend_name = getattr(simulator, "backend_name", "legacy")
         start = time.perf_counter()
         outcome = simulator.run(t_max=scenario.t_max)
         wall = time.perf_counter() - start
@@ -154,6 +195,7 @@ def measure_steps(scenario, simulator_cls=BatchSimulator, repeats=3):
         "n_agents": scenario.n_agents,
         "n_lanes": len(configs),
         "t_max": scenario.t_max,
+        "backend": backend_name,
         "steps": steps,
         "wall_seconds": best_wall,
         "steps_per_sec": steps / best_wall if best_wall else float("inf"),
@@ -165,6 +207,145 @@ def measure_steps(scenario, simulator_cls=BatchSimulator, repeats=3):
     if counters is not None:
         record["counters"] = counters.as_dict()
     return record
+
+
+def _assert_batch_equal(reference, candidate, label):
+    """Refuse to record a speedup for non-identical results."""
+    same = (
+        (reference.success == candidate.success).all()
+        and (reference.t_comm == candidate.t_comm).all()
+        and (reference.informed_agents == candidate.informed_agents).all()
+        and reference.steps_executed == candidate.steps_executed
+    )
+    if not same:
+        raise AssertionError(
+            f"{label} diverged from the numpy reference; refusing to "
+            "record a bigworld speedup for non-identical results"
+        )
+
+
+def measure_bigworld(scenarios=BIGWORLD_SCENARIOS, repeats=2,
+                     backends=None, streamed=True):
+    """Per-backend steps/sec on the big-world scenarios, bit-exact.
+
+    Every requested backend runs the same pinned workloads; outcomes
+    are asserted bit-identical to the numpy reference before any
+    speedup is recorded.  ``backends`` defaults to numpy plus numba
+    when importable (the interpreted kernel twin is orders of magnitude
+    too slow to bench, though any name is accepted).  With ``streamed``
+    a 64 x 64 / k = 1024 suite is additionally fed through
+    :func:`repro.evolution.fitness.evaluate_population` as a generator,
+    recording the peak number of lanes in flight -- the bounded-memory
+    contract for suites too big to materialise.
+    """
+    if backends is None:
+        backends = ["numpy"] + (["numba"] if numba_available() else [])
+    section = {}
+    for scenario in scenarios:
+        grid, fsm, configs = scenario.build()
+        per_backend = {}
+        reference = None
+        for name in backends:
+            resolved = resolve_backend(name)
+            best_wall, result, counters = None, None, None
+            for _ in range(max(1, repeats)):
+                simulator = BatchSimulator(
+                    grid, fsm, configs, backend=resolved
+                )
+                start = time.perf_counter()
+                outcome = simulator.run(t_max=scenario.t_max)
+                wall = time.perf_counter() - start
+                if best_wall is None or wall < best_wall:
+                    best_wall, result = wall, outcome
+                    counters = simulator.counters
+            if reference is None:
+                reference = result   # numpy runs first: the oracle
+            else:
+                _assert_batch_equal(
+                    reference, result,
+                    f"backend {resolved.name!r} on {scenario.name}",
+                )
+            row = {
+                "backend": resolved.name,
+                "steps": result.steps_executed,
+                "wall_seconds": best_wall,
+                "steps_per_sec": (
+                    result.steps_executed / best_wall
+                    if best_wall else float("inf")
+                ),
+                "lane_steps_per_sec": (
+                    counters.lane_steps / best_wall
+                    if best_wall else float("inf")
+                ),
+                "solved_lanes": int(result.success.sum()),
+            }
+            numpy_row = per_backend.get("numpy")
+            if numpy_row is not None and resolved.name != "numpy":
+                row["speedup_vs_numpy"] = (
+                    numpy_row["wall_seconds"] / best_wall
+                    if best_wall else float("inf")
+                )
+            per_backend[resolved.name] = row
+        section[scenario.name] = {
+            "kind": scenario.kind,
+            "size": scenario.size,
+            "n_agents": scenario.n_agents,
+            "n_lanes": len(configs),
+            "t_max": scenario.t_max,
+            "bit_exact": True,   # asserted above, or a single backend
+            "backends": per_backend,
+        }
+    if streamed:
+        section["streamed"] = measure_streamed_bigworld(
+            backend=backends[-1]
+        )
+    return section
+
+
+def measure_streamed_bigworld(spec=None, backend=None):
+    """Generator-fed big-world evaluation with bounded lanes in flight."""
+    from repro.evolution.fitness import evaluate_population
+
+    spec = dict(STREAMED_BIGWORLD, **(spec or {}))
+    grid = make_grid(spec["kind"], spec["size"])
+    fsm = published_fsm(spec["kind"])
+
+    def fields():
+        # lazily produced configurations: the suite never exists as a
+        # list, so peak memory is set by lane_block alone
+        rng_base = spec["seed"]
+        from repro.configs.random_configs import random_configuration
+
+        for index in range(spec["n_fields"]):
+            yield random_configuration(
+                grid, spec["n_agents"],
+                np.random.default_rng(rng_base + index),
+            )
+
+    stats = {}
+    start = time.perf_counter()
+    outcomes = evaluate_population(
+        grid, [fsm], fields(), t_max=spec["t_max"],
+        lane_block=spec["lane_block"], backend=backend,
+        stream_stats=stats,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "kind": spec["kind"],
+        "size": spec["size"],
+        "n_agents": spec["n_agents"],
+        "n_fields": stats["n_fields"],
+        "t_max": spec["t_max"],
+        "lane_block": spec["lane_block"],
+        "backend": resolve_backend(backend).name,
+        "max_lanes_in_flight": stats["max_lanes_in_flight"],
+        "n_blocks": stats["n_blocks"],
+        "wall_seconds": wall,
+        "fields_per_sec": (
+            stats["n_fields"] / wall if wall else float("inf")
+        ),
+        "fitness": outcomes[0].fitness,
+    }
 
 
 def measure_generations(kind, n_generations=6, n_fields=100, seed=2013,
@@ -196,6 +377,19 @@ def hardware_fingerprint():
         "machine": platform.machine(),
         "system": platform.system(),
         "python": platform.python_version(),
+    }
+
+
+def software_fingerprint(backend=None):
+    """Backend + dependency versions; the record half of comparability.
+
+    ``--check-against`` refuses to compare runs whose scenario rows name
+    different backends; the versions here additionally let a reviewer
+    see whether a numba upgrade moved the needle.
+    """
+    return {
+        "backend": resolve_backend(backend).name,
+        "versions": backend_versions(),
     }
 
 
@@ -841,7 +1035,7 @@ def measure_durability(scenario=None, n_requests=8, n_clients=4,
 
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
-              service_workers=None):
+              service_workers=None, backend=None, include_bigworld=True):
     """One full benchmark pass; returns the record to append to the log."""
     from repro.perf.reference import LegacyBatchSimulator
 
@@ -854,7 +1048,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
     scenarios = {}
     for pinned in PINNED_STEP_SCENARIOS:
         scenario = replace(pinned, n_fields=n_fields)
-        record = measure_steps(scenario, repeats=repeats)
+        record = measure_steps(scenario, repeats=repeats, backend=backend)
         if include_baseline:
             baseline = measure_steps(
                 scenario, simulator_cls=LegacyBatchSimulator, repeats=repeats
@@ -918,12 +1112,27 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             n_requests=6 if quick else 8,
             n_clients=3 if quick else 4,
         )
+    bigworld = {}
+    if include_bigworld:
+        if quick:
+            reduced = tuple(
+                replace(big, n_fields=2, t_max=60)
+                for big in BIGWORLD_SCENARIOS
+            )
+            bigworld = measure_bigworld(reduced, repeats=1, streamed=False)
+            bigworld["streamed"] = measure_streamed_bigworld(
+                {"n_fields": 2, "t_max": 15}
+            )
+        else:
+            bigworld = measure_bigworld(repeats=2)
     return {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "quick": bool(quick),
         "hardware": hardware_fingerprint(),
+        "software": software_fingerprint(backend),
         "scenarios": scenarios,
         "generations": generations,
+        "bigworld": bigworld,
         "service": service,
         "transport": transport,
         "adaptive": adaptive,

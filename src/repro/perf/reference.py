@@ -31,6 +31,8 @@ class LegacyBatchSimulator:
     BatchSimulator`; see there for parameter semantics.
     """
 
+    backend_name = "legacy"
+
     def __init__(self, grid, fsms=None, configs=(), state_scheme=None,
                  environment=None, agent_fsms=None):
         configs = list(configs)

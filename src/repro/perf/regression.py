@@ -26,9 +26,11 @@ def hardware_comparable(a, b):
 
 
 def _scenario_comparable(new, old):
+    # records committed before step backends existed are all-numpy
     return (
         new.get("n_lanes") == old.get("n_lanes")
         and new.get("t_max") == old.get("t_max")
+        and new.get("backend", "numpy") == old.get("backend", "numpy")
     )
 
 
@@ -79,10 +81,83 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
             )
         else:
             notes.append(line)
+    _check_bigworld(record, baseline_run, threshold, failures, notes)
     _check_transport(record, baseline_run, threshold, failures, notes)
     _check_chaos(record, baseline_run, threshold, failures, notes)
     _check_durability(record, baseline_run, threshold, failures, notes)
     return failures, notes
+
+
+def _bigworld_comparable(new, old):
+    return (
+        new.get("n_lanes") == old.get("n_lanes")
+        and new.get("t_max") == old.get("t_max")
+    )
+
+
+def _check_bigworld(record, baseline_run, threshold, failures, notes):
+    """Gate big-world steps/sec per backend, never across backends.
+
+    Each big-world scenario carries one row per step backend; rates are
+    only ever compared between rows naming the same backend, so a run
+    on a numba-equipped machine never fails (or flatters) against a
+    numpy-only baseline.  The streamed record is gated on
+    ``fields_per_sec`` under the same backend rule.  Baselines
+    committed before the section existed are skipped with a note.
+    """
+    baseline_bigworld = baseline_run.get("bigworld") or {}
+    for name, row in (record.get("bigworld") or {}).items():
+        baseline = baseline_bigworld.get(name)
+        if name == "streamed":
+            if (
+                baseline is None
+                or row.get("backend") != baseline.get("backend")
+                or row.get("n_fields") != baseline.get("n_fields")
+                or row.get("t_max") != baseline.get("t_max")
+            ):
+                notes.append(
+                    "bigworld streamed: no comparable baseline; skipped"
+                )
+                continue
+            new_rate = row["fields_per_sec"]
+            old_rate = baseline["fields_per_sec"]
+            ratio = new_rate / old_rate if old_rate else float("inf")
+            line = (
+                f"bigworld streamed: {new_rate:.2f} vs baseline "
+                f"{old_rate:.2f} fields/s ({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{line} -- dropped more than {threshold:.0%}"
+                )
+            else:
+                notes.append(line)
+            continue
+        if baseline is None or not _bigworld_comparable(row, baseline):
+            notes.append(f"bigworld {name}: no comparable baseline; skipped")
+            continue
+        baseline_backends = baseline.get("backends") or {}
+        for backend, backend_row in (row.get("backends") or {}).items():
+            baseline_row = baseline_backends.get(backend)
+            if baseline_row is None:
+                notes.append(
+                    f"bigworld {name} [{backend}]: no baseline for this "
+                    "backend; skipped"
+                )
+                continue
+            new_rate = backend_row["steps_per_sec"]
+            old_rate = baseline_row["steps_per_sec"]
+            ratio = new_rate / old_rate if old_rate else float("inf")
+            line = (
+                f"bigworld {name} [{backend}]: {new_rate:.1f} vs baseline "
+                f"{old_rate:.1f} steps/s ({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{line} -- dropped more than {threshold:.0%}"
+                )
+            else:
+                notes.append(line)
 
 
 def _transport_comparable(new, old):

@@ -7,7 +7,9 @@ One request per input line::
 
 ``fsm`` is ``"published"`` (default), ``"evolved"``, a
 ``{"genome": [[next_state, set_color, move, turn], ...]}`` table, or a
-list of those for a multi-FSM request.  One response per request, in
+list of those for a multi-FSM request.  An optional ``"backend"`` picks
+the simulator step backend (``"numpy"`` default / ``"numba"``); results
+are bit-identical either way, so it only affects batching and speed.  One response per request, in
 submission order::
 
     {"id": "r1", "outcomes": [{"fitness": ..., "mean_time": ...,
@@ -196,7 +198,8 @@ class ServeSession:
         specs = fsm_spec if isinstance(fsm_spec, list) else [fsm_spec]
         fsms = [_resolve_fsm(one, kind) for one in specs]
         return EvaluationRequest(
-            grid, fsms, suite, t_max=int(spec.get("t_max", 200))
+            grid, fsms, suite, t_max=int(spec.get("t_max", 200)),
+            backend=spec.get("backend"),
         )
 
     def _journaled_submit(self, idem, spec, record=True):

@@ -28,6 +28,7 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from repro.core.backends import normalize_backend_name
 from repro.evolution.fitness import (
     DEFAULT_LANE_BLOCK,
     EvaluationCache,
@@ -49,18 +50,24 @@ class EvaluationRequest:
     """One FSM-evaluation job: ``fsms`` over ``suite`` on ``grid``.
 
     The ``batch_key`` -- grid type and size, suite contents digest,
-    ``t_max`` -- decides which requests may be coalesced into one
-    sharded batch: exactly those whose lanes could have appeared
-    together in one ``evaluate_population`` call.
+    ``t_max``, step backend -- decides which requests may be coalesced
+    into one sharded batch: exactly those whose lanes could have
+    appeared together in one ``evaluate_population`` call.  The backend
+    is part of the key so one batch runs on one engine; it is *not*
+    part of the per-FSM cache keys, because backends are bit-exact and
+    a result computed on either engine is valid for both.
     """
 
-    def __init__(self, grid, fsms, suite, t_max=200):
+    def __init__(self, grid, fsms, suite, t_max=200, backend=None):
         self.grid = grid
         self.fsms = list(fsms)
         self.suite = suite
         self.t_max = int(t_max)
+        self.backend = normalize_backend_name(backend)
         self.suite_fp = suite_fingerprint(suite)
-        self.batch_key = (grid.kind, grid.size, self.suite_fp, self.t_max)
+        self.batch_key = (
+            grid.kind, grid.size, self.suite_fp, self.t_max, self.backend
+        )
         try:
             n_fields = len(suite)
         except TypeError:
@@ -386,6 +393,7 @@ class EvaluationService:
                 first.grid, fresh_fsms, first.suite, t_max=first.t_max,
                 lane_block=self.lane_block,
                 pool=None if self.pool.inline else self.pool,
+                backend=first.backend,
             )
             for key, outcome in zip(fresh_keys, outcomes):
                 self.cache.put(key, outcome)

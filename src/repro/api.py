@@ -354,7 +354,7 @@ class InProcessConnection:
 
 @renamed_kwargs(workers="n_workers")
 def connect(address=None, n_workers=None, cache_path=None, timeout=120.0,
-            service=None, retry_policy=None, breaker=None):
+            service=None, retry_policy=None, breaker=None, seeds=None):
     """A service connection: in-process by default, TCP with an address.
 
     * ``connect()`` -- builds a private :class:`EvaluationService` (over
@@ -364,15 +364,28 @@ def connect(address=None, n_workers=None, cache_path=None, timeout=120.0,
     * ``connect(service=svc)`` -- the same view onto a service you
       manage yourself;
     * ``connect("host:port")`` (or an ``(host, port)`` tuple) -- a
-      :class:`TCPServiceClient` onto a ``repro-a2a serve --tcp`` server.
+      :class:`TCPServiceClient` onto a ``repro-a2a serve --tcp`` server;
+    * ``connect(seeds=["host:port", ...])`` -- a
+      :class:`repro.service.RouterClient` onto a ``repro-a2a cluster``
+      fleet: the whole membership is discovered from the first
+      responsive seed via gossip, requests shard across nodes by batch
+      key on a consistent-hash ring, and a dead node fails over to the
+      next ring owner under the request's original idempotency key.
 
-    All three return objects with the same ``evaluate`` / ``stats`` /
+    All four return objects with the same ``evaluate`` / ``stats`` /
     ``ping`` / ``health`` / ``close`` surface (and all are context
     managers).  ``retry_policy`` (a :class:`RetryPolicy`) and
     ``breaker`` (a :class:`CircuitBreaker`) harden the TCP connection:
     transient failures are retried with backoff under idempotency keys,
     and repeated failures trip the breaker (see ``docs/RESILIENCE.md``).
     """
+    if seeds is not None:
+        if address is not None or service is not None:
+            raise TypeError("pass seeds= alone, not with address/service")
+        from repro.service.cluster import RouterClient
+
+        return RouterClient(seeds, timeout=timeout,
+                            retry_policy=retry_policy)
     if address is not None:
         if service is not None:
             raise TypeError("pass address= or service=, not both")

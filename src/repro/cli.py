@@ -195,6 +195,7 @@ def _cmd_bench(args):
         service_workers=args.service_workers,
         backend=args.backend,
         include_bigworld=not args.skip_bigworld,
+        include_cluster=not args.skip_cluster,
     )
     path = append_bench_record(record, args.out)
     for name, row in record["scenarios"].items():
@@ -268,6 +269,17 @@ def _cmd_bench(args):
             f"through kill -9 ({row['relative_to_clean']:.2f}x clean, "
             f"{row['n_clients']} clients, {row['restarts']} restart(s), "
             f"{row['replayed']} replayed)"
+        )
+    for name, row in record.get("cluster", {}).items():
+        per_node = "  ".join(
+            f"N={count}: {node_row['requests_per_sec']:7.2f} req/s"
+            for count, node_row in sorted(
+                row["nodes"].items(), key=lambda item: int(item[0])
+            )
+        )
+        print(
+            f"cluster {name}: {per_node}  ({row['n_clients']} clients, "
+            f"{row['n_requests']} requests each, bit-exact)"
         )
     print(f"\nbenchmark record appended to {path}")
     if args.check_against:
@@ -395,6 +407,16 @@ def _serve_tcp(args, service, journal=None):
     from repro.service.transport import AsyncEvaluationServer, parse_address
 
     host, port = parse_address(args.tcp)
+    membership = None
+    gossip = None
+    if getattr(args, "node_id", None):
+        from repro.service.cluster import ClusterMembership, parse_peers
+
+        membership = ClusterMembership(
+            args.node_id, (host, port),
+            peers=parse_peers(getattr(args, "cluster_peers", None)),
+            dead_after=getattr(args, "gossip_dead_after", 2.0),
+        )
 
     async def run():
         server = AsyncEvaluationServer(
@@ -403,6 +425,7 @@ def _serve_tcp(args, service, journal=None):
             request_timeout=args.request_timeout,
             idle_timeout=args.idle_timeout,
             journal=journal,
+            membership=membership,
         )
         try:
             await server.start()
@@ -417,13 +440,27 @@ def _serve_tcp(args, service, journal=None):
                 loop.add_signal_handler(sig, server.request_shutdown)
             except (NotImplementedError, RuntimeError):
                 pass
+        if membership is not None:
+            # the bound port may differ from the requested one (port 0);
+            # membership must advertise the real address
+            membership.address = tuple(server.address)
         bound = server.address
         print(f"listening on {bound[0]}:{bound[1]}", flush=True)
         await server.serve_until_shutdown()
         return server.snapshot()
 
-    with service:
-        snapshot = asyncio.run(run())
+    if membership is not None:
+        from repro.service.cluster import GossipAgent
+
+        gossip = GossipAgent(
+            membership, interval=getattr(args, "gossip_interval", 0.25)
+        ).start()
+    try:
+        with service:
+            snapshot = asyncio.run(run())
+    finally:
+        if gossip is not None:
+            gossip.stop()
     if journal is not None:
         journal.close()
     if snapshot is None:   # bind failure, already reported
@@ -467,6 +504,121 @@ def _cmd_supervise(args):
     return supervisor.run()
 
 
+def _cmd_cluster(args):
+    import json
+    import threading
+    import time
+
+    from repro.resilience.chaos import pinned_workload
+    from repro.resilience.retry import RetryPolicy
+    from repro.service.cluster import Cluster, RouterClient
+
+    workload = pinned_workload()
+    cluster = Cluster(
+        args.nodes, host=args.host, base_port=args.base_port,
+        workers=args.workers, node_restarts=args.node_restarts,
+        fleet_restarts=args.fleet_restarts, data_dir=args.data_dir,
+        log=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    n_specs = len(workload.specs)
+    per_client = (
+        max(1, args.requests // args.clients) if args.requests else n_specs
+    )
+    errors, mismatches = [], [0]
+    lock = threading.Lock()
+    first_response = threading.Event()
+    completed = [0]
+
+    def drive(index):
+        policy = RetryPolicy(
+            seed=index, max_attempts=12, base_delay=0.05, max_delay=0.5,
+            budget=120.0,
+        )
+        try:
+            with RouterClient(
+                [cluster.seed], retry_policy=policy
+            ) as router:
+                for n in range(per_client):
+                    spec = workload.specs[n % n_specs]
+                    want = workload.expected[n % n_specs]
+                    got = router.evaluate(**spec)
+                    first_response.set()
+                    with lock:
+                        completed[0] += 1
+                        if got != want:
+                            mismatches[0] += 1
+        except Exception as exc:
+            with lock:
+                errors.append(f"client {index}: {exc!r}")
+
+    with cluster:
+        print(
+            "cluster: "
+            + " ".join(f"{h}:{p}" for h, p in cluster.addresses),
+            file=sys.stderr, flush=True,
+        )
+        assassin = None
+        if args.kill_one:
+            def assassinate():
+                first_response.wait(timeout=60.0)
+                victim = (args.nodes - 1) // 2
+                print(
+                    f"cluster: SIGKILLing node n{victim} mid-run",
+                    file=sys.stderr, flush=True,
+                )
+                cluster.kill_node(victim)
+
+            assassin = threading.Thread(target=assassinate, daemon=True)
+            assassin.start()
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if assassin is not None:
+            assassin.join(timeout=5.0)
+        membership = cluster.membership()
+        snapshot = cluster.snapshot()
+        if args.membership_log:
+            with open(args.membership_log, "w") as handle:
+                json.dump(
+                    {"membership": membership, "fleet": snapshot},
+                    handle, indent=2, sort_keys=True,
+                )
+        rate = completed[0] / elapsed if elapsed > 0 else 0.0
+        print(
+            f"cluster: {completed[0]} routed requests over {args.nodes} "
+            f"node(s) in {elapsed:.2f}s ({rate:.2f} req/s, "
+            f"{args.clients} clients)"
+        )
+        ok = not errors and not mismatches[0]
+        if ok:
+            print("cluster: all outcomes bit-exact vs single-node oracle")
+        else:
+            for line in errors:
+                print(f"cluster: {line}", file=sys.stderr)
+            if mismatches[0]:
+                print(
+                    f"cluster: {mismatches[0]} outcome mismatch(es) vs "
+                    "oracle", file=sys.stderr,
+                )
+        if args.serve and ok:
+            seed = cluster.seed
+            print(f"cluster: serving; seed address {seed[0]}:{seed[1]}",
+                  flush=True)
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args):
     from repro.resilience.chaos import chaos_sweep
 
@@ -474,6 +626,7 @@ def _cmd_chaos(args):
     results = chaos_sweep(
         seeds, n_faults=args.faults, n_clients=args.clients,
         out_dir=args.out, shrink=not args.no_shrink,
+        cluster_nodes=args.cluster,
     )
     failures = [result for result in results if not result.ok]
     fired = sum(len(result.fired) for result in results)
@@ -825,6 +978,10 @@ def build_parser():
         help="skip the big-world (33x33/64x64) backend measurements",
     )
     sub.add_argument(
+        "--skip-cluster", action="store_true",
+        help="skip the multi-node cluster throughput measurement",
+    )
+    sub.add_argument(
         "--check-against", default=None, metavar="PATH",
         help="perf gate: fail when steps/sec drops vs the last record "
              "from comparable hardware in this trajectory log",
@@ -910,7 +1067,89 @@ def build_parser():
         help="skip the per-accept fsync (faster, loses the write-ahead "
              "guarantee across power failure; process crashes still replay)",
     )
+    sub.add_argument(
+        "--node-id", default=None, metavar="NAME",
+        help="cluster mode: this node's identity; enables gossip "
+             "membership piggybacked on the health op",
+    )
+    sub.add_argument(
+        "--cluster-peers", default=None, metavar="NODE=HOST:PORT,...",
+        help="cluster mode: initial peer addresses to gossip with",
+    )
+    sub.add_argument(
+        "--gossip-interval", type=float, default=0.25,
+        help="seconds between gossip rounds (default 0.25)",
+    )
+    sub.add_argument(
+        "--gossip-dead-after", type=float, default=2.0,
+        help="seconds without gossip progress before a peer is reported "
+             "suspect (default 2)",
+    )
     sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "cluster",
+        help="launch an N-node supervised serve fleet with gossip "
+             "membership, route the pinned T8 workload through the "
+             "consistent-hash RouterClient, and assert bit-exactness vs "
+             "a single-node oracle (optionally through a mid-run kill)",
+    )
+    sub.add_argument(
+        "--nodes", type=int, default=3,
+        help="fleet size (default 3)",
+    )
+    sub.add_argument(
+        "--base-port", type=int, default=None,
+        help="first port; node i binds base+i (default: free ephemeral "
+             "ports)",
+    )
+    sub.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for every node (default 127.0.0.1)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per node (default 1)",
+    )
+    sub.add_argument(
+        "--clients", type=int, default=3,
+        help="concurrent RouterClient threads driving the workload "
+             "(default 3)",
+    )
+    sub.add_argument(
+        "--requests", type=int, default=None,
+        help="total routed requests (default: one per pinned spec per "
+             "client)",
+    )
+    sub.add_argument(
+        "--kill-one", action="store_true",
+        help="SIGKILL one node mid-run; its supervisor restarts it and "
+             "the run must stay bit-exact",
+    )
+    sub.add_argument(
+        "--node-restarts", type=int, default=5,
+        help="per-node supervisor restart budget (default 5)",
+    )
+    sub.add_argument(
+        "--fleet-restarts", type=int, default=1,
+        help="fleet-supervisor revivals per node after its own budget is "
+             "exhausted (default 1)",
+    )
+    sub.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="per-node cache + journal directory (default: temporary)",
+    )
+    sub.add_argument(
+        "--membership-log", default=None, metavar="PATH",
+        help="write the final membership view + fleet snapshot as JSON "
+             "(CI artifact)",
+    )
+    sub.add_argument(
+        "--serve", action="store_true",
+        help="after the workload check, keep the fleet up until SIGINT "
+             "instead of exiting (prints the seed address)",
+    )
+    sub.set_defaults(handler=_cmd_cluster)
 
     sub = subparsers.add_parser(
         "supervise",
@@ -975,6 +1214,11 @@ def build_parser():
     sub.add_argument(
         "--no-shrink", action="store_true",
         help="skip ddmin minimisation of failing plans",
+    )
+    sub.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help="fleet battery: draw node-kill/link-partition plans and run "
+             "each seed against a real N-node cluster",
     )
     sub.set_defaults(handler=_cmd_chaos)
 

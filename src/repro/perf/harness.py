@@ -1033,9 +1033,124 @@ def measure_durability(scenario=None, n_requests=8, n_clients=4,
     }
 
 
+def measure_cluster(node_counts=(1, 2, 3), n_specs=6, n_clients=3,
+                    n_passes=1):
+    """Aggregate routed throughput vs fleet size, bit-exact vs oracle.
+
+    For each node count N a real :class:`repro.service.Cluster` (N
+    supervised ``serve --tcp`` children with gossip membership, each
+    with its own journal and persistent cache) serves the pinned T8
+    chaos workload, widened to ``n_specs`` distinct batch keys (the
+    field seed varies per spec) so the consistent-hash ring actually
+    spreads work across nodes -- the chaos workload's single shared
+    batch key would pin every request to one node.  ``n_clients``
+    threads each route every spec through their own
+    :class:`repro.service.RouterClient`; every outcome is asserted
+    bit-exact against an in-process fault-free oracle before any rate
+    is recorded.
+    """
+    import threading
+
+    from numpy.random import default_rng
+
+    from repro.configs.suite import paper_suite
+    from repro.core.fsm import FSM
+    from repro.evolution.fitness import evaluate_population
+    from repro.grids import make_grid
+    from repro.resilience.chaos import WORKLOAD
+    from repro.resilience.retry import RetryPolicy
+    from repro.service.cluster import Cluster, RouterClient
+
+    grid = make_grid(WORKLOAD["kind"], WORKLOAD["size"])
+    specs, expected = [], []
+    for index in range(n_specs):
+        fsm = FSM.random(default_rng(900 + index))
+        seed = WORKLOAD["seed"] + index
+        specs.append({
+            "grid": WORKLOAD["kind"], "size": WORKLOAD["size"],
+            "agents": WORKLOAD["agents"], "fields": WORKLOAD["fields"],
+            "seed": seed, "t_max": WORKLOAD["t_max"],
+            "fsm": {"genome": fsm.genome().tolist()},
+        })
+        suite = paper_suite(
+            grid, WORKLOAD["agents"], n_random=WORKLOAD["fields"],
+            seed=seed,
+        )
+        expected.append(
+            evaluate_population(grid, [fsm], suite, t_max=WORKLOAD["t_max"])
+        )
+
+    nodes = {}
+    for n_nodes in node_counts:
+        errors = []
+        routed = [0]
+        lock = threading.Lock()
+        with Cluster(n_nodes, workers=1, log=lambda line: None) as cluster:
+
+            def drive(client_index, seed_address):
+                policy = RetryPolicy(
+                    seed=client_index, max_attempts=12, base_delay=0.05,
+                    max_delay=0.5, budget=60.0,
+                )
+                try:
+                    with RouterClient(
+                        [seed_address], timeout=60.0, retry_policy=policy
+                    ) as router:
+                        for _ in range(n_passes):
+                            for spec, want in zip(specs, expected):
+                                got = router.evaluate(**spec)
+                                if got != want:
+                                    raise AssertionError(
+                                        "cluster outcome diverged from "
+                                        "the fault-free oracle; refusing "
+                                        "to record throughput"
+                                    )
+                                with lock:
+                                    routed[0] += 1
+                except Exception as exc:
+                    with lock:
+                        errors.append(f"client {client_index}: {exc!r}")
+
+            start = time.perf_counter()
+            drivers = [
+                threading.Thread(
+                    target=drive, args=(index, cluster.seed)
+                )
+                for index in range(n_clients)
+            ]
+            for driver in drivers:
+                driver.start()
+            for driver in drivers:
+                driver.join()
+            wall = time.perf_counter() - start
+        if errors:
+            raise AssertionError(f"cluster clients failed: {errors[:3]}")
+        nodes[str(n_nodes)] = {
+            "n_nodes": n_nodes,
+            "wall_seconds": wall,
+            "requests_per_sec": routed[0] / wall,
+        }
+
+    counts = sorted(int(count) for count in nodes)
+    return {
+        "kind": WORKLOAD["kind"],
+        "size": WORKLOAD["size"],
+        "n_requests": n_specs * n_passes,
+        "n_clients": n_clients,
+        "n_fields": WORKLOAD["fields"],
+        "t_max": WORKLOAD["t_max"],
+        "nodes": nodes,
+        "scaling_max_over_one": (
+            nodes[str(counts[-1])]["requests_per_sec"]
+            / nodes[str(counts[0])]["requests_per_sec"]
+        ),
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
-              service_workers=None, backend=None, include_bigworld=True):
+              service_workers=None, backend=None, include_bigworld=True,
+              include_cluster=True):
     """One full benchmark pass; returns the record to append to the log."""
     from repro.perf.reference import LegacyBatchSimulator
 
@@ -1112,6 +1227,13 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             n_requests=6 if quick else 8,
             n_clients=3 if quick else 4,
         )
+    cluster = {}
+    if include_cluster and include_service:
+        cluster["t8"] = measure_cluster(
+            node_counts=(1, 2, 3),
+            n_specs=4 if quick else 6,
+            n_clients=2 if quick else 3,
+        )
     bigworld = {}
     if include_bigworld:
         if quick:
@@ -1138,6 +1260,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "adaptive": adaptive,
         "chaos": chaos,
         "durability": durability,
+        "cluster": cluster,
     }
 
 

@@ -85,6 +85,7 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
     _check_transport(record, baseline_run, threshold, failures, notes)
     _check_chaos(record, baseline_run, threshold, failures, notes)
     _check_durability(record, baseline_run, threshold, failures, notes)
+    _check_cluster(record, baseline_run, threshold, failures, notes)
     return failures, notes
 
 
@@ -278,6 +279,53 @@ def _check_durability(record, baseline_run, threshold, failures, notes):
             failures.append(f"{line} -- dropped more than {threshold:.0%}")
         else:
             notes.append(line)
+
+
+def _cluster_comparable(new, old):
+    return (
+        new.get("n_requests") == old.get("n_requests")
+        and new.get("n_clients") == old.get("n_clients")
+        and new.get("n_fields") == old.get("n_fields")
+        and new.get("t_max") == old.get("t_max")
+    )
+
+
+def _check_cluster(record, baseline_run, threshold, failures, notes):
+    """Gate fleet throughput per node count, never across node counts.
+
+    Each cluster workload carries one row per fleet size N; aggregate
+    ``requests_per_sec`` is only compared between rows for the same N
+    (routing overhead at N=1 and scale-out at N=3 regress
+    independently).  Baselines committed before the section existed are
+    skipped with a note, never failed.
+    """
+    baseline_cluster = baseline_run.get("cluster") or {}
+    for name, row in (record.get("cluster") or {}).items():
+        baseline = baseline_cluster.get(name)
+        if baseline is None or not _cluster_comparable(row, baseline):
+            notes.append(f"cluster {name}: no comparable baseline; skipped")
+            continue
+        baseline_nodes = baseline.get("nodes") or {}
+        for count, node_row in (row.get("nodes") or {}).items():
+            baseline_row = baseline_nodes.get(count)
+            if baseline_row is None:
+                notes.append(
+                    f"cluster {name} N={count}: no baseline row; skipped"
+                )
+                continue
+            new_rate = node_row["requests_per_sec"]
+            old_rate = baseline_row["requests_per_sec"]
+            ratio = new_rate / old_rate if old_rate else float("inf")
+            line = (
+                f"cluster {name} N={count}: {new_rate:.2f} vs baseline "
+                f"{old_rate:.2f} req/s ({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - threshold:
+                failures.append(
+                    f"{line} -- dropped more than {threshold:.0%}"
+                )
+            else:
+                notes.append(line)
 
 
 def format_check(failures, notes):

@@ -32,7 +32,16 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.resilience.faults import FaultPlan, installed as faults_installed
+from repro.resilience.faults import (
+    CLUSTER_SITES,
+    FaultInjector,
+    FaultPlan,
+    KILL,
+    PARTITION,
+    SITE_CLUSTER_LINK,
+    SITE_CLUSTER_NODE,
+    installed as faults_installed,
+)
 from repro.resilience.retry import RetryPolicy
 
 #: Pinned workload knobs: small enough for a 25-seed sweep in CI
@@ -219,6 +228,137 @@ def run_plan(plan, workload=None, log_path=None, n_clients=3,
     )
 
 
+def fault_target(fault, n_nodes):
+    """The node index (``cluster.node``) or index pair (``cluster.link``)
+    a cluster fault hits, derived from its ``target`` when set and from
+    its ``at`` hit count otherwise (deterministic either way)."""
+    if fault.site == SITE_CLUSTER_NODE:
+        if fault.target is not None:
+            return int(fault.target) % n_nodes
+        return (fault.at - 1) % n_nodes
+    if fault.target is not None:
+        first, _, second = fault.target.partition("|")
+        first, second = int(first) % n_nodes, int(second) % n_nodes
+    else:
+        first, second = (fault.at - 1) % n_nodes, fault.at % n_nodes
+    if first == second:
+        second = (first + 1) % n_nodes
+    return (first, second)
+
+
+def run_cluster_plan(plan, n_nodes=3, workload=None, log_path=None,
+                     n_clients=2, n_passes=2, request_timeout=60.0,
+                     interval=0.25):
+    """Run the pinned workload on a real fleet under ``plan``'s
+    cluster faults; a :class:`ChaosResult`.
+
+    The cluster-level injection sites have no hooks in the serving
+    stack -- a node cannot SIGKILL itself deterministically.  Instead
+    an *orchestrator* thread here hits ``cluster.node`` and
+    ``cluster.link`` once per tick while the clients run: when a fault
+    fires, the orchestrator enacts it against the fleet
+    (:meth:`Cluster.kill_node` / :meth:`Cluster.partition`, healed
+    after the fault's ``seconds``).  Targets come from
+    :func:`fault_target`.  Non-cluster faults in the plan stay pending
+    (their sites are never hit), which is exactly the guarantee the
+    test battery pins: partition faults can never fire on a non-cluster
+    run, and vice versa.
+
+    Each of ``n_clients`` threads routes every spec ``n_passes`` times
+    through its own :class:`~repro.service.cluster.RouterClient`;
+    results must stay bit-exact against the fault-free reference
+    through every kill, restart and partition.
+    """
+    from repro.service.cluster import Cluster, RouterClient
+
+    if workload is None:
+        workload = pinned_workload()
+    started = time.perf_counter()
+    injector = FaultInjector(plan, log_path=log_path)
+    errors, mismatches = [], [0]
+    errors_lock = threading.Lock()
+    cluster_ticks = max(
+        [fault.at for fault in plan if fault.site in CLUSTER_SITES],
+        default=0,
+    )
+    with Cluster(
+        n_nodes, workers=1, node_restarts=8, fleet_restarts=2,
+        gossip_interval=0.15, dead_after=1.5,
+    ) as cluster:
+        clients_done = threading.Event()
+        heal_timers = []
+
+        def orchestrate():
+            for _ in range(cluster_ticks):
+                if clients_done.wait(timeout=interval):
+                    # keep hitting sites so late-scheduled faults still
+                    # fire (and are enacted) before we declare them
+                    # pending, but stop sleeping between hits
+                    pass
+                for site in (SITE_CLUSTER_NODE, SITE_CLUSTER_LINK):
+                    fault = injector.fire(site)
+                    if fault is None:
+                        continue
+                    if fault.kind == KILL:
+                        index = fault_target(fault, n_nodes)
+                        cluster.kill_node(index)
+                    elif fault.kind == PARTITION:
+                        pair = fault_target(fault, n_nodes)
+                        cluster.partition(*pair)
+                        timer = threading.Timer(
+                            fault.seconds or 0.5,
+                            cluster.heal, args=pair,
+                        )
+                        timer.daemon = True
+                        timer.start()
+                        heal_timers.append(timer)
+
+        orchestrator = threading.Thread(target=orchestrate, daemon=True)
+        orchestrator.start()
+
+        def drive(index):
+            policy = RetryPolicy(
+                seed=index, max_attempts=12, base_delay=0.05,
+                max_delay=0.5, budget=90.0,
+            )
+            try:
+                with RouterClient(
+                    [cluster.seed], timeout=request_timeout,
+                    retry_policy=policy,
+                ) as router:
+                    for _ in range(n_passes):
+                        for spec, want in zip(
+                            workload.specs, workload.expected
+                        ):
+                            got = router.evaluate(**spec)
+                            if got != want:
+                                with errors_lock:
+                                    mismatches[0] += 1
+            except Exception as exc:
+                with errors_lock:
+                    errors.append(f"client {index}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        clients_done.set()
+        orchestrator.join(timeout=30.0)
+        for timer in heal_timers:
+            timer.cancel()
+        fired = list(injector.fired)
+        pending = len(injector.pending())
+    return ChaosResult(
+        plan=plan, ok=not errors and not mismatches[0],
+        mismatches=mismatches[0], errors=errors, fired=fired,
+        pending=pending, wall_seconds=time.perf_counter() - started,
+    )
+
+
 def shrink_plan(plan, still_fails):
     """Greedy ddmin: the smallest sub-plan ``still_fails`` accepts.
 
@@ -244,41 +384,59 @@ def shrink_plan(plan, still_fails):
 
 
 def chaos_sweep(seeds, n_faults=4, n_clients=3, out_dir=None, shrink=True,
-                log=print):
+                log=print, cluster_nodes=None):
     """Sweep ``seeds``; returns ``[ChaosResult]`` (plus artifacts).
 
     For each failing seed the original plan, a shrunk minimal plan and
     the fired-fault JSONL log land in ``out_dir`` -- everything needed
     to replay the failure with ``serve --fault-plan``.
+
+    ``cluster_nodes=N`` switches to the fleet battery: plans draw from
+    the cluster sites (node kill, link partition) with targets over N
+    nodes, and each seed runs :func:`run_cluster_plan` against a real
+    N-node cluster instead of the single-server workload.
     """
     workload = pinned_workload()
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
+    if cluster_nodes:
+        def execute(plan, log_path=None):
+            return run_cluster_plan(
+                plan, n_nodes=cluster_nodes, workload=workload,
+                log_path=log_path, n_clients=min(n_clients, 2),
+            )
+
+        def draw(seed):
+            return FaultPlan.random(
+                seed, n_faults=n_faults, sites=CLUSTER_SITES,
+                n_nodes=cluster_nodes,
+            )
+    else:
+        def execute(plan, log_path=None):
+            return run_plan(
+                plan, workload=workload, log_path=log_path,
+                n_clients=n_clients,
+            )
+
+        def draw(seed):
+            return FaultPlan.random(seed, n_faults=n_faults)
+
     results = []
     for seed in seeds:
-        plan = FaultPlan.random(seed, n_faults=n_faults)
+        plan = draw(seed)
         log_path = (
             os.path.join(out_dir, f"seed{seed}_faults.jsonl")
             if out_dir else None
         )
-        result = run_plan(
-            plan, workload=workload, log_path=log_path, n_clients=n_clients
-        )
+        result = execute(plan, log_path=log_path)
         log(f"chaos seed {seed}: {result.summary()}")
         if not result.ok and out_dir:
             plan.save(os.path.join(out_dir, f"seed{seed}_plan.json"))
         if not result.ok and shrink:
-            minimal = shrink_plan(
-                plan,
-                lambda p: not run_plan(
-                    p, workload=workload, n_clients=n_clients
-                ).ok,
-            )
+            minimal = shrink_plan(plan, lambda p: not execute(p).ok)
             # a concurrency-flaky shrink must still reproduce; otherwise
             # ship the full plan rather than a misleading subset
-            if len(minimal) < len(plan) and not run_plan(
-                minimal, workload=workload, n_clients=n_clients
-            ).ok:
+            if len(minimal) < len(plan) and not execute(minimal).ok:
                 log(
                     f"chaos seed {seed}: shrunk to {len(minimal)} fault(s): "
                     + json.dumps([f.to_json() for f in minimal])

@@ -51,7 +51,12 @@ SITE_CACHE_APPEND = "cache.append"
 SITE_CLIENT_CONNECT = "client.connect"
 SITE_CLIENT_SEND = "client.send"
 SITE_CLIENT_RECV = "client.recv"
+SITE_CLUSTER_NODE = "cluster.node"
+SITE_CLUSTER_LINK = "cluster.link"
 
+#: The single-process serving sites.  :meth:`FaultPlan.random` draws
+#: from these by default, so single-node chaos sweeps are unaffected by
+#: the cluster-level sites below.
 KNOWN_SITES = (
     SITE_POOL_JOB,
     SITE_DISPATCH,
@@ -60,6 +65,15 @@ KNOWN_SITES = (
     SITE_CLIENT_CONNECT,
     SITE_CLIENT_SEND,
     SITE_CLIENT_RECV,
+)
+
+#: Fleet-level sites: their hooks live only in the cluster
+#: orchestration path (``repro.resilience.chaos.run_cluster_plan``), so
+#: a plan carrying them against a non-cluster run leaves them pending
+#: forever -- they can never fire by accident in a single-node stack.
+CLUSTER_SITES = (
+    SITE_CLUSTER_NODE,
+    SITE_CLUSTER_LINK,
 )
 
 #: Fault kinds.
@@ -71,6 +85,8 @@ DISCONNECT = "disconnect"        # server drops the socket, no response
 PARTIAL_FRAME = "partial_frame"  # half a response frame, then drop
 GARBAGE_FRAME = "garbage_frame"  # a well-framed non-JSON body
 TORN_WRITE = "torn_write"        # cache append dies mid-line
+KILL = "kill"                    # a whole cluster node is SIGKILLed
+PARTITION = "partition"          # a link between two nodes drops
 
 #: What each site can be asked to do.
 SITE_KINDS = {
@@ -81,6 +97,8 @@ SITE_KINDS = {
     SITE_CLIENT_CONNECT: (DISCONNECT,),
     SITE_CLIENT_SEND: (DISCONNECT,),
     SITE_CLIENT_RECV: (DISCONNECT, GARBAGE_FRAME),
+    SITE_CLUSTER_NODE: (KILL,),
+    SITE_CLUSTER_LINK: (PARTITION,),
 }
 
 PLAN_VERSION = 1
@@ -95,15 +113,20 @@ class FaultSpec:
     """One scheduled fault: fire ``kind`` on the ``at``-th hit of ``site``.
 
     ``at`` is 1-based and counted per site by the injector; a spec fires
-    at most once.  ``seconds`` parameterises ``slow`` (stall length) and
+    at most once.  ``seconds`` parameterises ``slow`` (stall length),
     ``hang`` (how long the worker sleeps -- far beyond any watchdog
-    timeout by default).
+    timeout by default) and ``partition`` (how long the link stays cut
+    before the orchestrator heals it).  ``target`` names what a
+    cluster-level fault hits: a node index (``"1"``) for
+    ``cluster.node``, an ``"i|j"`` node-index pair for ``cluster.link``;
+    left ``None``, the orchestrator derives a target from ``at``.
     """
 
     site: str
     kind: str
     at: int
     seconds: float = 0.0
+    target: str = None
 
     def __post_init__(self):
         if self.site not in SITE_KINDS:
@@ -115,11 +138,23 @@ class FaultSpec:
             )
         if self.at < 1:
             raise FaultPlanError("fault 'at' indices are 1-based")
+        if self.target is not None:
+            if self.site not in CLUSTER_SITES:
+                raise FaultPlanError(
+                    f"site {self.site!r} takes no target "
+                    f"(targets are for {CLUSTER_SITES})"
+                )
+            if self.site == SITE_CLUSTER_LINK and "|" not in self.target:
+                raise FaultPlanError(
+                    "cluster.link targets name a node pair, e.g. '0|2'"
+                )
 
     def to_json(self):
         payload = {"site": self.site, "kind": self.kind, "at": self.at}
         if self.seconds:
             payload["seconds"] = self.seconds
+        if self.target is not None:
+            payload["target"] = self.target
         return payload
 
     @classmethod
@@ -129,6 +164,7 @@ class FaultSpec:
             kind=payload["kind"],
             at=int(payload["at"]),
             seconds=float(payload.get("seconds", 0.0)),
+            target=payload.get("target"),
         )
 
 
@@ -197,13 +233,17 @@ class FaultPlan:
 
     @classmethod
     def random(cls, seed, n_faults=4, sites=KNOWN_SITES, max_at=6,
-               seconds=0.05):
+               seconds=0.05, n_nodes=None):
         """A deterministic randomized plan: same seed, same schedule.
 
         Draws ``n_faults`` (site, kind, at) triples uniformly from the
         allowed combinations with a private ``random.Random(seed)``, so
         chaos sweeps can fan out over seeds and still replay any
-        failure exactly.
+        failure exactly.  When ``sites`` includes the cluster-level
+        sites and ``n_nodes`` is given, node-kill and link-partition
+        faults draw explicit ``target`` node indices (pairs for links)
+        from the same generator; without ``n_nodes`` the target is left
+        for the orchestrator to derive from ``at``.
         """
         import random
 
@@ -212,9 +252,16 @@ class FaultPlan:
         for _ in range(n_faults):
             site = rng.choice(list(sites))
             kind = rng.choice(list(SITE_KINDS[site]))
+            target = None
+            if n_nodes and site == SITE_CLUSTER_NODE:
+                target = str(rng.randrange(n_nodes))
+            elif n_nodes and n_nodes >= 2 and site == SITE_CLUSTER_LINK:
+                first = rng.randrange(n_nodes)
+                second = (first + rng.randrange(1, n_nodes)) % n_nodes
+                target = f"{first}|{second}"
             faults.append(
                 FaultSpec(site=site, kind=kind, at=rng.randint(1, max_at),
-                          seconds=seconds)
+                          seconds=seconds, target=target)
             )
         return cls(faults=faults, seed=seed, name=f"random-{seed}")
 

@@ -29,6 +29,15 @@ The serving layer the ROADMAP asks for, in five pieces:
   child on crash or health-probe hang with exponential backoff, pins
   the first ephemeral bind so restarts reuse the address, and exits
   nonzero with a one-line diagnosis when the restart budget runs out.
+* :mod:`repro.service.cluster` -- the multi-node fleet
+  (``repro-a2a cluster``): :class:`HashRing` consistent-hash sharding
+  by batch key, :class:`ClusterMembership` + :class:`GossipAgent`
+  epidemic membership piggybacked on the ``health`` op,
+  :class:`RouterClient` key-sharded routing with ring failover under
+  original idempotency keys, and :class:`Cluster`, the fleet launcher
+  and fleet-level supervisor (one :class:`Supervisor` per node, plus a
+  monitor that revives or buries nodes whose budget is exhausted and
+  rebalances the ring).
 
 Every path through the service is bit-exact versus the serial
 ``evaluate_population`` on the same inputs: batching only changes how
@@ -43,6 +52,17 @@ state.
 """
 
 from repro.service.cache_store import CacheStore, PersistentEvaluationCache
+from repro.service.cluster import (
+    Cluster,
+    ClusterError,
+    ClusterMembership,
+    GossipAgent,
+    HashRing,
+    RouterClient,
+    RouterError,
+    batch_key,
+    pick_free_ports,
+)
 from repro.service.jsonl import IdempotencyRegistry, ServeSession
 from repro.service.pool import (
     WorkerCrashError,
@@ -96,4 +116,13 @@ __all__ = [
     "Supervisor",
     "SupervisorError",
     "EXIT_BUDGET_EXHAUSTED",
+    "HashRing",
+    "ClusterMembership",
+    "GossipAgent",
+    "RouterClient",
+    "RouterError",
+    "Cluster",
+    "ClusterError",
+    "batch_key",
+    "pick_free_ports",
 ]

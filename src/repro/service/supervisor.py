@@ -293,6 +293,17 @@ class Supervisor:
                 )
         raise SupervisorError("supervised server never bound an address")
 
+    @property
+    def running(self):
+        """Whether supervision (started via :meth:`start`) is still live."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def result(self):
+        """The supervision exit code once :attr:`running` turns false
+        (``None`` while still running or never started)."""
+        return getattr(self, "_result", None)
+
     def stop(self):
         """Terminate the child and end supervision; returns the exit code."""
         self._stop.set()

@@ -205,11 +205,15 @@ class AsyncEvaluationServer:
     """
 
     def __init__(self, service, host="127.0.0.1", port=0, max_pending=32,
-                 request_timeout=None, idle_timeout=None, journal=None):
+                 request_timeout=None, idle_timeout=None, journal=None,
+                 membership=None):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         self.service = service
         self.session = ServeSession(service, journal=journal)
+        # cluster mode: a ClusterMembership whose view piggybacks on the
+        # health op (and merges any gossip the caller attached)
+        self.membership = membership
         self.host = host
         self.port = port
         self.max_pending = max_pending
@@ -403,9 +407,30 @@ class AsyncEvaluationServer:
             if op == "health":
                 health = self.session.health()
                 health["transport"] = self.stats.snapshot()
+                if self.membership is not None:
+                    # push-pull gossip: merge the caller's view (if any;
+                    # None for plain clients) and answer with ours --
+                    # unless the sender is partitioned away, in which
+                    # case nothing is merged and nothing is revealed
+                    view = self.membership.exchange(spec.get("gossip"))
+                    if view is not None:
+                        health["membership"] = view
                 await self._send(
                     conn, {"id": request_id, "health": health}
                 )
+                return
+            if op == "partition":
+                if self.membership is None:
+                    await self._send_error(
+                        conn, request_id, ERR_BAD_REQUEST,
+                        "partition op requires cluster membership",
+                    )
+                    return
+                self.membership.set_blocked(spec.get("block") or [])
+                await self._send(conn, {
+                    "id": request_id, "ok": True,
+                    "blocked": sorted(self.membership.blocked),
+                })
                 return
             if op == "shutdown":
                 await self._send(conn, {"id": request_id, "ok": True})

@@ -23,6 +23,8 @@ import time
 import numpy as np
 import pytest
 
+from tests.conftest import ServerInThread
+
 from repro.configs.suite import paper_suite
 from repro.core.fsm import FSM
 from repro.evolution.fitness import evaluate_population
@@ -323,36 +325,8 @@ class TestJournalReplay:
         assert "journal" in stats
 
 
-class _ServerInThread:
-    """An AsyncEvaluationServer running on a daemon thread, for sync tests."""
-
-    def __init__(self, service, **kwargs):
-        self.service = service
-        self.kwargs = kwargs
-        self.address = None
-        self._ready = threading.Event()
-        self._thread = threading.Thread(
-            target=lambda: asyncio.run(self._serve()), daemon=True
-        )
-
-    async def _serve(self):
-        server = AsyncEvaluationServer(self.service, **self.kwargs)
-        await server.start()
-        self.address = server.address
-        self._ready.set()
-        await server.serve_until_shutdown()
-
-    def __enter__(self):
-        self._thread.start()
-        if not self._ready.wait(10):
-            raise RuntimeError("server failed to start")
-        return self
-
-    def __exit__(self, *exc_info):
-        with TCPServiceClient(self.address) as closer:
-            closer.shutdown()
-        self._thread.join(10)
-        return False
+# the in-thread TCP server now lives in the shared conftest
+_ServerInThread = ServerInThread
 
 
 class TestClientFaultSites:
@@ -507,6 +481,7 @@ class TestCompactUnderLiveWriter:
         assert compactor.compactions > 1
 
 
+@pytest.mark.net
 class TestSupervisor:
     def test_pin_address_rewrites_both_flag_forms(self):
         assert _pin_address(
@@ -549,6 +524,8 @@ class TestSupervisor:
         assert "supervise" in capsys.readouterr().err
 
 
+@pytest.mark.slow
+@pytest.mark.net
 class TestKillNineUnderSupervision:
     def test_kill_dash_nine_is_invisible_to_fifty_clients(self, tmp_path):
         """The acceptance scenario: 50 hardened clients, the server killed
@@ -694,6 +671,7 @@ class TestChaosHarness:
         assert result.ok, (result.errors, result.mismatches)
 
 
+@pytest.mark.net
 class TestCLIJournalFlag:
     def test_stdio_serve_replays_journal(self, tmp_path, capsys,
                                          monkeypatch):

@@ -23,6 +23,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings as hyp_settings, strategies as st
 
+from tests.conftest import ServerInThread
+
 from repro.configs.suite import paper_suite
 from repro.core.fsm import FSM
 from repro.evolution.fitness import (
@@ -417,36 +419,8 @@ class TestIdempotency:
         assert registry.stats()["hits"] == 0
 
 
-class _ServerInThread:
-    """An AsyncEvaluationServer running on a daemon thread, for sync tests."""
-
-    def __init__(self, service, **kwargs):
-        self.service = service
-        self.kwargs = kwargs
-        self.address = None
-        self._ready = threading.Event()
-        self._thread = threading.Thread(
-            target=lambda: asyncio.run(self._serve()), daemon=True
-        )
-
-    async def _serve(self):
-        server = AsyncEvaluationServer(self.service, **self.kwargs)
-        await server.start()
-        self.address = server.address
-        self._ready.set()
-        await server.serve_until_shutdown()
-
-    def __enter__(self):
-        self._thread.start()
-        if not self._ready.wait(10):
-            raise RuntimeError("server failed to start")
-        return self
-
-    def __exit__(self, *exc_info):
-        with TCPServiceClient(self.address) as closer:
-            closer.shutdown()
-        self._thread.join(10)
-        return False
+# the in-thread TCP server now lives in the shared conftest
+_ServerInThread = ServerInThread
 
 
 class TestTransportChaos:

@@ -414,31 +414,15 @@ class TestIdleReaping:
         assert reaped == 1
 
 
+@pytest.mark.net
 class TestServeCliTcp:
-    def test_cli_serves_tcp_and_prints_stats(self):
-        import subprocess
-        import sys
-        import time as _time
-
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--tcp",
-             "127.0.0.1:0", "--workers", "1", "--stats"],
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
-        )
-        try:
-            line = proc.stdout.readline().strip()
-            assert line.startswith("listening on ")
-            host, port = parse_address(line.split()[-1])
-            with TCPServiceClient((host, port)) as client:
-                outcomes = client.evaluate(**spec_for(99))
-                assert outcomes[0] == serial_outcome(spec_for(99))
-                assert client.shutdown() is True
-            assert proc.wait(timeout=30) == 0
-            stderr = proc.stderr.read()
-            stats = json.loads(stderr.strip().splitlines()[-1])["stats"]
-            assert stats["transport"]["responses"] >= 1
-            assert "adaptive" in stats["service"]
-        finally:
-            if proc.poll() is None:
-                proc.kill()
-                proc.wait()
+    def test_cli_serves_tcp_and_prints_stats(self, spawn_serve):
+        server = spawn_serve("--stats")
+        with TCPServiceClient(server.address) as client:
+            outcomes = client.evaluate(**spec_for(99))
+            assert outcomes[0] == serial_outcome(spec_for(99))
+            assert client.shutdown() is True
+        assert server.stop() == 0
+        stats = json.loads(server.stderr.strip().splitlines()[-1])["stats"]
+        assert stats["transport"]["responses"] >= 1
+        assert "adaptive" in stats["service"]

@@ -164,7 +164,11 @@ from repro.results import (  # noqa: F401
 from repro.service import (  # noqa: F401
     AsyncEvaluationServer,
     AsyncServiceClient,
+    Client,
+    ClientOptions,
     EvaluationService,
+    GatewayServer,
+    HTTPServiceClient,
     IdempotencyRegistry,
     PersistentEvaluationCache,
     ServiceClient,
@@ -330,6 +334,13 @@ class InProcessConnection:
         _, future = self._session.submit_spec(spec)
         return future.result()
 
+    def evaluate_many(self, specs):
+        """Per-spec result lists; all submitted before waiting, so the
+        dispatcher can coalesce them into one batch."""
+        futures = [self._session.submit_spec(dict(spec))[1]
+                   for spec in specs]
+        return [future.result() for future in futures]
+
     def ping(self):
         return True
 
@@ -352,47 +363,73 @@ class InProcessConnection:
         return False
 
 
-@renamed_kwargs(workers="n_workers")
-def connect(address=None, n_workers=None, cache_path=None, timeout=120.0,
-            service=None, retry_policy=None, breaker=None, seeds=None):
-    """A service connection: in-process by default, TCP with an address.
+@renamed_kwargs(workers="n_workers", address="url")
+def connect(url=None, n_workers=None, cache_path=None, timeout=None,
+            service=None, retry_policy=None, breaker=None, seeds=None,
+            options=None):
+    """A service connection; the transport follows the URL scheme.
 
     * ``connect()`` -- builds a private :class:`EvaluationService` (over
       ``n_workers`` processes; ``cache_path`` makes its cache a
       :class:`PersistentEvaluationCache` at that path) and returns an
-      :class:`InProcessConnection` that owns it;
+      in-process connection that owns it;
     * ``connect(service=svc)`` -- the same view onto a service you
       manage yourself;
-    * ``connect("host:port")`` (or an ``(host, port)`` tuple) -- a
-      :class:`TCPServiceClient` onto a ``repro-a2a serve --tcp`` server;
-    * ``connect(seeds=["host:port", ...])`` -- a
+    * ``connect("tcp://host:port")`` -- a :class:`TCPServiceClient`
+      onto a ``repro-a2a serve --tcp`` server;
+    * ``connect("http://host:port")`` / ``"https://..."`` -- an
+      :class:`repro.service.HTTPServiceClient` onto a ``serve --http``
+      gateway (``https`` uses ``options.tls`` or the default SSL
+      context; ``options.auth_token`` carries the bearer token);
+    * ``connect(seeds=["tcp://host:port", ...])`` -- a
       :class:`repro.service.RouterClient` onto a ``repro-a2a cluster``
       fleet: the whole membership is discovered from the first
       responsive seed via gossip, requests shard across nodes by batch
       key on a consistent-hash ring, and a dead node fails over to the
       next ring owner under the request's original idempotency key.
 
-    All four return objects with the same ``evaluate`` / ``stats`` /
-    ``ping`` / ``health`` / ``close`` surface (and all are context
-    managers).  ``retry_policy`` (a :class:`RetryPolicy`) and
-    ``breaker`` (a :class:`CircuitBreaker`) harden the TCP connection:
-    transient failures are retried with backoff under idempotency keys,
-    and repeated failures trip the breaker (see ``docs/RESILIENCE.md``).
+    All five return :class:`repro.service.Client` implementations --
+    the same ``evaluate`` / ``evaluate_many`` / ``stats`` / ``health``
+    / ``close`` surface, all context managers.  Hardening is spelled
+    once via ``options=`` (a :class:`repro.service.ClientOptions`):
+    retry policies replay under idempotency keys, breakers trip after
+    repeated failures (see ``docs/RESILIENCE.md``).  The pre-redesign
+    spellings -- a bare ``"host:port"`` address, an ``(host, port)``
+    tuple, ``address=``, and the loose ``timeout=`` / ``retry_policy=``
+    / ``breaker=`` keywords -- keep working with a
+    :class:`DeprecationWarning`.
     """
+    from repro.service.client import (
+        parse_url,
+        resolve_options,
+        warn_bare_address,
+    )
+
+    options = resolve_options(
+        options, where="connect", timeout=timeout,
+        retry_policy=retry_policy, breaker=breaker,
+    )
     if seeds is not None:
-        if address is not None or service is not None:
-            raise TypeError("pass seeds= alone, not with address/service")
+        if url is not None or service is not None:
+            raise TypeError("pass seeds= alone, not with url/service")
         from repro.service.cluster import RouterClient
 
-        return RouterClient(seeds, timeout=timeout,
-                            retry_policy=retry_policy)
-    if address is not None:
+        return RouterClient(seeds, options=options)
+    if url is not None:
         if service is not None:
-            raise TypeError("pass address= or service=, not both")
-        target = parse_address(address) if isinstance(address, str) \
-            else address
-        return TCPServiceClient(target, timeout=timeout,
-                                retry_policy=retry_policy, breaker=breaker)
+            raise TypeError("pass url= or service=, not both")
+        if isinstance(url, tuple):
+            warn_bare_address(f"{url[0]}:{url[1]}")
+            return TCPServiceClient(url, options=options)
+        scheme, host, port = parse_url(url, default_scheme="tcp")
+        if "://" not in url:
+            warn_bare_address(url)
+        if scheme == "tcp":
+            return TCPServiceClient(host, port, options=options)
+        from repro.service.gateway import HTTPServiceClient
+
+        return HTTPServiceClient(host, port, options=options,
+                                 scheme=scheme)
     if service is not None:
         return InProcessConnection(service, own_service=False)
     cache = PersistentEvaluationCache(cache_path) if cache_path else None

@@ -249,6 +249,17 @@ def _cmd_bench(args):
             f"{row['in_process_requests_per_sec']:7.2f} req/s  "
             f"relative {row['relative_to_in_process']:.2f}x"
         )
+    for name, row in record.get("gateway", {}).items():
+        classes = row.get("classes", {})
+        per_class = "  ".join(
+            f"{label} p50 {cls['p50_seconds'] * 1000:6.1f} ms "
+            f"p99 {cls['p99_seconds'] * 1000:6.1f} ms"
+            for label, cls in sorted(classes.items())
+        )
+        print(
+            f"gateway {name}: {row['requests_per_sec']:7.2f} req/s over "
+            f"HTTP ({row['n_clients']} clients)  {per_class}"
+        )
     for name, row in record.get("adaptive", {}).items():
         print(
             f"adaptive {name}: {row['adaptive_requests_per_sec']:7.2f} "
@@ -345,19 +356,69 @@ def _build_journal(args):
     return journal
 
 
+def _parse_serve_addresses(args):
+    """Validate every serve listener spec up front; raises
+    :class:`_ServeSetupError` so a typo exits 2 before any worker
+    processes are spawned."""
+    from repro.service.transport import parse_address
+
+    addresses = {}
+    for flag in ("tcp", "http", "metrics"):
+        spec = getattr(args, flag, None)
+        if not spec:
+            continue
+        try:
+            addresses[flag] = parse_address(spec)
+        except ValueError as exc:
+            raise _ServeSetupError(f"bad --{flag} address: {exc}") from None
+    if "metrics" in addresses and not (
+        "tcp" in addresses or "http" in addresses
+    ):
+        raise _ServeSetupError(
+            "--metrics needs a serving transport; pass --tcp or --http "
+            "alongside it"
+        )
+    return addresses
+
+
+def _build_tls_context(args):
+    """An ``ssl.SSLContext`` from ``--tls-cert``/``--tls-key`` (or None)."""
+    import ssl
+
+    cert = getattr(args, "tls_cert", None)
+    key = getattr(args, "tls_key", None)
+    if not cert and not key:
+        return None
+    if not (cert and key):
+        raise _ServeSetupError("--tls-cert and --tls-key must be passed "
+                               "together")
+    if not getattr(args, "http", None):
+        raise _ServeSetupError("--tls-cert/--tls-key only apply to --http")
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    try:
+        context.load_cert_chain(cert, keyfile=key)
+    except (OSError, ssl.SSLError) as exc:
+        raise _ServeSetupError(
+            f"cannot load TLS certificate {cert!r}: {exc}"
+        ) from exc
+    return context
+
+
 def _cmd_serve(args):
     import json
 
     from repro.service.jsonl import ServeSession, format_response
 
     try:
+        addresses = _parse_serve_addresses(args)
+        tls = _build_tls_context(args)
         service = _build_service(args)
         journal = _build_journal(args)
     except _ServeSetupError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.tcp:
-        return _serve_tcp(args, service, journal)
+    if addresses:
+        return _serve_network(args, addresses, tls, service, journal)
     session = ServeSession(service, journal=journal)
     pending = []
     submitted = 0
@@ -399,55 +460,114 @@ def _cmd_serve(args):
     return 1 if (parse_errors or stats["failed"]) else 0
 
 
-def _serve_tcp(args, service, journal=None):
+def _serve_network(args, addresses, tls, service, journal=None):
+    """Run the requested listeners -- framed TCP (``--tcp``), the HTTP
+    gateway (``--http``) and the metrics sidecar (``--metrics``) -- on
+    one event loop, sharing one service.  When both transports run, the
+    gateway reuses the TCP server's session, so idempotency, the
+    journal and workload caches are shared across protocols."""
     import asyncio
     import json
     import signal
 
-    from repro.service.transport import AsyncEvaluationServer, parse_address
+    from repro.service.transport import AsyncEvaluationServer
 
-    host, port = parse_address(args.tcp)
     membership = None
     gossip = None
     if getattr(args, "node_id", None):
         from repro.service.cluster import ClusterMembership, parse_peers
 
         membership = ClusterMembership(
-            args.node_id, (host, port),
+            args.node_id, addresses.get("tcp") or addresses["http"],
             peers=parse_peers(getattr(args, "cluster_peers", None)),
             dead_after=getattr(args, "gossip_dead_after", 2.0),
         )
 
-    async def run():
-        server = AsyncEvaluationServer(
+    def _build_gateway(host, port, session=None, metrics_only=False):
+        from repro.service.gateway import GatewayServer
+
+        return GatewayServer(
             service, host=host, port=port,
-            max_pending=args.max_pending,
-            request_timeout=args.request_timeout,
-            idle_timeout=args.idle_timeout,
-            journal=journal,
+            auth_token=getattr(args, "auth_token", None),
+            tls=tls if not metrics_only else None,
+            journal=None if session is not None else journal,
             membership=membership,
+            request_timeout=args.request_timeout,
+            max_inflight=getattr(args, "max_inflight", 64),
+            max_inflight_per_client=getattr(
+                args, "max_inflight_per_client", 16
+            ),
+            metrics_only=metrics_only,
+            session=session,
         )
+
+    async def run():
+        servers = []
+        primary = None
         try:
-            await server.start()
+            if "tcp" in addresses:
+                host, port = addresses["tcp"]
+                primary = AsyncEvaluationServer(
+                    service, host=host, port=port,
+                    max_pending=args.max_pending,
+                    request_timeout=args.request_timeout,
+                    idle_timeout=args.idle_timeout,
+                    journal=journal,
+                    membership=membership,
+                )
+                await primary.start()
+                servers.append(("listening on", primary))
+            if "http" in addresses:
+                host, port = addresses["http"]
+                gateway = _build_gateway(
+                    host, port,
+                    session=primary.session if primary is not None else None,
+                )
+                await gateway.start()
+                servers.append(("serving http on", gateway))
+                if primary is None:
+                    primary = gateway
+            if "metrics" in addresses:
+                host, port = addresses["metrics"]
+                sidecar = _build_gateway(
+                    host, port, session=primary.session, metrics_only=True
+                )
+                await sidecar.start()
+                servers.append(("serving metrics on", sidecar))
         except OSError as exc:
-            print(
-                f"error: cannot bind {host}:{port}: {exc}", file=sys.stderr
-            )
+            print(f"error: cannot bind: {exc}", file=sys.stderr)
+            for _, server in servers:
+                await server.aclose()
             return None
         loop = asyncio.get_running_loop()
+
+        def stop_all():
+            for _, server in servers:
+                server.request_shutdown()
+
         for sig in (signal.SIGINT, signal.SIGTERM):
             try:
-                loop.add_signal_handler(sig, server.request_shutdown)
+                loop.add_signal_handler(sig, stop_all)
             except (NotImplementedError, RuntimeError):
                 pass
         if membership is not None:
             # the bound port may differ from the requested one (port 0);
             # membership must advertise the real address
-            membership.address = tuple(server.address)
-        bound = server.address
-        print(f"listening on {bound[0]}:{bound[1]}", flush=True)
-        await server.serve_until_shutdown()
-        return server.snapshot()
+            membership.address = tuple(servers[0][1].address)
+        for line, server in servers:
+            bound = server.address
+            print(f"{line} {bound[0]}:{bound[1]}", flush=True)
+        # any listener's shutdown (op, endpoint or signal) drains them all
+        waiters = [
+            asyncio.ensure_future(server._shutdown_requested.wait())
+            for _, server in servers
+        ]
+        await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        for waiter in waiters:
+            waiter.cancel()
+        for _, server in servers:
+            await server.aclose()
+        return primary.snapshot()
 
     if membership is not None:
         from repro.service.cluster import GossipAgent
@@ -511,6 +631,7 @@ def _cmd_cluster(args):
 
     from repro.resilience.chaos import pinned_workload
     from repro.resilience.retry import RetryPolicy
+    from repro.service.client import ClientOptions
     from repro.service.cluster import Cluster, RouterClient
 
     workload = pinned_workload()
@@ -536,7 +657,7 @@ def _cmd_cluster(args):
         )
         try:
             with RouterClient(
-                [cluster.seed], retry_policy=policy
+                [cluster.seed], options=ClientOptions(retry_policy=policy)
             ) as router:
                 for n in range(per_client):
                     spec = workload.specs[n % n_specs]
@@ -1018,6 +1139,42 @@ def build_parser():
              "stdin (port 0 binds an ephemeral port)",
     )
     sub.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="serve the HTTP/1.1 + WebSocket gateway on this address "
+             "(POST /v1/evaluate, /v1/evolve, GET /v1/health, /metrics, "
+             "WS /v1/stream); combinable with --tcp, sharing one "
+             "session",
+    )
+    sub.add_argument(
+        "--metrics", default=None, metavar="HOST:PORT",
+        help="additionally expose GET /metrics and /v1/health on this "
+             "address (ops sidecar; requires --tcp or --http)",
+    )
+    sub.add_argument(
+        "--auth-token", default=None, metavar="TOKEN",
+        help="require `Authorization: Bearer TOKEN` (constant-time "
+             "compare) on every gateway endpoint except GET /v1/health",
+    )
+    sub.add_argument(
+        "--tls-cert", default=None, metavar="PATH",
+        help="serve --http over TLS with this certificate chain",
+    )
+    sub.add_argument(
+        "--tls-key", default=None, metavar="PATH",
+        help="private key for --tls-cert",
+    )
+    sub.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="gateway admission: global in-flight request budget; bulk "
+             "requests stop at 75%% of it so interactive traffic is "
+             "never starved (default 64)",
+    )
+    sub.add_argument(
+        "--max-inflight-per-client", type=int, default=16,
+        help="gateway admission: per-client in-flight bound before 429 "
+             "(default 16)",
+    )
+    sub.add_argument(
         "--cache", default=None, metavar="PATH",
         help="persist the evaluation cache to this append-only JSONL "
              "store, shared across server runs",
@@ -1153,7 +1310,8 @@ def build_parser():
 
     sub = subparsers.add_parser(
         "supervise",
-        help="run `serve --tcp` as a supervised child: restart on crash "
+        help="run `serve --tcp` (and/or `serve --http`) as a supervised "
+             "child: restart on crash "
              "or hang with exponential backoff, exit nonzero when the "
              "restart budget is exhausted",
     )

@@ -594,6 +594,139 @@ def measure_transport(scenario, n_requests=8, n_clients=4):
     }
 
 
+def _quantile(sorted_values, q):
+    """The ``q``-quantile of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def measure_gateway(scenario, n_requests=12, n_clients=4):
+    """HTTP gateway throughput + per-class latency, bit-exact.
+
+    Runs one :class:`repro.service.GatewayServer` on an ephemeral port
+    and drives a deterministic mixed-priority request stream (even
+    requests ``interactive``, odd ``bulk``) from ``n_clients`` threaded
+    :class:`repro.service.HTTPServiceClient` instances, after an
+    in-process oracle pass over the identical specs.  Outcomes must be
+    bit-exact against the oracle before any rate is recorded; p50/p99
+    are client-observed per-class round-trip latencies.
+    """
+    import asyncio
+    import threading
+
+    from repro.service import EvaluationService
+    from repro.service.gateway import GatewayServer, HTTPServiceClient
+    from repro.service.jsonl import ServeSession, outcome_from_dict
+
+    fsms = service_request_stream(n_requests)
+    specs = [
+        {
+            "grid": scenario.kind,
+            "size": scenario.size,
+            "agents": scenario.n_agents,
+            "fields": scenario.n_fields,
+            "seed": scenario.seed,
+            "t_max": scenario.t_max,
+            "fsm": {"genome": fsm.genome().tolist(), "name": fsm.name},
+            "priority": "interactive" if index % 2 == 0 else "bulk",
+        }
+        for index, fsm in enumerate(fsms)
+    ]
+
+    with EvaluationService(n_workers=1) as inproc:
+        session = ServeSession(inproc)
+        start = time.perf_counter()
+        futures = [session.submit_spec(spec)[1] for spec in specs]
+        oracle = [future.result()[0] for future in futures]
+        inproc_wall = time.perf_counter() - start
+
+    service = EvaluationService(n_workers=1)
+    ready = threading.Event()
+    bound = {}
+
+    async def serve():
+        server = GatewayServer(service, host="127.0.0.1")
+        await server.start()
+        bound["address"] = server.address
+        ready.set()
+        await server.serve_until_shutdown()
+
+    thread = threading.Thread(target=lambda: asyncio.run(serve()),
+                              daemon=True)
+    with service:
+        thread.start()
+        if not ready.wait(10):
+            raise RuntimeError("gateway bench server failed to start")
+        per_client = [
+            list(range(len(specs)))[i::n_clients] for i in range(n_clients)
+        ]
+        outcomes = [None] * n_requests
+        latencies = [None] * n_requests
+
+        def drive(client_index):
+            with HTTPServiceClient(
+                bound["address"], client_id=f"bench-{client_index}"
+            ) as client:
+                for spec_index in per_client[client_index]:
+                    sent = time.perf_counter()
+                    outcomes[spec_index] = client.evaluate(
+                        **specs[spec_index]
+                    )[0]
+                    latencies[spec_index] = time.perf_counter() - sent
+
+        start = time.perf_counter()
+        drivers = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(n_clients)
+        ]
+        for driver in drivers:
+            driver.start()
+        for driver in drivers:
+            driver.join()
+        gateway_wall = time.perf_counter() - start
+        with HTTPServiceClient(bound["address"]) as closer:
+            closer.shutdown()
+        thread.join(10)
+
+    if outcomes != oracle:
+        raise AssertionError(
+            "gateway outcomes diverged from the in-process oracle; "
+            "refusing to record gateway throughput for non-identical "
+            "results"
+        )
+    by_class = {"interactive": [], "bulk": []}
+    for spec, seconds in zip(specs, latencies):
+        by_class[spec["priority"]].append(seconds)
+    classes = {}
+    for label, observed in by_class.items():
+        observed.sort()
+        classes[label] = {
+            "n_requests": len(observed),
+            "p50_seconds": _quantile(observed, 0.50),
+            "p99_seconds": _quantile(observed, 0.99),
+        }
+    gateway_rate = n_requests / gateway_wall
+    inproc_rate = n_requests / inproc_wall
+    return {
+        "kind": scenario.kind,
+        "size": scenario.size,
+        "n_agents": scenario.n_agents,
+        "n_fields": scenario.n_fields,
+        "t_max": scenario.t_max,
+        "n_requests": n_requests,
+        "n_clients": n_clients,
+        "wall_seconds": gateway_wall,
+        "requests_per_sec": gateway_rate,
+        "in_process_requests_per_sec": inproc_rate,
+        "relative_to_in_process": gateway_rate / inproc_rate,
+        "classes": classes,
+    }
+
+
 #: The pinned mixed-width stream: alternating grid kinds and step budgets,
 #: so fixed-width coalescing packs incompatible requests into one round.
 ADAPTIVE_MIXED_SCENARIO = {
@@ -750,6 +883,7 @@ def measure_chaos(scenario=None, n_jobs=6, n_requests=8, n_clients=4):
     )
     from repro.service import (
         AsyncEvaluationServer,
+        ClientOptions,
         EvaluationService,
         TCPServiceClient,
         WorkerPool,
@@ -821,8 +955,9 @@ def measure_chaos(scenario=None, n_jobs=6, n_requests=8, n_clients=4):
         def drive(client_index):
             policy = RetryPolicy(seed=client_index, base_delay=0.01,
                                  max_delay=0.5)
-            with TCPServiceClient(bound["address"],
-                                  retry_policy=policy) as client:
+            with TCPServiceClient(
+                bound["address"], options=ClientOptions(retry_policy=policy)
+            ) as client:
                 for offset, spec in enumerate(per_client[client_index]):
                     response = client.request(dict(spec))
                     outcomes[client_index + offset * n_clients] = \
@@ -914,6 +1049,7 @@ def measure_durability(scenario=None, n_requests=8, n_clients=4,
 
     from repro.evolution.fitness import evaluate_fsm
     from repro.resilience.retry import RetryPolicy
+    from repro.service.client import ClientOptions
     from repro.service.supervisor import Supervisor
     from repro.service.transport import TCPServiceClient
 
@@ -964,7 +1100,8 @@ def measure_durability(scenario=None, n_requests=8, n_clients=4,
             )
             try:
                 with TCPServiceClient(
-                    supervisor.address, timeout=60.0, retry_policy=policy
+                    supervisor.address,
+                    options=ClientOptions(timeout=60.0, retry_policy=policy),
                 ) as client:
                     for spec_index in per_client[client_index]:
                         outcomes[spec_index] = client.evaluate(
@@ -996,8 +1133,11 @@ def measure_durability(scenario=None, n_requests=8, n_clients=4,
                     f"durability clients failed: {errors[:3]}"
                 )
             with TCPServiceClient(
-                supervisor.address, timeout=10.0,
-                retry_policy=RetryPolicy(seed=99, base_delay=0.05),
+                supervisor.address,
+                options=ClientOptions(
+                    timeout=10.0,
+                    retry_policy=RetryPolicy(seed=99, base_delay=0.05),
+                ),
             ) as probe:
                 stats = probe.stats()
             restarts = supervisor.restarts
@@ -1059,6 +1199,7 @@ def measure_cluster(node_counts=(1, 2, 3), n_specs=6, n_clients=3,
     from repro.grids import make_grid
     from repro.resilience.chaos import WORKLOAD
     from repro.resilience.retry import RetryPolicy
+    from repro.service.client import ClientOptions
     from repro.service.cluster import Cluster, RouterClient
 
     grid = make_grid(WORKLOAD["kind"], WORKLOAD["size"])
@@ -1094,7 +1235,10 @@ def measure_cluster(node_counts=(1, 2, 3), n_specs=6, n_clients=3,
                 )
                 try:
                     with RouterClient(
-                        [seed_address], timeout=60.0, retry_policy=policy
+                        [seed_address],
+                        options=ClientOptions(
+                            timeout=60.0, retry_policy=policy
+                        ),
                     ) as router:
                         for _ in range(n_passes):
                             for spec, want in zip(specs, expected):
@@ -1195,6 +1339,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
                 scenario, n_requests=n_requests, n_workers=service_workers
             )
     transport = {}
+    gateway = {}
     adaptive = {}
     chaos = {}
     if include_service:
@@ -1205,6 +1350,11 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         transport[scenario.name] = measure_transport(
             scenario,
             n_requests=4 if quick else 8,
+            n_clients=2 if quick else 4,
+        )
+        gateway[scenario.name] = measure_gateway(
+            scenario,
+            n_requests=6 if quick else 12,
             n_clients=2 if quick else 4,
         )
         adaptive["mixed"] = measure_adaptive(
@@ -1257,6 +1407,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "bigworld": bigworld,
         "service": service,
         "transport": transport,
+        "gateway": gateway,
         "adaptive": adaptive,
         "chaos": chaos,
         "durability": durability,

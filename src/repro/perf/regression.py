@@ -83,6 +83,7 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
             notes.append(line)
     _check_bigworld(record, baseline_run, threshold, failures, notes)
     _check_transport(record, baseline_run, threshold, failures, notes)
+    _check_gateway(record, baseline_run, threshold, failures, notes)
     _check_chaos(record, baseline_run, threshold, failures, notes)
     _check_durability(record, baseline_run, threshold, failures, notes)
     _check_cluster(record, baseline_run, threshold, failures, notes)
@@ -195,6 +196,65 @@ def _check_transport(record, baseline_run, threshold, failures, notes):
             failures.append(f"{line} -- dropped more than {threshold:.0%}")
         else:
             notes.append(line)
+
+
+def _gateway_comparable(new, old):
+    return (
+        new.get("n_requests") == old.get("n_requests")
+        and new.get("n_clients") == old.get("n_clients")
+        and new.get("n_fields") == old.get("n_fields")
+        and new.get("t_max") == old.get("t_max")
+    )
+
+
+def _check_gateway(record, baseline_run, threshold, failures, notes):
+    """Gate gateway requests/sec and per-class p99 latency.
+
+    Throughput is gated like the TCP transport; per-class p99 latency
+    fails when it grows by more than twice the threshold (latency tails
+    on loopback are noisier than rates).  Baselines committed before
+    the gateway existed lack the section; those comparisons are skipped
+    with a note, never failed.
+    """
+    baseline_gateway = baseline_run.get("gateway") or {}
+    for name, row in (record.get("gateway") or {}).items():
+        baseline = baseline_gateway.get(name)
+        if baseline is None or not _gateway_comparable(row, baseline):
+            notes.append(
+                f"gateway {name}: no comparable baseline; skipped"
+            )
+            continue
+        new_rate = row["requests_per_sec"]
+        old_rate = baseline["requests_per_sec"]
+        ratio = new_rate / old_rate if old_rate else float("inf")
+        line = (
+            f"gateway {name}: {new_rate:.2f} vs baseline "
+            f"{old_rate:.2f} req/s ({ratio:.2f}x)"
+        )
+        if ratio < 1.0 - threshold:
+            failures.append(f"{line} -- dropped more than {threshold:.0%}")
+        else:
+            notes.append(line)
+        for label in ("interactive", "bulk"):
+            new_p99 = (row.get("classes", {}).get(label) or {}).get(
+                "p99_seconds"
+            )
+            old_p99 = (baseline.get("classes", {}).get(label) or {}).get(
+                "p99_seconds"
+            )
+            if not new_p99 or not old_p99:
+                continue
+            growth = new_p99 / old_p99
+            line = (
+                f"gateway {name} {label} p99: {new_p99 * 1000:.1f} vs "
+                f"baseline {old_p99 * 1000:.1f} ms ({growth:.2f}x)"
+            )
+            if growth > 1.0 + 2 * threshold:
+                failures.append(
+                    f"{line} -- grew more than {2 * threshold:.0%}"
+                )
+            else:
+                notes.append(line)
 
 
 def _chaos_comparable(new, old):

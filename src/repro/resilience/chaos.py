@@ -172,6 +172,7 @@ def run_plan(plan, workload=None, log_path=None, n_clients=3,
     reported as ``pending``, not errors.
     """
     from repro.service.cache_store import PersistentEvaluationCache
+    from repro.service.client import ClientOptions
     from repro.service.service import EvaluationService
     from repro.service.transport import TCPServiceClient
 
@@ -196,8 +197,11 @@ def run_plan(plan, workload=None, log_path=None, n_clients=3,
                     )
                     try:
                         with TCPServiceClient(
-                            server.address, timeout=request_timeout,
-                            retry_policy=policy,
+                            server.address,
+                            options=ClientOptions(
+                                timeout=request_timeout,
+                                retry_policy=policy,
+                            ),
                         ) as client:
                             for spec, want in zip(
                                 workload.specs, workload.expected
@@ -269,6 +273,7 @@ def run_cluster_plan(plan, n_nodes=3, workload=None, log_path=None,
     results must stay bit-exact against the fault-free reference
     through every kill, restart and partition.
     """
+    from repro.service.client import ClientOptions
     from repro.service.cluster import Cluster, RouterClient
 
     if workload is None:
@@ -323,8 +328,10 @@ def run_cluster_plan(plan, n_nodes=3, workload=None, log_path=None,
             )
             try:
                 with RouterClient(
-                    [cluster.seed], timeout=request_timeout,
-                    retry_policy=policy,
+                    [cluster.seed],
+                    options=ClientOptions(
+                        timeout=request_timeout, retry_policy=policy
+                    ),
                 ) as router:
                     for _ in range(n_passes):
                         for spec, want in zip(

@@ -24,6 +24,16 @@ The serving layer the ROADMAP asks for, in five pieces:
   backpressure, request timeouts, idle reaping and graceful shutdown;
   :class:`TCPServiceClient` / :class:`AsyncServiceClient` speak its
   length-prefixed JSON protocol.
+* :mod:`repro.service.gateway` -- :class:`GatewayServer`, the HTTP/1.1
+  + WebSocket front (``repro-a2a serve --http``): bearer-token auth,
+  optional TLS, two-class prioritised admission control (interactive
+  ahead of bulk, 429 + ``Retry-After`` past capacity), a Prometheus
+  ``/metrics`` exposition, and campaign streaming over
+  ``WS /v1/stream``; :class:`HTTPServiceClient` is its blocking client.
+* :mod:`repro.service.client` -- the unified client surface:
+  :class:`Client` (the protocol all five client implementations
+  satisfy) and :class:`ClientOptions` (timeout / retry / breaker /
+  auth spelled once, accepted by every constructor as ``options=``).
 * :mod:`repro.service.supervisor` -- :class:`Supervisor`, the
   ``repro-a2a supervise`` process monitor: restarts a ``serve --tcp``
   child on crash or health-probe hang with exponential backoff, pins
@@ -52,6 +62,12 @@ state.
 """
 
 from repro.service.cache_store import CacheStore, PersistentEvaluationCache
+from repro.service.client import (
+    Client,
+    ClientOptions,
+    parse_url,
+    resolve_options,
+)
 from repro.service.cluster import (
     Cluster,
     ClusterError,
@@ -70,7 +86,14 @@ from repro.service.pool import (
     WorkerJobError,
     WorkerPool,
 )
+from repro.service.gateway import (
+    AdmissionController,
+    GatewayServer,
+    HTTPServiceClient,
+)
 from repro.service.service import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
     AdaptiveBatchPolicy,
     EvaluationRequest,
     EvaluationService,
@@ -93,6 +116,15 @@ from repro.service.transport import (
 )
 
 __all__ = [
+    "Client",
+    "ClientOptions",
+    "parse_url",
+    "resolve_options",
+    "AdmissionController",
+    "GatewayServer",
+    "HTTPServiceClient",
+    "PRIORITY_BULK",
+    "PRIORITY_INTERACTIVE",
     "WorkerPool",
     "WorkerJobError",
     "WorkerCrashError",

@@ -1,0 +1,188 @@
+"""The unified client surface: one protocol, one options dataclass.
+
+Five transports reach the evaluation service -- in-process
+(:class:`repro.service.ServiceClient`), framed TCP
+(:class:`repro.service.TCPServiceClient` /
+:class:`repro.service.AsyncServiceClient`), the consistent-hash fleet
+router (:class:`repro.service.RouterClient`) and the HTTP gateway
+(:class:`repro.service.HTTPServiceClient`).  Historically each grew its
+own constructor vocabulary (``timeout=`` here, ``request_timeout=``
+there, ``retry_policy=`` on some); this module is the consolidation:
+
+* :class:`Client` -- the structural protocol every client implements:
+  ``evaluate(**spec)`` / ``evaluate_many(specs)`` / ``health()`` /
+  ``stats()`` / ``close()`` plus context management.  The async client
+  implements the same names as coroutines (and is an async context
+  manager).  ``tests/test_gateway.py`` runs one conformance battery
+  over all five implementations.
+* :class:`ClientOptions` -- the one place retry/timeout/auth hardening
+  is spelled.  Every client constructor takes ``options=``; the old
+  per-transport spellings (``timeout=``, ``request_timeout=``,
+  ``retry_policy=``, ``breaker=``) keep working through
+  :func:`resolve_options` with a :class:`DeprecationWarning`.
+* :func:`parse_url` -- one URL grammar (``tcp://``, ``http://``,
+  ``https://``, plus bare ``HOST:PORT`` as a deprecated tcp spelling)
+  shared by :func:`repro.api.connect` and the fleet router's seeds.
+"""
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from repro._compat import warn_deprecated
+
+#: URL schemes :func:`parse_url` accepts, with their default ports.
+_SCHEME_PORTS = {"tcp": None, "http": 80, "https": 443}
+
+
+@runtime_checkable
+class Client(Protocol):
+    """What every service client can do, regardless of transport.
+
+    ``evaluate`` speaks the wire workload vocabulary (``grid``,
+    ``size``, ``agents``, ``fields``, ``seed``, ``t_max``, ``fsm``,
+    ``backend``, ``priority``) and returns one
+    :class:`repro.results.EvaluationResult` per FSM named by the spec.
+    ``evaluate_many`` takes an iterable of such specs and returns the
+    per-spec result lists in order (transports that can pipeline do).
+    ``health`` is the cheap liveness payload; ``stats`` the full
+    counter snapshot; ``close`` releases the connection (owned
+    services are shut down).  Every client is usable as a context
+    manager.  :class:`repro.service.AsyncServiceClient` implements the
+    same names as coroutines.
+    """
+
+    def evaluate(self, **spec): ...
+
+    def evaluate_many(self, specs): ...
+
+    def health(self): ...
+
+    def stats(self): ...
+
+    def close(self): ...
+
+    def __enter__(self): ...
+
+    def __exit__(self, *exc_info): ...
+
+
+@dataclass(frozen=True)
+class ClientOptions:
+    """Transport-independent client hardening, spelled once.
+
+    * ``timeout`` -- seconds a single round-trip (and the connect) may
+      take before the attempt fails;
+    * ``retry_policy`` -- a :class:`repro.resilience.RetryPolicy`;
+      failed attempts are retried with backoff under idempotency keys,
+      so a retry never re-simulates completed work;
+    * ``breaker`` -- a :class:`repro.resilience.CircuitBreaker`
+      wrapping each attempt;
+    * ``auth_token`` -- the gateway bearer token
+      (``Authorization: Bearer <token>``); ignored by transports that
+      have no auth surface;
+    * ``tls`` -- an :class:`ssl.SSLContext` for ``https://`` clients
+      (``None`` uses :func:`ssl.create_default_context`).
+    """
+
+    timeout: float = 120.0
+    retry_policy: object = None
+    breaker: object = None
+    auth_token: str = None
+    tls: object = None
+
+    def merged(self, **overrides):
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: The deprecated per-transport spellings ``resolve_options`` accepts.
+_LEGACY_OPTION_FIELDS = {
+    "timeout": "timeout",
+    "request_timeout": "timeout",   # the transport-side spelling
+    "retry_policy": "retry_policy",
+    "breaker": "breaker",
+    "auth_token": "auth_token",
+}
+
+
+def resolve_options(options=None, where="client", **legacy):
+    """One :class:`ClientOptions` from ``options=`` plus legacy kwargs.
+
+    Constructors pass their deprecated keyword spellings through here:
+    each non-``None`` legacy value warns and lands on the matching
+    :class:`ClientOptions` field.  Passing both ``options=`` and a
+    legacy spelling for the same field is an error, not a silent
+    override.
+    """
+    supplied = {
+        name: value for name, value in legacy.items() if value is not None
+    }
+    unknown = set(supplied) - set(_LEGACY_OPTION_FIELDS)
+    if unknown:
+        raise TypeError(f"{where}() got unexpected options {sorted(unknown)}")
+    if options is None:
+        options = ClientOptions()
+        explicit = False
+    else:
+        explicit = True
+    for name, value in supplied.items():
+        field = _LEGACY_OPTION_FIELDS[name]
+        if explicit:
+            raise TypeError(
+                f"{where}() got both options= and the deprecated "
+                f"{name}= spelling; put {field}= inside ClientOptions"
+            )
+        warn_deprecated(
+            f"{where}({name}=...)", f"options=ClientOptions({field}=...)",
+            stacklevel=4,
+        )
+        options = options.merged(**{field: value})
+    return options
+
+
+def parse_url(url, default_scheme=None):
+    """``(scheme, host, port)`` from a service URL.
+
+    Accepts ``tcp://HOST:PORT``, ``http://HOST[:PORT]`` and
+    ``https://HOST[:PORT]`` (HTTP ports default to 80/443; tcp requires
+    an explicit port).  A bare ``HOST:PORT`` resolves to
+    ``default_scheme`` when one is given -- the deprecated spelling
+    :func:`repro.api.connect` still honours -- and raises otherwise.
+    """
+    if not isinstance(url, str):
+        raise ValueError(f"expected a URL string, got {url!r}")
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        if default_scheme is None:
+            raise ValueError(
+                f"URL {url!r} carries no scheme; expected tcp://, "
+                "http:// or https://"
+            )
+        scheme, rest = default_scheme, url
+    scheme = scheme.lower()
+    if scheme not in _SCHEME_PORTS:
+        raise ValueError(
+            f"unknown URL scheme {scheme!r} in {url!r}; expected one of "
+            f"{sorted(_SCHEME_PORTS)}"
+        )
+    rest = rest.rstrip("/")
+    host, colon, port = rest.rpartition(":")
+    if not colon or not port.isdigit():
+        default_port = _SCHEME_PORTS[scheme]
+        if default_port is None:
+            raise ValueError(f"{scheme}:// URLs need HOST:PORT, got {url!r}")
+        host, port = rest, default_port
+    if not host:
+        host = "127.0.0.1"
+    return scheme, host, int(port)
+
+
+def warn_bare_address(url):
+    """Deprecation warning for a scheme-less ``connect`` address."""
+    warnings.warn(
+        f"connect({url!r}) with a bare address is deprecated; use "
+        f"connect('tcp://{url}')",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -47,10 +47,14 @@ import uuid
 from bisect import bisect_left, insort
 
 from repro._compat import normalize_grid_kind
+from repro.service.client import ClientOptions
 from repro.service.service import ServiceError
 
 #: Default number of virtual nodes per physical node on the ring.
 DEFAULT_REPLICAS = 64
+
+#: Fleet-internal control-plane probes: short, bare (no retry/breaker).
+_PROBE_OPTIONS = ClientOptions(timeout=5.0)
 
 #: Node statuses carried in membership views.
 ALIVE = "alive"
@@ -463,23 +467,31 @@ class RouterClient:
     :class:`TCPServiceClient` is per-thread too).
     """
 
-    def __init__(self, seeds, replicas=DEFAULT_REPLICAS, timeout=30.0,
-                 retry_policy=None, breaker=None, statuses=(ALIVE, SUSPECT)):
-        from repro.service.transport import parse_address
+    def __init__(self, seeds, replicas=DEFAULT_REPLICAS, options=None,
+                 statuses=(ALIVE, SUSPECT), timeout=None, retry_policy=None,
+                 breaker=None):
+        from repro.service.client import parse_url, resolve_options
 
+        options = resolve_options(
+            options, where="RouterClient", timeout=timeout,
+            retry_policy=retry_policy, breaker=breaker,
+        )
         if isinstance(seeds, (str, tuple)):
             seeds = [seeds]
         self._seeds = [
-            parse_address(seed) if isinstance(seed, str)
-            else (seed[0], int(seed[1]))
+            parse_url(seed, default_scheme="tcp") if isinstance(seed, str)
+            else ("tcp", seed[0], int(seed[1]))
             for seed in seeds
         ]
         if not self._seeds:
             raise ValueError("RouterClient needs at least one seed address")
         self.replicas = replicas
-        self.timeout = timeout
-        self.retry_policy = retry_policy
-        self.breaker_factory = breaker if callable(breaker) else None
+        self.options = options
+        self.timeout = options.timeout
+        self.retry_policy = options.retry_policy
+        self.breaker_factory = (
+            options.breaker if callable(options.breaker) else None
+        )
         self._statuses = tuple(statuses)
         self._ids = itertools.count()
         self._nodes = {}         # node_id -> (host, port)
@@ -505,13 +517,39 @@ class RouterClient:
         client = self._clients.get(node_id)
         if client is None:
             client = TCPServiceClient(
-                self._nodes[node_id], timeout=self.timeout,
-                retry_policy=self.retry_policy or self._default_policy(),
-                breaker=self.breaker_factory() if self.breaker_factory
-                else None,
+                self._nodes[node_id],
+                options=self.options.merged(
+                    retry_policy=self.retry_policy
+                    or self._default_policy(),
+                    breaker=self.breaker_factory()
+                    if self.breaker_factory else None,
+                ),
             )
             self._clients[node_id] = client
         return client
+
+    def _probe_health(self, scheme, host, port):
+        """One address's ``health`` payload, over its own transport.
+
+        Seeds may name the fleet's framed-TCP listeners (``tcp://``) or
+        its HTTP gateways (``http://`` / ``https://``) -- bootstrap
+        works either way, because both transports serve the same
+        membership-carrying health payload.  Probes run bare (no retry
+        policy, no breaker): a dead seed should fail fast so the next
+        one gets tried.
+        """
+        probe_options = self.options.merged(retry_policy=None, breaker=None)
+        if scheme == "tcp":
+            from repro.service.transport import TCPServiceClient
+
+            with TCPServiceClient((host, port),
+                                  options=probe_options) as probe:
+                return probe.health()
+        from repro.service.gateway import HTTPServiceClient
+
+        with HTTPServiceClient(host, port, options=probe_options,
+                               scheme=scheme) as probe:
+            return probe.health()
 
     def _adopt(self, membership, fallback):
         """Install a fetched membership view (or a bare ``fallback``)."""
@@ -532,20 +570,16 @@ class RouterClient:
 
     def _bootstrap(self):
         """Discover the fleet from the first responsive seed address."""
-        from repro.service.transport import TCPServiceClient
-
         last_error = None
-        for address in self._seeds:
+        for scheme, host, port in self._seeds:
             try:
-                with TCPServiceClient(address, timeout=self.timeout) as probe:
-                    health = probe.health()
+                health = self._probe_health(scheme, host, port)
             except Exception as exc:
                 last_error = exc
                 continue
             membership = health.get("membership")
-            node_id = (membership or {}).get("from") \
-                or f"{address[0]}:{address[1]}"
-            self._adopt(membership, (node_id, address))
+            node_id = (membership or {}).get("from") or f"{host}:{port}"
+            self._adopt(membership, (node_id, (host, port)))
             self.refreshes += 1
             return
         raise RouterError(
@@ -554,16 +588,16 @@ class RouterClient:
 
     def refresh(self):
         """Re-discover the fleet from any currently-known node or seed."""
-        from repro.service.transport import TCPServiceClient
-
-        candidates = list(self._nodes.items()) + [
-            (f"{host}:{port}", (host, port))
-            for host, port in self._seeds
+        candidates = [
+            ("tcp", node_id, address)
+            for node_id, address in self._nodes.items()
+        ] + [
+            (scheme, f"{host}:{port}", (host, port))
+            for scheme, host, port in self._seeds
         ]
-        for node_id, address in candidates:
+        for scheme, node_id, address in candidates:
             try:
-                with TCPServiceClient(address, timeout=self.timeout) as probe:
-                    health = probe.health()
+                health = self._probe_health(scheme, *address)
             except Exception:
                 continue
             self._adopt(
@@ -647,6 +681,10 @@ class RouterClient:
 
         response = self.request(spec)
         return [outcome_from_dict(o) for o in response["outcomes"]]
+
+    def evaluate_many(self, specs):
+        """Per-spec result lists, each routed to its own ring owner."""
+        return [self.evaluate(**dict(spec)) for spec in specs]
 
     def ping(self):
         return self.request({"op": "ping"}).get("pong", False)
@@ -983,7 +1021,8 @@ class Cluster:
             from repro.service.transport import TCPServiceClient
 
             with contextlib.suppress(Exception):
-                with TCPServiceClient(node.address, timeout=5.0) as client:
+                with TCPServiceClient(node.address,
+                                      options=_PROBE_OPTIONS) as client:
                     client.request(
                         {"op": "partition", "block": sorted(blocked)}
                     )
@@ -1010,7 +1049,8 @@ class Cluster:
             # block lists are authoritative cluster-side so a restarted
             # node (which boots with an empty list) can be re-cut
             with contextlib.suppress(Exception):
-                with TCPServiceClient(node.address, timeout=5.0) as client:
+                with TCPServiceClient(node.address,
+                                      options=_PROBE_OPTIONS) as client:
                     client.request(
                         {"op": "partition", "block": sorted(blocked)}
                     )
@@ -1021,7 +1061,8 @@ class Cluster:
 
         for address in self.addresses:
             with contextlib.suppress(Exception):
-                with TCPServiceClient(address, timeout=5.0) as client:
+                with TCPServiceClient(address,
+                                      options=_PROBE_OPTIONS) as client:
                     return client.health().get("membership")
         return None
 

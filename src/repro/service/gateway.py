@@ -1,0 +1,1123 @@
+"""HTTP/1.1 + WebSocket gateway: the service's production front door.
+
+``repro-a2a serve --http HOST:PORT`` fronts one
+:class:`repro.service.EvaluationService` with a standards-speaking
+asyncio server -- stdlib only -- so anything that can speak HTTP can
+drive the reproduction and observe it:
+
+* ``POST /v1/evaluate`` -- one JSON workload spec (the same vocabulary
+  as the framed TCP protocol and stdin JSONL mode), answered with its
+  ``outcomes`` list;
+* ``POST /v1/evolve`` -- run the paper's mutation-only evolution on a
+  spec; always admitted in the **bulk** class;
+* ``GET /v1/health`` -- the session health payload (pool watchdog,
+  queue depth, cache, idempotency, journal) plus gateway counters and,
+  in cluster mode, the gossip membership exchange;
+* ``GET /v1/stats`` -- the full counter snapshot;
+* ``GET /metrics`` -- Prometheus-style text exposition of every
+  journal/pool/idempotency/cache/adaptive-batch counter plus per-class
+  latency histograms (p50/p99);
+* ``WS /v1/stream`` -- a WebSocket that accepts campaign specs and
+  streams one message per FSM as results land, in submission order;
+* ``POST /v1/shutdown`` -- graceful drain, mirroring the TCP
+  ``shutdown`` op.
+
+Operational hardening is layered on top of the shared serving core
+(:class:`repro.service.transport.BaseAsyncServer` -- one
+:class:`~repro.service.jsonl.ServeSession`, one decode thread, the same
+drain and request-timeout semantics as the TCP transport):
+
+* **token auth** -- ``auth_token`` requires ``Authorization: Bearer
+  <token>`` (constant-time compare) on every endpoint except
+  ``GET /v1/health``, which stays open so supervisors and load
+  balancers can probe without credentials;
+* **TLS** -- pass an :class:`ssl.SSLContext` as ``tls``;
+* **admission control** -- two priority classes.  ``/v1/evaluate``
+  defaults to **interactive** (queued ahead of bulk in the service's
+  priority dispatcher); campaign shards and ``/v1/evolve`` are
+  **bulk**.  Bulk admissions stop at a fraction of the global in-flight
+  budget so saturating bulk load can never starve interactive requests
+  (no priority inversion); each client is further bounded to
+  ``max_inflight_per_client``.  Refusals are ``429`` with a
+  ``Retry-After`` header.
+"""
+
+import asyncio
+import base64
+import contextlib
+import hashlib
+import hmac
+import http.client
+import itertools
+import json
+import math
+import ssl as ssl_module
+import struct
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+
+from repro.service.jsonl import outcome_from_dict, outcome_to_dict
+from repro.service.service import normalize_priority, priority_label
+from repro.service.transport import (
+    ERR_BAD_REQUEST,
+    ERR_EVALUATION_FAILED,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_FRAME_BYTES,
+    BaseAsyncServer,
+    RequestExecutionError,
+    TransportError,
+    _StopReading,
+    is_retryable_error,
+)
+
+#: Gateway-only error codes, extending the transport taxonomy.
+ERR_UNAUTHORIZED = "unauthorized"
+ERR_OVERLOADED = "overloaded"
+ERR_NOT_FOUND = "not_found"
+ERR_METHOD_NOT_ALLOWED = "method_not_allowed"
+
+#: HTTP status for each protocol error code.
+_CODE_STATUS = {
+    ERR_BAD_REQUEST: 400,
+    ERR_UNAUTHORIZED: 401,
+    ERR_NOT_FOUND: 404,
+    ERR_METHOD_NOT_ALLOWED: 405,
+    ERR_OVERLOADED: 429,
+    ERR_EVALUATION_FAILED: 500,
+    ERR_SHUTTING_DOWN: 503,
+    ERR_TIMEOUT: 504,
+}
+
+_STATUS_REASONS = {
+    101: "Switching Protocols",
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: RFC 6455 handshake GUID.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_WS_TEXT = 0x1
+_WS_BINARY = 0x2
+_WS_CLOSE = 0x8
+_WS_PING = 0x9
+_WS_PONG = 0xA
+
+
+class GatewayError(Exception):
+    """An HTTP-visible failure: status + protocol error code."""
+
+    def __init__(self, code, message, retry_after=None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.status = _CODE_STATUS.get(code, 500)
+        self.retry_after = retry_after
+
+
+class LatencyHistogram:
+    """Log-bucketed latency accumulator with quantile estimates.
+
+    Buckets grow geometrically (``base`` per step from ``floor``
+    seconds), so two ints per observation buy percentile estimates that
+    are accurate to one bucket width -- good enough for the p50/p99 the
+    bench records, with no per-request allocation.
+    """
+
+    def __init__(self, base=1.25, floor=1e-4):
+        self.base = float(base)
+        self.floor = float(floor)
+        self._log_base = math.log(self.base)
+        self.counts = {}
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, seconds):
+        seconds = max(float(seconds), 0.0)
+        index = (
+            0 if seconds <= self.floor
+            else math.ceil(math.log(seconds / self.floor) / self._log_base)
+        )
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.count += 1
+        self.sum += seconds
+
+    def quantile(self, q):
+        """An upper bound of the ``q``-quantile latency (0 if empty)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if seen >= target:
+                return self.floor * self.base ** index
+        return self.floor * self.base ** max(self.counts)
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class AdmissionController:
+    """Two-class, per-client in-flight bookkeeping.
+
+    The global budget is ``max_inflight``; **bulk** admissions stop at
+    ``bulk_fraction`` of it, leaving guaranteed headroom for
+    interactive requests -- the structural guarantee behind the
+    no-priority-inversion test.  Every client (as identified by the
+    gateway) is additionally bounded to ``max_per_client`` in-flight
+    requests, so one greedy client cannot consume either class's
+    budget.  Refusals raise :class:`GatewayError` with a
+    ``Retry-After`` hint.
+    """
+
+    def __init__(self, max_inflight=64, max_per_client=16,
+                 bulk_fraction=0.75):
+        if max_inflight < 1 or max_per_client < 1:
+            raise ValueError("admission bounds must be at least 1")
+        self.max_inflight = int(max_inflight)
+        self.max_per_client = int(max_per_client)
+        self.bulk_limit = max(1, int(max_inflight * bulk_fraction))
+        self.inflight = 0
+        self.per_client = {}
+        self.admitted = {"interactive": 0, "bulk": 0}
+        self.rejected = {"interactive": 0, "bulk": 0}
+        self.rejected_per_client = 0
+
+    def admit(self, client, label, retry_after=1):
+        limit = (
+            self.max_inflight if label == "interactive" else self.bulk_limit
+        )
+        if self.inflight >= limit:
+            self.rejected[label] += 1
+            raise GatewayError(
+                ERR_OVERLOADED,
+                f"{label} admission budget exhausted "
+                f"({self.inflight}/{limit} in flight)",
+                retry_after=retry_after,
+            )
+        if self.per_client.get(client, 0) >= self.max_per_client:
+            self.rejected[label] += 1
+            self.rejected_per_client += 1
+            raise GatewayError(
+                ERR_OVERLOADED,
+                f"client {client!r} already has "
+                f"{self.max_per_client} requests in flight",
+                retry_after=retry_after,
+            )
+        self.inflight += 1
+        self.per_client[client] = self.per_client.get(client, 0) + 1
+        self.admitted[label] += 1
+
+    def release(self, client, label):
+        self.inflight -= 1
+        remaining = self.per_client.get(client, 1) - 1
+        if remaining <= 0:
+            self.per_client.pop(client, None)
+        else:
+            self.per_client[client] = remaining
+
+    def snapshot(self):
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "bulk_limit": self.bulk_limit,
+            "max_per_client": self.max_per_client,
+            "clients_inflight": len(self.per_client),
+            "admitted": dict(self.admitted),
+            "rejected": dict(self.rejected),
+            "rejected_per_client": self.rejected_per_client,
+        }
+
+
+@dataclass
+class GatewayStats:
+    """Lifetime counters of one gateway instance."""
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    unauthorized: int = 0
+    overloaded: int = 0
+    bad_requests: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    ws_streams: int = 0
+    ws_messages: int = 0
+    evolve_runs: int = 0
+
+    def snapshot(self):
+        return asdict(self)
+
+
+def websocket_accept(key):
+    """The ``Sec-WebSocket-Accept`` value for a handshake key."""
+    digest = hashlib.sha1((key + _WS_GUID).encode()).digest()
+    return base64.b64encode(digest).decode()
+
+
+async def ws_read_message(reader, max_bytes=MAX_FRAME_BYTES):
+    """One ``(opcode, payload)`` WebSocket message; ``None`` on EOF.
+
+    Handles client masking and fragmented continuations; control
+    frames (close/ping/pong) are returned to the caller to answer.
+    """
+    payload = bytearray()
+    opcode = None
+    while True:
+        try:
+            head = await reader.readexactly(2)
+        except asyncio.IncompleteReadError:
+            return None
+        fin = bool(head[0] & 0x80)
+        frame_op = head[0] & 0x0F
+        masked = bool(head[1] & 0x80)
+        length = head[1] & 0x7F
+        if length == 126:
+            (length,) = struct.unpack(">H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        if length > max_bytes:
+            raise ValueError(f"WebSocket frame of {length} bytes refused")
+        mask = await reader.readexactly(4) if masked else None
+        data = await reader.readexactly(length) if length else b""
+        if mask:
+            data = bytes(
+                byte ^ mask[i % 4] for i, byte in enumerate(data)
+            )
+        if frame_op in (_WS_CLOSE, _WS_PING, _WS_PONG):
+            return frame_op, data   # control frames are never fragmented
+        if frame_op:
+            opcode = frame_op
+        payload.extend(data)
+        if fin:
+            return opcode, bytes(payload)
+
+
+def ws_encode_frame(payload, opcode=_WS_TEXT, mask=False):
+    """One WebSocket frame (server frames unmasked, client masked)."""
+    if isinstance(payload, str):
+        payload = payload.encode()
+    head = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head.extend(struct.pack(">H", length))
+    else:
+        head.append(mask_bit | 127)
+        head.extend(struct.pack(">Q", length))
+    if mask:
+        key = uuid.uuid4().bytes[:4]
+        head.extend(key)
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(head) + payload
+
+
+def _metric_name(*parts):
+    cleaned = "_".join(str(part) for part in parts if part != "")
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in cleaned
+    )
+
+
+def _flatten_metrics(prefix, value, out):
+    if isinstance(value, bool):
+        out.append((prefix, int(value)))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, value))
+    elif isinstance(value, dict):
+        for key, nested in value.items():
+            _flatten_metrics(_metric_name(prefix, key), nested, out)
+    # lists (recent widths etc.) have no scalar exposition; skip them
+
+
+def render_metrics(snapshot, histograms=()):
+    """Prometheus-style text exposition of a counter snapshot.
+
+    Every numeric leaf of ``snapshot`` becomes one
+    ``repro_<path> <value>`` sample, so the journal, pool-watchdog,
+    idempotency, cache and adaptive-batch counters are all exported
+    without a hand-maintained schema.  ``histograms`` maps admission
+    class -> :class:`LatencyHistogram`, exported as quantile gauges
+    plus ``_count``/``_sum``.
+    """
+    samples = []
+    _flatten_metrics("repro", snapshot, samples)
+    lines = [f"{name} {value}" for name, value in samples]
+    for label, histogram in dict(histograms).items():
+        snap = histogram.snapshot()
+        base = "repro_gateway_request_latency_seconds"
+        lines.append(f'{base}{{class="{label}",quantile="0.5"}} {snap["p50"]}')
+        lines.append(f'{base}{{class="{label}",quantile="0.99"}} {snap["p99"]}')
+        lines.append(f'{base}_count{{class="{label}"}} {snap["count"]}')
+        lines.append(f'{base}_sum{{class="{label}"}} {snap["sum"]}')
+    return "\n".join(lines) + "\n"
+
+
+class _HttpConnectionClosed(Exception):
+    """The peer went away between requests (clean keep-alive EOF)."""
+
+
+class GatewayServer(BaseAsyncServer):
+    """The HTTP/1.1 + WebSocket front of one :class:`EvaluationService`.
+
+    Shares the serving core with the framed TCP transport (one
+    :class:`~repro.service.jsonl.ServeSession`, so workloads arriving
+    over HTTP coalesce into the same dispatcher batches as TCP ones,
+    and drain/timeout semantics are identical).  ``port=0`` binds an
+    ephemeral port; read :attr:`address` after :meth:`start`.
+
+    ``metrics_only=True`` serves just ``GET /v1/health`` and
+    ``GET /metrics`` -- the ``--metrics`` sidecar listener.
+    """
+
+    def __init__(self, service, host="127.0.0.1", port=0, auth_token=None,
+                 tls=None, journal=None, membership=None,
+                 request_timeout=None, max_inflight=64,
+                 max_inflight_per_client=16, bulk_fraction=0.75,
+                 max_body_bytes=MAX_FRAME_BYTES, metrics_only=False,
+                 session=None):
+        super().__init__(service, request_timeout=request_timeout,
+                         journal=journal, name="gateway")
+        self._shared_session = session is not None
+        if session is not None:
+            # combined serving (--tcp + --http) or the --metrics sidecar:
+            # share the primary transport's session so idempotency, the
+            # journal and workload caches are one across protocols
+            self.session = session
+        self.host = host
+        self.port = port
+        self.auth_token = auth_token
+        self.tls = tls
+        self.membership = membership
+        self.max_body_bytes = int(max_body_bytes)
+        self.metrics_only = metrics_only
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            max_per_client=max_inflight_per_client,
+            bulk_fraction=bulk_fraction,
+        )
+        self.histograms = {
+            "interactive": LatencyHistogram(),
+            "bulk": LatencyHistogram(),
+        }
+        self.stats = GatewayStats()
+        self._server = None
+        self._handlers = set()
+        self._evolve_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-evolve"
+        )
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self):
+        if not self._shared_session:   # the session's owner replays
+            await self._replay_journal()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, ssl=self.tls
+        )
+        return self
+
+    async def aclose(self):
+        """Graceful shutdown: stop accepting/reading, drain, close."""
+        self._closing = True
+        self._stop_reading.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+        self._decode_executor.shutdown(wait=False)
+        self._evolve_executor.shutdown(wait=False)
+        self._shutdown_requested.set()
+
+    def snapshot(self):
+        """Gateway, admission and latency counters plus the session's."""
+        return {
+            "gateway": self.stats.snapshot(),
+            "admission": self.admission.snapshot(),
+            "latency": {
+                label: histogram.snapshot()
+                for label, histogram in self.histograms.items()
+            },
+            "service": self.session.stats(),
+        }
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        handler = asyncio.current_task()
+        self._handlers.add(handler)
+        self.stats.connections_opened += 1
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if peer else "unknown"
+        try:
+            while not self._closing:
+                try:
+                    request = await self._next_request(reader)
+                except _StopReading:
+                    break
+                except _HttpConnectionClosed:
+                    break
+                except GatewayError as exc:
+                    await self._send_response(
+                        writer, exc.status, self._error_body(exc)
+                    )
+                    break
+                except (ValueError, asyncio.IncompleteReadError,
+                        asyncio.LimitOverrunError):
+                    await self._send_response(
+                        writer, 400,
+                        self._error_payload(ERR_BAD_REQUEST,
+                                            "malformed HTTP request"),
+                    )
+                    break
+                keep_alive = await self._dispatch(
+                    request, reader, writer, peer_host
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+            self._handlers.discard(handler)
+            self.stats.connections_closed += 1
+
+    async def _next_request(self, reader):
+        """One parsed HTTP request, honouring the drain signal."""
+        read = asyncio.ensure_future(self._read_http_request(reader))
+        stop = asyncio.ensure_future(self._stop_reading.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {read, stop}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if read in done:
+                return read.result()
+            raise _StopReading
+        finally:
+            for waiter in (read, stop):
+                if waiter.done():
+                    if not waiter.cancelled():
+                        waiter.exception()   # mark retrieved
+                else:
+                    waiter.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await waiter
+
+    async def _read_http_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line:
+            raise _HttpConnectionClosed
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise ValueError(f"bad request line {request_line!r}")
+        method, target, _ = parts
+        headers = {}
+        for _ in range(100):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise ValueError(f"bad header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ValueError("too many headers")
+        body = b""
+        length = int(headers.get("content-length", 0))
+        if length > self.max_body_bytes:
+            raise GatewayError(
+                ERR_BAD_REQUEST,
+                f"body of {length} bytes exceeds {self.max_body_bytes}",
+            )
+        if length:
+            body = await reader.readexactly(length)
+        return method.upper(), target, headers, body
+
+    # -- responses ----------------------------------------------------------
+
+    async def _send_response(self, writer, status, body,
+                             content_type="application/json",
+                             extra_headers=(), keep_alive=True):
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body, separators=(",", ":")).encode()
+        elif isinstance(body, str):
+            body = body.encode()
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        with contextlib.suppress(ConnectionError, OSError):
+            writer.write(head + body)
+            await writer.drain()
+        if status >= 400:
+            self.stats.errors += 1
+        else:
+            self.stats.responses += 1
+
+    @staticmethod
+    def _error_payload(code, message):
+        return {"error": {"code": code, "message": message}}
+
+    def _error_body(self, exc):
+        return self._error_payload(exc.code, exc.message)
+
+    # -- auth + routing -----------------------------------------------------
+
+    def _authorized(self, headers):
+        if self.auth_token is None:
+            return True
+        supplied = headers.get("authorization", "")
+        scheme, _, token = supplied.partition(" ")
+        if scheme.lower() != "bearer":
+            return False
+        return hmac.compare_digest(token.strip(), self.auth_token)
+
+    def _retry_after(self):
+        """The overload back-off hint, from observed interactive latency."""
+        p50 = self.histograms["interactive"].quantile(0.50)
+        return max(1, math.ceil(p50))
+
+    async def _dispatch(self, request, reader, writer, peer_host):
+        method, target, headers, body = request
+        path = target.partition("?")[0].rstrip("/") or "/"
+        client_id = headers.get("x-client-id", peer_host)
+        wants_close = headers.get("connection", "").lower() == "close"
+        keep_alive = not wants_close
+
+        # Health stays unauthenticated so supervisors and load balancers
+        # can probe liveness without credentials; everything else
+        # (including /metrics) is behind the bearer token when one is set.
+        needs_auth = not (method == "GET" and path == "/v1/health")
+        if needs_auth and not self._authorized(headers):
+            self.stats.unauthorized += 1
+            await self._send_response(
+                writer, 401,
+                self._error_payload(ERR_UNAUTHORIZED,
+                                    "missing or invalid bearer token"),
+                extra_headers=[("WWW-Authenticate", "Bearer")],
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+
+        if path == "/v1/health" and method == "GET":
+            await self._send_response(writer, 200, self._health_payload(),
+                                      keep_alive=keep_alive)
+            return keep_alive
+        if path == "/metrics" and method == "GET":
+            await self._send_response(
+                writer, 200,
+                render_metrics(self.snapshot(), self.histograms),
+                content_type="text/plain; version=0.0.4",
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        if self.metrics_only:
+            await self._send_response(
+                writer, 404,
+                self._error_payload(
+                    ERR_NOT_FOUND,
+                    "metrics-only listener: use the serving transport",
+                ),
+                keep_alive=keep_alive,
+            )
+            return keep_alive
+        if path == "/v1/stats" and method == "GET":
+            await self._send_response(writer, 200, self.snapshot(),
+                                      keep_alive=keep_alive)
+            return keep_alive
+        if path == "/v1/stream":
+            if headers.get("upgrade", "").lower() != "websocket":
+                await self._send_response(
+                    writer, 400,
+                    self._error_payload(ERR_BAD_REQUEST,
+                                        "/v1/stream requires a WebSocket "
+                                        "upgrade"),
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            await self._handle_stream(headers, reader, writer, client_id)
+            return False
+        if path == "/v1/shutdown" and method == "POST":
+            await self._send_response(writer, 200, {"ok": True},
+                                      keep_alive=False)
+            self.request_shutdown()
+            return False
+        if path in ("/v1/evaluate", "/v1/evolve"):
+            if method != "POST":
+                await self._send_response(
+                    writer, 405,
+                    self._error_payload(ERR_METHOD_NOT_ALLOWED,
+                                        f"{path} requires POST"),
+                    extra_headers=[("Allow", "POST")],
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            try:
+                spec = json.loads(body.decode() or "{}")
+                if not isinstance(spec, dict):
+                    raise ValueError("request body must be a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                self.stats.bad_requests += 1
+                await self._send_response(
+                    writer, 400,
+                    self._error_payload(ERR_BAD_REQUEST,
+                                        f"invalid JSON body: {exc}"),
+                    keep_alive=keep_alive,
+                )
+                return keep_alive
+            if path == "/v1/evaluate":
+                status, payload, extra = await self._handle_evaluate(
+                    spec, client_id
+                )
+            else:
+                status, payload, extra = await self._handle_evolve(
+                    spec, client_id
+                )
+            await self._send_response(writer, status, payload,
+                                      extra_headers=extra,
+                                      keep_alive=keep_alive)
+            return keep_alive
+        await self._send_response(
+            writer, 404,
+            self._error_payload(ERR_NOT_FOUND, f"no route for {path}"),
+            keep_alive=keep_alive,
+        )
+        return keep_alive
+
+    def _health_payload(self):
+        health = self.session.health()
+        health["gateway"] = self.stats.snapshot()
+        health["admission"] = self.admission.snapshot()
+        if self.membership is not None:
+            view = self.membership.exchange(None)
+            if view is not None:
+                health["membership"] = view
+        return health
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _count_error(self, exc):
+        if exc.code == ERR_TIMEOUT:
+            self.stats.timeouts += 1
+        elif exc.code == ERR_BAD_REQUEST:
+            self.stats.bad_requests += 1
+        elif exc.code == ERR_OVERLOADED:
+            self.stats.overloaded += 1
+        else:
+            self.stats.failures += 1
+
+    async def _handle_evaluate(self, spec, client_id):
+        """``(status, payload, extra_headers)`` for one evaluate spec."""
+        spec = dict(spec)
+        spec.setdefault("priority", "interactive")
+        try:
+            label = priority_label(normalize_priority(spec["priority"]))
+        except ValueError as exc:
+            self.stats.bad_requests += 1
+            return 400, self._error_payload(ERR_BAD_REQUEST, str(exc)), []
+        try:
+            self.admission.admit(client_id, label,
+                                 retry_after=self._retry_after())
+        except GatewayError as exc:
+            self._count_error(exc)
+            return (exc.status, self._error_body(exc),
+                    [("Retry-After", str(exc.retry_after))])
+        self.stats.requests += 1
+        started = time.monotonic()
+        try:
+            request_id, future = await self._submit_spec(spec)
+            outcomes = await self._await_outcomes(future)
+        except RequestExecutionError as exc:
+            wrapped = GatewayError(exc.code, exc.message)
+            self._count_error(wrapped)
+            return wrapped.status, self._error_body(wrapped), []
+        finally:
+            self.admission.release(client_id, label)
+        self.histograms[label].observe(time.monotonic() - started)
+        return 200, {
+            "id": request_id,
+            "outcomes": [outcome_to_dict(o) for o in outcomes],
+        }, []
+
+    async def _handle_evolve(self, spec, client_id):
+        """Run the paper's evolution for one spec, in the bulk class."""
+        try:
+            self.admission.admit(client_id, "bulk",
+                                 retry_after=self._retry_after())
+        except GatewayError as exc:
+            self._count_error(exc)
+            return (exc.status, self._error_body(exc),
+                    [("Retry-After", str(exc.retry_after))])
+        self.stats.requests += 1
+        started = time.monotonic()
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._evolve_executor, self._run_evolve, dict(spec)
+            )
+        except (ValueError, TypeError) as exc:
+            self.stats.bad_requests += 1
+            return 400, self._error_payload(ERR_BAD_REQUEST, str(exc)), []
+        except Exception as exc:   # the evolution itself failed
+            self.stats.failures += 1
+            return 500, self._error_payload(ERR_EVALUATION_FAILED,
+                                            repr(exc)), []
+        finally:
+            self.admission.release(client_id, "bulk")
+        self.histograms["bulk"].observe(time.monotonic() - started)
+        self.stats.evolve_runs += 1
+        return 200, result, []
+
+    def _run_evolve(self, spec):
+        from repro import api
+
+        request_id = spec.pop("id", None)
+        spec.pop("priority", None)
+        allowed = {
+            "grid", "size", "agents", "fields", "seed", "n_generations",
+            "pool_size", "exchange_width", "n_states", "t_max", "backend",
+        }
+        unknown = set(spec) - allowed
+        if unknown:
+            raise ValueError(f"unknown evolve fields {sorted(unknown)}")
+        result = api.evolve(cache=self.service.cache, **spec)
+        best = result.best
+        return {
+            "id": request_id,
+            "best": {
+                "genome": best.fsm.genome().tolist(),
+                "fitness": best.fitness,
+                "completely_successful": best.outcome.completely_successful,
+            },
+            "generations": len(result.history),
+            "wall_seconds": result.wall_seconds,
+        }
+
+    # -- WebSocket streaming ------------------------------------------------
+
+    async def _handle_stream(self, headers, reader, writer, client_id):
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await self._send_response(
+                writer, 400,
+                self._error_payload(ERR_BAD_REQUEST,
+                                    "missing Sec-WebSocket-Key"),
+                keep_alive=False,
+            )
+            return
+        head = (
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {websocket_accept(key)}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        self.stats.ws_streams += 1
+        while not self._closing:
+            message = await ws_read_message(reader, self.max_body_bytes)
+            if message is None:
+                break
+            opcode, payload = message
+            if opcode == _WS_CLOSE:
+                with contextlib.suppress(ConnectionError, OSError):
+                    writer.write(ws_encode_frame(payload, _WS_CLOSE))
+                    await writer.drain()
+                break
+            if opcode == _WS_PING:
+                writer.write(ws_encode_frame(payload, _WS_PONG))
+                await writer.drain()
+                continue
+            if opcode == _WS_PONG:
+                continue
+            await self._stream_one(payload, writer, client_id)
+
+    async def _ws_send_json(self, writer, payload):
+        writer.write(ws_encode_frame(json.dumps(payload,
+                                                separators=(",", ":"))))
+        await writer.drain()
+
+    async def _stream_one(self, payload, writer, client_id):
+        """Answer one stream message: shard, submit all, stream results.
+
+        A multi-FSM campaign spec is split into per-FSM submissions --
+        all enqueued before the first await, so the dispatcher can
+        coalesce them -- and one ``{"id", "seq", "outcome"}`` message
+        streams back per FSM, in submission order, followed by a
+        ``{"id", "done": true}`` terminator.
+        """
+        try:
+            spec = json.loads(payload)
+            if not isinstance(spec, dict):
+                raise ValueError("stream message must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.stats.bad_requests += 1
+            await self._ws_send_json(writer, self._error_payload(
+                ERR_BAD_REQUEST, f"invalid stream message: {exc}"
+            ))
+            return
+        spec = dict(spec)
+        request_id = spec.get("id")
+        spec.setdefault("priority", "bulk")
+        try:
+            label = priority_label(normalize_priority(spec["priority"]))
+        except ValueError as exc:
+            self.stats.bad_requests += 1
+            await self._ws_send_json(writer, {
+                "id": request_id,
+                **self._error_payload(ERR_BAD_REQUEST, str(exc)),
+            })
+            return
+        fsm_spec = spec.get("fsm", "published")
+        shards = [
+            {**spec, "fsm": one}
+            for one in (
+                fsm_spec if isinstance(fsm_spec, list) else [fsm_spec]
+            )
+        ]
+        try:
+            self.admission.admit(client_id, label,
+                                 retry_after=self._retry_after())
+        except GatewayError as exc:
+            self._count_error(exc)
+            await self._ws_send_json(writer, {
+                "id": request_id, **self._error_body(exc),
+                "retry_after": exc.retry_after,
+            })
+            return
+        self.stats.requests += 1
+        started = time.monotonic()
+        try:
+            futures = []
+            for shard in shards:
+                _, future = await self._submit_spec(shard)
+                futures.append(future)
+            for seq, future in enumerate(futures):
+                outcomes = await self._await_outcomes(future)
+                await self._ws_send_json(writer, {
+                    "id": request_id,
+                    "seq": seq,
+                    "outcome": outcome_to_dict(outcomes[0]),
+                })
+                self.stats.ws_messages += 1
+        except RequestExecutionError as exc:
+            wrapped = GatewayError(exc.code, exc.message)
+            self._count_error(wrapped)
+            await self._ws_send_json(writer, {
+                "id": request_id, **self._error_body(wrapped),
+            })
+            return
+        finally:
+            self.admission.release(client_id, label)
+        self.histograms[label].observe(time.monotonic() - started)
+        await self._ws_send_json(writer, {
+            "id": request_id, "done": True, "n": len(shards),
+        })
+        self.stats.ws_messages += 1
+
+
+class HTTPServiceClient:
+    """Blocking :class:`repro.service.Client` over the HTTP gateway.
+
+    Round-trips the same workload vocabulary as every other client via
+    ``POST /v1/evaluate``; ``options=`` carries the bearer token
+    (``auth_token``), the per-request ``timeout``, TLS context
+    (``tls``, used when ``scheme="https"``) and the retry
+    policy/breaker.  Retried evaluations carry idempotency keys, so an
+    answer lost to a dropped connection is re-fetched without
+    re-simulation -- identical semantics to the TCP client.
+    """
+
+    def __init__(self, host, port=None, options=None, scheme="http",
+                 client_id=None, timeout=None, retry_policy=None,
+                 breaker=None):
+        from repro.service.client import resolve_options
+
+        options = resolve_options(
+            options, where="HTTPServiceClient", timeout=timeout,
+            retry_policy=retry_policy, breaker=breaker,
+        )
+        if port is None:
+            host, port = host
+        self._address = (host, int(port))
+        self.scheme = scheme
+        self.client_id = client_id   # X-Client-Id; admission identity
+        self.options = options
+        self.retry_policy = options.retry_policy
+        self.breaker = options.breaker
+        self._ids = itertools.count()
+        self._conn = None
+
+    def _connect(self):
+        host, port = self._address
+        if self.scheme == "https":
+            context = self.options.tls
+            if context is None:
+                context = ssl_module.create_default_context()
+            return http.client.HTTPSConnection(
+                host, port, timeout=self.options.timeout, context=context
+            )
+        return http.client.HTTPConnection(
+            host, port, timeout=self.options.timeout
+        )
+
+    def _drop(self):
+        if self._conn is not None:
+            with contextlib.suppress(Exception):
+                self._conn.close()
+            self._conn = None
+
+    def close(self):
+        self._drop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _round_trip(self, method, path, payload=None):
+        if self._conn is None:
+            self._conn = self._connect()
+        headers = {"Content-Type": "application/json"}
+        if self.options.auth_token:
+            headers["Authorization"] = f"Bearer {self.options.auth_token}"
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        body = (
+            json.dumps(payload, separators=(",", ":"))
+            if payload is not None else None
+        )
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        content_type = response.headers.get("Content-Type", "")
+        if "json" in content_type:
+            decoded = json.loads(raw) if raw else {}
+        else:
+            decoded = raw.decode()
+        if response.status >= 400:
+            error = (
+                decoded.get("error", {}) if isinstance(decoded, dict) else {}
+            )
+            raise TransportError(
+                error.get("code", f"http_{response.status}"),
+                error.get("message", raw.decode(errors="replace")),
+            )
+        return decoded
+
+    def _request(self, method, path, payload=None):
+        if self.retry_policy is None and self.breaker is None:
+            try:
+                return self._round_trip(method, path, payload)
+            except (ConnectionError, OSError, http.client.HTTPException):
+                self._drop()
+                raise
+        if (
+            payload is not None and "idem" not in payload
+            and path == "/v1/evaluate"
+        ):
+            payload = dict(payload)
+            payload["idem"] = uuid.uuid4().hex
+
+        def attempt():
+            if self.breaker is not None:
+                self.breaker.allow()
+            try:
+                result = self._round_trip(method, path, payload)
+            except Exception as exc:
+                if isinstance(
+                    exc, (ConnectionError, OSError,
+                          http.client.HTTPException)
+                ):
+                    self._drop()
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.run(
+            attempt, retryable=(Exception,),
+            should_retry=self._should_retry,
+        )
+
+    @staticmethod
+    def _should_retry(exc):
+        if isinstance(exc, TransportError):
+            # 429 is an explicit invitation to retry after backoff
+            return exc.code == ERR_OVERLOADED or is_retryable_error(exc)
+        if isinstance(exc, http.client.HTTPException):
+            return True
+        return is_retryable_error(exc)
+
+    def evaluate(self, **spec):
+        """Evaluate one spec; a list of ``EvaluationResult`` per FSM."""
+        spec = dict(spec)
+        if "id" not in spec:
+            spec["id"] = f"h{next(self._ids)}"
+        response = self._request("POST", "/v1/evaluate", spec)
+        return [outcome_from_dict(o) for o in response["outcomes"]]
+
+    def evaluate_many(self, specs):
+        """Per-spec result lists, in order (sequential round-trips)."""
+        return [self.evaluate(**dict(spec)) for spec in specs]
+
+    def evolve(self, **spec):
+        """Run the paper's evolution via ``POST /v1/evolve``."""
+        return self._request("POST", "/v1/evolve", spec)
+
+    def ping(self):
+        return bool(self.health().get("ok"))
+
+    def health(self):
+        return self._request("GET", "/v1/health")
+
+    def stats(self):
+        return self._request("GET", "/v1/stats")
+
+    def metrics(self):
+        """The raw ``/metrics`` text exposition."""
+        return self._request("GET", "/metrics")
+
+    def shutdown(self):
+        """Ask the gateway to drain and exit (graceful shutdown)."""
+        return self._request("POST", "/v1/shutdown").get("ok", False)

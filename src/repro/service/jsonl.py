@@ -200,6 +200,7 @@ class ServeSession:
         return EvaluationRequest(
             grid, fsms, suite, t_max=int(spec.get("t_max", 200)),
             backend=spec.get("backend"),
+            priority=spec.get("priority"),
         )
 
     def _journaled_submit(self, idem, spec, record=True):

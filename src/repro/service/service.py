@@ -22,12 +22,14 @@ Correctness invariants (all asserted by ``tests/test_service.py``):
   dispatcher survives and later requests still complete.
 """
 
+import itertools
 import queue
 import threading
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from repro._compat import warn_deprecated
 from repro.core.backends import normalize_backend_name
 from repro.evolution.fitness import (
     DEFAULT_LANE_BLOCK,
@@ -40,6 +42,54 @@ from repro.resilience.faults import SITE_DISPATCH, maybe_fault
 from repro.service.pool import WorkerPool
 
 _STOP = object()
+
+#: The two admission classes the dispatcher understands.  Interactive
+#: requests (a human waiting on one ``evaluate``) sort ahead of bulk
+#: campaign shards in the priority queue, so a long exploratory sweep
+#: cannot starve the front door.  Lower sorts first.
+PRIORITY_INTERACTIVE = 0
+PRIORITY_BULK = 1
+
+_PRIORITY_NAMES = {
+    "interactive": PRIORITY_INTERACTIVE,
+    "bulk": PRIORITY_BULK,
+}
+_PRIORITY_LABELS = {value: name for name, value in _PRIORITY_NAMES.items()}
+
+#: ``_STOP`` sorts after every real priority class, so a close() drains
+#: all queued work -- bulk included -- before the dispatcher exits.
+_STOP_PRIORITY = max(_PRIORITY_NAMES.values()) + 1
+
+
+def normalize_priority(priority):
+    """An admission-class int from its wire name or int (default bulk).
+
+    ``None`` means :data:`PRIORITY_BULK`: unlabelled work is assumed to
+    be batch-shaped, and callers that want front-of-queue treatment say
+    so explicitly.
+    """
+    if priority is None:
+        return PRIORITY_BULK
+    if isinstance(priority, str):
+        try:
+            return _PRIORITY_NAMES[priority.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown priority {priority!r}; expected one of "
+                f"{sorted(_PRIORITY_NAMES)}"
+            ) from None
+    priority = int(priority)
+    if priority not in _PRIORITY_LABELS:
+        raise ValueError(
+            f"unknown priority {priority}; expected one of "
+            f"{sorted(_PRIORITY_LABELS)}"
+        )
+    return priority
+
+
+def priority_label(priority):
+    """The wire name of an admission-class int."""
+    return _PRIORITY_LABELS[normalize_priority(priority)]
 
 
 class ServiceError(RuntimeError):
@@ -58,12 +108,14 @@ class EvaluationRequest:
     a result computed on either engine is valid for both.
     """
 
-    def __init__(self, grid, fsms, suite, t_max=200, backend=None):
+    def __init__(self, grid, fsms, suite, t_max=200, backend=None,
+                 priority=None):
         self.grid = grid
         self.fsms = list(fsms)
         self.suite = suite
         self.t_max = int(t_max)
         self.backend = normalize_backend_name(backend)
+        self.priority = normalize_priority(priority)
         self.suite_fp = suite_fingerprint(suite)
         self.batch_key = (
             grid.kind, grid.size, self.suite_fp, self.t_max, self.backend
@@ -157,6 +209,7 @@ class ServiceStats:
     batches: int = 0
     coalesced_requests: int = 0     # requests that shared another's batch
     simulated_fsms: int = 0         # genomes actually sent to the simulator
+    by_priority: dict = field(default_factory=dict)  # class -> submissions
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self, cache=None, batcher=None):
@@ -170,6 +223,7 @@ class ServiceStats:
                 "batches": self.batches,
                 "coalesced_requests": self.coalesced_requests,
                 "simulated_fsms": self.simulated_fsms,
+                "by_priority": dict(self.by_priority),
             }
         if cache is not None:
             stats["cache"] = cache.stats()
@@ -203,7 +257,11 @@ class EvaluationService:
         self.batcher = (
             batch_policy if batch_policy is not None else AdaptiveBatchPolicy()
         )
-        self._queue = queue.SimpleQueue()
+        # Two-class priority queue: interactive entries sort ahead of
+        # bulk ones, the monotone sequence number keeps each class FIFO
+        # (and keeps heap comparisons off the payloads themselves).
+        self._queue = queue.PriorityQueue()
+        self._seq = itertools.count()
         self._thread = None
         self._closed = False
         if autostart:
@@ -226,7 +284,7 @@ class EvaluationService:
         if self._closed:
             return
         self._closed = True
-        self._queue.put(_STOP)
+        self._queue.put((_STOP_PRIORITY, next(self._seq), _STOP))
         if self._thread is not None:
             self._thread.join()
             self._thread = None
@@ -242,18 +300,29 @@ class EvaluationService:
 
     # -- submission ---------------------------------------------------------
 
-    def submit(self, request):
+    def submit(self, request, priority=None):
         """Enqueue a request; returns a future of ``[EvaluationOutcome]``.
 
         The future resolves to one outcome per ``request.fsms`` entry, in
-        request order, or raises :class:`ServiceError`.
+        request order, or raises :class:`ServiceError`.  ``priority``
+        (an admission class: ``"interactive"``/``"bulk"`` or the
+        matching constant) overrides the request's own; interactive
+        submissions jump ahead of queued bulk work.
         """
         if self._closed:
             raise ServiceError("service is closed")
         future = Future()
+        level = (
+            request.priority if priority is None
+            else normalize_priority(priority)
+        )
+        label = priority_label(level)
         with self.stats.lock:
             self.stats.requests += 1
-        self._queue.put((request, future))
+            self.stats.by_priority[label] = (
+                self.stats.by_priority.get(label, 0) + 1
+            )
+        self._queue.put((level, next(self._seq), (request, future)))
         return future
 
     def evaluate(self, grid, fsms, suite, t_max=200, timeout=None):
@@ -304,17 +373,20 @@ class EvaluationService:
     def _dispatch_loop(self):
         stopping = False
         while not stopping:
-            item = self._queue.get()
+            _, _, item = self._queue.get()
             if item is _STOP:
                 break
             batch = [item]
             lanes = item[0].n_lanes
             # Drain what is already queued -- the requests that can be
             # coalesced this round -- up to the adaptive lane width.
-            # Whatever stays queued is simply the next round's batch.
+            # The priority queue hands interactive entries over first,
+            # so a round under pressure fills with interactive work
+            # before any queued bulk shard.  Whatever stays queued is
+            # simply the next round's batch.
             while lanes < self.batcher.width:
                 try:
-                    extra = self._queue.get_nowait()
+                    _, _, extra = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if extra is _STOP:
@@ -409,21 +481,39 @@ class EvaluationService:
 class ServiceClient:
     """Synchronous in-process client view of an :class:`EvaluationService`.
 
-    The shape tests (and embedders) want: build requests from plain
-    arguments, block for results, and read the service's counters.
+    One of the five :class:`repro.service.Client` implementations:
+    :meth:`evaluate` speaks the wire workload vocabulary (``grid="T"``,
+    ``size=16``, ``agents=8``, ``fields=100``, ``seed=2013``,
+    ``t_max=200``, ``fsm=...``, ``priority=...``), identical to the
+    TCP, async, router and HTTP clients, and returns one
+    :class:`repro.results.EvaluationResult` per FSM named by the spec.
+    The pre-redesign positional shape ``evaluate(grid_obj, fsms,
+    suite)`` still works with a :class:`DeprecationWarning`.
 
-    ``retry_policy`` (a :class:`repro.resilience.RetryPolicy`) retries
+    Hardening comes from ``options=`` (a
+    :class:`repro.service.ClientOptions`): ``retry_policy`` retries
     transient :class:`ServiceError` failures with backoff -- the shared
-    evaluation cache makes retries free of double simulation.
-    ``breaker`` (a :class:`repro.resilience.CircuitBreaker`) refuses
-    calls fast once the service fails repeatedly;
-    :class:`repro.resilience.CircuitOpenError` is never retried.
+    evaluation cache makes retries free of double simulation --
+    ``breaker`` refuses calls fast once the service fails repeatedly
+    (:class:`repro.resilience.CircuitOpenError` is never retried).
+    ``own_service=True`` makes :meth:`close` shut the service down
+    (:func:`repro.api.connect` uses this for in-process connections).
     """
 
-    def __init__(self, service, retry_policy=None, breaker=None):
+    def __init__(self, service, options=None, retry_policy=None,
+                 breaker=None, own_service=False):
+        from repro.service.client import resolve_options
+
+        options = resolve_options(
+            options, where="ServiceClient",
+            retry_policy=retry_policy, breaker=breaker,
+        )
         self.service = service
-        self.retry_policy = retry_policy
-        self.breaker = breaker
+        self.options = options
+        self.retry_policy = options.retry_policy
+        self.breaker = options.breaker
+        self._own_service = own_service
+        self._session = None
 
     def _call(self, fn):
         guarded = fn if self.breaker is None else (
@@ -433,20 +523,75 @@ class ServiceClient:
             return guarded()
         return self.retry_policy.run(guarded, retryable=(ServiceError,))
 
-    def evaluate(self, grid, fsms, suite, t_max=200, timeout=None):
-        """One outcome per FSM of ``fsms``, in order."""
-        return self._call(
-            lambda: self.service.evaluate(grid, fsms, suite, t_max=t_max,
-                                          timeout=timeout)
-        )
+    def _spec_session(self):
+        # Imported lazily: jsonl imports this module.
+        if self._session is None:
+            from repro.service.jsonl import ServeSession
+
+            self._session = ServeSession(self.service)
+        return self._session
+
+    def evaluate(self, *legacy, **spec):
+        """One :class:`~repro.results.EvaluationResult` per spec FSM.
+
+        The wire-spec keywords are the API; the positional
+        ``(grid_obj, fsms, suite, t_max=, timeout=)`` shape from before
+        the unified client surface forwards with a deprecation warning.
+        """
+        if legacy:
+            warn_deprecated(
+                "ServiceClient.evaluate(grid, fsms, suite, ...)",
+                "evaluate(**spec) with the wire workload vocabulary",
+            )
+            grid, fsms, suite = legacy[:3]
+            t_max = legacy[3] if len(legacy) > 3 else spec.pop("t_max", 200)
+            timeout = spec.pop("timeout", None)
+            return self._call(
+                lambda: self.service.evaluate(grid, fsms, suite,
+                                              t_max=t_max, timeout=timeout)
+            )
+        timeout = spec.pop("timeout", self.options.timeout)
+
+        def run():
+            _, future = self._spec_session().submit_spec(dict(spec))
+            return future.result(timeout)
+
+        return self._call(run)
+
+    def evaluate_many(self, specs):
+        """Per-spec result lists, in order; all submitted before waiting."""
+        specs = [dict(spec) for spec in specs]
+
+        def run():
+            futures = [
+                self._spec_session().submit_spec(spec)[1] for spec in specs
+            ]
+            return [
+                future.result(self.options.timeout) for future in futures
+            ]
+
+        return self._call(run)
 
     def evaluate_fsm(self, grid, fsm, suite, t_max=200, timeout=None):
-        """Single-FSM convenience returning the bare outcome."""
-        return self.evaluate(grid, [fsm], suite, t_max=t_max,
-                             timeout=timeout)[0]
+        """Single-FSM convenience returning the bare outcome.
+
+        Deprecated alongside the positional :meth:`evaluate` shape.
+        """
+        return self.evaluate(grid, [fsm], suite, t_max, timeout=timeout)[0]
 
     def stats(self):
         return self.service.snapshot()
 
     def health(self):
         return self.service.health()
+
+    def close(self):
+        if self._own_service:
+            self.service.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

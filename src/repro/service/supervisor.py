@@ -1,7 +1,7 @@
-"""Process supervision for ``repro-a2a serve --tcp``.
+"""Process supervision for ``repro-a2a serve --tcp`` / ``--http``.
 
-``repro-a2a supervise -- serve --tcp HOST:PORT ...`` runs the server as
-a child process and keeps it serving:
+``repro-a2a supervise -- serve --tcp HOST:PORT ...`` (or ``--http``,
+or both) runs the server as a child process and keeps it serving:
 
 * **crash** -- the child exits nonzero (or is killed): restart it after
   an exponential backoff, on the *same* address (the first ephemeral
@@ -39,32 +39,48 @@ import time
 #: Exit code when the restart budget is exhausted.
 EXIT_BUDGET_EXHAUSTED = 3
 
-_LISTENING = re.compile(r"listening on (\S+):(\d+)")
+#: One bind line per serving transport; the supervisor captures each.
+_BOUND_LINES = {
+    "tcp": re.compile(r"listening on (\S+):(\d+)"),
+    "http": re.compile(r"serving http on (\S+):(\d+)"),
+    "metrics": re.compile(r"serving metrics on (\S+):(\d+)"),
+}
+
+_TRANSPORT_FLAGS = {"tcp": "--tcp", "http": "--http", "metrics": "--metrics"}
 
 
 class SupervisorError(RuntimeError):
     """Supervision cannot proceed; the message is user-facing."""
 
 
-def _pin_address(argv, host, port):
-    """``argv`` with its ``--tcp`` value replaced by the bound address."""
+def _has_flag(argv, flag):
+    return any(a == flag or a.startswith(f"{flag}=") for a in argv)
+
+
+def _pin_address(argv, flag, host, port):
+    """``argv`` with ``flag``'s value replaced by the bound address."""
     pinned = list(argv)
     for index, arg in enumerate(pinned):
-        if arg == "--tcp" and index + 1 < len(pinned):
+        if arg == flag and index + 1 < len(pinned):
             pinned[index + 1] = f"{host}:{port}"
             return pinned
-        if arg.startswith("--tcp="):
-            pinned[index] = f"--tcp={host}:{port}"
+        if arg.startswith(f"{flag}="):
+            pinned[index] = f"{flag}={host}:{port}"
             return pinned
-    raise SupervisorError("supervised serve arguments carry no --tcp flag")
+    raise SupervisorError(
+        f"supervised serve arguments carry no {flag} flag"
+    )
 
 
 class Supervisor:
-    """Restart-with-backoff supervision of one ``serve --tcp`` child.
+    """Restart-with-backoff supervision of one ``serve`` child.
 
     ``serve_args`` is the child's CLI argument vector, starting with
-    ``serve`` and containing ``--tcp`` (health probing needs an
-    address).  The child runs as ``python -m repro.cli <serve_args>``.
+    ``serve`` and containing ``--tcp`` and/or ``--http`` (health
+    probing needs an address; with both, probes go over TCP).  Every
+    serving address the child binds -- TCP, HTTP, metrics sidecar --
+    is pinned after the first bind, so restarts reuse them all.  The
+    child runs as ``python -m repro.cli <serve_args>``.
     """
 
     def __init__(self, serve_args, max_restarts=5, backoff_base=0.5,
@@ -77,11 +93,17 @@ class Supervisor:
                 "supervise runs `serve` children; usage: "
                 "repro-a2a supervise -- serve --tcp HOST:PORT ..."
             )
-        if not any(a == "--tcp" or a.startswith("--tcp=")
-                   for a in serve_args):
+        self._transports = [
+            transport
+            for transport, flag in _TRANSPORT_FLAGS.items()
+            if _has_flag(serve_args, flag)
+        ]
+        if not any(t in self._transports for t in ("tcp", "http")):
             raise SupervisorError(
-                "supervise needs a --tcp child (health probes are TCP)"
+                "supervise needs a --tcp or --http child "
+                "(health probes need a serving address)"
             )
+        self.probe_transport = "tcp" if "tcp" in self._transports else "http"
         self.serve_args = serve_args
         self.max_restarts = max(0, int(max_restarts))
         self.backoff_base = float(backoff_base)
@@ -95,7 +117,8 @@ class Supervisor:
         self.log = log if log is not None else (
             lambda line: print(line, file=sys.stderr, flush=True)
         )
-        self.address = None          # (host, port) pinned at first bind
+        self.address = None          # probe (host, port), pinned at bind
+        self.addresses = {}          # transport -> (host, port), all pinned
         self.restarts = 0
         self.last_failure = None     # one-line cause of the last death
         self.diagnosis = None        # final one-liner on budget exhaustion
@@ -109,8 +132,10 @@ class Supervisor:
 
     def _spawn(self):
         argv = self.serve_args
-        if self.address is not None:
-            argv = _pin_address(argv, *self.address)
+        for transport, bound in self.addresses.items():
+            argv = _pin_address(
+                argv, _TRANSPORT_FLAGS[transport], *bound
+            )
         child = subprocess.Popen(
             [self.python, "-m", "repro.cli", *argv],
             stdout=subprocess.PIPE, stderr=None, text=True,
@@ -125,14 +150,19 @@ class Supervisor:
         return child
 
     def _pump_stdout(self, child):
-        """Forward the child's stdout, capturing the bound address."""
+        """Forward the child's stdout, capturing every bound address."""
         for line in child.stdout:
             line = line.rstrip("\n")
-            if self.address is None:
-                match = _LISTENING.search(line)
+            for transport in self._transports:
+                if transport in self.addresses:
+                    continue
+                match = _BOUND_LINES[transport].search(line)
                 if match:
-                    self.address = (match.group(1), int(match.group(2)))
-            if self.address is not None:
+                    self.addresses[transport] = (
+                        match.group(1), int(match.group(2))
+                    )
+            if all(t in self.addresses for t in self._transports):
+                self.address = self.addresses[self.probe_transport]
                 self._bound.set()
             self.log(f"[serve] {line}")
         child.stdout.close()
@@ -150,12 +180,22 @@ class Supervisor:
         return False
 
     def _probe_health(self):
-        from repro.service.transport import TCPServiceClient
+        from repro.service.client import ClientOptions
 
+        options = ClientOptions(timeout=self.health_timeout)
         try:
-            with TCPServiceClient(
-                self.address, timeout=self.health_timeout
-            ) as client:
+            if self.probe_transport == "http":
+                # GET /v1/health is served unauthenticated, so probing
+                # works even when the child carries --auth-token
+                from repro.service.gateway import HTTPServiceClient
+
+                with HTTPServiceClient(
+                    *self.address, options=options
+                ) as client:
+                    return bool(client.health().get("ok"))
+            from repro.service.transport import TCPServiceClient
+
+            with TCPServiceClient(self.address, options=options) as client:
                 return bool(client.health().get("ok"))
         except Exception:
             return False

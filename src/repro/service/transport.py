@@ -195,7 +195,117 @@ class _Connection:
         self.closing = False
 
 
-class AsyncEvaluationServer:
+class RequestExecutionError(Exception):
+    """One submission failed with a protocol error code.
+
+    The shared serving core raises this; each front end (framed TCP,
+    HTTP gateway) turns it into its own wire shape -- an error frame or
+    an HTTP status -- without re-deriving the code taxonomy.
+    """
+
+    def __init__(self, code, message):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class BaseAsyncServer:
+    """The serving core shared by every asyncio front end.
+
+    Owns the pieces that are protocol-independent: the
+    :class:`ServeSession` (spec decoding, idempotency, journal), the
+    single decode worker thread, the closing / stop-reading / shutdown
+    events, and the submit-await-timeout path that turns one decoded
+    spec into outcomes or a :class:`RequestExecutionError`.  The framed
+    TCP server (:class:`AsyncEvaluationServer`) and the HTTP gateway
+    (:class:`repro.service.gateway.GatewayServer`) both subclass this,
+    so drain and timeout semantics cannot drift between transports.
+    """
+
+    def __init__(self, service, request_timeout=None, journal=None,
+                 name="transport"):
+        self.service = service
+        self.session = ServeSession(service, journal=journal)
+        self.request_timeout = request_timeout
+        self._closing = False
+        self._stop_reading = asyncio.Event()
+        self._shutdown_requested = asyncio.Event()
+        # spec decoding builds grids/suites (CPU work with a shared
+        # cache): one worker thread keeps it off the event loop *and*
+        # serialised.
+        self._decode_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"{name}-decode"
+        )
+
+    async def _replay_journal(self):
+        """Replay the journal's uncommitted suffix before accepting.
+
+        Clients reconnecting with their original idempotency keys then
+        attach to the replayed futures instead of re-enqueueing.
+        """
+        if self.session.journal is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._decode_executor, self.session.replay_journal
+            )
+
+    async def serve_until_shutdown(self):
+        """Serve until shutdown is requested, then drain and close."""
+        await self._shutdown_requested.wait()
+        await self.aclose()
+
+    def request_shutdown(self):
+        """Flag graceful shutdown (safe to call from the event loop)."""
+        self._shutdown_requested.set()
+
+    async def aclose(self):   # front ends override with their drain
+        self._closing = True
+        self._stop_reading.set()
+        self._decode_executor.shutdown(wait=False)
+        self._shutdown_requested.set()
+
+    async def _submit_spec(self, spec):
+        """Decode + enqueue one spec off-loop; ``(request_id, future)``.
+
+        Raises :class:`RequestExecutionError` with ``bad_request`` for
+        an invalid spec and ``shutting_down`` once draining has begun.
+        """
+        if self._closing:
+            raise RequestExecutionError(
+                ERR_SHUTTING_DOWN, "server is shutting down"
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._decode_executor, self.session.submit_spec, spec
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RequestExecutionError(ERR_BAD_REQUEST, str(exc)) from exc
+
+    async def _await_outcomes(self, future):
+        """Outcomes of one submission, under ``request_timeout``.
+
+        A timeout cancels the submission -- if it was still queued the
+        dispatcher never simulates it.  Failures surface as
+        :class:`RequestExecutionError` with the matching code.
+        """
+        wrapped = asyncio.wrap_future(future)
+        try:
+            if self.request_timeout:
+                return await asyncio.wait_for(wrapped, self.request_timeout)
+            return await wrapped
+        except asyncio.TimeoutError:
+            raise RequestExecutionError(
+                ERR_TIMEOUT,
+                f"request exceeded {self.request_timeout}s",
+            ) from None
+        except ServiceError as exc:
+            raise RequestExecutionError(
+                ERR_EVALUATION_FAILED, str(exc)
+            ) from exc
+
+
+class AsyncEvaluationServer(BaseAsyncServer):
     """The asyncio TCP front of one :class:`EvaluationService`.
 
     ``port=0`` binds an ephemeral port; read the bound address from
@@ -209,28 +319,18 @@ class AsyncEvaluationServer:
                  membership=None):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
-        self.service = service
-        self.session = ServeSession(service, journal=journal)
+        super().__init__(service, request_timeout=request_timeout,
+                         journal=journal, name="transport")
         # cluster mode: a ClusterMembership whose view piggybacks on the
         # health op (and merges any gossip the caller attached)
         self.membership = membership
         self.host = host
         self.port = port
         self.max_pending = max_pending
-        self.request_timeout = request_timeout
         self.idle_timeout = idle_timeout
         self.stats = TransportStats()
         self._server = None
         self._connections = set()
-        self._closing = False
-        self._stop_reading = asyncio.Event()
-        self._shutdown_requested = asyncio.Event()
-        # spec decoding builds grids/suites (CPU work with a shared
-        # cache): one worker thread keeps it off the event loop *and*
-        # serialised.
-        self._decode_executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="transport-decode"
-        )
 
     @property
     def address(self):
@@ -238,27 +338,11 @@ class AsyncEvaluationServer:
         return self._server.sockets[0].getsockname()[:2]
 
     async def start(self):
-        # replay the journal's uncommitted suffix before accepting:
-        # clients reconnecting with their original idempotency keys then
-        # attach to the replayed futures instead of re-enqueueing.
-        if self.session.journal is not None:
-            loop = asyncio.get_running_loop()
-            await loop.run_in_executor(
-                self._decode_executor, self.session.replay_journal
-            )
+        await self._replay_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         return self
-
-    async def serve_until_shutdown(self):
-        """Serve until a client sends the ``shutdown`` op, then drain."""
-        await self._shutdown_requested.wait()
-        await self.aclose()
-
-    def request_shutdown(self):
-        """Flag graceful shutdown (safe to call from the event loop)."""
-        self._shutdown_requested.set()
 
     async def aclose(self):
         """Graceful shutdown: stop accepting/reading, drain, close."""
@@ -441,45 +525,25 @@ class AsyncEvaluationServer:
                     conn, request_id, ERR_BAD_REQUEST, f"unknown op {op!r}"
                 )
                 return
-            if self._closing:
-                await self._send_error(
-                    conn, request_id, ERR_SHUTTING_DOWN,
-                    "server is shutting down",
-                )
-                return
-            loop = asyncio.get_running_loop()
             try:
-                request_id, future = await loop.run_in_executor(
-                    self._decode_executor, self.session.submit_spec, spec
-                )
-            except (ValueError, KeyError, TypeError) as exc:
-                self.stats.bad_requests += 1
+                request_id, future = await self._submit_spec(spec)
+            except RequestExecutionError as exc:
+                if exc.code == ERR_BAD_REQUEST:
+                    self.stats.bad_requests += 1
                 await self._send_error(
-                    conn, request_id, ERR_BAD_REQUEST, str(exc)
+                    conn, request_id, exc.code, exc.message
                 )
                 return
             self.stats.requests += 1
-            wrapped = asyncio.wrap_future(future)
             try:
-                if self.request_timeout:
-                    outcomes = await asyncio.wait_for(
-                        wrapped, self.request_timeout
-                    )
+                outcomes = await self._await_outcomes(future)
+            except RequestExecutionError as exc:
+                if exc.code == ERR_TIMEOUT:
+                    self.stats.timeouts += 1
                 else:
-                    outcomes = await wrapped
-            except asyncio.TimeoutError:
-                # wait_for cancelled `wrapped`; if the request was still
-                # queued the dispatcher never simulates it.
-                self.stats.timeouts += 1
+                    self.stats.failures += 1
                 await self._send_error(
-                    conn, request_id, ERR_TIMEOUT,
-                    f"request exceeded {self.request_timeout}s",
-                )
-                return
-            except ServiceError as exc:
-                self.stats.failures += 1
-                await self._send_error(
-                    conn, request_id, ERR_EVALUATION_FAILED, str(exc)
+                    conn, request_id, exc.code, exc.message
                 )
                 return
             await self._send(conn, {
@@ -589,26 +653,35 @@ class TCPServiceClient:
     completion on the server is fine.  Not thread-safe: use one client
     per thread.
 
-    ``retry_policy`` / ``breaker`` (see :mod:`repro.resilience`) harden
-    :meth:`request` and everything built on it: a retried attempt
-    reconnects if the connection was lost and carries an idempotency
-    key, so the server resumes the original submission instead of
-    simulating again.  The breaker wraps each attempt; once open, calls
-    fail fast with :class:`repro.resilience.CircuitOpenError`, which is
-    never retried.
+    Hardening lives in ``options=`` (a
+    :class:`repro.service.ClientOptions`; the ``timeout=`` /
+    ``retry_policy=`` / ``breaker=`` spellings forward with a
+    deprecation warning): the retry policy hardens :meth:`request` and
+    everything built on it -- a retried attempt reconnects if the
+    connection was lost and carries an idempotency key, so the server
+    resumes the original submission instead of simulating again.  The
+    breaker wraps each attempt; once open, calls fail fast with
+    :class:`repro.resilience.CircuitOpenError`, which is never retried.
     """
 
-    def __init__(self, host, port=None, timeout=120.0, retry_policy=None,
-                 breaker=None):
+    def __init__(self, host, port=None, options=None, timeout=None,
+                 retry_policy=None, breaker=None):
+        from repro.service.client import resolve_options
+
+        options = resolve_options(
+            options, where="TCPServiceClient", timeout=timeout,
+            retry_policy=retry_policy, breaker=breaker,
+        )
         if port is None:
             host, port = host   # accept a single (host, port) address
         self._address = (host, int(port))
-        self._timeout = timeout
-        self.retry_policy = retry_policy
-        self.breaker = breaker
+        self.options = options
+        self._timeout = options.timeout
+        self.retry_policy = options.retry_policy
+        self.breaker = options.breaker
         self._responses = {}
         self._ids = itertools.count()
-        if retry_policy is None and breaker is None:
+        if self.retry_policy is None and self.breaker is None:
             self._sock = self._connect()
         else:
             # hardened clients tolerate a server that is briefly down
@@ -722,6 +795,27 @@ class TCPServiceClient:
         response = self.request(spec)
         return [outcome_from_dict(o) for o in response["outcomes"]]
 
+    def evaluate_many(self, specs):
+        """Per-spec result lists, in order, pipelined on one connection.
+
+        Without a retry policy the specs are all submitted before any
+        response is read -- the transport's pipelining -- so the server
+        can coalesce them into one dispatcher batch.  Hardened clients
+        fall back to sequential :meth:`evaluate` calls, because replayed
+        pipelines would interleave retried and fresh submissions.
+        """
+        specs = [dict(spec) for spec in specs]
+        if self.retry_policy is not None or self.breaker is not None:
+            return [self.evaluate(**spec) for spec in specs]
+        ids = [self.submit(spec) for spec in specs]
+        return [
+            [
+                outcome_from_dict(o)
+                for o in _raise_on_error(self.result(rid))["outcomes"]
+            ]
+            for rid in ids
+        ]
+
     def ping(self):
         return self.request({"op": "ping"}).get("pong", False)
 
@@ -749,10 +843,17 @@ class AsyncServiceClient:
     than silently migrating.
     """
 
-    def __init__(self, reader, writer, retry_policy=None, breaker=None,
-                 address=None):
-        self.retry_policy = retry_policy
-        self.breaker = breaker
+    def __init__(self, reader, writer, options=None, retry_policy=None,
+                 breaker=None, address=None):
+        from repro.service.client import resolve_options
+
+        options = resolve_options(
+            options, where="AsyncServiceClient",
+            retry_policy=retry_policy, breaker=breaker,
+        )
+        self.options = options
+        self.retry_policy = options.retry_policy
+        self.breaker = options.breaker
         self._address = address
         self._ids = itertools.count()
         self._broken = False
@@ -773,14 +874,20 @@ class AsyncServiceClient:
             raise ConnectionError("injected client.connect fault")
 
     @classmethod
-    async def connect(cls, host, port=None, retry_policy=None, breaker=None):
+    async def connect(cls, host, port=None, options=None, retry_policy=None,
+                      breaker=None):
+        from repro.service.client import resolve_options
+
+        options = resolve_options(
+            options, where="AsyncServiceClient.connect",
+            retry_policy=retry_policy, breaker=breaker,
+        )
         if port is None:
             host, port = host
         address = (host, int(port))
         cls._maybe_connect_fault()
         reader, writer = await asyncio.open_connection(*address)
-        return cls(reader, writer, retry_policy=retry_policy,
-                   breaker=breaker, address=address)
+        return cls(reader, writer, options=options, address=address)
 
     async def _reconnect(self):
         if self._address is None:
@@ -880,9 +987,19 @@ class AsyncServiceClient:
         response = await self.request(spec)
         return [outcome_from_dict(o) for o in response["outcomes"]]
 
+    async def evaluate_many(self, specs):
+        """Per-spec result lists; all requests in flight concurrently."""
+        return await asyncio.gather(
+            *(self.evaluate(**dict(spec)) for spec in specs)
+        )
+
     async def health(self):
         """The server's liveness payload (pool watchdog, queue, cache)."""
         return (await self.request({"op": "health"}))["health"]
+
+    async def stats(self):
+        """The server's full counter snapshot."""
+        return (await self.request({"op": "stats"}))["stats"]
 
     async def _teardown_io(self):
         self._reader_task.cancel()
@@ -895,6 +1012,17 @@ class AsyncServiceClient:
 
     async def aclose(self):
         await self._teardown_io()
+
+    #: The async spelling of the :class:`repro.service.Client` protocol
+    #: surface -- same names, coroutine semantics.
+    close = aclose
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.aclose()
+        return False
 
 
 def parse_address(text):

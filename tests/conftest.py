@@ -104,6 +104,51 @@ class ServerInThread:
         return False
 
 
+class GatewayInThread:
+    """A :class:`repro.service.GatewayServer` on a daemon thread.
+
+    Context manager: enter yields the helper with :attr:`address`
+    bound; exit requests graceful shutdown (draining in-flight work)
+    and joins the thread.  ``kwargs`` pass through to
+    :class:`GatewayServer` (``auth_token=``, ``max_inflight=``,
+    ``bulk_fraction=``, ...); :attr:`gateway` exposes the live server
+    for counter assertions.
+    """
+
+    def __init__(self, service, **kwargs):
+        self.service = service
+        self.kwargs = kwargs
+        self.address = None
+        self.gateway = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()), daemon=True
+        )
+
+    async def _serve(self):
+        from repro.service.gateway import GatewayServer
+
+        gateway = GatewayServer(self.service, **self.kwargs)
+        await gateway.start()
+        self.gateway = gateway
+        self.address = gateway.address
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await gateway.serve_until_shutdown()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(10):
+            raise RuntimeError("gateway failed to start")
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self.gateway.request_shutdown)
+        self._thread.join(10)
+        return False
+
+
 class SpawnedServer:
     """A real ``repro-a2a serve --tcp`` child process.
 

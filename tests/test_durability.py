@@ -485,13 +485,16 @@ class TestCompactUnderLiveWriter:
 class TestSupervisor:
     def test_pin_address_rewrites_both_flag_forms(self):
         assert _pin_address(
-            ["serve", "--tcp", "127.0.0.1:0"], "127.0.0.1", 7013
+            ["serve", "--tcp", "127.0.0.1:0"], "--tcp", "127.0.0.1", 7013
         ) == ["serve", "--tcp", "127.0.0.1:7013"]
         assert _pin_address(
-            ["serve", "--tcp=0.0.0.0:0"], "0.0.0.0", 8
+            ["serve", "--tcp=0.0.0.0:0"], "--tcp", "0.0.0.0", 8
         ) == ["serve", "--tcp=0.0.0.0:8"]
+        assert _pin_address(
+            ["serve", "--http", "127.0.0.1:0"], "--http", "127.0.0.1", 80
+        ) == ["serve", "--http", "127.0.0.1:80"]
         with pytest.raises(SupervisorError):
-            _pin_address(["serve"], "h", 1)
+            _pin_address(["serve"], "--tcp", "h", 1)
 
     def test_rejects_unsupervisable_children(self):
         with pytest.raises(SupervisorError):

@@ -366,7 +366,7 @@ class InProcessConnection:
 @renamed_kwargs(workers="n_workers", address="url")
 def connect(url=None, n_workers=None, cache_path=None, timeout=None,
             service=None, retry_policy=None, breaker=None, seeds=None,
-            options=None):
+            options=None, hedge=False, hedge_floor=0.05):
     """A service connection; the transport follows the URL scheme.
 
     * ``connect()`` -- builds a private :class:`EvaluationService` (over
@@ -387,6 +387,10 @@ def connect(url=None, n_workers=None, cache_path=None, timeout=None,
       responsive seed via gossip, requests shard across nodes by batch
       key on a consistent-hash ring, and a dead node fails over to the
       next ring owner under the request's original idempotency key.
+      ``hedge=True`` arms hedged requests: a primary silent past the
+      adaptive hedge delay (at least ``hedge_floor`` seconds) is raced
+      against the next ring owner under the same idempotency key --
+      first answer wins, the loser is cancelled before it simulates.
 
     All five return :class:`repro.service.Client` implementations --
     the same ``evaluate`` / ``evaluate_many`` / ``stats`` / ``health``
@@ -414,7 +418,8 @@ def connect(url=None, n_workers=None, cache_path=None, timeout=None,
             raise TypeError("pass seeds= alone, not with url/service")
         from repro.service.cluster import RouterClient
 
-        return RouterClient(seeds, options=options)
+        return RouterClient(seeds, options=options, hedge=hedge,
+                            hedge_floor=hedge_floor)
     if url is not None:
         if service is not None:
             raise TypeError("pass url= or service=, not both")

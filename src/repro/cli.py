@@ -196,6 +196,7 @@ def _cmd_bench(args):
         backend=args.backend,
         include_bigworld=not args.skip_bigworld,
         include_cluster=not args.skip_cluster,
+        include_gray=not args.skip_gray,
     )
     path = append_bench_record(record, args.out)
     for name, row in record["scenarios"].items():
@@ -291,6 +292,15 @@ def _cmd_bench(args):
         print(
             f"cluster {name}: {per_node}  ({row['n_clients']} clients, "
             f"{row['n_requests']} requests each, bit-exact)"
+        )
+    for name, row in record.get("gray", {}).items():
+        print(
+            f"gray {name}: healthy "
+            f"{row['healthy_requests_per_sec']:7.2f} req/s  one-slow-node "
+            f"{row['gray_requests_per_sec']:7.2f} req/s "
+            f"({row['gray_over_healthy_ratio']:.0%} of healthy, "
+            f"{row['hedges']} hedges, "
+            f"{row['duplicate_simulations']} duplicate simulations)"
         )
     print(f"\nbenchmark record appended to {path}")
     if args.check_against:
@@ -743,6 +753,16 @@ def _cmd_cluster(args):
 def _cmd_chaos(args):
     from repro.resilience.chaos import chaos_sweep
 
+    if args.gray:
+        from repro.resilience.chaos import run_gray_comparison
+
+        result = run_gray_comparison(
+            n_nodes=args.gray, n_clients=args.clients,
+            log=lambda line: print(line, file=sys.stderr, flush=True),
+        )
+        print(f"chaos gray: {result.summary()}")
+        return 0 if result.ok else 1
+
     seeds = range(args.seed_start, args.seed_start + args.seeds)
     results = chaos_sweep(
         seeds, n_faults=args.faults, n_clients=args.clients,
@@ -1103,6 +1123,11 @@ def build_parser():
         help="skip the multi-node cluster throughput measurement",
     )
     sub.add_argument(
+        "--skip-gray", action="store_true",
+        help="skip the gray-failure (healthy vs one-slow-node fleet) "
+             "throughput comparison",
+    )
+    sub.add_argument(
         "--check-against", default=None, metavar="PATH",
         help="perf gate: fail when steps/sec drops vs the last record "
              "from comparable hardware in this trajectory log",
@@ -1377,6 +1402,13 @@ def build_parser():
         "--cluster", type=int, default=None, metavar="N",
         help="fleet battery: draw node-kill/link-partition plans and run "
              "each seed against a real N-node cluster",
+    )
+    sub.add_argument(
+        "--gray", type=int, default=None, metavar="N",
+        help="gray-failure battery: run the pinned workload on a healthy "
+             "N-node fleet and again with one dispatch-stalled (gray) "
+             "node; hedged routers must keep >=80%% of healthy "
+             "throughput, bit-exact, with zero duplicate simulations",
     )
     sub.set_defaults(handler=_cmd_chaos)
 

@@ -1291,10 +1291,50 @@ def measure_cluster(node_counts=(1, 2, 3), n_specs=6, n_clients=3,
     }
 
 
+def measure_gray(n_nodes=3, n_clients=4, n_passes=3, repeats=12,
+                 floor=0.8):
+    """Healthy-vs-gray fleet throughput; the gray-resilience price.
+
+    Runs :func:`repro.resilience.chaos.run_gray_comparison`: the same
+    workload on a healthy fleet and on one whose node 0 stalls every
+    dispatch while answering health checks instantly.  Records both
+    rates and the ratio; refuses to record anything when the comparison
+    saw mismatches, duplicate simulations, or client errors -- a gray
+    number for non-identical results would gate nothing.  The scale
+    matches ``chaos --gray``: smaller workloads make the timed windows
+    so short that one scheduler hiccup moves the ratio tens of points.
+    """
+    from repro.resilience.chaos import run_gray_comparison
+
+    result = run_gray_comparison(
+        n_nodes=n_nodes, n_clients=n_clients, n_passes=n_passes,
+        repeats=repeats, floor=floor, log=lambda line: None,
+    )
+    if result.mismatches or result.duplicates or result.errors:
+        raise AssertionError(
+            "gray comparison was not clean; refusing to record throughput: "
+            f"{result.summary()}"
+        )
+    return {
+        "n_nodes": n_nodes,
+        "n_clients": n_clients,
+        "n_requests": result.requests,
+        "healthy_requests_per_sec": result.healthy_rps,
+        "gray_requests_per_sec": result.gray_rps,
+        "gray_over_healthy_ratio": result.ratio,
+        "floor": floor,
+        "hedges": result.hedges,
+        "hedge_wins": result.hedge_wins,
+        "hedge_cancelled": result.hedge_cancelled,
+        "duplicate_simulations": result.duplicates,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
               service_workers=None, backend=None, include_bigworld=True,
-              include_cluster=True):
+              include_cluster=True, include_gray=True):
     """One full benchmark pass; returns the record to append to the log."""
     from repro.perf.reference import LegacyBatchSimulator
 
@@ -1384,6 +1424,14 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             n_specs=4 if quick else 6,
             n_clients=2 if quick else 3,
         )
+    gray = {}
+    if include_gray and include_cluster and include_service:
+        gray["t8"] = measure_gray(
+            n_nodes=3,
+            n_clients=2 if quick else 4,
+            n_passes=2 if quick else 3,
+            repeats=4 if quick else 12,
+        )
     bigworld = {}
     if include_bigworld:
         if quick:
@@ -1412,6 +1460,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "chaos": chaos,
         "durability": durability,
         "cluster": cluster,
+        "gray": gray,
     }
 
 

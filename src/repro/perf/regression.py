@@ -87,6 +87,7 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
     _check_chaos(record, baseline_run, threshold, failures, notes)
     _check_durability(record, baseline_run, threshold, failures, notes)
     _check_cluster(record, baseline_run, threshold, failures, notes)
+    _check_gray(record, baseline_run, threshold, failures, notes)
     return failures, notes
 
 
@@ -386,6 +387,55 @@ def _check_cluster(record, baseline_run, threshold, failures, notes):
                 )
             else:
                 notes.append(line)
+
+
+def _gray_comparable(new, old):
+    return (
+        new.get("n_nodes") == old.get("n_nodes")
+        and new.get("n_clients") == old.get("n_clients")
+        and new.get("n_requests") == old.get("n_requests")
+    )
+
+
+def _check_gray(record, baseline_run, threshold, failures, notes):
+    """Gate gray-failure resilience two ways.
+
+    The **ratio floor is absolute**: a gray fleet below its recorded
+    ``floor`` of healthy throughput fails regardless of history --
+    hedging that stopped absorbing a slow node is broken, not merely
+    slower.  On top, gray-mode ``requests_per_sec`` is gated against
+    the comparable baseline like every other section.  Baselines
+    committed before the section existed are skipped with a note.
+    """
+    baseline_gray = baseline_run.get("gray") or {}
+    for name, row in (record.get("gray") or {}).items():
+        ratio = row.get("gray_over_healthy_ratio")
+        floor = row.get("floor")
+        if ratio is not None and floor is not None:
+            line = (
+                f"gray {name}: gray fleet at {ratio:.0%} of healthy "
+                f"throughput (floor {floor:.0%})"
+            )
+            if ratio < floor:
+                failures.append(f"{line} -- below the absolute floor")
+            else:
+                notes.append(line)
+        baseline = baseline_gray.get(name)
+        if baseline is None or not _gray_comparable(row, baseline):
+            notes.append(f"gray {name}: no comparable baseline; skipped")
+            continue
+        new_rate = row["gray_requests_per_sec"]
+        old_rate = baseline["gray_requests_per_sec"]
+        rate_ratio = new_rate / old_rate if old_rate else float("inf")
+        line = (
+            f"gray {name}: {new_rate:.2f} vs baseline "
+            f"{old_rate:.2f} req/s through one gray node "
+            f"({rate_ratio:.2f}x)"
+        )
+        if rate_ratio < 1.0 - threshold:
+            failures.append(f"{line} -- dropped more than {threshold:.0%}")
+        else:
+            notes.append(line)
 
 
 def format_check(failures, notes):

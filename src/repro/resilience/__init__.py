@@ -17,6 +17,11 @@ deterministically, and assert recovery.  Three pieces:
   :class:`CircuitBreaker` (trips on consecutive failures, half-opens on
   a probe), used by every service client; retried requests carry
   idempotency keys so the server never simulates one twice.
+* :mod:`repro.resilience.deadline` -- :class:`Deadline`, the
+  end-to-end request budget (``deadline_ms`` on the wire,
+  ``X-Request-Deadline`` at the gateway) decremented across hops and
+  enforced by the dispatcher *before* simulation, so expired work is
+  dropped instead of burning a worker.
 * :mod:`repro.resilience.checkpoint` -- atomic write-temp-then-rename
   snapshots behind ``evolve``/``run_campaign`` checkpointing and the
   CLI's ``--resume``; a SIGKILL costs at most one checkpoint interval
@@ -37,7 +42,9 @@ deterministically, and assert recovery.  Three pieces:
 
 from repro.resilience.chaos import (
     ChaosResult,
+    GrayResult,
     chaos_sweep,
+    run_gray_comparison,
     run_plan as run_chaos_plan,
     shrink_plan,
 )
@@ -46,6 +53,12 @@ from repro.resilience.checkpoint import (
     Checkpointer,
     load_checkpoint,
     save_checkpoint,
+)
+from repro.resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    spec_deadline,
+    stamp_spec,
 )
 from repro.resilience.durability import JournalError, RequestJournal
 from repro.resilience.faults import (
@@ -67,6 +80,10 @@ from repro.resilience.retry import (
 )
 
 __all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "spec_deadline",
+    "stamp_spec",
     "FaultPlan",
     "FaultSpec",
     "FaultInjector",
@@ -87,7 +104,9 @@ __all__ = [
     "RequestJournal",
     "JournalError",
     "ChaosResult",
+    "GrayResult",
     "chaos_sweep",
     "run_chaos_plan",
+    "run_gray_comparison",
     "shrink_plan",
 ]

@@ -40,6 +40,8 @@ from repro.resilience.faults import (
     PARTITION,
     SITE_CLUSTER_LINK,
     SITE_CLUSTER_NODE,
+    SLOW,
+    gray_node_plan,
     installed as faults_installed,
 )
 from repro.resilience.retry import RetryPolicy
@@ -307,6 +309,15 @@ def run_cluster_plan(plan, n_nodes=3, workload=None, log_path=None,
                     if fault.kind == KILL:
                         index = fault_target(fault, n_nodes)
                         cluster.kill_node(index)
+                    elif fault.kind == SLOW:
+                        # gray, not dead: freeze the process briefly --
+                        # capped below the supervisor's health budget so
+                        # the slowness stays a latency fault, never a
+                        # restart
+                        index = fault_target(fault, n_nodes)
+                        cluster.slow_node(
+                            index, seconds=min(fault.seconds or 0.5, 1.0)
+                        )
                     elif fault.kind == PARTITION:
                         pair = fault_target(fault, n_nodes)
                         cluster.partition(*pair)
@@ -363,6 +374,292 @@ def run_cluster_plan(plan, n_nodes=3, workload=None, log_path=None,
         plan=plan, ok=not errors and not mismatches[0],
         mismatches=mismatches[0], errors=errors, fired=fired,
         pending=pending, wall_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class GrayResult:
+    """Verdict of one healthy-vs-gray fleet comparison."""
+
+    ok: bool
+    healthy_rps: float
+    gray_rps: float
+    ratio: float
+    floor: float
+    requests: int
+    hedges: int
+    hedge_wins: int
+    hedge_cancelled: int
+    duplicates: int
+    mismatches: int
+    errors: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def summary(self):
+        if self.ok:
+            return (
+                f"ok (gray fleet at {self.ratio:.0%} of healthy "
+                f"throughput; {self.hedges} hedges, "
+                f"{self.hedge_wins} hedge wins, "
+                f"{self.duplicates} duplicate simulations, "
+                f"{self.wall_seconds:.1f}s)"
+            )
+        causes = "; ".join(self.errors[:2]) or (
+            f"ratio {self.ratio:.0%} < floor {self.floor:.0%}, "
+            f"{self.duplicates} duplicates, {self.mismatches} mismatches"
+        )
+        return f"FAIL ({causes})"
+
+
+def gray_workload(n_passes=3):
+    """Pinned FSMs crossed with ``n_passes`` distinct suite seeds.
+
+    Distinct seeds keep the fleet *simulating* instead of serving one
+    warm cache line, so a gray node's stall costs real latency and the
+    healthy/gray throughput ratio measures hedged recovery.  Expected
+    outcomes are the single-node oracle: ``evaluate_population`` run
+    in-process once per seed.
+    """
+    from numpy.random import default_rng
+
+    from repro.configs.suite import paper_suite
+    from repro.core.fsm import FSM
+    from repro.evolution.fitness import evaluate_population
+    from repro.grids import make_grid
+
+    grid = make_grid(WORKLOAD["kind"], WORKLOAD["size"])
+    fsms = [
+        FSM.random(default_rng(900 + i)) for i in range(WORKLOAD["n_fsms"])
+    ]
+    specs, expected = [], []
+    for index in range(n_passes):
+        seed = WORKLOAD["seed"] + 100 * index
+        suite = paper_suite(
+            grid, WORKLOAD["agents"], n_random=WORKLOAD["fields"], seed=seed
+        )
+        outcomes = evaluate_population(
+            grid, fsms, suite, t_max=WORKLOAD["t_max"]
+        )
+        for fsm, outcome in zip(fsms, outcomes):
+            specs.append({
+                "grid": WORKLOAD["kind"], "size": WORKLOAD["size"],
+                "agents": WORKLOAD["agents"], "fields": WORKLOAD["fields"],
+                "seed": seed, "t_max": WORKLOAD["t_max"],
+                "fsm": {"genome": fsm.genome().tolist()},
+            })
+            expected.append([outcome])
+    return ChaosWorkload(specs=specs, expected=expected)
+
+
+def _drive_fleet(cluster, workload, n_clients, repeats=4,
+                 request_timeout=60.0, hedge=True, hedge_floor=0.3):
+    """Drive the workload through ``n_clients`` hedged routers; metrics.
+
+    The routers share one :class:`GrayDetector` -- the fleet-of-clients
+    learns a node is gray once, not once per thread -- and every client
+    walks the full spec list once *untimed* before the measured window
+    opens.  The warmup is where the one-time costs live: fleet
+    discovery, fresh simulations filling node caches, and (on a gray
+    fleet) the hedges that teach the detector to demote the slow node.
+    The timed window then measures steady state, which is the claim
+    under test: a demoted gray node costs throughput nothing, it is
+    simply routed around.  Hedge counters are cumulative across warmup
+    and the timed window.
+
+    The routers start with their latency histograms pre-warmed so
+    hedging is armed from the very first request.  The cold-start
+    guard (``RouterClient._hedge_armed``) exists so a router with no
+    latency data does not race cache-cold simulations against healthy
+    nodes; it is unit-tested on its own.  Left cold here it would
+    also make the gray run vacuous: the sequential warmup requests
+    would eat the stalls, demote the gray node before hedging ever
+    armed, and no hedge would fire for the comparison to measure.
+    """
+    from repro.service.client import ClientOptions
+    from repro.service.cluster import (
+        MIN_HEDGE_SAMPLES, GrayDetector, RouterClient,
+    )
+
+    errors, mismatches = [], [0]
+    lock = threading.Lock()
+    # probation far beyond the run: recovery probing is a unit-tested
+    # behaviour, and a probe firing inside the short timed window would
+    # turn the throughput gate into a coin flip.  The baseline floor is
+    # raised to 50ms: this workload's healthy nodes queue into the tens
+    # of milliseconds under 4 concurrent clients, and judging that as
+    # gray would shift keys onto a cold cache mid-run.  The gray node
+    # sits far above the floor (0.6s stalls, 0.3s censored hedges).
+    shared_gray = GrayDetector(probation=60.0, floor=0.05)
+    routers = [
+        RouterClient(
+            [cluster.seed],
+            options=ClientOptions(
+                timeout=request_timeout,
+                retry_policy=RetryPolicy(
+                    seed=index, max_attempts=6, base_delay=0.05,
+                    max_delay=0.5, budget=60.0,
+                ),
+            ),
+            hedge=hedge, hedge_floor=hedge_floor, gray=shared_gray,
+        )
+        for index in range(n_clients)
+    ]
+    for router in routers:
+        for _ in range(MIN_HEDGE_SAMPLES):
+            router.latency.observe(0.005)
+
+    def drive(index, router, passes):
+        try:
+            for _ in range(passes):
+                for spec, want in zip(workload.specs, workload.expected):
+                    got = router.evaluate(**spec)
+                    if got != want:
+                        with lock:
+                            mismatches[0] += 1
+        except Exception as exc:
+            with lock:
+                errors.append(f"client {index}: {exc!r}")
+
+    def run_phase(passes):
+        threads = [
+            threading.Thread(target=drive, args=(index, router, passes))
+            for index, router in enumerate(routers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    run_phase(1)                     # warmup: untimed, learning happens here
+    windows = []
+    for _ in range(3):               # median window: GC/scheduler hiccups
+        started = time.perf_counter()  # land in one window, not the verdict
+        run_phase(repeats)
+        windows.append(time.perf_counter() - started)
+    elapsed = sorted(windows)[1]
+    requests = n_clients * len(workload.specs) * repeats
+    metrics = {
+        "rps": requests / max(elapsed, 1e-9),
+        "requests": requests,
+        "elapsed": elapsed,
+        "mismatches": mismatches[0],
+        "errors": errors,
+        "hedges": sum(r.hedges for r in routers),
+        "hedge_wins": sum(r.hedge_wins for r in routers),
+        "hedge_cancelled": sum(r.hedge_cancelled for r in routers),
+        "failovers": sum(r.failovers for r in routers),
+        "gray_demotions": shared_gray.snapshot()["demotions"],
+    }
+    for router in routers:
+        router.close()
+    return metrics
+
+
+def _fleet_simulated(cluster):
+    """Total genomes actually simulated, summed across the fleet."""
+    from repro.service.client import ClientOptions
+    from repro.service.transport import TCPServiceClient
+
+    total = 0
+    for address in cluster.addresses:
+        with TCPServiceClient(
+            address, options=ClientOptions(timeout=10.0)
+        ) as client:
+            # the TCP stats op nests the service snapshot under
+            # "service" (next to the transport's own counters)
+            payload = client.stats()
+            service = payload.get("service", payload)
+            total += int(service.get("simulated_fsms", 0))
+    return total
+
+
+def run_gray_comparison(n_nodes=3, n_clients=4, n_passes=3, repeats=12,
+                        stall_seconds=0.6, hedge_floor=0.3, floor=0.8,
+                        log=print):
+    """Prove one gray node costs at most ``1 - floor`` of throughput.
+
+    Two fleets run the same multi-seed workload back to back.  The
+    baseline is healthy.  The second boots node 0 under
+    :func:`repro.resilience.faults.gray_node_plan`: every dispatch on
+    that node parks ``stall_seconds`` while its control plane stays
+    responsive -- the textbook gray failure, alive to health checks and
+    useless to callers, so membership never ejects it.  Hedged routers
+    must absorb the slowness instead: the hedge fires after
+    ``hedge_floor`` of primary silence, the gray node's parked
+    submission is cancelled and reaped *unsimulated*, and the gray
+    detector demotes the node so later requests skip it outright.
+    ``hedge_floor`` sits above the healthy fleet's scheduler/GC tail
+    hiccups -- so a healthy-but-busy node is never raced into a
+    duplicate simulation -- and well below ``stall_seconds``, so the
+    gray node always is.
+
+    The verdict requires all four acceptance properties at once:
+    bit-exact outcomes versus the single-node oracle, gray throughput
+    at ``>= floor`` of healthy, zero duplicate simulations fleet-wide,
+    and at least one hedge actually fired (otherwise the run proved
+    nothing about hedging).
+    """
+    from repro.service.cluster import Cluster
+
+    workload = gray_workload(n_passes)
+    unique = len(workload.specs)
+    started = time.perf_counter()
+    fleet_knobs = dict(
+        workers=1, node_restarts=8, fleet_restarts=2,
+        gossip_interval=0.15, dead_after=2.5,
+    )
+    drive_knobs = dict(
+        n_clients=n_clients, repeats=repeats, hedge=True,
+        hedge_floor=hedge_floor,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-gray-") as tmp:
+        plan_path = os.path.join(tmp, "gray_plan.json")
+        gray_node_plan(seconds=stall_seconds).save(plan_path)
+
+        with Cluster(n_nodes, **fleet_knobs) as cluster:
+            healthy = _drive_fleet(cluster, workload, **drive_knobs)
+            healthy_simulated = _fleet_simulated(cluster)
+        log(
+            f"gray: healthy fleet {healthy['rps']:.1f} req/s "
+            f"({healthy['requests']} requests, "
+            f"{healthy['elapsed']:.1f}s, {healthy['hedges']} hedges)"
+        )
+
+        with Cluster(
+            n_nodes, node_extra={0: ["--fault-plan", plan_path]},
+            **fleet_knobs,
+        ) as cluster:
+            gray = _drive_fleet(cluster, workload, **drive_knobs)
+            gray_simulated = _fleet_simulated(cluster)
+        log(
+            f"gray: one-slow-node fleet {gray['rps']:.1f} req/s "
+            f"({gray['hedges']} hedges, {gray['hedge_wins']} wins, "
+            f"{gray['hedge_cancelled']} losers cancelled)"
+        )
+
+    ratio = gray["rps"] / max(healthy["rps"], 1e-9)
+    duplicates = max(healthy_simulated - unique, 0) + max(
+        gray_simulated - unique, 0
+    )
+    mismatches = healthy["mismatches"] + gray["mismatches"]
+    errors = healthy["errors"] + gray["errors"]
+    ok = (
+        not errors
+        and not mismatches
+        and duplicates == 0
+        and ratio >= floor
+        and gray["hedges"] > 0
+    )
+    if not errors and gray["hedges"] == 0:
+        errors = ["no hedge ever fired: the gray node was never raced"]
+    return GrayResult(
+        ok=ok, healthy_rps=healthy["rps"], gray_rps=gray["rps"],
+        ratio=ratio, floor=floor, requests=gray["requests"],
+        hedges=gray["hedges"], hedge_wins=gray["hedge_wins"],
+        hedge_cancelled=gray["hedge_cancelled"], duplicates=duplicates,
+        mismatches=mismatches, errors=errors,
+        wall_seconds=time.perf_counter() - started,
     )
 
 

@@ -1,0 +1,137 @@
+"""Request deadlines: one budget attached at the edge, spent per hop.
+
+Every timeout in the stack used to be a per-hop client knob
+(``ClientOptions.timeout``, ``pool.job_timeout``): each hop waited its
+own full allowance, so a request could crawl through retries, queues
+and failovers long after the caller had given up -- burning workers on
+answers nobody would read.  A :class:`Deadline` replaces that with one
+end-to-end budget:
+
+* The edge attaches it -- the gateway's ``X-Request-Deadline`` header
+  or the JSONL/TCP ``deadline_ms`` spec field, both counted in
+  milliseconds of *remaining* budget.
+* Every hop decrements it -- a client stamps ``deadline_ms`` with
+  :meth:`Deadline.to_wire` at the moment it (re)sends, so the wire
+  always carries what is left, never what was originally granted.
+  Receivers rebase onto their own monotonic clock with
+  :meth:`Deadline.from_wire`; no clock synchronisation is assumed and
+  network transit simply eats budget like any other hop.
+* The dispatcher enforces it -- expired work is answered
+  ``deadline_exceeded`` *before* simulation, and a request whose
+  remaining budget cannot cover the observed per-batch p99 is refused
+  rather than coalesced (see ``EvaluationService``).
+
+Deadlines ride on :data:`time.monotonic` so wall-clock steps can never
+expire (or resurrect) a request; the optional ``clock`` hook exists for
+deterministic tests.
+"""
+
+import time
+
+#: Spec/JSON field carrying remaining budget in milliseconds.
+DEADLINE_FIELD = "deadline_ms"
+
+#: HTTP request header carrying remaining budget in milliseconds.
+DEADLINE_HEADER = "X-Request-Deadline"
+
+
+class DeadlineExceeded(Exception):
+    """The end-to-end budget ran out before the work could finish.
+
+    ``where`` names the hop that gave up (``"gateway"``, ``"queue"``,
+    ``"client"``, ...) so the error message says *where* the budget
+    died, not just that it did.  Never retried: a request that is out
+    of time stays out of time.
+    """
+
+    def __init__(self, message="deadline exceeded", where=None):
+        if where:
+            message = f"{message} ({where})"
+        super().__init__(message)
+        self.where = where
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Construct with :meth:`after` (grant a fresh budget) or
+    :meth:`from_wire` (adopt the remaining budget a peer sent).
+    Immutable in spirit: hops never extend a deadline, they only watch
+    it shrink.
+    """
+
+    __slots__ = ("expires_at", "budget_ms", "_clock")
+
+    def __init__(self, expires_at, budget_ms, clock=time.monotonic):
+        self.expires_at = float(expires_at)
+        self.budget_ms = float(budget_ms)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, budget_ms, clock=time.monotonic):
+        """A deadline ``budget_ms`` milliseconds from now."""
+        budget_ms = float(budget_ms)
+        return cls(clock() + budget_ms / 1000.0, budget_ms, clock=clock)
+
+    @classmethod
+    def from_wire(cls, value, clock=time.monotonic):
+        """Adopt a wire ``deadline_ms`` value; ``None`` means no deadline.
+
+        Anything non-numeric raises ``ValueError`` (callers map it to
+        their bad-request path); a zero or negative budget is a valid,
+        already-expired deadline -- the receiver still answers
+        ``deadline_exceeded`` rather than guessing.
+        """
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"deadline_ms must be a number of milliseconds, got {value!r}"
+            )
+        return cls.after(float(value), clock=clock)
+
+    def remaining(self):
+        """Seconds of budget left (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    def remaining_ms(self):
+        """Milliseconds of budget left (negative once expired)."""
+        return self.remaining() * 1000.0
+
+    @property
+    def expired(self):
+        return self.remaining() <= 0.0
+
+    def to_wire(self):
+        """The ``deadline_ms`` value to send *right now*: what is left,
+        floored at zero so an expired deadline stays recognisably dead."""
+        return max(0, int(self.remaining_ms()))
+
+    def check(self, where=None):
+        """Raise :class:`DeadlineExceeded` if the budget is gone."""
+        if self.expired:
+            raise DeadlineExceeded(where=where)
+        return self
+
+    def __repr__(self):
+        return (
+            f"Deadline(remaining={self.remaining():.3f}s, "
+            f"budget={self.budget_ms:.0f}ms)"
+        )
+
+
+def spec_deadline(spec, clock=time.monotonic):
+    """The :class:`Deadline` carried by a request spec, or ``None``."""
+    return Deadline.from_wire(spec.get(DEADLINE_FIELD), clock=clock)
+
+
+def stamp_spec(spec, deadline):
+    """Write ``deadline``'s remaining budget into ``spec`` (in place).
+
+    The per-hop decrement: called immediately before every send --
+    including retries and hedges, which therefore carry less budget
+    than the attempt before them.  No-op when there is no deadline.
+    """
+    if deadline is not None:
+        spec[DEADLINE_FIELD] = deadline.to_wire()
+    return spec

@@ -88,8 +88,32 @@ TORN_WRITE = "torn_write"        # cache append dies mid-line
 KILL = "kill"                    # a whole cluster node is SIGKILLed
 PARTITION = "partition"          # a link between two nodes drops
 
-#: What each site can be asked to do.
+#: Latency-fault kinds: the component stays alive and eventually
+#: answers, it is just *slow* -- the gray-failure mode retries and
+#: breakers cannot see.  ``delay`` holds a response frame before
+#: writing it intact; ``stall`` parks a dispatcher batch (before any
+#: future is marked running, so cancellation still wins) or a pool job.
+DELAY = "delay"                  # response frame held, then sent intact
+STALL = "stall"                  # batch/job parked, then runs normally
+
+#: What each site can be asked to do (validation superset).
 SITE_KINDS = {
+    SITE_POOL_JOB: (CRASH, HANG, SLOW, STALL),
+    SITE_DISPATCH: (DISPATCH_ERROR, STALL),
+    SITE_TRANSPORT_SEND: (DISCONNECT, PARTIAL_FRAME, GARBAGE_FRAME, DELAY),
+    SITE_CACHE_APPEND: (TORN_WRITE,),
+    SITE_CLIENT_CONNECT: (DISCONNECT,),
+    SITE_CLIENT_SEND: (DISCONNECT,),
+    SITE_CLIENT_RECV: (DISCONNECT, GARBAGE_FRAME),
+    SITE_CLUSTER_NODE: (KILL, SLOW),
+    SITE_CLUSTER_LINK: (PARTITION,),
+}
+
+#: The kinds :meth:`FaultPlan.random` draws from.  Frozen at the PR 4/7
+#: vocabulary: the latency kinds above are valid in hand-pinned plans
+#: (``chaos --gray``, the gray bench) but excluded from randomized
+#: draws, so existing seeded sweeps replay byte-identical schedules.
+RANDOM_SITE_KINDS = {
     SITE_POOL_JOB: (CRASH, HANG, SLOW),
     SITE_DISPATCH: (DISPATCH_ERROR,),
     SITE_TRANSPORT_SEND: (DISCONNECT, PARTIAL_FRAME, GARBAGE_FRAME),
@@ -251,7 +275,7 @@ class FaultPlan:
         faults = []
         for _ in range(n_faults):
             site = rng.choice(list(sites))
-            kind = rng.choice(list(SITE_KINDS[site]))
+            kind = rng.choice(list(RANDOM_SITE_KINDS[site]))
             target = None
             if n_nodes and site == SITE_CLUSTER_NODE:
                 target = str(rng.randrange(n_nodes))
@@ -264,6 +288,27 @@ class FaultPlan:
                           seconds=seconds, target=target)
             )
         return cls(faults=faults, seed=seed, name=f"random-{seed}")
+
+
+def gray_node_plan(seconds=0.25, hits=400, name="gray-node"):
+    """A plan that makes one serving process persistently *gray*.
+
+    Every dispatcher batch (up to ``hits`` of them) is parked for
+    ``seconds`` before any of its futures is marked running, so the
+    node stays alive -- health probes and gossip answer instantly off
+    the event loop -- while evaluation latency balloons.  Because the
+    stall sits ahead of ``set_running_or_notify_cancel``, a ``cancel``
+    op arriving during the stall still drops the work unsimulated:
+    that is what lets hedged routers prove zero duplicate simulations.
+
+    Install it on one node of a fleet (``serve --fault-plan``) to
+    reproduce the ``cluster.node slow`` scenario deterministically.
+    """
+    return FaultPlan(
+        [FaultSpec(SITE_DISPATCH, STALL, at=i, seconds=seconds)
+         for i in range(1, hits + 1)],
+        name=name,
+    )
 
 
 class FaultInjector:

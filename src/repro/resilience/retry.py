@@ -72,15 +72,34 @@ class RetryPolicy:
             delays.append(delay * scale)
         return delays
 
+    def _hinted_delay(self, delay, exc, retry_after):
+        """Fold a server backoff hint into one computed delay.
+
+        A hint (seconds, from ``retry_after(exc)``) *floors* the
+        policy's own backoff -- the server knows how loaded it is
+        better than our exponential schedule does -- but never exceeds
+        ``max_delay``: a hostile or confused ``Retry-After: 86400``
+        must not park the client for a day.
+        """
+        if retry_after is None:
+            return delay
+        hint = retry_after(exc)
+        if hint is None:
+            return delay
+        return min(max(delay, float(hint)), self.max_delay)
+
     def run(self, fn, retryable=(Exception,), on_retry=None,
-            sleep=time.sleep, should_retry=None):
+            sleep=time.sleep, should_retry=None, retry_after=None):
         """Call ``fn()`` under this policy.
 
         Only ``retryable`` exceptions are retried; anything else
         propagates immediately.  ``should_retry(exc)`` refines the
         class check when retryability depends on the *instance* (a
         transport error's protocol code, say) -- returning ``False``
-        re-raises at once.  ``on_retry(attempt, exc, delay)`` is
+        re-raises at once.  ``retry_after(exc)`` may return a
+        server-supplied backoff hint in seconds (an HTTP 429's
+        ``Retry-After`` header); it floors the computed delay, capped
+        at ``max_delay``.  ``on_retry(attempt, exc, delay)`` is
         called before each backoff sleep.  Raises
         :class:`RetryBudgetExceeded` (with the last failure as
         ``__cause__``) when attempts or the sleep budget run out.
@@ -98,7 +117,7 @@ class RetryPolicy:
                 last = exc
                 if attempt == self.max_attempts - 1:
                     break
-                delay = delays[attempt]
+                delay = self._hinted_delay(delays[attempt], exc, retry_after)
                 if slept + delay > self.budget:
                     raise RetryBudgetExceeded(
                         f"retry sleep budget of {self.budget}s exceeded "
@@ -113,7 +132,7 @@ class RetryPolicy:
         ) from last
 
     async def arun(self, fn, retryable=(Exception,), on_retry=None,
-                   should_retry=None):
+                   should_retry=None, retry_after=None):
         """Async :meth:`run`: awaits ``fn()`` and ``asyncio.sleep``."""
         import asyncio
 
@@ -130,7 +149,7 @@ class RetryPolicy:
                 last = exc
                 if attempt == self.max_attempts - 1:
                     break
-                delay = delays[attempt]
+                delay = self._hinted_delay(delays[attempt], exc, retry_after)
                 if slept + delay > self.budget:
                     raise RetryBudgetExceeded(
                         f"retry sleep budget of {self.budget}s exceeded "

@@ -47,7 +47,9 @@ import uuid
 from bisect import bisect_left, insort
 
 from repro._compat import normalize_grid_kind
+from repro.resilience.deadline import spec_deadline
 from repro.service.client import ClientOptions
+from repro.service.metrics import LatencyHistogram
 from repro.service.service import ServiceError
 
 #: Default number of virtual nodes per physical node on the ring.
@@ -55,6 +57,10 @@ DEFAULT_REPLICAS = 64
 
 #: Fleet-internal control-plane probes: short, bare (no retry/breaker).
 _PROBE_OPTIONS = ClientOptions(timeout=5.0)
+
+#: Completed round-trips a router must observe before hedging arms --
+#: a cold histogram would race every cache-cold request at the floor.
+MIN_HEDGE_SAMPLES = 8
 
 #: Node statuses carried in membership views.
 ALIVE = "alive"
@@ -229,15 +235,23 @@ class ClusterMembership:
     direct link in both directions while third-party routes stay up.
     """
 
-    def __init__(self, node_id, address, peers=None, dead_after=2.0):
+    def __init__(self, node_id, address, peers=None, dead_after=2.0,
+                 slow_hint_ttl=None):
         self.node_id = node_id
         self.address = (address[0], int(address[1]))
         self.dead_after = float(dead_after)
+        # gray-failure hints age out: a recovered node's routers stop
+        # re-originating them, so the fleet forgets within one TTL
+        self.slow_hint_ttl = (
+            float(slow_hint_ttl) if slow_hint_ttl is not None
+            else max(5.0, self.dead_after * 5.0)
+        )
         self.incarnation = time.time()
         self._lock = threading.Lock()
         self._heartbeat = 0
         self._entries = {}
         self._seen = {}          # node_id -> monotonic() of last advance
+        self._slow_hints = {}    # node_id -> monotonic() of origination
         self.blocked = frozenset()
         self.merges = 0
         self.exchanges = 0
@@ -283,7 +297,48 @@ class ClusterMembership:
                     "heartbeat": entry["heartbeat"],
                     "status": self._status_of(node_id, entry, now),
                 }
-            return {"from": self.node_id, "nodes": nodes}
+            view = {"from": self.node_id, "nodes": nodes}
+            slow = self._active_slow_locked(now)
+            if slow:
+                view["slow"] = slow
+            return view
+
+    def _active_slow_locked(self, now):
+        """``{node_id: age_seconds}`` of unexpired gray hints.
+
+        Ages ride the wire so a relayed hint keeps its origination
+        time: without that, two nodes would refresh each other's copy
+        forever and a recovered node would stay hinted slow.
+        """
+        expired = [
+            node_id for node_id, origin in self._slow_hints.items()
+            if now - origin > self.slow_hint_ttl
+        ]
+        for node_id in expired:
+            del self._slow_hints[node_id]
+        return {
+            node_id: round(now - origin, 3)
+            for node_id, origin in self._slow_hints.items()
+        }
+
+    def hint_slow(self, node_id, age=0.0):
+        """Record a gray-failure hint: advisory, never a death.
+
+        Hints reorder router preference lists and surface in health /
+        metrics; they do not change the node's ``status`` and are never
+        merged as authoritative -- a slow node keeps serving.
+        """
+        now = time.monotonic()
+        origin = now - max(0.0, float(age))
+        with self._lock:
+            known = self._slow_hints.get(node_id)
+            if known is None or origin > known:
+                self._slow_hints[node_id] = origin
+
+    def slow_nodes(self):
+        """Node ids currently hinted slow (hints expire after the TTL)."""
+        with self._lock:
+            return sorted(self._active_slow_locked(time.monotonic()))
 
     def merge(self, remote_view):
         """Fold a remote view in; returns how many entries advanced."""
@@ -326,6 +381,15 @@ class ClusterMembership:
                     advanced += 1
             if advanced:
                 self.merges += 1
+        slow = remote_view.get("slow")
+        if isinstance(slow, dict):
+            for node_id, age in slow.items():
+                with contextlib.suppress(TypeError, ValueError):
+                    self.hint_slow(node_id, age=float(age))
+        elif isinstance(slow, (list, tuple)):
+            for node_id in slow:   # bare spelling: a fresh hint
+                if isinstance(node_id, str):
+                    self.hint_slow(node_id)
         return advanced
 
     def exchange(self, remote_view):
@@ -378,6 +442,12 @@ class ClusterMembership:
                 "heartbeat": self._heartbeat,
                 "known_nodes": len(self._entries) + 1,
                 "blocked": sorted(self.blocked),
+                "slow_hints": sorted(
+                    self._active_slow_locked(time.monotonic())
+                ),
+                "slow_hint_count": len(
+                    self._active_slow_locked(time.monotonic())
+                ),
                 "merges": self.merges,
                 "exchanges": self.exchanges,
                 "refused": self.refused,
@@ -447,6 +517,167 @@ class GossipAgent:
             self.membership.merge(remote)
 
 
+class GrayDetector:
+    """Per-node gray-failure scoring from router round-trip latencies.
+
+    A *gray* node is slow, not dead: its control plane (health, gossip)
+    answers instantly while its data plane stalls, so liveness probes
+    and gossip heartbeats never catch it.  This detector works from the
+    only signal that does -- observed round-trip latency.  Each node
+    gets an EWMA of its successful round-trips; a phi-accrual-style
+    outlier score compares it against the median EWMA of the *other*
+    nodes (floored, so microsecond-fast fleets do not divide by noise).
+    A node whose score crosses ``threshold`` with at least
+    ``min_samples`` observations is **demoted**: routers move it to the
+    back of every preference list -- never out of the ring, never
+    declared dead.
+
+    Demotion additionally requires a *streak*: the node's last
+    ``streak`` round-trips must each have been individually slow
+    (``>= threshold x`` the fleet baseline).  The EWMA alone is not
+    enough -- one GC or scheduler spike inflates it for several rounds,
+    and demoting a healthy node on a single hiccup shifts its keys to
+    a cold-cached neighbour, which re-simulates them.  A genuinely
+    gray node stalls *every* dispatch, so its streak builds as fast as
+    its score.
+
+    Recovery is probed with real traffic: after ``probation`` seconds a
+    demoted node becomes eligible again and the next request routed to
+    it is its probe (hedging, when armed, caps what that probe can cost
+    the caller).  A fast probe re-promotes; a slow one restarts the
+    probation clock.  Thread-safe: hedge threads feed observations
+    concurrently.
+    """
+
+    def __init__(self, alpha=0.3, threshold=3.0, min_samples=3,
+                 probation=2.0, floor=0.005, streak=None,
+                 clock=time.monotonic):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.probation = float(probation)
+        self.floor = float(floor)
+        self.streak = int(streak) if streak is not None else self.min_samples
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ewma = {}          # node_id -> seconds
+        self._samples = {}       # node_id -> observation count
+        self._streak = {}        # node_id -> consecutive slow round-trips
+        self._demoted = {}       # node_id -> monotonic() of demotion
+        self.demotions = 0
+        self.promotions = 0
+
+    def observe(self, node_id, seconds):
+        """Feed one round-trip; returns ``"demoted"`` / ``"promoted"``
+        when the observation flips the node's standing, else ``None``."""
+        seconds = max(float(seconds), 0.0)
+        with self._lock:
+            previous = self._ewma.get(node_id)
+            self._ewma[node_id] = (
+                seconds if previous is None
+                else (1.0 - self.alpha) * previous + self.alpha * seconds
+            )
+            self._samples[node_id] = self._samples.get(node_id, 0) + 1
+            baseline = self._baseline_locked(node_id)
+            if (baseline is not None
+                    and seconds >= self.threshold * baseline):
+                self._streak[node_id] = self._streak.get(node_id, 0) + 1
+            else:
+                self._streak[node_id] = 0
+            return self._reassess(node_id)
+
+    def _baseline_locked(self, node_id):
+        """Median EWMA of the *other* judged nodes (floored), or None."""
+        others = sorted(
+            value for other, value in self._ewma.items()
+            if other != node_id
+            and self._samples.get(other, 0) >= self.min_samples
+        )
+        if not others:
+            return None
+        return max(others[len(others) // 2], self.floor)
+
+    def _score_locked(self, node_id):
+        ewma = self._ewma.get(node_id)
+        if ewma is None:
+            return 0.0
+        baseline = self._baseline_locked(node_id)
+        if baseline is None:
+            return 0.0
+        return ewma / baseline
+
+    def _reassess(self, node_id):
+        if self._samples.get(node_id, 0) < self.min_samples:
+            return None
+        gray = self._score_locked(node_id) >= self.threshold
+        if node_id in self._demoted:
+            if gray:
+                # still slow: the probe failed, restart probation
+                self._demoted[node_id] = self._clock()
+                return None
+            del self._demoted[node_id]
+            self.promotions += 1
+            return "promoted"
+        if gray and self._streak.get(node_id, 0) >= self.streak:
+            self._demoted[node_id] = self._clock()
+            self.demotions += 1
+            return "demoted"
+        return None
+
+    def hint(self, node_id):
+        """Adopt a gossip hint: start the node demoted, pending probes."""
+        with self._lock:
+            if node_id not in self._demoted:
+                self._demoted[node_id] = self._clock()
+                self.demotions += 1
+
+    def is_demoted(self, node_id):
+        """Whether routers should prefer other owners right now.
+
+        Returns ``False`` once probation has elapsed -- the node keeps
+        its demoted record, but the next request through it is allowed
+        as the recovery probe.
+        """
+        with self._lock:
+            demoted_at = self._demoted.get(node_id)
+            if demoted_at is None:
+                return False
+            return self._clock() - demoted_at < self.probation
+
+    def score(self, node_id):
+        """The node's current outlier score (1.0 = fleet-typical)."""
+        with self._lock:
+            return self._score_locked(node_id)
+
+    def forget(self, node_id):
+        """Drop all state for a node that left the fleet."""
+        with self._lock:
+            self._ewma.pop(node_id, None)
+            self._samples.pop(node_id, None)
+            self._streak.pop(node_id, None)
+            self._demoted.pop(node_id, None)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "nodes": {
+                    node_id: {
+                        "ewma_ms": round(self._ewma[node_id] * 1000.0, 3),
+                        "samples": self._samples.get(node_id, 0),
+                        "streak": self._streak.get(node_id, 0),
+                        "score": round(self._score_locked(node_id), 3),
+                        "demoted": node_id in self._demoted,
+                    }
+                    for node_id in sorted(self._ewma)
+                },
+                "demoted": sorted(self._demoted),
+                "demotions": self.demotions,
+                "promotions": self.promotions,
+            }
+
+
 class RouterError(ServiceError):
     """No ring owner could serve a routed request."""
 
@@ -469,7 +700,7 @@ class RouterClient:
 
     def __init__(self, seeds, replicas=DEFAULT_REPLICAS, options=None,
                  statuses=(ALIVE, SUSPECT), timeout=None, retry_policy=None,
-                 breaker=None):
+                 breaker=None, hedge=False, hedge_floor=0.05, gray=None):
         from repro.service.client import parse_url, resolve_options
 
         options = resolve_options(
@@ -500,6 +731,16 @@ class RouterClient:
         self.routed = {}         # node_id -> requests completed there
         self.failovers = 0
         self.refreshes = 0
+        # gray-failure detection + hedging
+        self.hedge = bool(hedge)
+        self.hedge_floor = float(hedge_floor)
+        self.gray = gray if gray is not None else GrayDetector()
+        self.latency = LatencyHistogram()
+        self.hedges = 0              # hedge attempts launched
+        self.hedge_wins = 0          # hedge answered before the primary
+        self.hedge_cancelled = 0     # losers reaped before simulation
+        self.deadline_refused = 0    # expired before routing
+        self._router_id = f"router-{uuid.uuid4().hex[:8]}"
         self._bootstrap()
 
     # -- membership ----------------------------------------------------------
@@ -567,6 +808,12 @@ class RouterClient:
         for node_id in list(self._clients):
             if node_id not in nodes:
                 self._drop_client(node_id)
+        # soft hints: start gossiped-slow members demoted; real traffic
+        # (the recovery probe after probation) decides their fate
+        slow = (membership or {}).get("slow") or ()
+        for node_id in slow:
+            if node_id in nodes:
+                self.gray.hint(node_id)
 
     def _bootstrap(self):
         """Discover the fleet from the first responsive seed address."""
@@ -640,8 +887,226 @@ class RouterClient:
             exc, (RetryBudgetExceeded, CircuitOpenError)
         ) or is_retryable_error(exc)
 
+    def _preferred_owners(self, key):
+        """Ring owners for ``key``, gray-demoted nodes moved last.
+
+        Demotion reorders, never removes: a gray node stays the final
+        fallback, and once its probation lapses it resumes its ring
+        position so real traffic can probe its recovery.
+        """
+        owners = self._ring.owners(key)
+        if len(owners) < 2:
+            return owners
+        healthy = [n for n in owners if not self.gray.is_demoted(n)]
+        if not healthy or len(healthy) == len(owners):
+            return owners
+        return healthy + [n for n in owners if n not in healthy]
+
+    def _bare_options(self):
+        """Options for side-channel connections (probes, cancels,
+        hedge attempts): no retry policy, no breaker -- failures should
+        surface fast, hedging/failover is the resilience."""
+        return self.options.merged(retry_policy=None, breaker=None)
+
+    def _observe(self, node_id, seconds, censored=False):
+        """Feed one round-trip into latency + gray scoring.
+
+        ``censored=True`` marks a lower bound (the primary was still
+        silent when the hedge fired): it feeds the gray detector but
+        not the latency histogram, so the adaptive hedge delay keeps
+        tracking *completed* round-trips.
+        """
+        if not censored:
+            self.latency.observe(seconds)
+        transition = self.gray.observe(node_id, seconds)
+        if transition == "demoted":
+            self._send_slow_hint(node_id)
+
+    def _hedge_delay(self):
+        """Adaptive hedge trigger: p95 of recent round-trips, floored."""
+        return max(self.hedge_floor, self.latency.quantile(0.95))
+
+    def _hedge_armed(self):
+        """Hedging waits for the latency histogram to warm up.
+
+        On a cold router the adaptive delay is just the floor, so the
+        very first (cache-cold, legitimately slow) requests would be
+        hedged against healthy nodes -- and a hedge that loses the
+        cancel race on a *healthy* node is a duplicate simulation.
+        Until ``MIN_HEDGE_SAMPLES`` completed round-trips have been
+        observed, requests route sequentially and only feed the
+        histogram.
+        """
+        return self.hedge and self.latency.count >= MIN_HEDGE_SAMPLES
+
+    def _send_slow_hint(self, node_id):
+        """Gossip a demotion as a soft hint through one healthy peer.
+
+        Best effort and advisory: receivers reorder preference lists
+        and report the hint in health/metrics, but a hint can never
+        kill -- membership status is untouched and the hint ages out.
+        """
+        from repro.service.transport import TCPServiceClient
+
+        view = {"from": self._router_id, "nodes": {},
+                "slow": {node_id: 0.0}}
+        for peer_id, address in self._nodes.items():
+            if peer_id == node_id:
+                continue
+            with contextlib.suppress(Exception):
+                with TCPServiceClient(
+                    address, options=self._bare_options()
+                ) as peer:
+                    peer.request({"op": "health", "gossip": view})
+                return
+
+    def _cancel_on(self, node_id, idem):
+        """Best-effort reap of a hedge loser's in-flight submission."""
+        if idem is None:
+            return False
+        address = self._nodes.get(node_id)
+        if address is None:
+            return False
+        from repro.service.transport import TCPServiceClient
+
+        try:
+            with TCPServiceClient(
+                address, options=self._bare_options()
+            ) as peer:
+                if peer.cancel(idem):
+                    self.hedge_cancelled += 1
+                    return True
+        except Exception:
+            pass
+        return False
+
+    def _hedge_attempt(self, node_id, spec, hedged, deadline, results):
+        """One node attempt on its own connection (hedge thread body)."""
+        from repro.service.transport import TCPServiceClient, _stamp_or_expire
+
+        attempt_spec = dict(spec)
+        if hedged:
+            attempt_spec["hedge"] = 1   # the server counts re-issues
+        started = time.monotonic()
+        try:
+            if deadline is not None:
+                _stamp_or_expire(attempt_spec, deadline)
+            with TCPServiceClient(
+                self._nodes[node_id], options=self._bare_options()
+            ) as client:
+                response = client.request(attempt_spec)
+        except Exception as exc:
+            results.put((node_id, None, exc, time.monotonic() - started))
+        else:
+            results.put((node_id, response, None, time.monotonic() - started))
+
+    def _route_hedged(self, spec, owners, deadline, errors):
+        """Hedge across the first two owners; ``(response, tried)``.
+
+        The primary gets ``hedge_delay`` seconds of exclusive runway;
+        silence past that launches the very same spec -- same
+        idempotency key -- at the next preference owner.  First answer
+        wins; the loser is cancelled over a separate connection, so a
+        submission stalled inside a gray node is reaped before it ever
+        simulates.  A ``None`` response means every tried node failed
+        (and was ejected); the caller walks the remaining owners.
+        """
+        import queue as queue_module
+
+        idem = spec.get("idem")
+        results = queue_module.Queue()
+        launched = []
+
+        def launch(node_id, hedged):
+            launched.append(node_id)
+            threading.Thread(
+                target=self._hedge_attempt,
+                args=(node_id, spec, hedged, deadline, results),
+                daemon=True,
+            ).start()
+
+        launch(owners[0], False)
+        delay = self._hedge_delay()
+        first = None
+        try:
+            first = results.get(timeout=delay)
+        except queue_module.Empty:
+            # the primary's silence is itself a latency observation
+            # against it -- censored at the hedge delay
+            self.hedges += 1
+            self._observe(owners[0], delay, censored=True)
+            launch(owners[1], True)
+        reported = 0
+        while reported < len(launched):
+            item = first if first is not None else results.get()
+            first = None
+            reported += 1
+            node_id, response, exc, elapsed = item
+            if response is not None:
+                self._observe(node_id, elapsed)
+                for loser in launched:
+                    if loser != node_id:
+                        self._cancel_on(loser, idem)
+                if node_id != owners[0]:
+                    self.hedge_wins += 1
+                self.routed[node_id] = self.routed.get(node_id, 0) + 1
+                return response, launched
+            if not self._node_failure(exc):
+                # a bad request (or spent deadline) fails identically
+                # everywhere: reap the other attempt and surface it
+                for loser in launched:
+                    if loser != node_id:
+                        self._cancel_on(loser, idem)
+                raise exc
+            errors.append(f"{node_id}: {exc!r}")
+            self._demote(node_id)
+            self.failovers += 1
+        return None, launched
+
+    def _route_sequential(self, spec, owners, deadline, errors):
+        """Walk ``owners`` in order; ``None`` when every one failed."""
+        from repro.service.transport import _stamp_or_expire
+
+        for node_id in owners:
+            started = time.monotonic()
+            try:
+                if deadline is not None:
+                    # re-stamped per attempt: queue wait and earlier
+                    # failovers come out of the budget this node sees
+                    _stamp_or_expire(spec, deadline)
+                response = self._client(node_id).request(spec)
+            except Exception as exc:
+                if not self._node_failure(exc):
+                    # a bad request fails identically on every node:
+                    # surface it instead of tearing down the ring
+                    raise
+                errors.append(f"{node_id}: {exc!r}")
+                self._demote(node_id)
+                self.failovers += 1
+                continue
+            if "op" not in spec:
+                # only data-plane round-trips feed gray scoring: a gray
+                # node answers control ops instantly, and mixing those
+                # in would mask exactly the slowness being measured
+                self._observe(node_id, time.monotonic() - started)
+            self.routed[node_id] = self.routed.get(node_id, 0) + 1
+            return response
+        return None
+
     def request(self, spec):
-        """Route one spec to its ring owner, failing over in ring order."""
+        """Route one spec to its ring owner, failing over in ring order.
+
+        Evaluation specs get the full hardening stack: gray-demoted
+        owners are tried last, the remaining end-to-end budget
+        (``deadline_ms``) is re-stamped before every node attempt, and
+        with hedging armed a silent primary is raced against the next
+        owner under the same idempotency key.
+        """
+        from repro.service.transport import (
+            ERR_DEADLINE_EXCEEDED,
+            TransportError,
+        )
+
         spec = dict(spec)
         if "id" not in spec:
             spec["id"] = f"r{next(self._ids)}"
@@ -649,23 +1114,32 @@ class RouterClient:
             # assigned before routing: every failover attempt on every
             # node re-issues this exact key, so at most one simulation
             spec["idem"] = uuid.uuid4().hex
+        deadline = spec_deadline(spec)
+        if deadline is not None and deadline.expired:
+            self.deadline_refused += 1
+            raise TransportError(
+                ERR_DEADLINE_EXCEEDED,
+                "deadline budget exhausted before routing",
+            )
         key = batch_key(spec)
+        is_op = "op" in spec
         errors = []
         for attempt in range(2):
-            owners = self._ring.owners(key)
-            for node_id in owners:
-                try:
-                    response = self._client(node_id).request(spec)
-                except Exception as exc:
-                    if not self._node_failure(exc):
-                        # a bad request fails identically on every node:
-                        # surface it instead of tearing down the ring
-                        raise
-                    errors.append(f"{node_id}: {exc!r}")
-                    self._demote(node_id)
-                    self.failovers += 1
-                    continue
-                self.routed[node_id] = self.routed.get(node_id, 0) + 1
+            owners = self._preferred_owners(key)
+            if self._hedge_armed() and not is_op and len(owners) >= 2:
+                response, tried = self._route_hedged(
+                    spec, owners, deadline, errors
+                )
+                if response is None:
+                    response = self._route_sequential(
+                        spec, [n for n in owners if n not in tried],
+                        deadline, errors,
+                    )
+            else:
+                response = self._route_sequential(
+                    spec, owners, deadline, errors
+                )
+            if response is not None:
                 return response
             # every known owner failed: the fleet may have moved under
             # us (restarts, revivals) -- refresh once and re-walk
@@ -708,6 +1182,16 @@ class RouterClient:
             "routed": dict(self.routed),
             "failovers": self.failovers,
             "refreshes": self.refreshes,
+            "deadline_refused": self.deadline_refused,
+            "hedging": {
+                "enabled": self.hedge,
+                "launched": self.hedges,
+                "wins": self.hedge_wins,
+                "cancelled": self.hedge_cancelled,
+                "delay_seconds": round(self._hedge_delay(), 6),
+            },
+            "gray": self.gray.snapshot(),
+            "latency": self.latency.snapshot(),
         }
 
     def close(self):
@@ -769,8 +1253,8 @@ class Cluster:
     def __init__(self, n_nodes, host="127.0.0.1", base_port=None, workers=1,
                  node_restarts=5, fleet_restarts=1, fleet_interval=0.25,
                  gossip_interval=0.25, dead_after=2.0, data_dir=None,
-                 replicas=DEFAULT_REPLICAS, serve_extra=(), log=None,
-                 start_timeout=60.0):
+                 replicas=DEFAULT_REPLICAS, serve_extra=(), node_extra=None,
+                 log=None, start_timeout=60.0):
         if n_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
         self.n_nodes = int(n_nodes)
@@ -783,6 +1267,12 @@ class Cluster:
         self.dead_after = float(dead_after)
         self.replicas = int(replicas)
         self.serve_extra = list(serve_extra)
+        # per-node extra serve args ({index: [...]}) -- how the gray
+        # harness gives exactly one node a latency fault plan
+        self.node_extra = {
+            int(index): list(extra)
+            for index, extra in (node_extra or {}).items()
+        }
         self.start_timeout = float(start_timeout)
         self.log = log or (lambda line: None)
         self._tmp = None
@@ -824,7 +1314,7 @@ class Cluster:
             "--journal",
             os.path.join(self.data_dir, f"{node.node_id}.journal"),
         ]
-        return args + self.serve_extra
+        return args + self.serve_extra + self.node_extra.get(node.index, [])
 
     def _make_supervisor(self, node):
         from repro.service.supervisor import Supervisor
@@ -996,6 +1486,29 @@ class Cluster:
             node.supervisor.kill_server(
                 sig if sig is not None else signal_module.SIGKILL
             )
+
+    def slow_node(self, index, seconds=0.5):
+        """Make node ``index`` *gray* for ``seconds``: frozen, not dead.
+
+        SIGSTOP parks the whole server process -- sockets stay open,
+        connections queue, nothing errors -- then a timer SIGCONTs it.
+        Keep ``seconds`` well under the supervisor's health budget
+        (interval 0.5s x 4 failures) or the freeze escalates into a
+        restart, which is the *fail-stop* path, not the gray one.
+        """
+        import signal as signal_module
+
+        node = self.nodes[index]
+        if node.supervisor is None:
+            return
+        node.supervisor.kill_server(signal_module.SIGSTOP)
+        timer = threading.Timer(
+            float(seconds),
+            node.supervisor.kill_server,
+            args=(signal_module.SIGCONT,),
+        )
+        timer.daemon = True
+        timer.start()
 
     def stop_node(self, index):
         """Cleanly stop node ``index`` and leave it down."""

@@ -58,10 +58,18 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 
+from repro.resilience.deadline import (
+    DEADLINE_FIELD,
+    DEADLINE_HEADER,
+    spec_deadline,
+)
 from repro.service.jsonl import outcome_from_dict, outcome_to_dict
+from repro.service.metrics import LatencyHistogram
 from repro.service.service import normalize_priority, priority_label
 from repro.service.transport import (
     ERR_BAD_REQUEST,
+    ERR_CANCELLED,
+    ERR_DEADLINE_EXCEEDED,
     ERR_EVALUATION_FAILED,
     ERR_SHUTTING_DOWN,
     ERR_TIMEOUT,
@@ -70,6 +78,7 @@ from repro.service.transport import (
     RequestExecutionError,
     TransportError,
     _StopReading,
+    _stamp_or_expire,
     is_retryable_error,
 )
 
@@ -86,9 +95,11 @@ _CODE_STATUS = {
     ERR_NOT_FOUND: 404,
     ERR_METHOD_NOT_ALLOWED: 405,
     ERR_OVERLOADED: 429,
+    ERR_CANCELLED: 499,
     ERR_EVALUATION_FAILED: 500,
     ERR_SHUTTING_DOWN: 503,
     ERR_TIMEOUT: 504,
+    ERR_DEADLINE_EXCEEDED: 504,
 }
 
 _STATUS_REASONS = {
@@ -100,6 +111,7 @@ _STATUS_REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    499: "Client Closed Request",
     500: "Internal Server Error",
     503: "Service Unavailable",
     504: "Gateway Timeout",
@@ -124,54 +136,6 @@ class GatewayError(Exception):
         self.message = message
         self.status = _CODE_STATUS.get(code, 500)
         self.retry_after = retry_after
-
-
-class LatencyHistogram:
-    """Log-bucketed latency accumulator with quantile estimates.
-
-    Buckets grow geometrically (``base`` per step from ``floor``
-    seconds), so two ints per observation buy percentile estimates that
-    are accurate to one bucket width -- good enough for the p50/p99 the
-    bench records, with no per-request allocation.
-    """
-
-    def __init__(self, base=1.25, floor=1e-4):
-        self.base = float(base)
-        self.floor = float(floor)
-        self._log_base = math.log(self.base)
-        self.counts = {}
-        self.count = 0
-        self.sum = 0.0
-
-    def observe(self, seconds):
-        seconds = max(float(seconds), 0.0)
-        index = (
-            0 if seconds <= self.floor
-            else math.ceil(math.log(seconds / self.floor) / self._log_base)
-        )
-        self.counts[index] = self.counts.get(index, 0) + 1
-        self.count += 1
-        self.sum += seconds
-
-    def quantile(self, q):
-        """An upper bound of the ``q``-quantile latency (0 if empty)."""
-        if not self.count:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for index in sorted(self.counts):
-            seen += self.counts[index]
-            if seen >= target:
-                return self.floor * self.base ** index
-        return self.floor * self.base ** max(self.counts)
-
-    def snapshot(self):
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
-        }
 
 
 class AdmissionController:
@@ -263,6 +227,11 @@ class GatewayStats:
     ws_streams: int = 0
     ws_messages: int = 0
     evolve_runs: int = 0
+    #: requests whose budget was already spent on arrival -- refused at
+    #: the front door, never admitted, never dispatched
+    deadline_rejected: int = 0
+    #: requests whose budget ran out downstream (queue or dispatch)
+    deadline_exceeded: int = 0
 
     def snapshot(self):
         return asdict(self)
@@ -458,7 +427,7 @@ class GatewayServer(BaseAsyncServer):
 
     def snapshot(self):
         """Gateway, admission and latency counters plus the session's."""
-        return {
+        snapshot = {
             "gateway": self.stats.snapshot(),
             "admission": self.admission.snapshot(),
             "latency": {
@@ -467,6 +436,11 @@ class GatewayServer(BaseAsyncServer):
             },
             "service": self.session.stats(),
         }
+        if self.membership is not None:
+            # gossip counters and gray-node hints ride /metrics too, so
+            # a scrape sees which peers this node believes are slow
+            snapshot["membership"] = self.membership.stats()
+        return snapshot
 
     # -- connection handling ------------------------------------------------
 
@@ -699,6 +673,25 @@ class GatewayServer(BaseAsyncServer):
                     keep_alive=keep_alive,
                 )
                 return keep_alive
+            # X-Request-Deadline carries remaining budget in ms for
+            # clients that cannot touch the body; an explicit body
+            # field wins when both are present.
+            budget = headers.get(DEADLINE_HEADER.lower())
+            if budget is not None and DEADLINE_FIELD not in spec:
+                try:
+                    spec[DEADLINE_FIELD] = int(float(budget))
+                except ValueError:
+                    self.stats.bad_requests += 1
+                    await self._send_response(
+                        writer, 400,
+                        self._error_payload(
+                            ERR_BAD_REQUEST,
+                            f"invalid {DEADLINE_HEADER} header "
+                            f"{budget!r}: expected milliseconds",
+                        ),
+                        keep_alive=keep_alive,
+                    )
+                    return keep_alive
             if path == "/v1/evaluate":
                 status, payload, extra = await self._handle_evaluate(
                     spec, client_id
@@ -737,6 +730,8 @@ class GatewayServer(BaseAsyncServer):
             self.stats.bad_requests += 1
         elif exc.code == ERR_OVERLOADED:
             self.stats.overloaded += 1
+        elif exc.code == ERR_DEADLINE_EXCEEDED:
+            self.stats.deadline_exceeded += 1
         else:
             self.stats.failures += 1
 
@@ -749,6 +744,20 @@ class GatewayServer(BaseAsyncServer):
         except ValueError as exc:
             self.stats.bad_requests += 1
             return 400, self._error_payload(ERR_BAD_REQUEST, str(exc)), []
+        try:
+            deadline = spec_deadline(spec)
+        except ValueError as exc:
+            self.stats.bad_requests += 1
+            return 400, self._error_payload(ERR_BAD_REQUEST, str(exc)), []
+        if deadline is not None and deadline.expired:
+            # spent budget is refused at the front door: no admission
+            # slot, no dispatch, no queue time wasted on dead work
+            self.stats.deadline_rejected += 1
+            wrapped = GatewayError(
+                ERR_DEADLINE_EXCEEDED,
+                "deadline budget exhausted on arrival; never dispatched",
+            )
+            return wrapped.status, self._error_body(wrapped), []
         try:
             self.admission.admit(client_id, label,
                                  retry_after=self._retry_after())
@@ -1035,14 +1044,31 @@ class HTTPServiceClient:
             error = (
                 decoded.get("error", {}) if isinstance(decoded, dict) else {}
             )
-            raise TransportError(
+            exc = TransportError(
                 error.get("code", f"http_{response.status}"),
                 error.get("message", raw.decode(errors="replace")),
             )
+            hint = response.headers.get("Retry-After")
+            if hint is not None:
+                try:
+                    # carried to the retry policy, which honours the
+                    # server's backoff over its own schedule
+                    exc.retry_after = float(hint)
+                except ValueError:
+                    pass
+            raise exc
         return decoded
 
     def _request(self, method, path, payload=None):
+        # the end-to-end budget: re-stamped (decremented) at every
+        # attempt, so time burned in backoff comes out of the budget
+        # the server sees
+        deadline = (
+            spec_deadline(payload) if isinstance(payload, dict) else None
+        )
         if self.retry_policy is None and self.breaker is None:
+            if deadline is not None:
+                _stamp_or_expire(payload, deadline)
             try:
                 return self._round_trip(method, path, payload)
             except (ConnectionError, OSError, http.client.HTTPException):
@@ -1056,6 +1082,8 @@ class HTTPServiceClient:
             payload["idem"] = uuid.uuid4().hex
 
         def attempt():
+            if deadline is not None:
+                _stamp_or_expire(payload, deadline)
             if self.breaker is not None:
                 self.breaker.allow()
             try:
@@ -1078,7 +1106,13 @@ class HTTPServiceClient:
         return self.retry_policy.run(
             attempt, retryable=(Exception,),
             should_retry=self._should_retry,
+            retry_after=self._retry_after_hint,
         )
+
+    @staticmethod
+    def _retry_after_hint(exc):
+        """The server's ``Retry-After`` seconds riding on a 429, if any."""
+        return getattr(exc, "retry_after", None)
 
     @staticmethod
     def _should_retry(exc):

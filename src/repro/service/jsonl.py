@@ -45,6 +45,7 @@ from repro.core.fsm import FSM
 from repro.core.evolved import evolved_fsm
 from repro.core.published import published_fsm
 from repro.grids import make_grid
+from repro.resilience.deadline import DEADLINE_FIELD, Deadline
 from repro.service.service import EvaluationRequest, ServiceError
 
 
@@ -112,6 +113,16 @@ class IdempotencyRegistry:
         self.misses = 0
         self.resubmitted = 0
 
+    def get(self, key):
+        """The original future under ``key``, or ``None``.
+
+        No copy, no counters: this is the ``cancel`` op's lookup --
+        cancellation must reach the *original* future (the one the
+        dispatcher holds), not a consumer's detached view.
+        """
+        with self._lock:
+            return self._futures.get(key)
+
     def resolve(self, key, submit):
         """The future for ``key``, submitting via ``submit()`` once.
 
@@ -167,6 +178,12 @@ class ServeSession:
         self.idempotency = IdempotencyRegistry()
         self._grids = {}
         self._suites = {}
+        # hedging observability: how many submissions declared
+        # themselves re-issued hedges, how many cancel ops arrived, and
+        # how many actually reaped an in-flight submission
+        self.hedged_requests = 0
+        self.cancel_ops = 0
+        self.cancelled_in_flight = 0
 
     def _grid(self, kind, size):
         key = (kind, size)
@@ -197,10 +214,15 @@ class ServeSession:
         fsm_spec = spec.get("fsm", "published")
         specs = fsm_spec if isinstance(fsm_spec, list) else [fsm_spec]
         fsms = [_resolve_fsm(one, kind) for one in specs]
+        # the remaining end-to-end budget this hop was handed; rebased
+        # onto the local monotonic clock at decode time, so queue wait
+        # from here on spends it
+        deadline = Deadline.from_wire(spec.get(DEADLINE_FIELD))
         return EvaluationRequest(
             grid, fsms, suite, t_max=int(spec.get("t_max", 200)),
             backend=spec.get("backend"),
             priority=spec.get("priority"),
+            deadline=deadline,
         )
 
     def _journaled_submit(self, idem, spec, record=True):
@@ -240,6 +262,8 @@ class ServeSession:
         """
         request_id = spec.get("id") if isinstance(spec, dict) else None
         idem = spec.get("idem") if isinstance(spec, dict) else None
+        if isinstance(spec, dict) and spec.get("hedge"):
+            self.hedged_requests += 1
         if self.journal is not None and isinstance(spec, dict):
             if idem is None:
                 idem = uuid.uuid4().hex
@@ -277,10 +301,44 @@ class ServeSession:
         """Parse one request line and submit it; ``(request_id, future)``."""
         return self.submit_spec(json.loads(line))
 
+    def cancel_idem(self, idem):
+        """Cancel the in-flight submission under ``idem``; True if reaped.
+
+        The hedging router's loser-cancellation path.  A queued future
+        is cancelled outright (the PR-3 queue guarantee); one already
+        claimed by the dispatcher is *abandoned* instead -- the
+        dispatcher reaps it at the last checkpoint before simulation,
+        so a cancelled hedge loser never costs an evaluation.  Either
+        way the idempotency registry's resubmit-on-failure rule means
+        the key is released: a later submission under it runs fresh.
+        """
+        self.cancel_ops += 1
+        if idem is None:
+            return False
+        original = self.idempotency.get(idem)
+        if original is None:
+            return False
+        if original.cancel():
+            self.cancelled_in_flight += 1
+            return True
+        abandon = getattr(self.service, "abandon", None)
+        if abandon is not None and abandon(original):
+            self.cancelled_in_flight += 1
+            return True
+        return False
+
+    def hedging_stats(self):
+        return {
+            "hedged_requests": self.hedged_requests,
+            "cancel_ops": self.cancel_ops,
+            "cancelled_in_flight": self.cancelled_in_flight,
+        }
+
     def health(self):
         """The service's health payload plus idempotency/journal counters."""
         payload = self.service.health()
         payload["idempotency"] = self.idempotency.stats()
+        payload["hedging"] = self.hedging_stats()
         if self.journal is not None:
             payload["journal"] = self.journal.stats()
         return payload
@@ -295,6 +353,7 @@ class ServeSession:
         """
         payload = self.service.snapshot()
         payload["idempotency"] = self.idempotency.stats()
+        payload["hedging"] = self.hedging_stats()
         if self.journal is not None:
             payload["journal"] = self.journal.stats()
         return payload
@@ -318,6 +377,9 @@ class ServeSession:
             return {**base, "stats": self.stats()}
         if op == "health":
             return {**base, "health": self.health()}
+        if op == "cancel":
+            return {**base, "ok": True,
+                    "cancelled": self.cancel_idem(spec.get("idem"))}
         raise ValueError(f"unknown op {op!r}")
 
 

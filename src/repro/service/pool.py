@@ -65,7 +65,7 @@ def _invoke_with_fault(fault, fn, payload):
         os._exit(113)
     if fault.kind == HANG:
         time.sleep(fault.seconds or 3600.0)
-    else:  # SLOW: stall, then compute normally
+    else:  # SLOW / STALL: park, then compute normally and intact
         time.sleep(fault.seconds or 0.05)
     return fn(payload)
 

@@ -25,8 +25,9 @@ Correctness invariants (all asserted by ``tests/test_service.py``):
 import itertools
 import queue
 import threading
+import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass, field
 
 from repro._compat import warn_deprecated
@@ -38,8 +39,15 @@ from repro.evolution.fitness import (
     evaluation_cache_key,
     suite_fingerprint,
 )
-from repro.resilience.faults import SITE_DISPATCH, maybe_fault
+from repro.resilience.deadline import DeadlineExceeded
+from repro.resilience.faults import SITE_DISPATCH, STALL, maybe_fault
+from repro.service.metrics import LatencyHistogram
 from repro.service.pool import WorkerPool
+
+#: Batch-latency observations needed before the dispatcher starts
+#: refusing requests whose remaining deadline budget cannot cover the
+#: observed per-batch p99 (an unseeded estimate would reject blindly).
+MIN_P99_SAMPLES = 8
 
 _STOP = object()
 
@@ -109,13 +117,17 @@ class EvaluationRequest:
     """
 
     def __init__(self, grid, fsms, suite, t_max=200, backend=None,
-                 priority=None):
+                 priority=None, deadline=None):
         self.grid = grid
         self.fsms = list(fsms)
         self.suite = suite
         self.t_max = int(t_max)
         self.backend = normalize_backend_name(backend)
         self.priority = normalize_priority(priority)
+        #: Optional :class:`repro.resilience.Deadline`; the dispatcher
+        #: answers ``deadline_exceeded`` instead of simulating once it
+        #: expires (or once the observed batch p99 cannot fit in it).
+        self.deadline = deadline
         self.suite_fp = suite_fingerprint(suite)
         self.batch_key = (
             grid.kind, grid.size, self.suite_fp, self.t_max, self.backend
@@ -209,6 +221,8 @@ class ServiceStats:
     batches: int = 0
     coalesced_requests: int = 0     # requests that shared another's batch
     simulated_fsms: int = 0         # genomes actually sent to the simulator
+    deadline_expired: int = 0       # budget already gone at dispatch time
+    deadline_refused: int = 0       # remaining budget < observed batch p99
     by_priority: dict = field(default_factory=dict)  # class -> submissions
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -223,6 +237,8 @@ class ServiceStats:
                 "batches": self.batches,
                 "coalesced_requests": self.coalesced_requests,
                 "simulated_fsms": self.simulated_fsms,
+                "deadline_expired": self.deadline_expired,
+                "deadline_refused": self.deadline_refused,
                 "by_priority": dict(self.by_priority),
             }
         if cache is not None:
@@ -264,6 +280,14 @@ class EvaluationService:
         self._seq = itertools.count()
         self._thread = None
         self._closed = False
+        # Observed wall time of dispatched batches; its p99 is what a
+        # request's remaining deadline budget is judged against.
+        self.batch_latency = LatencyHistogram()
+        # Futures a client walked away from (the transport `cancel` op)
+        # after they were already marked running -- e.g. mid-stall on a
+        # gray node.  The dispatcher reaps them just before simulating.
+        self._abandoned = set()
+        self._abandoned_lock = threading.Lock()
         if autostart:
             self.start()
 
@@ -340,7 +364,25 @@ class EvaluationService:
         """
         stats = self.stats.snapshot(cache=self.cache, batcher=self.batcher)
         stats["pool"] = self.pool.health()
+        stats["batch_latency"] = self.batch_latency.snapshot()
         return stats
+
+    def abandon(self, future):
+        """Best-effort cancellation of an already-running request.
+
+        :meth:`Future.cancel` only wins while a request is still
+        queued; once the dispatcher has marked it running (it may be
+        parked behind a gray node's stall), the ``cancel`` op falls
+        back to this: the future is reaped -- resolved with
+        ``CancelledError``, its work never simulated -- at the last
+        checkpoint before :func:`evaluate_population`.  Returns
+        ``True`` if the future was still unresolved when abandoned.
+        """
+        if future.done():
+            return False
+        with self._abandoned_lock:
+            self._abandoned.add(future)
+        return True
 
     def health(self):
         """Liveness view: dispatcher, queue depth, pool watchdog, cache.
@@ -352,7 +394,8 @@ class EvaluationService:
         with self.stats.lock:
             in_flight = self.stats.requests - (
                 self.stats.completed + self.stats.failed
-                + self.stats.cancelled
+                + self.stats.cancelled + self.stats.deadline_expired
+                + self.stats.deadline_refused
             )
         return {
             "ok": not self._closed and (
@@ -364,6 +407,11 @@ class EvaluationService:
             ),
             "queue_depth": self._queue.qsize(),
             "in_flight": in_flight,
+            "deadline": {
+                "expired": self.stats.deadline_expired,
+                "refused": self.stats.deadline_refused,
+                "batch_p99_seconds": self.batch_latency.quantile(0.99),
+            },
             "pool": self.pool.health(),
             "cache": self.cache.stats(),
         }
@@ -407,6 +455,13 @@ class EvaluationService:
                     with self.stats.lock:
                         self.stats.cancelled += 1
                     continue
+                # likewise a request whose deadline budget is gone (or
+                # cannot cover the observed batch p99) is refused before
+                # it can join a batch, instead of burning a worker
+                verdict = self._deadline_verdict(request)
+                if verdict is not None:
+                    self._refuse_deadline(future, verdict)
+                    continue
                 groups.setdefault(request.batch_key, []).append(
                     (request, future)
                 )
@@ -415,6 +470,35 @@ class EvaluationService:
             )
             for group in groups.values():
                 self._process_group(group)
+
+    def _deadline_verdict(self, request):
+        """Why this request must be refused now, or ``None`` to proceed."""
+        deadline = request.deadline
+        if deadline is None:
+            return None
+        if deadline.expired:
+            return "expired in queue"
+        if self.batch_latency.count >= MIN_P99_SAMPLES:
+            p99 = self.batch_latency.quantile(0.99)
+            if deadline.remaining() < p99:
+                return (
+                    f"remaining budget {deadline.remaining() * 1000:.0f}ms "
+                    f"below observed batch p99 {p99 * 1000:.0f}ms"
+                )
+        return None
+
+    def _refuse_deadline(self, future, verdict):
+        error = DeadlineExceeded(where=verdict)
+        counter = (
+            "deadline_expired" if verdict.startswith("expired")
+            else "deadline_refused"
+        )
+        with self.stats.lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        try:
+            future.set_exception(error)
+        except Exception:
+            pass  # consumer raced us to a terminal state; nothing owed
 
     def _process_group(self, group):
         """Evaluate one coalesced batch; resolve every member's future.
@@ -426,27 +510,64 @@ class EvaluationService:
         with self.stats.lock:
             self.stats.batches += 1
             self.stats.coalesced_requests += len(group) - 1
+        started = time.monotonic()
         try:
             self._evaluate_group(group)
         except Exception as exc:
-            if len(group) > 1:
-                for member in group:
+            pending = [(r, f) for r, f in group if not f.done()]
+            if len(pending) > 1:
+                for member in pending:
                     self._process_group([member])
+                return
+            if not pending:
                 return
             error = ServiceError(f"evaluation batch failed: {exc!r}")
             error.__cause__ = exc
             with self.stats.lock:
                 self.stats.failed += 1
-            group[0][1].set_exception(error)
+            pending[0][1].set_exception(error)
+        finally:
+            self.batch_latency.observe(time.monotonic() - started)
+
+    def _reap_group(self, group):
+        """Drop members abandoned or expired since they were marked
+        running (typically while a gray node's stall parked the batch);
+        returns the members still worth simulating."""
+        live = []
+        for request, future in group:
+            with self._abandoned_lock:
+                abandoned = future in self._abandoned
+                self._abandoned.discard(future)
+            if abandoned:
+                with self.stats.lock:
+                    self.stats.cancelled += 1
+                try:
+                    future.set_exception(CancelledError())
+                except Exception:
+                    pass
+                continue
+            if request.deadline is not None and request.deadline.expired:
+                self._refuse_deadline(future, "expired before simulation")
+                continue
+            live.append((request, future))
+        return live
 
     def _evaluate_group(self, group):
         fault = maybe_fault(SITE_DISPATCH)
-        if fault is not None:
+        if fault is not None and fault.kind != STALL:
             # a transient dispatcher failure: nothing was simulated or
             # cached, so a client retry re-enters this path cleanly
             raise RuntimeError(
                 f"injected transient dispatch fault ({fault.kind})"
             )
+        if fault is not None:
+            # the gray-node latency fault: park the whole batch, then
+            # proceed -- the node stays alive (health answers off the
+            # event loop) but evaluation latency balloons
+            time.sleep(fault.seconds)
+        group = self._reap_group(group)
+        if not group:
+            return
         resolved = {}       # cache key -> outcome, hits + this batch
         fresh_fsms, fresh_keys = [], []
         for request, _ in group:
@@ -550,7 +671,20 @@ class ServiceClient:
                 lambda: self.service.evaluate(grid, fsms, suite,
                                               t_max=t_max, timeout=timeout)
             )
-        timeout = spec.pop("timeout", self.options.timeout)
+        # the transport-side spelling: forwarded (with a warning), not
+        # silently swallowed into the wire spec where build_request
+        # would ignore it
+        legacy_timeout = spec.pop("request_timeout", None)
+        if legacy_timeout is not None:
+            warn_deprecated(
+                "ServiceClient.evaluate(request_timeout=...)",
+                "evaluate(timeout=...)",
+            )
+        timeout = spec.pop(
+            "timeout",
+            legacy_timeout if legacy_timeout is not None
+            else self.options.timeout,
+        )
 
         def run():
             _, future = self._spec_session().submit_spec(dict(spec))

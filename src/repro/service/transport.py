@@ -38,7 +38,9 @@ import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 
+from repro.resilience.deadline import DeadlineExceeded, spec_deadline, stamp_spec
 from repro.resilience.faults import (
+    DELAY,
     DISCONNECT,
     GARBAGE_FRAME,
     SITE_CLIENT_CONNECT,
@@ -62,6 +64,8 @@ ERR_BAD_REQUEST = "bad_request"         # well-framed but invalid spec
 ERR_SHUTTING_DOWN = "shutting_down"     # arrived after shutdown began
 ERR_TIMEOUT = "timeout"                 # exceeded request_timeout
 ERR_EVALUATION_FAILED = "evaluation_failed"  # the simulation itself failed
+ERR_DEADLINE_EXCEEDED = "deadline_exceeded"  # end-to-end budget ran out
+ERR_CANCELLED = "cancelled"             # cancelled via the cancel op
 
 
 class FrameError(ValueError):
@@ -145,6 +149,9 @@ class TransportStats:
     bad_requests: int = 0
     timeouts: int = 0
     failures: int = 0
+    deadline_exceeded: int = 0
+    cancels: int = 0                # cancel ops received
+    cancelled_requests: int = 0     # submissions reaped by a cancel
     cancelled_on_disconnect: int = 0
     idle_reaped: int = 0
     backpressure_engaged: int = 0
@@ -299,6 +306,21 @@ class BaseAsyncServer:
                 ERR_TIMEOUT,
                 f"request exceeded {self.request_timeout}s",
             ) from None
+        except asyncio.CancelledError:
+            # the *submission* was cancelled (the cancel op won, or a
+            # hedge loser was reaped) -- answer an error frame rather
+            # than letting the handler task die silently.  A pending
+            # concurrent future means the cancel came from task
+            # teardown (disconnect reaping) instead: propagate it.
+            if future.done():
+                raise RequestExecutionError(
+                    ERR_CANCELLED, "request cancelled before completion"
+                ) from None
+            raise
+        except DeadlineExceeded as exc:
+            raise RequestExecutionError(
+                ERR_DEADLINE_EXCEEDED, str(exc)
+            ) from exc
         except ServiceError as exc:
             raise RequestExecutionError(
                 ERR_EVALUATION_FAILED, str(exc)
@@ -516,6 +538,16 @@ class AsyncEvaluationServer(BaseAsyncServer):
                     "blocked": sorted(self.membership.blocked),
                 })
                 return
+            if op == "cancel":
+                # best-effort cancellation by idempotency key: a hedging
+                # router reaps the losing attempt so a slow node never
+                # simulates work whose answer already shipped elsewhere
+                self.stats.cancels += 1
+                cancelled = self.session.cancel_idem(spec.get("idem"))
+                await self._send(conn, {
+                    "id": request_id, "ok": True, "cancelled": cancelled,
+                })
+                return
             if op == "shutdown":
                 await self._send(conn, {"id": request_id, "ok": True})
                 self.request_shutdown()
@@ -540,6 +572,10 @@ class AsyncEvaluationServer(BaseAsyncServer):
             except RequestExecutionError as exc:
                 if exc.code == ERR_TIMEOUT:
                     self.stats.timeouts += 1
+                elif exc.code == ERR_DEADLINE_EXCEEDED:
+                    self.stats.deadline_exceeded += 1
+                elif exc.code == ERR_CANCELLED:
+                    self.stats.cancelled_requests += 1
                 else:
                     self.stats.failures += 1
                 await self._send_error(
@@ -572,9 +608,20 @@ class AsyncEvaluationServer(BaseAsyncServer):
         ``disconnect`` drops the connection without responding;
         ``partial_frame`` writes half the real frame and then drops;
         ``garbage_frame`` delivers a well-framed non-JSON body and keeps
-        the connection.  In every case the response itself is lost --
-        recovering it is the client's (retry + idempotency) job.
+        the connection; ``delay`` holds the response for
+        ``fault.seconds`` and then delivers it intact -- the latency
+        (gray-failure) fault no retry or breaker can see.  In every
+        other case the response itself is lost -- recovering it is the
+        client's (retry + idempotency) job.
         """
+        if fault.kind == DELAY:
+            await asyncio.sleep(fault.seconds)
+            frame = encode_frame(payload)
+            async with conn.write_lock:
+                with contextlib.suppress(ConnectionError, OSError):
+                    conn.writer.write(frame)
+                    await conn.writer.drain()
+            return
         async with conn.write_lock:
             with contextlib.suppress(ConnectionError, OSError):
                 if fault.kind == GARBAGE_FRAME:
@@ -629,6 +676,23 @@ def is_retryable_error(exc):
     if isinstance(exc, TransportError):
         return exc.code in RETRYABLE_ERROR_CODES
     return isinstance(exc, (ConnectionError, OSError, FrameError, ValueError))
+
+
+def _stamp_or_expire(spec, deadline):
+    """The per-hop deadline decrement, applied just before a send.
+
+    Stamps ``deadline_ms`` with the budget remaining *now* -- so every
+    retry and hedge carries less budget than the attempt before it --
+    or refuses to send at all once the budget is gone (a non-retryable
+    :class:`TransportError`: out of time stays out of time).
+    """
+    if deadline is None:
+        return
+    if deadline.expired:
+        raise TransportError(
+            ERR_DEADLINE_EXCEEDED, "deadline budget exhausted before send"
+        )
+    stamp_spec(spec, deadline)
 
 
 def _raise_on_error(response):
@@ -760,7 +824,9 @@ class TCPServiceClient:
         spec = dict(spec)
         if "id" not in spec:
             spec["id"] = f"c{next(self._ids)}"
+        deadline = spec_deadline(spec)
         if self.retry_policy is None and self.breaker is None:
+            _stamp_or_expire(spec, deadline)
             return _raise_on_error(self.result(self.submit(spec)))
         if "idem" not in spec and "op" not in spec:
             spec["idem"] = uuid.uuid4().hex
@@ -769,6 +835,7 @@ class TCPServiceClient:
             if self.breaker is not None:
                 self.breaker.allow()
             try:
+                _stamp_or_expire(spec, deadline)
                 if self._sock is None:
                     self._sock = self._connect()
                 result = _raise_on_error(self.result(self.submit(spec)))
@@ -818,6 +885,17 @@ class TCPServiceClient:
 
     def ping(self):
         return self.request({"op": "ping"}).get("pong", False)
+
+    def cancel(self, idem):
+        """Best-effort server-side cancel of an in-flight idempotency key.
+
+        ``True`` when the submission was still cancellable (queued, or
+        parked pre-simulation behind a gray node's stall) and was
+        reaped; its waiter gets a ``cancelled`` error frame and the key
+        is released for resubmission.
+        """
+        response = self.request({"op": "cancel", "idem": idem})
+        return bool(response.get("cancelled"))
 
     def stats(self):
         return self.request({"op": "stats"})["stats"]
@@ -958,7 +1036,9 @@ class AsyncServiceClient:
         spec = dict(spec)
         if "id" not in spec:
             spec["id"] = f"a{next(self._ids)}"
+        deadline = spec_deadline(spec)
         if self.retry_policy is None and self.breaker is None:
+            _stamp_or_expire(spec, deadline)
             return await self._request_once(spec)
         if "idem" not in spec and "op" not in spec:
             spec["idem"] = uuid.uuid4().hex
@@ -967,6 +1047,7 @@ class AsyncServiceClient:
             if self.breaker is not None:
                 self.breaker.allow()
             try:
+                _stamp_or_expire(spec, deadline)
                 await self._ensure_connected()
                 result = await self._request_once(spec)
             except Exception:
@@ -1000,6 +1081,11 @@ class AsyncServiceClient:
     async def stats(self):
         """The server's full counter snapshot."""
         return (await self.request({"op": "stats"}))["stats"]
+
+    async def cancel(self, idem):
+        """Best-effort server-side cancel of an in-flight idempotency key."""
+        response = await self.request({"op": "cancel", "idem": idem})
+        return bool(response.get("cancelled"))
 
     async def _teardown_io(self):
         self._reader_task.cancel()

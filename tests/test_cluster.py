@@ -48,10 +48,12 @@ from repro.resilience.faults import (
     installed as faults_installed,
 )
 from repro.service import EvaluationService, TCPServiceClient
+from repro.service.transport import TransportError
 from repro.service.cluster import (
     Cluster,
     ClusterMembership,
     GossipAgent,
+    GrayDetector,
     HashRing,
     RouterClient,
     RouterError,
@@ -60,6 +62,7 @@ from repro.service.cluster import (
     parse_peers,
     pick_free_ports,
 )
+from repro.service.metrics import LatencyHistogram
 from tests.conftest import ServerInThread
 
 node_counts = st.integers(min_value=2, max_value=7)
@@ -544,6 +547,13 @@ class TestThreadFleet:
         router.routed = {}
         router.failovers = 0
         router.refreshes = 0
+        router.hedge = False
+        router.hedge_floor = 0.05
+        router.gray = GrayDetector()
+        router.latency = LatencyHistogram()
+        router.hedges = router.hedge_wins = router.hedge_cancelled = 0
+        router.deadline_refused = 0
+        router._router_id = "router-test"
         router.request({"seed": 77})
         failed, served = sent[first], sent[second]
         assert len(failed) == 1 and len(served) == 1
@@ -666,3 +676,293 @@ class TestSubprocessFleet:
                 assert sorted(router.nodes) == ["n0", "n1"]
                 assert router.evaluate(**workload.specs[0]) \
                     == workload.expected[0]
+
+
+class _Clock:
+    """Hand-cranked monotonic clock for deterministic gray scoring."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestGrayDetector:
+    def feed_fast_fleet(self, gray, nodes=("n1", "n2"), seconds=0.01):
+        for _ in range(3):
+            for node in nodes:
+                assert gray.observe(node, seconds) is None
+
+    def test_slow_outlier_is_demoted_not_the_fast_fleet(self):
+        clock = _Clock()
+        gray = GrayDetector(clock=clock)
+        self.feed_fast_fleet(gray)
+        transitions = [gray.observe("n0", 0.2) for _ in range(3)]
+        # silent until min_samples, then one demotion -- never a death
+        assert transitions == [None, None, "demoted"]
+        assert gray.is_demoted("n0")
+        assert not gray.is_demoted("n1")
+        assert gray.demotions == 1
+        assert gray.score("n0") > gray.threshold
+
+    def test_probation_elapses_into_a_probe_then_promotion(self):
+        clock = _Clock()
+        gray = GrayDetector(clock=clock, probation=2.0)
+        self.feed_fast_fleet(gray)
+        for _ in range(3):
+            gray.observe("n0", 0.2)
+        assert gray.is_demoted("n0")
+        clock.advance(2.5)
+        # probation elapsed: the node is routable again -- the next
+        # request through it is its recovery probe
+        assert not gray.is_demoted("n0")
+        transitions = [gray.observe("n0", 0.001) for _ in range(12)]
+        assert "promoted" in transitions
+        assert gray.promotions == 1
+        assert not gray.is_demoted("n0")
+
+    def test_slow_probe_restarts_probation(self):
+        clock = _Clock()
+        gray = GrayDetector(clock=clock, probation=2.0)
+        self.feed_fast_fleet(gray)
+        for _ in range(3):
+            gray.observe("n0", 0.2)
+        clock.advance(2.5)
+        assert not gray.is_demoted("n0")   # probe window open
+        assert gray.observe("n0", 0.5) is None   # probe came back slow
+        assert gray.is_demoted("n0")       # ...so probation restarted
+
+    def test_one_hiccup_never_demotes_a_healthy_node(self):
+        # a single GC/scheduler spike inflates the EWMA past the
+        # threshold for several rounds -- but the demotion requires a
+        # streak of individually-slow round-trips, so fast follow-ups
+        # clear it
+        clock = _Clock()
+        gray = GrayDetector(clock=clock)
+        self.feed_fast_fleet(gray)
+        self.feed_fast_fleet(gray, nodes=("n0",))
+        assert gray.observe("n0", 0.2) is None   # the hiccup
+        assert gray.score("n0") > gray.threshold  # EWMA says gray...
+        transitions = [gray.observe("n0", 0.01) for _ in range(6)]
+        assert "demoted" not in transitions       # ...the streak says no
+        assert not gray.is_demoted("n0")
+        assert gray.demotions == 0
+
+    def test_sustained_slowness_still_demotes(self):
+        clock = _Clock()
+        gray = GrayDetector(clock=clock)
+        self.feed_fast_fleet(gray)
+        self.feed_fast_fleet(gray, nodes=("n0",))
+        gray.observe("n0", 0.2)                  # hiccup: streak 1
+        gray.observe("n0", 0.01)                 # fast: streak resets
+        transitions = [gray.observe("n0", 0.2) for _ in range(3)]
+        assert transitions[-1] == "demoted"      # three in a row
+        assert gray.snapshot()["nodes"]["n0"]["streak"] >= 3
+
+    def test_hint_adopts_a_remote_demotion_and_forget_drops_it(self):
+        gray = GrayDetector()
+        gray.hint("n3")
+        assert gray.is_demoted("n3")
+        assert gray.demotions == 1
+        gray.hint("n3")   # idempotent: no double count
+        assert gray.demotions == 1
+        gray.forget("n3")
+        assert not gray.is_demoted("n3")
+
+    def test_snapshot_reports_scores_and_standing(self):
+        clock = _Clock()
+        gray = GrayDetector(clock=clock)
+        self.feed_fast_fleet(gray)
+        for _ in range(3):
+            gray.observe("n0", 0.2)
+        snapshot = gray.snapshot()
+        assert snapshot["demotions"] == 1
+        assert "n0" in snapshot["nodes"]
+        node = snapshot["nodes"]["n0"]
+        assert node["demoted"] is True
+        assert node["score"] > 1.0
+
+
+class TestSlowHints:
+    def test_hint_rides_the_view_and_ages_out(self):
+        membership = ClusterMembership(
+            "a", ("127.0.0.1", 1), slow_hint_ttl=0.15
+        )
+        membership.hint_slow("b")
+        view = membership.view()
+        assert "b" in view["slow"]
+        assert view["slow"]["b"] < 0.1   # a fresh hint carries its age
+        time.sleep(0.2)
+        assert membership.slow_nodes() == []
+        assert "slow" not in membership.view()
+
+    def test_merge_folds_remote_hints_keeping_the_freshest_origin(self):
+        membership = ClusterMembership(
+            "a", ("127.0.0.1", 1), slow_hint_ttl=10.0
+        )
+        membership.merge({"from": "c", "nodes": {}, "slow": {"b": 3.0}})
+        assert membership.slow_nodes() == ["b"]
+        # a *fresher* origination (smaller age) replaces the stale one;
+        # an older one is ignored -- this is what stops two relays
+        # refreshing each other's copy of a recovered node forever
+        membership.hint_slow("b", age=8.0)
+        assert membership.view()["slow"]["b"] < 4.0
+        membership.hint_slow("b", age=0.0)
+        assert membership.view()["slow"]["b"] < 1.0
+
+    def test_hint_is_advisory_membership_status_is_untouched(self):
+        peers = {"b": ("127.0.0.1", 2)}
+        membership = ClusterMembership(
+            "a", ("127.0.0.1", 1), peers=peers, dead_after=60.0
+        )
+        membership.hint_slow("b")
+        view = membership.view()
+        assert view["nodes"]["b"]["status"] != "dead"
+        assert "b" in view["slow"]
+        assert membership.stats()["slow_hint_count"] == 1
+
+
+@pytest.mark.net
+class TestGrayRouting:
+    def test_demoted_owner_moves_to_the_back_of_the_list(self):
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient([fleet.address("n0")]) as router:
+                router.refresh()
+                owners = router._preferred_owners("some-batch-key")
+                assert len(owners) == 2
+                router.gray.hint(owners[0])
+                reordered = router._preferred_owners("some-batch-key")
+                assert reordered == [owners[1], owners[0]]
+                # hints age out (probation): the order heals itself
+                router.gray.forget(owners[0])
+                assert router._preferred_owners("some-batch-key") == owners
+
+    def test_expired_budget_is_refused_before_routing(self):
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient([fleet.address("n0")]) as router:
+                spec = dict(pinned_workload().specs[0])
+                spec["deadline_ms"] = 0
+                with pytest.raises(TransportError) as excinfo:
+                    router.request(spec)
+                assert excinfo.value.code == "deadline_exceeded"
+                assert router.deadline_refused == 1
+                # the fleet never saw it
+                for node_id in fleet.services:
+                    assert fleet.services[node_id].snapshot()["requests"] \
+                        == 0
+
+    def test_slow_hint_reaches_the_fleet_over_the_health_op(self):
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient([fleet.address("n0")]) as router:
+                router.refresh()
+                router._send_slow_hint("n0")
+                # the hint lands on some healthy peer's membership
+                hinted = [
+                    node_id
+                    for node_id, membership in fleet.memberships.items()
+                    if "n0" in membership.slow_nodes()
+                ]
+                assert hinted == ["n1"]
+
+    def test_stats_surface_hedging_gray_and_deadline_counters(self):
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient(
+                [fleet.address("n0")], hedge=True
+            ) as router:
+                workload = pinned_workload()
+                assert router.evaluate(**workload.specs[0]) \
+                    == workload.expected[0]
+                stats = router.stats()
+                assert stats["hedging"]["enabled"] is True
+                assert stats["hedging"]["launched"] == router.hedges
+                assert stats["hedging"]["delay_seconds"] > 0
+                assert stats["deadline_refused"] == 0
+                assert "nodes" in stats["gray"]
+                assert stats["latency"]["count"] >= 1
+
+
+@pytest.mark.net
+@pytest.mark.slow
+class TestHedging:
+    def test_cold_router_routes_sequentially_until_warm(self):
+        # an empty histogram would hedge every cache-cold request at
+        # the floor delay -- against perfectly healthy nodes -- so
+        # hedging stays disarmed until enough round-trips are observed
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient(
+                [fleet.address("n0")], hedge=True
+            ) as router:
+                router.refresh()
+                assert not router._hedge_armed()
+                workload = pinned_workload()
+                assert router.evaluate(**workload.specs[0]) \
+                    == workload.expected[0]
+                assert router.hedges == 0
+                while not router._hedge_armed():
+                    router.latency.observe(0.01)
+                assert router.stats()["hedging"]["enabled"] is True
+
+    def test_hedge_races_a_stalled_primary_and_stays_bit_exact(self):
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient(
+                [fleet.address("n0")], hedge=True, hedge_floor=0.1
+            ) as router:
+                router.refresh()
+                # hedging arms only once the latency histogram is warm
+                for _ in range(8):
+                    router.latency.observe(0.01)
+                workload = pinned_workload()
+                # find a spec whose primary owner we can stall
+                spec = dict(workload.specs[0])
+                expected = workload.expected[0]
+                primary = router._preferred_owners(batch_key(spec))[0]
+                service = fleet.services[primary]
+                original_submit = service.submit
+
+                def stalled_submit(request, priority=None):
+                    time.sleep(0.8)   # parks the primary's event loop
+                    return original_submit(request, priority)
+
+                service.submit = stalled_submit
+                try:
+                    assert router.evaluate(**spec) == expected
+                finally:
+                    service.submit = original_submit
+                assert router.hedges == 1
+                assert router.hedge_wins == 1
+                stats = router.stats()
+                assert stats["hedging"]["launched"] == 1
+                assert stats["hedging"]["wins"] == 1
+
+    def test_budget_spent_mid_hedge_surfaces_deadline_exceeded(self):
+        with _ThreadFleet(2, start_agents=False) as fleet:
+            with RouterClient(
+                [fleet.address("n0")], hedge=True, hedge_floor=0.3
+            ) as router:
+                router.refresh()
+                for _ in range(8):
+                    router.latency.observe(0.01)
+                spec = dict(pinned_workload().specs[0])
+                primary = router._preferred_owners(batch_key(spec))[0]
+                service = fleet.services[primary]
+                original_submit = service.submit
+
+                def stalled_submit(request, priority=None):
+                    time.sleep(1.0)
+                    return original_submit(request, priority)
+
+                service.submit = stalled_submit
+                try:
+                    # enough budget to route, not enough to survive the
+                    # hedge delay: the backup attempt dies at its own
+                    # send, and out-of-time is terminal -- not failover
+                    spec["deadline_ms"] = 150
+                    with pytest.raises(TransportError) as excinfo:
+                        router.request(spec)
+                    assert excinfo.value.code == "deadline_exceeded"
+                finally:
+                    service.submit = original_submit

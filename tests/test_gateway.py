@@ -553,6 +553,18 @@ class TestMetrics:
                     name.startswith("repro_service_")
                     for name in by_name
                 )
+                # the deadline / hedging counters are first-class
+                # metric families, flattened from the same snapshot
+                for family in (
+                    "repro_gateway_deadline_rejected",
+                    "repro_gateway_deadline_exceeded",
+                    "repro_service_deadline_expired",
+                    "repro_service_deadline_refused",
+                    "repro_service_hedging_hedged_requests",
+                    "repro_service_hedging_cancel_ops",
+                    "repro_service_hedging_cancelled_in_flight",
+                ):
+                    assert family in by_name
 
 
 # -- fault isolation -------------------------------------------------------
@@ -649,6 +661,80 @@ class TestErrorSurface:
                     gw.address, "GET", "/v1/health"
                 )
                 assert status == 200 and payload.get("ok") is True
+
+
+# -- Retry-After: the server's backoff hint is honoured --------------------
+
+
+class TestRetryAfterHonoured:
+    def test_429_hint_rides_the_transport_error(self):
+        # hold the gateway's only admission slot (the dispatcher is
+        # not running, so the first request parks); the refused second
+        # request must see the 429's Retry-After seconds on the error
+        service = EvaluationService(n_workers=1, autostart=False)
+        try:
+            with GatewayInThread(service, max_inflight=1) as gw:
+                first = {}
+
+                def parked():
+                    with HTTPServiceClient(gw.address) as one:
+                        first["outcomes"] = one.evaluate(**make_spec(60))
+
+                thread = threading.Thread(target=parked, daemon=True)
+                thread.start()
+                deadline = time.monotonic() + 10
+                while gw.gateway.admission.snapshot()["inflight"] < 1:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                with HTTPServiceClient(
+                    gw.address, client_id="other"
+                ) as client:
+                    with pytest.raises(TransportError) as excinfo:
+                        client.evaluate(**make_spec(61))
+                    assert excinfo.value.code == ERR_OVERLOADED
+                    assert excinfo.value.retry_after >= 1.0
+                service.start()
+                thread.join(timeout=30)
+                assert len(first["outcomes"]) == 1
+        finally:
+            service.close()
+
+    def test_retry_policy_waits_out_the_servers_hint(self):
+        # regression: the hint must *floor* the client's own (tiny)
+        # backoff schedule -- before the fix the client hammered the
+        # gateway on its millisecond schedule and exhausted attempts
+        from repro.resilience import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.001, jitter=0.0, max_delay=5.0,
+            seed=0,
+        )
+        with EvaluationService(n_workers=1) as service:
+            with GatewayInThread(service) as gw:
+                client = HTTPServiceClient(
+                    gw.address,
+                    options=ClientOptions(retry_policy=policy),
+                )
+                with client:
+                    attempts = []
+                    original = client._round_trip
+
+                    def flaky(method, path, payload=None):
+                        attempts.append(time.monotonic())
+                        if len(attempts) == 1:
+                            exc = TransportError(
+                                ERR_OVERLOADED, "throttled"
+                            )
+                            exc.retry_after = 0.4
+                            raise exc
+                        return original(method, path, payload)
+
+                    client._round_trip = flaky
+                    results = client.evaluate(**make_spec(62))
+                    assert len(results) == 1
+                assert len(attempts) == 2
+                # the gap obeys the server's 0.4s, not base_delay=1ms
+                assert attempts[1] - attempts[0] >= 0.4
 
 
 # -- evolve endpoint -------------------------------------------------------

@@ -221,6 +221,49 @@ class TestRetryPolicy:
         assert asyncio.run(policy.arun(flaky)) == "ok"
         assert len(calls) == 2
 
+    def test_server_retry_after_hint_floors_the_backoff(self):
+        # the 429 contract: the server's Retry-After beats our own
+        # (smaller) exponential schedule, but a hostile hint can never
+        # exceed max_delay
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, jitter=0.0, max_delay=2.0,
+            seed=0,
+        )
+        calls, slept = [], []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                exc = ConnectionError("busy")
+                exc.retry_after = 0.5 if len(calls) == 1 else 86400.0
+                raise exc
+            return "ok"
+
+        assert policy.run(
+            flaky, sleep=slept.append,
+            retry_after=lambda exc: getattr(exc, "retry_after", None),
+        ) == "ok"
+        assert slept == [0.5, 2.0]
+
+    def test_retry_after_hint_is_ignored_when_smaller_than_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay=1.0, jitter=0.0, seed=0
+        )
+        slept = []
+
+        def flaky():
+            if not slept:
+                exc = ConnectionError("busy")
+                exc.retry_after = 0.001   # politely early; our schedule
+                raise exc                 # is the floor, not the hint
+            return "ok"
+
+        assert policy.run(
+            flaky, sleep=slept.append,
+            retry_after=lambda exc: getattr(exc, "retry_after", None),
+        ) == "ok"
+        assert slept == [1.0]
+
 
 class TestCircuitBreaker:
     def test_trips_after_threshold_and_half_opens_after_timeout(self):

@@ -629,3 +629,52 @@ class TestPersistentCache:
         counters = cache.stats()["persistent"]
         assert counters["loaded"] is True
         assert counters["path"] == str(path)
+
+
+class TestLegacyTimeoutSpelling:
+    """``request_timeout=`` (the transport-side spelling) forwards."""
+
+    def test_request_timeout_forwards_with_a_deprecation_warning(self):
+        import warnings
+
+        with EvaluationService(n_workers=1) as service:
+            client = ServiceClient(service)
+            spec = {
+                "grid": "T", "size": 8, "agents": 4, "fields": 2,
+                "seed": 77, "t_max": 40, "fsm": "published",
+            }
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                results = client.evaluate(request_timeout=60.0, **spec)
+            assert len(results) == 1
+            deprecations = [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "request_timeout" in str(w.message)
+            ]
+            assert len(deprecations) == 1
+            assert "timeout" in str(deprecations[0].message)
+            # the modern spelling stays silent
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                again = client.evaluate(timeout=60.0, **spec)
+            assert again == results
+            assert not [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+            ]
+
+    def test_legacy_spelling_still_enforces_the_timeout(self):
+        service = EvaluationService(n_workers=1, autostart=False)
+        try:
+            client = ServiceClient(service)
+            spec = {
+                "grid": "T", "size": 8, "agents": 4, "fields": 2,
+                "seed": 78, "t_max": 40, "fsm": "published",
+            }
+            # dispatcher never started: the forwarded budget must fire
+            with pytest.warns(DeprecationWarning, match="request_timeout"):
+                with pytest.raises(Exception):
+                    client.evaluate(request_timeout=0.1, **spec)
+        finally:
+            service.close()

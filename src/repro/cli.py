@@ -197,6 +197,7 @@ def _cmd_bench(args):
         include_bigworld=not args.skip_bigworld,
         include_cluster=not args.skip_cluster,
         include_gray=not args.skip_gray,
+        include_replication=not args.skip_replication,
     )
     path = append_bench_record(record, args.out)
     for name, row in record["scenarios"].items():
@@ -301,6 +302,15 @@ def _cmd_bench(args):
             f"({row['gray_over_healthy_ratio']:.0%} of healthy, "
             f"{row['hedges']} hedges, "
             f"{row['duplicate_simulations']} duplicate simulations)"
+        )
+    for name, row in record.get("replication", {}).items():
+        print(
+            f"replication {name}: cold failover "
+            f"{row['cold_requests_per_sec']:7.2f} req/s "
+            f"({row['cold_resimulated']} re-simulated)  warm failover "
+            f"{row['warm_requests_per_sec']:7.2f} req/s "
+            f"({row['warm_resimulated']} re-simulated, "
+            f"{row['warm_over_cold_ratio']:.2f}x cold)"
         )
     print(f"\nbenchmark record appended to {path}")
     if args.check_against:
@@ -484,6 +494,7 @@ def _serve_network(args, addresses, tls, service, journal=None):
 
     membership = None
     gossip = None
+    replicator = None
     if getattr(args, "node_id", None):
         from repro.service.cluster import ClusterMembership, parse_peers
 
@@ -492,6 +503,24 @@ def _serve_network(args, addresses, tls, service, journal=None):
             peers=parse_peers(getattr(args, "cluster_peers", None)),
             dead_after=getattr(args, "gossip_dead_after", 2.0),
         )
+        factor = getattr(args, "replication_factor", 0) or 0
+        if factor >= 2:
+            from repro.service.replication import HintStore, Replicator
+
+            hints = None
+            if getattr(args, "hints", None):
+                hints = HintStore(args.hints)
+                try:
+                    hints.load()    # truncate a torn tail before appends
+                    hints.open()    # surface unwritable paths now
+                except OSError as exc:
+                    raise _ServeSetupError(
+                        f"cannot open hint store {args.hints!r}: {exc}"
+                    ) from exc
+            replicator = Replicator(
+                args.node_id, service.cache, membership,
+                factor=factor, hints=hints,
+            )
 
     def _build_gateway(host, port, session=None, metrics_only=False):
         from repro.service.gateway import GatewayServer
@@ -525,6 +554,9 @@ def _serve_network(args, addresses, tls, service, journal=None):
                     journal=journal,
                     membership=membership,
                 )
+                # armed before start(): journal replay commits must fan
+                # out to the replica set like any other commit
+                primary.session.replicator = replicator
                 await primary.start()
                 servers.append(("listening on", primary))
             if "http" in addresses:
@@ -533,6 +565,8 @@ def _serve_network(args, addresses, tls, service, journal=None):
                     host, port,
                     session=primary.session if primary is not None else None,
                 )
+                if primary is None:
+                    gateway.session.replicator = replicator
                 await gateway.start()
                 servers.append(("serving http on", gateway))
                 if primary is None:
@@ -582,8 +616,11 @@ def _serve_network(args, addresses, tls, service, journal=None):
     if membership is not None:
         from repro.service.cluster import GossipAgent
 
+        if replicator is not None:
+            replicator.start()
         gossip = GossipAgent(
-            membership, interval=getattr(args, "gossip_interval", 0.25)
+            membership, interval=getattr(args, "gossip_interval", 0.25),
+            replicator=replicator,
         ).start()
     try:
         with service:
@@ -591,6 +628,8 @@ def _serve_network(args, addresses, tls, service, journal=None):
     finally:
         if gossip is not None:
             gossip.stop()
+        if replicator is not None:
+            replicator.stop()
     if journal is not None:
         journal.close()
     if snapshot is None:   # bind failure, already reported
@@ -752,6 +791,17 @@ def _cmd_cluster(args):
 
 def _cmd_chaos(args):
     from repro.resilience.chaos import chaos_sweep
+
+    if getattr(args, "kill_replica", False):
+        from repro.resilience.chaos import run_replication_kill
+
+        result = run_replication_kill(
+            n_nodes=args.cluster or 3, n_clients=args.clients,
+            out_dir=args.out,
+            log=lambda line: print(line, file=sys.stderr, flush=True),
+        )
+        print(f"chaos kill-replica: {result.summary()}")
+        return 0 if result.ok else 1
 
     if args.gray:
         from repro.resilience.chaos import run_gray_comparison
@@ -1128,6 +1178,11 @@ def build_parser():
              "throughput comparison",
     )
     sub.add_argument(
+        "--skip-replication", action="store_true",
+        help="skip the replication failover (warm vs cold replica cache "
+             "after a node kill) throughput comparison",
+    )
+    sub.add_argument(
         "--check-against", default=None, metavar="PATH",
         help="perf gate: fail when steps/sec drops vs the last record "
              "from comparable hardware in this trajectory log",
@@ -1266,6 +1321,19 @@ def build_parser():
         "--gossip-dead-after", type=float, default=2.0,
         help="seconds without gossip progress before a peer is reported "
              "suspect (default 2)",
+    )
+    sub.add_argument(
+        "--replication-factor", type=int, default=0, metavar="R",
+        help="cluster mode: asynchronously replicate committed results "
+             "to the first R ring owners of each batch key (the "
+             "router's failover chain), with anti-entropy digests on "
+             "gossip; 0/1 disables (default 0; needs --node-id)",
+    )
+    sub.add_argument(
+        "--hints", default=None, metavar="PATH",
+        help="durable hinted-handoff JSONL for --replication-factor: "
+             "records destined for an unreachable replica queue here "
+             "and drain when gossip reports the peer alive",
     )
     sub.set_defaults(handler=_cmd_serve)
 
@@ -1409,6 +1477,15 @@ def build_parser():
              "N-node fleet and again with one dispatch-stalled (gray) "
              "node; hedged routers must keep >=80%% of healthy "
              "throughput, bit-exact, with zero duplicate simulations",
+    )
+    sub.add_argument(
+        "--kill-replica", action="store_true",
+        help="replication battery: warm a replicated fleet (--cluster N, "
+             "default 3), SIGKILL the primary owner mid-batch, and assert "
+             "the failover pass is bit-exact with ZERO re-simulations "
+             "(every answer served from a replica's warm cache); then "
+             "exercise hinted handoff through a node restart and "
+             "anti-entropy convergence through a partition heal",
     )
     sub.set_defaults(handler=_cmd_chaos)
 

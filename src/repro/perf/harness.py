@@ -1226,7 +1226,12 @@ def measure_cluster(node_counts=(1, 2, 3), n_specs=6, n_clients=3,
         errors = []
         routed = [0]
         lock = threading.Lock()
-        with Cluster(n_nodes, workers=1, log=lambda line: None) as cluster:
+        # replication off: this section measures routing scaling alone,
+        # and its committed baselines predate fanout traffic -- the
+        # replication section below prices the fanout explicitly
+        with Cluster(
+            n_nodes, workers=1, replication=0, log=lambda line: None,
+        ) as cluster:
 
             def drive(client_index, seed_address):
                 policy = RetryPolicy(
@@ -1331,10 +1336,101 @@ def measure_gray(n_nodes=3, n_clients=4, n_passes=3, repeats=12,
     }
 
 
+def measure_replication(n_nodes=3, n_clients=3, n_passes=3, factor=2):
+    """Warm-replica vs cold failover throughput after a node kill.
+
+    Two fleets, same workload, same victim.  The *cold* fleet runs with
+    replication off: each result lives only in its primary owner's
+    cache, so killing that owner forces the failover node to
+    re-simulate every key the victim held.  The *warm* fleet replicates
+    every commit to ``factor`` ring owners, so the same kill is served
+    entirely from replica caches -- zero re-simulation.  Records both
+    failover rates, their ratio, and the re-simulation counts (the
+    regression gate pins the warm count at zero).  Everything is
+    asserted bit-exact against the single-node oracle before any rate
+    is recorded.
+    """
+    from repro.resilience.chaos import (
+        _await, _drive_replicated, _node_stats, _pick_victim,
+        _replication_settled, gray_workload,
+    )
+    from repro.service.cluster import Cluster
+
+    workload = gray_workload(n_passes)
+    unique = len(workload.specs)
+    rows = {}
+    for label, replication in (("cold", 0), ("warm", factor)):
+        with Cluster(
+            n_nodes, workers=1, node_restarts=0, fleet_restarts=0,
+            gossip_interval=0.15, dead_after=1.5, replication=replication,
+        ) as cluster:
+            mismatches, errors = _drive_replicated(
+                cluster, workload, n_clients
+            )
+            if mismatches or errors:
+                raise AssertionError(
+                    f"{label} warmup was not bit-exact: "
+                    f"{mismatches} mismatches, {errors[:2]}"
+                )
+            if replication and not _await(
+                lambda: _replication_settled(_node_stats(cluster), n_nodes),
+                60.0,
+            ):
+                raise AssertionError(
+                    "replication never settled before the kill"
+                )
+            victim = _pick_victim(cluster, workload)
+            baseline = {
+                node_id: int(service.get("simulated_fsms", 0))
+                for node_id, service in
+                _node_stats(cluster, skip=(victim,)).items()
+            }
+            cluster.kill_node(victim)
+            time.sleep(0.5)   # let membership notice the corpse
+            started = time.perf_counter()
+            mismatches, errors = _drive_replicated(
+                cluster, workload, n_clients
+            )
+            wall = time.perf_counter() - started
+            if mismatches or errors:
+                raise AssertionError(
+                    f"{label} failover was not bit-exact: "
+                    f"{mismatches} mismatches, {errors[:2]}"
+                )
+            resimulated = sum(
+                int(service.get("simulated_fsms", 0))
+                - baseline.get(node_id, 0)
+                for node_id, service in
+                _node_stats(cluster, skip=(victim,)).items()
+            )
+        rows[label] = {
+            "requests_per_sec": n_clients * unique / wall,
+            "wall_seconds": wall,
+            "resimulated": resimulated,
+        }
+    return {
+        "n_nodes": n_nodes,
+        "n_clients": n_clients,
+        "n_requests": n_clients * unique,
+        "replication_factor": factor,
+        "cold_requests_per_sec": rows["cold"]["requests_per_sec"],
+        "warm_requests_per_sec": rows["warm"]["requests_per_sec"],
+        "warm_over_cold_ratio": (
+            rows["warm"]["requests_per_sec"]
+            / max(rows["cold"]["requests_per_sec"], 1e-9)
+        ),
+        "cold_resimulated": rows["cold"]["resimulated"],
+        "warm_resimulated": rows["warm"]["resimulated"],
+        "cold_wall_seconds": rows["cold"]["wall_seconds"],
+        "warm_wall_seconds": rows["warm"]["wall_seconds"],
+    }
+
+
 def run_bench(quick=False, include_baseline=True, n_fields=None,
               n_generations=None, repeats=None, include_service=True,
               service_workers=None, backend=None, include_bigworld=True,
-              include_cluster=True, include_gray=True):
+              include_cluster=True, include_gray=True,
+              include_replication=True):
     """One full benchmark pass; returns the record to append to the log."""
     from repro.perf.reference import LegacyBatchSimulator
 
@@ -1432,6 +1528,13 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
             n_passes=2 if quick else 3,
             repeats=4 if quick else 12,
         )
+    replication = {}
+    if include_replication and include_cluster and include_service:
+        replication["t8"] = measure_replication(
+            n_nodes=3,
+            n_clients=2 if quick else 3,
+            n_passes=2 if quick else 3,
+        )
     bigworld = {}
     if include_bigworld:
         if quick:
@@ -1461,6 +1564,7 @@ def run_bench(quick=False, include_baseline=True, n_fields=None,
         "durability": durability,
         "cluster": cluster,
         "gray": gray,
+        "replication": replication,
     }
 
 

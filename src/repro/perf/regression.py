@@ -88,6 +88,7 @@ def check_regression(record, log, threshold=DEFAULT_THRESHOLD):
     _check_durability(record, baseline_run, threshold, failures, notes)
     _check_cluster(record, baseline_run, threshold, failures, notes)
     _check_gray(record, baseline_run, threshold, failures, notes)
+    _check_replication(record, baseline_run, threshold, failures, notes)
     return failures, notes
 
 
@@ -433,6 +434,59 @@ def _check_gray(record, baseline_run, threshold, failures, notes):
             f"({rate_ratio:.2f}x)"
         )
         if rate_ratio < 1.0 - threshold:
+            failures.append(f"{line} -- dropped more than {threshold:.0%}")
+        else:
+            notes.append(line)
+
+
+def _replication_comparable(new, old):
+    return (
+        new.get("n_nodes") == old.get("n_nodes")
+        and new.get("n_clients") == old.get("n_clients")
+        and new.get("n_requests") == old.get("n_requests")
+        and new.get("replication_factor") == old.get("replication_factor")
+    )
+
+
+def _check_replication(record, baseline_run, threshold, failures, notes):
+    """Gate warm-replica failover two ways.
+
+    The **zero-re-simulation bound is absolute**: any
+    ``warm_resimulated > 0`` fails regardless of history -- the
+    replicated fleet re-doing committed work after a kill means the
+    fanout, hint, or read-repair path is broken, not merely slower.
+    On top, warm-failover ``requests_per_sec`` is gated against the
+    comparable baseline like every other section.  Baselines committed
+    before the section existed are skipped with a note, never failed.
+    """
+    baseline_replication = baseline_run.get("replication") or {}
+    for name, row in (record.get("replication") or {}).items():
+        resimulated = row.get("warm_resimulated")
+        if resimulated is not None:
+            line = (
+                f"replication {name}: {resimulated} re-simulations on "
+                "warm failover"
+            )
+            if resimulated > 0:
+                failures.append(
+                    f"{line} -- replicated work must never be redone"
+                )
+            else:
+                notes.append(line)
+        baseline = baseline_replication.get(name)
+        if baseline is None or not _replication_comparable(row, baseline):
+            notes.append(
+                f"replication {name}: no comparable baseline; skipped"
+            )
+            continue
+        new_rate = row["warm_requests_per_sec"]
+        old_rate = baseline["warm_requests_per_sec"]
+        ratio = new_rate / old_rate if old_rate else float("inf")
+        line = (
+            f"replication {name}: {new_rate:.2f} vs baseline "
+            f"{old_rate:.2f} req/s warm failover ({ratio:.2f}x)"
+        )
+        if ratio < 1.0 - threshold:
             failures.append(f"{line} -- dropped more than {threshold:.0%}")
         else:
             notes.append(line)

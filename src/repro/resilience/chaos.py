@@ -74,6 +74,9 @@ class ChaosResult:
     fired: list = field(default_factory=list)
     pending: int = 0
     wall_seconds: float = 0.0
+    # fleet runs only: the converged membership view + the fleet
+    # supervisor's snapshot at run end, for the failure artifact
+    membership: dict = None
 
     @property
     def seed(self):
@@ -370,10 +373,20 @@ def run_cluster_plan(plan, n_nodes=3, workload=None, log_path=None,
             timer.cancel()
         fired = list(injector.fired)
         pending = len(injector.pending())
+        # capture the fleet's last state for the failure artifact; a
+        # wrecked fleet (every node dead) must not mask the verdict
+        try:
+            membership = {
+                "membership": cluster.membership(),
+                "fleet": cluster.snapshot(),
+            }
+        except Exception:
+            membership = None
     return ChaosResult(
         plan=plan, ok=not errors and not mismatches[0],
         mismatches=mismatches[0], errors=errors, fired=fired,
         pending=pending, wall_seconds=time.perf_counter() - started,
+        membership=membership,
     )
 
 
@@ -411,14 +424,17 @@ class GrayResult:
         return f"FAIL ({causes})"
 
 
-def gray_workload(n_passes=3):
+def gray_workload(n_passes=3, seed_offset=0):
     """Pinned FSMs crossed with ``n_passes`` distinct suite seeds.
 
     Distinct seeds keep the fleet *simulating* instead of serving one
     warm cache line, so a gray node's stall costs real latency and the
     healthy/gray throughput ratio measures hedged recovery.  Expected
     outcomes are the single-node oracle: ``evaluate_population`` run
-    in-process once per seed.
+    in-process once per seed.  ``seed_offset`` shifts the whole seed
+    window, minting batch keys disjoint from an earlier call's -- the
+    replication battery uses it to generate provably-cold work for its
+    hinted-handoff and partition phases.
     """
     from numpy.random import default_rng
 
@@ -433,7 +449,7 @@ def gray_workload(n_passes=3):
     ]
     specs, expected = [], []
     for index in range(n_passes):
-        seed = WORKLOAD["seed"] + 100 * index
+        seed = WORKLOAD["seed"] + 100 * (index + seed_offset)
         suite = paper_suite(
             grid, WORKLOAD["agents"], n_random=WORKLOAD["fields"], seed=seed
         )
@@ -607,6 +623,9 @@ def run_gray_comparison(n_nodes=3, n_clients=4, n_passes=3, repeats=12,
     fleet_knobs = dict(
         workers=1, node_restarts=8, fleet_restarts=2,
         gossip_interval=0.15, dead_after=2.5,
+        # replication off: this comparison isolates hedging against a
+        # gray node, and its committed baselines predate fanout traffic
+        replication=0,
     )
     drive_knobs = dict(
         n_clients=n_clients, repeats=repeats, hedge=True,
@@ -659,6 +678,384 @@ def run_gray_comparison(n_nodes=3, n_clients=4, n_passes=3, repeats=12,
         hedges=gray["hedges"], hedge_wins=gray["hedge_wins"],
         hedge_cancelled=gray["hedge_cancelled"], duplicates=duplicates,
         mismatches=mismatches, errors=errors,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class ReplicationResult:
+    """Verdict of the replication kill battery (``--kill-replica``)."""
+
+    ok: bool
+    unique: int
+    warm_simulated: int
+    resimulated: int
+    hints_queued: int
+    hints_drained: int
+    converged: bool
+    mismatches: int
+    errors: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def summary(self):
+        if self.ok:
+            return (
+                f"ok ({self.unique} unique specs simulated "
+                f"{self.warm_simulated} times, {self.resimulated} "
+                f"re-simulations through the kill, "
+                f"{self.hints_drained}/{self.hints_queued} hints drained, "
+                f"digests converged, {self.wall_seconds:.1f}s)"
+            )
+        causes = "; ".join(self.errors[:3]) or (
+            f"{self.resimulated} re-simulations, {self.mismatches} "
+            f"mismatches, converged={self.converged}"
+        )
+        return f"FAIL ({causes})"
+
+
+def _node_stats(cluster, skip=()):
+    """``{node_id: service_stats}`` for live nodes (dead nodes and
+    ``skip`` indices omitted; an unreachable node is simply absent, so
+    predicates built on this must also check the expected count)."""
+    from repro.service.client import ClientOptions
+    from repro.service.cluster import DEAD as NODE_DEAD
+    from repro.service.transport import TCPServiceClient
+
+    out = {}
+    for node in cluster.nodes:
+        if node.index in skip or node.status == NODE_DEAD:
+            continue
+        try:
+            with TCPServiceClient(
+                node.address, options=ClientOptions(timeout=5.0)
+            ) as client:
+                payload = client.stats()
+        except Exception:
+            continue
+        out[node.node_id] = payload.get("service", payload)
+    return out
+
+
+def _replication_settled(stats_by_node, n_expected):
+    """True when ``n_expected`` nodes all report an idle replicator, no
+    pending hints, and one shared Merkle root."""
+    if len(stats_by_node) < n_expected:
+        return False
+    roots = set()
+    for service in stats_by_node.values():
+        replication = service.get("replication")
+        if not replication:
+            return False
+        if replication.get("pending"):
+            return False
+        if (replication.get("hints") or {}).get("pending"):
+            return False
+        roots.add((replication.get("digest") or {}).get("root"))
+    return len(roots) == 1
+
+
+def _await(predicate, timeout, interval=0.25):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _drive_replicated(cluster, workload, n_clients, on_first=None,
+                      request_timeout=60.0):
+    """Drive every spec once through ``n_clients`` threaded routers.
+
+    ``on_first`` (the assassin hook) runs on the caller's thread as
+    soon as any client has its first answer in hand -- that is,
+    mid-batch, with requests in flight on every thread.  Returns
+    ``(mismatches, errors)``.
+    """
+    from repro.service.client import ClientOptions
+    from repro.service.cluster import RouterClient
+
+    errors, mismatches = [], [0]
+    lock = threading.Lock()
+    first = threading.Event()
+
+    def drive(index):
+        policy = RetryPolicy(
+            seed=index, max_attempts=12, base_delay=0.05,
+            max_delay=0.5, budget=90.0,
+        )
+        try:
+            # every address, not just cluster.seed: a just-killed node
+            # stays in the fleet view until the monitor buries it, and
+            # bootstrap must be able to skip past its refused socket
+            with RouterClient(
+                [node.address for node in cluster.nodes],
+                options=ClientOptions(
+                    timeout=request_timeout, retry_policy=policy
+                ),
+            ) as router:
+                for spec, want in zip(workload.specs, workload.expected):
+                    got = router.evaluate(**spec)
+                    first.set()
+                    if got != want:
+                        with lock:
+                            mismatches[0] += 1
+        except Exception as exc:
+            with lock:
+                errors.append(f"client {index}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=drive, args=(index,))
+        for index in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    if on_first is not None and first.wait(timeout=60.0):
+        on_first()
+    for thread in threads:
+        thread.join()
+    return mismatches[0], errors
+
+
+def _pick_victim(cluster, workload):
+    """The index of the node that is primary owner of the most batch
+    keys -- killing it maximises how much the failover path must cover
+    from replica caches."""
+    from repro.service.cluster import batch_key
+
+    counts = {}
+    for spec in workload.specs:
+        owner = cluster.ring.owner(batch_key(spec))
+        counts[owner] = counts.get(owner, 0) + 1
+    victim_id = max(sorted(counts), key=lambda node_id: counts[node_id])
+    for node in cluster.nodes:
+        if node.node_id == victim_id:
+            return node.index
+    return 0
+
+
+def _offset_replicating_to(victim_id, node_ids, factor, n_passes, start=7):
+    """First ``gray_workload`` seed offset whose batch keys put
+    ``victim_id`` in at least one replica set.
+
+    Driving that workload while the victim is down is then *guaranteed*
+    to queue a hinted handoff: whichever live owner serves a key fans
+    out to the other owners, and the victim is one of them.  Batch keys
+    depend only on spec fields, so the scan needs no simulation.
+    """
+    from repro.service.cluster import HashRing, batch_key
+
+    ring = HashRing(node_ids)
+    for offset in range(start, start + 64):
+        for index in range(n_passes):
+            spec = {
+                "grid": WORKLOAD["kind"], "size": WORKLOAD["size"],
+                "agents": WORKLOAD["agents"], "fields": WORKLOAD["fields"],
+                "seed": WORKLOAD["seed"] + 100 * (index + offset),
+                "t_max": WORKLOAD["t_max"],
+            }
+            if victim_id in ring.owners(batch_key(spec), factor):
+                return offset
+    return start
+
+
+def run_replication_kill(n_nodes=3, n_clients=4, n_passes=3, factor=2,
+                         out_dir=None, log=print, settle_timeout=60.0):
+    """Prove node death never re-simulates committed work; a
+    :class:`ReplicationResult`.
+
+    Four phases against one replicated fleet (``--replication-factor``
+    is on by default in :class:`~repro.service.cluster.Cluster`), with
+    node and fleet restart budgets at zero so a SIGKILLed node stays
+    dead until this harness revives it:
+
+    1. **Warm**: drive the multi-seed workload, then wait until every
+       replicator is idle, no hints are pending, and all Merkle roots
+       agree.  Fleet-wide ``simulated_fsms`` must equal the unique spec
+       count -- each result simulated exactly once, then replicated.
+    2. **Kill**: re-drive the same workload and SIGKILL the primary
+       owner of the most batch keys mid-batch.  Results must stay
+       bit-exact and every survivor's ``simulated_fsms`` must be
+       *unchanged*: all failover reads served from replica caches, zero
+       re-simulation.  (The victim's counter dies with it, so
+       survivor-only accounting is exact.)
+    3. **Hints**: drive new work whose replica sets provably include
+       the dead victim (hints must queue durably), restart the victim,
+       and wait for the hints to drain and all roots to reconverge.
+    4. **Heal**: partition two nodes at the gossip layer, drive more
+       new work, heal, and wait for anti-entropy to reconverge every
+       root -- the acceptance criterion for Merkle repair.
+    """
+    from repro.service.cluster import Cluster
+
+    if n_nodes < 2:
+        raise ValueError("the replication battery needs at least 2 nodes")
+    started = time.perf_counter()
+    errors = []
+    mismatches_total = 0
+    converged = False
+    workload = gray_workload(n_passes)
+    unique = len(workload.specs)
+
+    with Cluster(
+        n_nodes, workers=1, node_restarts=0, fleet_restarts=0,
+        gossip_interval=0.15, dead_after=1.5, replication=factor,
+    ) as cluster:
+        node_ids = [node.node_id for node in cluster.nodes]
+
+        # -- phase 1: warm every owner, let fanout + anti-entropy settle
+        mismatches, errs = _drive_replicated(cluster, workload, n_clients)
+        mismatches_total += mismatches
+        errors += errs
+        if not _await(
+            lambda: _replication_settled(_node_stats(cluster), n_nodes),
+            settle_timeout,
+        ):
+            errors.append(
+                "phase 1: replication never quiesced / digests never "
+                "converged on the healthy fleet"
+            )
+        stats = _node_stats(cluster)
+        warm_simulated = sum(
+            int(service.get("simulated_fsms", 0))
+            for service in stats.values()
+        )
+        if warm_simulated != unique:
+            errors.append(
+                f"phase 1: {warm_simulated} simulations for {unique} "
+                "unique specs before any fault"
+            )
+        victim = _pick_victim(cluster, workload)
+        victim_id = cluster.nodes[victim].node_id
+        baseline = {
+            node_id: int(service.get("simulated_fsms", 0))
+            for node_id, service in stats.items() if node_id != victim_id
+        }
+        log(
+            f"kill-replica: warm fleet settled ({warm_simulated} "
+            f"simulations / {unique} specs); victim is {victim_id}"
+        )
+
+        # -- phase 2: SIGKILL the primary mid-batch, re-drive warm work
+        mismatches, errs = _drive_replicated(
+            cluster, workload, n_clients,
+            on_first=lambda: cluster.kill_node(victim),
+        )
+        mismatches_total += mismatches
+        errors += errs
+        after = _node_stats(cluster, skip=(victim,))
+        if set(after) != set(baseline):
+            errors.append("phase 2: lost a survivor's stats after the kill")
+        resimulated = sum(
+            int(service.get("simulated_fsms", 0)) - baseline.get(node_id, 0)
+            for node_id, service in after.items()
+        )
+        if resimulated:
+            errors.append(
+                f"phase 2: {resimulated} re-simulations after the kill "
+                "(failover reads missed the replica caches)"
+            )
+        log(
+            f"kill-replica: {victim_id} SIGKILLed mid-batch; "
+            f"{resimulated} re-simulations on failover"
+        )
+
+        # -- phase 3: new work while the victim is down -> hinted handoff
+        offset = _offset_replicating_to(
+            victim_id, node_ids, factor, n_passes=2,
+        )
+        cold = gray_workload(n_passes=2, seed_offset=offset)
+        mismatches, errs = _drive_replicated(cluster, cold, n_clients)
+        mismatches_total += mismatches
+        errors += errs
+
+        def hints_pending():
+            return sum(
+                ((service.get("replication") or {}).get("hints") or {})
+                .get("pending", 0)
+                for service in _node_stats(cluster, skip=(victim,)).values()
+            )
+
+        if not _await(lambda: hints_pending() > 0, 15.0):
+            errors.append(
+                "phase 3: no hint queued for the dead replica although "
+                "its replica sets were driven"
+            )
+        cluster.restart_node(victim)
+        log(f"kill-replica: {victim_id} restarted; draining hints")
+        if not _await(
+            lambda: _replication_settled(_node_stats(cluster), n_nodes),
+            settle_timeout,
+        ):
+            errors.append(
+                "phase 3: hints never drained / digests never "
+                "reconverged after the victim restarted"
+            )
+
+        # -- phase 4: partition two nodes, drive, heal, reconverge
+        survivors = [
+            node.index for node in cluster.nodes if node.index != victim
+        ]
+        pair = (
+            (survivors[0], survivors[1]) if len(survivors) >= 2
+            else (victim, survivors[0])
+        )
+        cluster.partition(*pair)
+        cold2 = gray_workload(n_passes=2, seed_offset=offset + 100)
+        mismatches, errs = _drive_replicated(cluster, cold2, n_clients)
+        mismatches_total += mismatches
+        errors += errs
+        cluster.heal(*pair)
+        converged = _await(
+            lambda: _replication_settled(_node_stats(cluster), n_nodes),
+            settle_timeout,
+        )
+        if not converged:
+            errors.append(
+                "phase 4: digests did not reconverge after the "
+                "partition healed"
+            )
+
+        final = _node_stats(cluster)
+        hints_queued = sum(
+            (service.get("replication") or {}).get("hints_queued", 0)
+            for service in final.values()
+        )
+        hints_drained = sum(
+            (service.get("replication") or {}).get("hints_drained", 0)
+            for service in final.values()
+        )
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+            with open(os.path.join(out_dir, "membership.log"), "w") as fh:
+                json.dump(
+                    {
+                        "membership": cluster.membership(),
+                        "fleet": cluster.snapshot(),
+                    },
+                    fh, indent=2,
+                )
+                fh.write("\n")
+            with open(os.path.join(out_dir, "hints.log"), "w") as fh:
+                json.dump(
+                    {
+                        node_id: service.get("replication") or {}
+                        for node_id, service in final.items()
+                    },
+                    fh, indent=2,
+                )
+                fh.write("\n")
+
+    if mismatches_total:
+        errors.append(
+            f"{mismatches_total} outcome mismatches vs the "
+            "single-node oracle"
+        )
+    return ReplicationResult(
+        ok=not errors, unique=unique, warm_simulated=warm_simulated,
+        resimulated=resimulated, hints_queued=hints_queued,
+        hints_drained=hints_drained, converged=converged,
+        mismatches=mismatches_total, errors=errors,
         wall_seconds=time.perf_counter() - started,
     )
 
@@ -736,6 +1133,15 @@ def chaos_sweep(seeds, n_faults=4, n_clients=3, out_dir=None, shrink=True,
         log(f"chaos seed {seed}: {result.summary()}")
         if not result.ok and out_dir:
             plan.save(os.path.join(out_dir, f"seed{seed}_plan.json"))
+            if result.membership is not None:
+                # fleet runs: who was alive, dead, or partitioned when
+                # the verdict landed -- without it a shrunk plan is not
+                # diagnosable ("which node did the bit-flip serve?")
+                with open(
+                    os.path.join(out_dir, f"seed{seed}_membership.log"), "w"
+                ) as handle:
+                    json.dump(result.membership, handle, indent=2)
+                    handle.write("\n")
         if not result.ok and shrink:
             minimal = shrink_plan(plan, lambda p: not execute(p).ok)
             # a concurrency-flaky shrink must still reproduce; otherwise

@@ -53,6 +53,8 @@ SITE_CLIENT_SEND = "client.send"
 SITE_CLIENT_RECV = "client.recv"
 SITE_CLUSTER_NODE = "cluster.node"
 SITE_CLUSTER_LINK = "cluster.link"
+SITE_REPLICATION_SEND = "replication.send"
+SITE_HINT_APPEND = "replication.hint"
 
 #: The single-process serving sites.  :meth:`FaultPlan.random` draws
 #: from these by default, so single-node chaos sweeps are unaffected by
@@ -74,6 +76,16 @@ KNOWN_SITES = (
 CLUSTER_SITES = (
     SITE_CLUSTER_NODE,
     SITE_CLUSTER_LINK,
+)
+
+#: Replication-layer sites (PR 10).  Outside the default random pool
+#: for the same replay-stability reason as the cluster sites: hooks
+#: live in the :class:`repro.service.replication.Replicator` fanout and
+#: :class:`~repro.service.replication.HintStore` append paths, and old
+#: seeded sweeps must keep replaying byte-identical schedules.
+REPLICATION_SITES = (
+    SITE_REPLICATION_SEND,
+    SITE_HINT_APPEND,
 )
 
 #: Fault kinds.
@@ -107,6 +119,8 @@ SITE_KINDS = {
     SITE_CLIENT_RECV: (DISCONNECT, GARBAGE_FRAME),
     SITE_CLUSTER_NODE: (KILL, SLOW),
     SITE_CLUSTER_LINK: (PARTITION,),
+    SITE_REPLICATION_SEND: (DISCONNECT, DELAY),
+    SITE_HINT_APPEND: (TORN_WRITE,),
 }
 
 #: The kinds :meth:`FaultPlan.random` draws from.  Frozen at the PR 4/7
@@ -123,6 +137,8 @@ RANDOM_SITE_KINDS = {
     SITE_CLIENT_RECV: (DISCONNECT, GARBAGE_FRAME),
     SITE_CLUSTER_NODE: (KILL,),
     SITE_CLUSTER_LINK: (PARTITION,),
+    SITE_REPLICATION_SEND: (DISCONNECT,),
+    SITE_HINT_APPEND: (TORN_WRITE,),
 }
 
 PLAN_VERSION = 1

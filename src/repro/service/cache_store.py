@@ -95,6 +95,7 @@ class CacheStore:
         self.compactions = 0
         self.compacted_bytes = 0
         self.append_reopens = 0
+        self.orphans_swept = 0
 
     def _open_fd_locked(self):
         if self._fd is None:
@@ -110,10 +111,26 @@ class CacheStore:
         into a failure deep inside the first evaluation; the CLI calls
         this up front so ``--cache /bad/path`` dies with a clear
         message instead.  Raises :class:`OSError`.
+
+        A stale ``path + ".compact.tmp"`` (a :meth:`compact` died
+        between its write and the ``os.replace``) is never valid state
+        -- the live store is always the un-replaced original -- so it
+        is swept here and counted in ``orphans_swept``.
         """
         with self._lock:
+            self._sweep_orphan_locked()
             self._open_fd_locked()
         return self
+
+    def _sweep_orphan_locked(self):
+        try:
+            os.unlink(f"{self.path}.compact.tmp")
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass  # unsweepable (permissions): compact() overwrites it anyway
+        else:
+            self.orphans_swept += 1
 
     def load(self):
         """All valid records, truncating a torn tail if one is found."""
@@ -319,6 +336,7 @@ class PersistentEvaluationCache(EvaluationCache):
             "compactions": self.store.compactions,
             "compacted_bytes": self.store.compacted_bytes,
             "append_reopens": self.store.append_reopens,
+            "orphans_swept": self.store.orphans_swept,
         }
         return counters
 

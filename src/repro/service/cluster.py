@@ -465,12 +465,17 @@ class GossipAgent:
     itself never marks anyone dead.
     """
 
-    def __init__(self, membership, interval=0.25, timeout=2.0, seed=None):
+    def __init__(self, membership, interval=0.25, timeout=2.0, seed=None,
+                 replicator=None):
         import random
 
         self.membership = membership
         self.interval = float(interval)
         self.timeout = float(timeout)
+        # optional repro.service.replication.Replicator: each round it
+        # is ticked (hint drain for revived peers) and handed the
+        # peer's cache digest for the anti-entropy pull
+        self.replicator = replicator
         self.failures = 0
         self.rounds = 0
         self._rng = random.Random(seed)
@@ -492,14 +497,15 @@ class GossipAgent:
         while not self._stop.wait(timeout=self.interval):
             self.membership.beat()
             peers = self.membership.peers()
-            if not peers:
-                continue
-            peer_id = self._rng.choice(sorted(peers))
-            self.rounds += 1
-            try:
-                self._exchange_with(peers[peer_id])
-            except (OSError, ValueError):
-                self.failures += 1
+            if peers:
+                peer_id = self._rng.choice(sorted(peers))
+                self.rounds += 1
+                try:
+                    self._exchange_with(peers[peer_id])
+                except (OSError, ValueError):
+                    self.failures += 1
+            if self.replicator is not None:
+                self.replicator.tick()
 
     def _exchange_with(self, address):
         from repro.service.transport import recv_frame, send_frame
@@ -512,9 +518,19 @@ class GossipAgent:
                 "gossip": self.membership.view(),
             })
             response = recv_frame(sock)
-        remote = ((response or {}).get("health") or {}).get("membership")
+        health = (response or {}).get("health") or {}
+        remote = health.get("membership")
         if remote:
             self.membership.merge(remote)
+        if self.replicator is not None and health.get("replication"):
+            # anti-entropy piggybacks here: a diverged peer digest
+            # triggers a pull of only the divergent buckets
+            try:
+                self.replicator.on_peer_digest(
+                    address, health["replication"]
+                )
+            except (OSError, ValueError):
+                self.failures += 1
 
 
 class GrayDetector:
@@ -740,6 +756,7 @@ class RouterClient:
         self.hedge_wins = 0          # hedge answered before the primary
         self.hedge_cancelled = 0     # losers reaped before simulation
         self.deadline_refused = 0    # expired before routing
+        self.replica_reads = 0       # successes served off the primary owner
         self._router_id = f"router-{uuid.uuid4().hex[:8]}"
         self._bootstrap()
 
@@ -1048,7 +1065,10 @@ class RouterClient:
                     if loser != node_id:
                         self._cancel_on(loser, idem)
                 if node_id != owners[0]:
+                    # served by a replica, not the preferred owner --
+                    # with replication armed this is the warm-read path
                     self.hedge_wins += 1
+                    self.replica_reads += 1
                 self.routed[node_id] = self.routed.get(node_id, 0) + 1
                 return response, launched
             if not self._node_failure(exc):
@@ -1089,6 +1109,8 @@ class RouterClient:
                 # node answers control ops instantly, and mixing those
                 # in would mask exactly the slowness being measured
                 self._observe(node_id, time.monotonic() - started)
+                if node_id != owners[0]:
+                    self.replica_reads += 1
             self.routed[node_id] = self.routed.get(node_id, 0) + 1
             return response
         return None
@@ -1183,6 +1205,7 @@ class RouterClient:
             "failovers": self.failovers,
             "refreshes": self.refreshes,
             "deadline_refused": self.deadline_refused,
+            "replica_reads": self.replica_reads,
             "hedging": {
                 "enabled": self.hedge,
                 "launched": self.hedges,
@@ -1253,13 +1276,17 @@ class Cluster:
     def __init__(self, n_nodes, host="127.0.0.1", base_port=None, workers=1,
                  node_restarts=5, fleet_restarts=1, fleet_interval=0.25,
                  gossip_interval=0.25, dead_after=2.0, data_dir=None,
-                 replicas=DEFAULT_REPLICAS, serve_extra=(), node_extra=None,
-                 log=None, start_timeout=60.0):
+                 replicas=DEFAULT_REPLICAS, replication=2, serve_extra=(),
+                 node_extra=None, log=None, start_timeout=60.0):
         if n_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
         self.n_nodes = int(n_nodes)
         self.host = host
         self.workers = int(workers)
+        # replication factor handed to every node (0/1 disables):
+        # committed results fan out to the first `replication` ring
+        # owners, with hinted handoff under data_dir per node
+        self.replication = int(replication or 0)
         self.node_restarts = int(node_restarts)
         self.fleet_restarts = int(fleet_restarts)
         self.fleet_interval = float(fleet_interval)
@@ -1314,6 +1341,12 @@ class Cluster:
             "--journal",
             os.path.join(self.data_dir, f"{node.node_id}.journal"),
         ]
+        if self.replication >= 2 and self.n_nodes >= 2:
+            args += [
+                "--replication-factor", str(self.replication),
+                "--hints",
+                os.path.join(self.data_dir, f"{node.node_id}.hints"),
+            ]
         return args + self.serve_extra + self.node_extra.get(node.index, [])
 
     def _make_supervisor(self, node):

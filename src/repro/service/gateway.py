@@ -440,6 +440,11 @@ class GatewayServer(BaseAsyncServer):
             # gossip counters and gray-node hints ride /metrics too, so
             # a scrape sees which peers this node believes are slow
             snapshot["membership"] = self.membership.stats()
+        replicator = getattr(self.session, "replicator", None)
+        if replicator is not None:
+            # top-level so the flattener emits repro_replication_*
+            # families (fanout queue depth, hint backlog, sync pulls)
+            snapshot["replication"] = replicator.summary()
         return snapshot
 
     # -- connection handling ------------------------------------------------

@@ -172,9 +172,13 @@ class ServeSession:
     keys attach to the replayed futures.
     """
 
-    def __init__(self, service, journal=None):
+    def __init__(self, service, journal=None, replicator=None):
         self.service = service
         self.journal = journal
+        # cluster replication (a repro.service.replication.Replicator):
+        # committed results fan out to the ring's successor owners so a
+        # failover target already holds them
+        self.replicator = replicator
         self.idempotency = IdempotencyRegistry()
         self._grids = {}
         self._suites = {}
@@ -225,6 +229,30 @@ class ServeSession:
             deadline=deadline,
         )
 
+    def _arm_replication(self, spec, request, future):
+        """Fan committed results out to the replica set, asynchronously.
+
+        Armed on the *original* future inside the submit closures, so a
+        shared (idempotent) submission offers its records exactly once
+        no matter how many consumers attach.  The callback only queues;
+        the replicator's worker does the sending -- a slow or dead
+        replica can never stall the serving path.
+        """
+        replicator = self.replicator
+        if replicator is None or not isinstance(spec, dict):
+            return
+        keys = list(request.cache_keys())
+
+        def fan_out(done):
+            if done.cancelled() or done.exception() is not None:
+                return   # nothing committed, nothing to replicate
+            try:
+                replicator.offer(spec, keys, done.result())
+            except Exception:
+                pass   # replication must never fail the request
+
+        future.add_done_callback(fan_out)
+
     def _journaled_submit(self, idem, spec, record=True):
         """Submit under the write-ahead journal: accept, dispatch, commit.
 
@@ -247,6 +275,7 @@ class ServeSession:
                     pass   # a lost commit costs one replay, never a result
 
             future.add_done_callback(mark_committed)
+            self._arm_replication(spec, request, future)
             return future
 
         return self.idempotency.resolve(idem, submit)
@@ -268,12 +297,16 @@ class ServeSession:
             if idem is None:
                 idem = uuid.uuid4().hex
             return request_id, self._journaled_submit(idem, spec)
+
+        def submit():
+            request = self.build_request(spec)
+            future = self.service.submit(request)
+            self._arm_replication(spec, request, future)
+            return future
+
         if idem is None:
-            return request_id, self.service.submit(self.build_request(spec))
-        future = self.idempotency.resolve(
-            idem, lambda: self.service.submit(self.build_request(spec))
-        )
-        return request_id, future
+            return request_id, submit()
+        return request_id, self.idempotency.resolve(idem, submit)
 
     def replay_journal(self):
         """Resubmit the journal's uncommitted suffix; returns the count.
@@ -341,6 +374,10 @@ class ServeSession:
         payload["hedging"] = self.hedging_stats()
         if self.journal is not None:
             payload["journal"] = self.journal.stats()
+        if self.replicator is not None:
+            # the digest inside this summary is what gossip peers
+            # compare for anti-entropy -- health *is* the exchange
+            payload["replication"] = self.replicator.summary()
         return payload
 
     def stats(self):
@@ -356,6 +393,8 @@ class ServeSession:
         payload["hedging"] = self.hedging_stats()
         if self.journal is not None:
             payload["journal"] = self.journal.stats()
+        if self.replicator is not None:
+            payload["replication"] = self.replicator.summary()
         return payload
 
     def handle_op(self, spec):
@@ -380,6 +419,21 @@ class ServeSession:
         if op == "cancel":
             return {**base, "ok": True,
                     "cancelled": self.cancel_idem(spec.get("idem"))}
+        if op == "replicate":
+            # inbound write fanout from a peer: apply to the local
+            # cache (idempotent; never journaled, never re-fanned)
+            if self.replicator is None:
+                raise ValueError("replication not enabled on this node")
+            applied = self.replicator.apply(
+                spec.get("records") or [], source=spec.get("from")
+            )
+            return {**base, "ok": True, "applied": applied}
+        if op == "sync":
+            # anti-entropy pull: stream the requested digest buckets
+            if self.replicator is None:
+                raise ValueError("replication not enabled on this node")
+            records = self.replicator.sync_payload(spec.get("buckets"))
+            return {**base, "ok": True, "records": records}
         raise ValueError(f"unknown op {op!r}")
 
 

@@ -3,9 +3,12 @@
 :class:`LatencyHistogram` started life inside the HTTP gateway's
 per-class request histograms; the deadline-aware dispatcher needs the
 same structure to track observed per-batch latency (its p99 is what a
-request's remaining budget is judged against), and the gray-failure
-detector needs cheap quantiles over router round-trips.  It lives here
-so :mod:`repro.service.service` and :mod:`repro.service.cluster` can
+request's remaining budget is judged against), the gray-failure
+detector needs cheap quantiles over router round-trips, and the
+replication fanout worker records per-send latency with it (the
+``repro_replication_send_latency_*`` family on ``/metrics``).  It
+lives here so :mod:`repro.service.service`,
+:mod:`repro.service.cluster` and :mod:`repro.service.replication` can
 use it without importing the gateway; :mod:`repro.service.gateway`
 re-exports it unchanged.
 """

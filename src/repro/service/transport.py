@@ -153,6 +153,8 @@ class TransportStats:
     cancels: int = 0                # cancel ops received
     cancelled_requests: int = 0     # submissions reaped by a cancel
     cancelled_on_disconnect: int = 0
+    replicate_ops: int = 0          # inbound write-fanout batches applied
+    sync_ops: int = 0               # anti-entropy bucket pulls served
     idle_reaped: int = 0
     backpressure_engaged: int = 0
     backpressure_released: int = 0
@@ -547,6 +549,34 @@ class AsyncEvaluationServer(BaseAsyncServer):
                 await self._send(conn, {
                     "id": request_id, "ok": True, "cancelled": cancelled,
                 })
+                return
+            if op in ("replicate", "sync"):
+                # replication data plane: a peer pushing committed
+                # records (write fanout / hint drain / read repair) or
+                # pulling divergent digest buckets (anti-entropy).
+                # Both apply through the session's replicator -- never
+                # journaled, never re-fanned from here.
+                replicator = getattr(self.session, "replicator", None)
+                if replicator is None:
+                    await self._send_error(
+                        conn, request_id, ERR_BAD_REQUEST,
+                        "replication not enabled on this node",
+                    )
+                    return
+                if op == "replicate":
+                    self.stats.replicate_ops += 1
+                    applied = replicator.apply(
+                        spec.get("records") or [], source=spec.get("from")
+                    )
+                    await self._send(conn, {
+                        "id": request_id, "ok": True, "applied": applied,
+                    })
+                else:
+                    self.stats.sync_ops += 1
+                    records = replicator.sync_payload(spec.get("buckets"))
+                    await self._send(conn, {
+                        "id": request_id, "ok": True, "records": records,
+                    })
                 return
             if op == "shutdown":
                 await self._send(conn, {"id": request_id, "ok": True})

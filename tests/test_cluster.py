@@ -553,6 +553,7 @@ class TestThreadFleet:
         router.latency = LatencyHistogram()
         router.hedges = router.hedge_wins = router.hedge_cancelled = 0
         router.deadline_refused = 0
+        router.replica_reads = 0
         router._router_id = "router-test"
         router.request({"seed": 77})
         failed, served = sent[first], sent[second]
